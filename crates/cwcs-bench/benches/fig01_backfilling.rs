@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 1: scheduling a job stream with the four
+//! batch policies.  The measured quantity is the scheduling time; the
+//! makespans printed by `cargo run --bin fig01_backfilling` give the
+//! qualitative comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwcs_workload::{BatchJob, BatchScheduler, SchedulerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn job_stream(count: u32) -> Vec<BatchJob> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..count)
+        .map(|i| {
+            BatchJob::exact(
+                i,
+                i as f64 * rng.gen_range(5.0..30.0),
+                rng.gen_range(1..=9),
+                rng.gen_range(120.0..1800.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let jobs = job_stream(60);
+    let mut group = c.benchmark_group("fig01_backfilling");
+    group.sample_size(20);
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::EasyBackfilling,
+        SchedulerKind::ConservativeBackfilling,
+        SchedulerKind::EasyWithPreemption,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
+            b.iter(|| BatchScheduler::new(kind, 22).schedule(std::hint::black_box(&jobs)));
+        });
+    }
+    group.finish();
+
+    // Print the qualitative result once so it lands in the bench output.
+    let fcfs = BatchScheduler::new(SchedulerKind::Fcfs, 22).schedule(&jobs);
+    let easy = BatchScheduler::new(SchedulerKind::EasyBackfilling, 22).schedule(&jobs);
+    let preempt = BatchScheduler::new(SchedulerKind::EasyWithPreemption, 22).schedule(&jobs);
+    println!(
+        "fig01 makespans: FCFS {:.0} s, EASY {:.0} s, EASY+preemption {:.0} s",
+        fcfs.makespan, easy.makespan, preempt.makespan
+    );
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

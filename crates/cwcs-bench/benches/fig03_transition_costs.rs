@@ -1,0 +1,66 @@
+//! Criterion bench for Figure 3: executing single-action plans (run, stop,
+//! migrate, suspend, local/remote resume) on the simulated cluster and
+//! reporting the modelled durations per VM memory size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwcs_model::{
+    Configuration, CpuCapacity, MemoryMib, Node, NodeId, ResourceDemand, Vm, VmAssignment, VmId,
+};
+use cwcs_plan::{Action, Pool, ReconfigurationPlan};
+use cwcs_sim::{DurationModel, PlanExecutor, SimulatedCluster, SimulatedXenDriver, TransferMethod};
+
+fn cluster_with_vm(memory_mib: u64, running: bool) -> SimulatedCluster {
+    let mut config = Configuration::new();
+    config.add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+    config.add_node(Node::new(NodeId(1), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+    config
+        .add_vm(Vm::new(VmId(0), MemoryMib::mib(memory_mib), CpuCapacity::cores(1)))
+        .unwrap();
+    if running {
+        config.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+    }
+    SimulatedCluster::new(config)
+}
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_transitions");
+    group.sample_size(20);
+    for memory in [512u64, 1024, 2048] {
+        let demand = ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::mib(memory));
+        group.bench_with_input(BenchmarkId::new("migrate", memory), &memory, |b, _| {
+            b.iter(|| {
+                let mut cluster = cluster_with_vm(memory, true);
+                let plan = ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
+                    Action::Migrate { vm: VmId(0), from: NodeId(0), to: NodeId(1), demand },
+                ])]);
+                PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &plan)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("suspend", memory), &memory, |b, _| {
+            b.iter(|| {
+                let mut cluster = cluster_with_vm(memory, true);
+                let plan = ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
+                    Action::Suspend { vm: VmId(0), node: NodeId(0), demand },
+                ])]);
+                PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &plan)
+            });
+        });
+    }
+    group.finish();
+
+    // Print the modelled durations (the actual Figure 3 series).
+    let model = DurationModel::paper();
+    for memory in [512u64, 1024, 2048] {
+        println!(
+            "fig03 {} MiB: migrate {:.1} s, suspend(local) {:.1} s, resume(local) {:.1} s, resume(scp) {:.1} s",
+            memory,
+            model.migrate_duration(MemoryMib::mib(memory)),
+            model.suspend_duration(MemoryMib::mib(memory), TransferMethod::Local),
+            model.resume_duration(MemoryMib::mib(memory), TransferMethod::Local),
+            model.resume_duration(MemoryMib::mib(memory), TransferMethod::Scp),
+        );
+    }
+}
+
+criterion_group!(benches, bench_transitions);
+criterion_main!(benches);

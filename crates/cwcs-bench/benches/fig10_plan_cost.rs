@@ -1,0 +1,71 @@
+//! Criterion bench for Figure 10: cost of the reconfiguration plan computed
+//! by First-Fit Decreasing vs the CP optimizer on generated configurations.
+//!
+//! The benchmark measures the optimization time on down-scaled instances so
+//! that `cargo bench` stays fast; it also prints the FFD vs Entropy costs so
+//! the ~order-of-magnitude reduction of the paper is visible in the output.
+//! The full-size sweep is available via `cargo run --release --bin
+//! fig10_cost_reduction`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwcs_core::decision::DecisionModule;
+use cwcs_core::{FcfsConsolidation, PlanOptimizer};
+use cwcs_workload::{GeneratorParams, TraceGenerator};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_plan_cost");
+    group.sample_size(10);
+
+    for vm_target in [36usize, 72] {
+        let params = GeneratorParams {
+            node_count: 40,
+            ..GeneratorParams::figure_10(vm_target, 1)
+        };
+        let generated = TraceGenerator::new(params).generate();
+        let decision = FcfsConsolidation::new()
+            .decide(&generated.configuration, &generated.vjobs, &Default::default())
+            .expect("decision succeeds");
+
+        group.bench_with_input(BenchmarkId::new("ffd", vm_target), &vm_target, |b, _| {
+            let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(200));
+            b.iter(|| {
+                optimizer
+                    .ffd_outcome(&generated.configuration, &decision, &generated.vjobs)
+                    .map(|o| o.cost.total)
+                    .unwrap_or(0)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("entropy", vm_target), &vm_target, |b, _| {
+            let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(200));
+            b.iter(|| {
+                optimizer
+                    .optimize(&generated.configuration, &decision, &generated.vjobs)
+                    .map(|o| o.cost.total)
+                    .unwrap_or(0)
+            });
+        });
+
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(500));
+        let ffd = optimizer
+            .ffd_outcome(&generated.configuration, &decision, &generated.vjobs)
+            .map(|o| o.cost.total)
+            .unwrap_or(0);
+        let entropy = optimizer
+            .optimize(&generated.configuration, &decision, &generated.vjobs)
+            .map(|o| o.cost.total)
+            .unwrap_or(0);
+        println!(
+            "fig10 ({} VMs, 40 nodes): FFD cost {}, Entropy cost {} ({:.1}% reduction)",
+            generated.vm_count(),
+            ffd,
+            entropy,
+            if ffd > 0 { 100.0 * (ffd as f64 - entropy as f64) / ffd as f64 } else { 0.0 }
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 3 — duration of each VM context-switch transition as a function of
+//! the memory allocated to the manipulated VM.
+//!
+//! Reproduces the three panels:
+//! * (a) run/migrate/stop,
+//! * (b) suspend (local, local+scp, local+rsync),
+//! * (c) resume (local, local+scp, local+rsync),
+//!
+//! plus the deceleration factor observed on a busy co-hosted VM (§2.3 text).
+
+use cwcs_model::MemoryMib;
+use cwcs_sim::{DurationModel, InterferenceModel, TransferMethod};
+
+fn main() {
+    let model = DurationModel::paper();
+    let memories = [512u64, 1024, 2048];
+
+    println!("Figure 3(a): run / migrate / stop duration (seconds) vs VM memory");
+    println!("{:<14} {:>10} {:>10} {:>10}", "action", "512MB", "1024MB", "2048MB");
+    println!(
+        "{:<14} {:>10.1} {:>10.1} {:>10.1}",
+        "start/run",
+        model.run_duration(),
+        model.run_duration(),
+        model.run_duration()
+    );
+    println!(
+        "{:<14} {:>10.1} {:>10.1} {:>10.1}",
+        "migrate",
+        model.migrate_duration(MemoryMib::mib(memories[0])),
+        model.migrate_duration(MemoryMib::mib(memories[1])),
+        model.migrate_duration(MemoryMib::mib(memories[2]))
+    );
+    println!(
+        "{:<14} {:>10.1} {:>10.1} {:>10.1}",
+        "stop/shutdown",
+        model.stop_duration(),
+        model.stop_duration(),
+        model.stop_duration()
+    );
+
+    println!();
+    println!("Figure 3(b): suspend duration (seconds) vs VM memory");
+    println!("{:<14} {:>10} {:>10} {:>10}", "method", "512MB", "1024MB", "2048MB");
+    for method in TransferMethod::ALL {
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1}",
+            method.label(),
+            model.suspend_duration(MemoryMib::mib(memories[0]), method),
+            model.suspend_duration(MemoryMib::mib(memories[1]), method),
+            model.suspend_duration(MemoryMib::mib(memories[2]), method)
+        );
+    }
+
+    println!();
+    println!("Figure 3(c): resume duration (seconds) vs VM memory");
+    println!("{:<14} {:>10} {:>10} {:>10}", "method", "512MB", "1024MB", "2048MB");
+    for method in TransferMethod::ALL {
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1}",
+            method.label(),
+            model.resume_duration(MemoryMib::mib(memories[0]), method),
+            model.resume_duration(MemoryMib::mib(memories[1]), method),
+            model.resume_duration(MemoryMib::mib(memories[2]), method)
+        );
+    }
+
+    println!();
+    let interference = InterferenceModel::paper();
+    println!("Deceleration of a busy co-hosted VM during the transition (§2.3):");
+    println!("  local suspend/resume : {:.1}x", interference.local_factor);
+    println!("  scp/rsync transfers  : {:.1}x", interference.remote_factor);
+    println!("  (i.e. the impact reaches a maximum of ~50% during the transition)");
+}

@@ -1,0 +1,68 @@
+//! Figure 11 — cost and duration of the cluster-wide context switches
+//! performed while running the Section 5.2 experiment with the dynamic
+//! consolidation decision module.
+//!
+//! One line per non-empty context switch: its plan cost (Table 1 model), its
+//! duration, and the actions it performed.  The expected shape: switches that
+//! only run/stop/migrate VMs are short (seconds); switches that suspend and
+//! resume VMs cost more and take minutes.
+
+use std::time::Duration;
+
+use cwcs_bench::{cluster_experiment, entropy_run};
+
+fn main() {
+    let timeout_ms: u64 = std::env::var("CWCS_OPT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let scenario = cluster_experiment(7);
+    println!(
+        "Figure 11: context switches of the cluster experiment (11 nodes, {} vjobs, {} VMs)",
+        scenario.specs.len(),
+        scenario.configuration.vm_count()
+    );
+    let report = entropy_run(&scenario, Duration::from_millis(timeout_ms));
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>6} {:>6} {:>9} {:>9} {:>9}",
+        "switch", "cost", "duration(s)", "runs", "stops", "migrates", "suspends", "resumes"
+    );
+    let mut index = 0;
+    for iteration in &report.iterations {
+        if !iteration.performed_switch || iteration.plan_stats.total_actions() == 0 {
+            continue;
+        }
+        index += 1;
+        let cost = iteration.plan_cost.as_ref().map(|c| c.total).unwrap_or(0);
+        println!(
+            "{:>6} {:>12} {:>12.0} {:>6} {:>6} {:>9} {:>9} {:>9}",
+            index,
+            cost,
+            iteration.switch_duration_secs,
+            iteration.plan_stats.runs,
+            iteration.plan_stats.stops,
+            iteration.plan_stats.migrations,
+            iteration.plan_stats.suspends,
+            iteration.plan_stats.resumes
+        );
+    }
+
+    println!();
+    println!(
+        "{} context switches, mean duration {:.0} s (the paper reports 19 switches, ~70 s mean)",
+        index,
+        report.mean_switch_duration_secs()
+    );
+    let local: usize = report.iterations.iter().map(|i| i.plan_stats.local_resumes).sum();
+    let total: usize = report.iterations.iter().map(|i| i.plan_stats.resumes).sum();
+    if total > 0 {
+        println!(
+            "{}/{} resumes were local (the paper reports 21/28), thanks to the cost model",
+            local, total
+        );
+    }
+    if let Some(t) = report.completion_time_secs {
+        println!("global completion time: {:.0} s ({:.0} min)", t, t / 60.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 12 — allocation diagram of the vjobs under the static FCFS
+//! scheduler (the baseline of Section 5.2).
+//!
+//! Each vjob receives a static reservation (one processing unit and the full
+//! memory per VM) for its entire lifetime; vjobs start in submission order
+//! and are never preempted or migrated.  The output is a textual Gantt-like
+//! diagram: one row per vjob with its start and end times.
+
+use cwcs_bench::{cluster_experiment, static_fcfs_run};
+
+fn main() {
+    let scenario = cluster_experiment(7);
+    println!(
+        "Figure 12: FCFS static allocation of {} vjobs ({} VMs) on {} nodes",
+        scenario.specs.len(),
+        scenario.configuration.vm_count(),
+        scenario.configuration.node_count()
+    );
+    let report = static_fcfs_run(&scenario);
+
+    let completion = report
+        .completion_time_secs
+        .expect("the FCFS baseline completes");
+    println!("{:<12} {:>12} {:>12} {:>40}", "vjob", "start(min)", "end(min)", "timeline");
+    for schedule in &report.schedules {
+        let start_min = schedule.start_secs / 60.0;
+        let end_min = schedule.end_secs.unwrap_or(completion) / 60.0;
+        // 40-column timeline bar.
+        let total_min = completion / 60.0;
+        let scale = 40.0 / total_min.max(1.0);
+        let lead = (start_min * scale).round() as usize;
+        let bar = (((end_min - start_min) * scale).round() as usize).max(1);
+        let timeline = format!("{}{}", " ".repeat(lead.min(40)), "#".repeat(bar.min(40 - lead.min(40))));
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>40}",
+            format!("vjob-{}", schedule.vjob.0),
+            start_min,
+            end_min,
+            timeline
+        );
+    }
+    println!();
+    println!(
+        "global completion time with static FCFS: {:.0} s ({:.0} min)",
+        completion,
+        completion / 60.0
+    );
+}

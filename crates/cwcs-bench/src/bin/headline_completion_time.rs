@@ -1,0 +1,60 @@
+//! Headline result (§1 and §5.2): the overall completion time of the
+//! virtualized jobs with a static FCFS allocation vs Entropy's dynamic
+//! consolidation with cluster-wide context switches, plus the mean duration
+//! of the switches.
+//!
+//! The paper reports 250 minutes (FCFS) vs 150 minutes (Entropy), a ~40%
+//! reduction, with an average context-switch duration around 70 seconds.
+//! Absolute numbers depend on the workload classes; the shape to verify is
+//! that Entropy finishes the same work substantially sooner while every
+//! context switch stays far below the job durations.
+
+use std::time::Duration;
+
+use cwcs_bench::{cluster_experiment, entropy_run, percent_reduction, static_fcfs_run};
+
+fn main() {
+    let timeout_ms: u64 = std::env::var("CWCS_OPT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let scenario = cluster_experiment(7);
+    println!(
+        "Headline experiment: {} vjobs ({} VMs) on {} nodes",
+        scenario.specs.len(),
+        scenario.configuration.vm_count(),
+        scenario.configuration.node_count()
+    );
+
+    let fcfs = static_fcfs_run(&scenario);
+    let entropy = entropy_run(&scenario, Duration::from_millis(timeout_ms));
+
+    let fcfs_minutes = fcfs.completion_time_secs.expect("FCFS completes") / 60.0;
+    let entropy_minutes = entropy.completion_time_secs.expect("Entropy completes") / 60.0;
+
+    println!();
+    println!("{:<38} {:>10}", "metric", "value");
+    println!("{:<38} {:>10.1}", "FCFS completion time (min)", fcfs_minutes);
+    println!("{:<38} {:>10.1}", "Entropy completion time (min)", entropy_minutes);
+    println!(
+        "{:<38} {:>9.1}%",
+        "completion-time reduction",
+        percent_reduction(fcfs_minutes, entropy_minutes)
+    );
+    println!(
+        "{:<38} {:>10}",
+        "context switches performed",
+        entropy.switch_points().len()
+    );
+    println!(
+        "{:<38} {:>10.1}",
+        "mean switch duration (s)",
+        entropy.mean_switch_duration_secs()
+    );
+    let local: usize = entropy.iterations.iter().map(|i| i.plan_stats.local_resumes).sum();
+    let resumes: usize = entropy.iterations.iter().map(|i| i.plan_stats.resumes).sum();
+    println!("{:<38} {:>7}/{}", "local resumes / total resumes", local, resumes);
+
+    println!();
+    println!("paper reference: 250 min (FCFS) vs 150 min (Entropy), ~40% reduction, ~70 s mean switch.");
+}

@@ -1,0 +1,92 @@
+//! Table 1 — the per-action cost model.
+//!
+//! Prints the cost charged to each action kind for the memory sizes used in
+//! the evaluation, as modelled in `cwcs_plan::ActionCostModel`.
+
+use cwcs_model::{CpuCapacity, MemoryMib, NodeId, ResourceDemand, VmId};
+use cwcs_plan::{Action, ActionCostModel};
+
+fn main() {
+    let model = ActionCostModel::paper();
+    println!("Table 1: cost of an action on a VM vj (Dm = memory demand in MiB)");
+    println!();
+    println!("{:<22} {:>10} {:>10} {:>10}", "action", "Dm=512", "Dm=1024", "Dm=2048");
+    let memories = [512u64, 1024, 2048];
+
+    let row = |label: &str, costs: Vec<u64>| {
+        println!(
+            "{:<22} {:>10} {:>10} {:>10}",
+            label, costs[0], costs[1], costs[2]
+        );
+    };
+
+    let demand = |mem: u64| ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::mib(mem));
+    row(
+        "migrate(vj)",
+        memories
+            .iter()
+            .map(|&m| {
+                model.action_cost(&Action::Migrate {
+                    vm: VmId(0),
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    demand: demand(m),
+                })
+            })
+            .collect(),
+    );
+    row(
+        "run(vj)",
+        memories
+            .iter()
+            .map(|&m| model.action_cost(&Action::Run { vm: VmId(0), node: NodeId(0), demand: demand(m) }))
+            .collect(),
+    );
+    row(
+        "stop(vj)",
+        memories
+            .iter()
+            .map(|&m| model.action_cost(&Action::Stop { vm: VmId(0), node: NodeId(0), demand: demand(m) }))
+            .collect(),
+    );
+    row(
+        "suspend(vj)",
+        memories
+            .iter()
+            .map(|&m| model.action_cost(&Action::Suspend { vm: VmId(0), node: NodeId(0), demand: demand(m) }))
+            .collect(),
+    );
+    row(
+        "resume(vj) local",
+        memories
+            .iter()
+            .map(|&m| {
+                model.action_cost(&Action::Resume {
+                    vm: VmId(0),
+                    image: NodeId(0),
+                    to: NodeId(0),
+                    demand: demand(m),
+                })
+            })
+            .collect(),
+    );
+    row(
+        "resume(vj) remote",
+        memories
+            .iter()
+            .map(|&m| {
+                model.action_cost(&Action::Resume {
+                    vm: VmId(0),
+                    image: NodeId(0),
+                    to: NodeId(1),
+                    demand: demand(m),
+                })
+            })
+            .collect(),
+    );
+    println!();
+    println!(
+        "paper model: migrate/suspend = Dm, resume = Dm (local) or {}x Dm (remote), run/stop = constant ({})",
+        model.remote_resume_factor, model.run_cost
+    );
+}

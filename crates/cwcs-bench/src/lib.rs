@@ -1,0 +1,24 @@
+//! # cwcs-bench — experiment harness
+//!
+//! Shared scenario builders and reporting helpers used by the experiment
+//! binaries (`src/bin/*.rs`, one per table/figure of the paper) and by the
+//! Criterion benches (`benches/*.rs`).
+//!
+//! The two main scenarios are:
+//!
+//! * [`scenarios::cluster_experiment`] — the Section 5.2 setup: 11 working
+//!   nodes (2 processing units, 3.5 GiB usable each) running 8 vjobs of 9
+//!   NAS-Grid-like VMs with 512 MiB to 2 GiB of memory, submitted at the same
+//!   time in a fixed order;
+//! * [`scenarios::figure_10_point`] — one point of the Figure 10 sweep:
+//!   a generated 200-node configuration with a target VM count, on which the
+//!   FFD baseline and the CP optimizer both compute a reconfiguration plan.
+
+pub mod report;
+pub mod scenarios;
+
+pub use report::{format_row, mean, percent_reduction};
+pub use scenarios::{
+    cluster_experiment, cluster_experiment_sized, entropy_run, figure_10_point, static_fcfs_run,
+    ClusterScenario, Figure10Sample,
+};

@@ -1,0 +1,54 @@
+//! Small reporting helpers shared by the experiment binaries.
+
+/// Format one row of an aligned text table.
+pub fn format_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(cell, width)| format!("{cell:>width$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Arithmetic mean of a slice (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Percentage reduction from `baseline` to `improved` (positive when
+/// `improved` is smaller).
+pub fn percent_reduction(baseline: f64, improved: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        100.0 * (baseline - improved) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn reduction_percentage() {
+        assert_eq!(percent_reduction(250.0, 150.0), 40.0);
+        assert_eq!(percent_reduction(0.0, 10.0), 0.0);
+        assert!(percent_reduction(100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    fn rows_are_aligned() {
+        let row = format_row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(row, "  a    bb");
+    }
+}

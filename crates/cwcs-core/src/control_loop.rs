@@ -1,0 +1,444 @@
+//! The Entropy control loop: observe, decide, plan, execute (Figure 4).
+//!
+//! Each iteration:
+//!
+//! 1. **observe** — refresh the per-VM demands through the monitoring
+//!    service and detect the vjobs whose application completed;
+//! 2. **decide** — ask the decision module for the state every vjob should
+//!    have next;
+//! 3. **plan** — ask the optimizer for a cheap viable configuration with
+//!    those states and the reconfiguration plan that reaches it;
+//! 4. **execute** — run the cluster-wide context switch on the simulated
+//!    cluster, which advances the virtual clock by the switch duration and
+//!    decelerates the co-hosted applications;
+//! 5. sleep until the next iteration (30 s period by default) while the
+//!    applications keep progressing, and record a utilization sample
+//!    (the points of Figure 13).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use cwcs_model::{Vjob, VjobId, VjobState};
+use cwcs_plan::{PlanCost, PlanStats};
+use cwcs_sim::{
+    ClusterEvent, MonitoringService, PlanExecutor, SimulatedCluster, SimulatedXenDriver,
+    UtilizationSample,
+};
+use cwcs_solver::SearchStats;
+use cwcs_workload::VjobSpec;
+
+use crate::decision::DecisionModule;
+use crate::optimizer::{OptimizerError, PlanOptimizer};
+
+/// Control-loop tuning.
+#[derive(Debug, Clone)]
+pub struct ControlLoopConfig {
+    /// Period between two iterations, in seconds (30 s in the paper).
+    pub period_secs: f64,
+    /// Optimizer (time budget, cost model, planner).
+    pub optimizer: PlanOptimizer,
+    /// Safety bound on the number of iterations of
+    /// [`ControlLoop::run_until_complete`].
+    pub max_iterations: usize,
+}
+
+impl Default for ControlLoopConfig {
+    fn default() -> Self {
+        ControlLoopConfig {
+            period_secs: 30.0,
+            optimizer: PlanOptimizer::default(),
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Report of one control-loop iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Iteration number (starting at 0).
+    pub iteration: usize,
+    /// Virtual time at the start of the iteration.
+    pub started_at_secs: f64,
+    /// Whether a cluster-wide context switch was performed.
+    pub performed_switch: bool,
+    /// Action counts of the executed plan.
+    pub plan_stats: PlanStats,
+    /// Cost of the executed plan (Table 1 model).
+    pub plan_cost: Option<PlanCost>,
+    /// Wall-clock duration of the switch, in seconds.
+    pub switch_duration_secs: f64,
+    /// Statistics of the constraint search.
+    #[serde(skip)]
+    pub search_stats: SearchStats,
+    /// Number of actions that failed (driver failures).
+    pub failed_actions: usize,
+    /// Vjobs that completed during this iteration.
+    pub completed_vjobs: Vec<VjobId>,
+    /// Utilization at the end of the iteration.
+    pub utilization: UtilizationSample,
+}
+
+/// Report of a full run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Every iteration, in order.
+    pub iterations: Vec<IterationReport>,
+    /// Utilization samples (one per iteration).
+    pub utilization: Vec<UtilizationSample>,
+    /// Virtual time at which every vjob was terminated (the paper's global
+    /// completion time), `None` when the run hit the iteration bound first.
+    pub completion_time_secs: Option<f64>,
+}
+
+impl RunReport {
+    /// The (cost, duration) pairs of the context switches that performed at
+    /// least one action — the points of Figure 11.
+    pub fn switch_points(&self) -> Vec<(u64, f64)> {
+        self.iterations
+            .iter()
+            .filter(|it| it.performed_switch && it.plan_stats.total_actions() > 0)
+            .map(|it| {
+                (
+                    it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+                    it.switch_duration_secs,
+                )
+            })
+            .collect()
+    }
+
+    /// Mean duration of the non-empty context switches.
+    pub fn mean_switch_duration_secs(&self) -> f64 {
+        let points = self.switch_points();
+        if points.is_empty() {
+            0.0
+        } else {
+            points.iter().map(|(_, d)| d).sum::<f64>() / points.len() as f64
+        }
+    }
+}
+
+/// Errors raised by the control loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopError {
+    /// The decision module failed.
+    Decision(String),
+    /// The optimizer failed.
+    Optimizer(OptimizerError),
+}
+
+impl std::fmt::Display for LoopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoopError::Decision(e) => write!(f, "decision failed: {e}"),
+            LoopError::Optimizer(e) => write!(f, "optimization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoopError {}
+
+/// The control loop.
+pub struct ControlLoop<D: DecisionModule> {
+    cluster: SimulatedCluster,
+    monitor: MonitoringService,
+    decision: D,
+    executor: PlanExecutor<SimulatedXenDriver>,
+    config: ControlLoopConfig,
+    vjobs: Vec<Vjob>,
+    pending_completed: BTreeSet<VjobId>,
+    iteration: usize,
+}
+
+impl<D: DecisionModule> ControlLoop<D> {
+    /// Build a loop over a simulated cluster.  The VMs of every spec must
+    /// already be registered in the cluster's configuration; the specs'
+    /// vjobs give the initial states.
+    pub fn new(
+        mut cluster: SimulatedCluster,
+        specs: &[VjobSpec],
+        decision: D,
+        config: ControlLoopConfig,
+    ) -> Self {
+        for spec in specs {
+            cluster.register_vjob(spec);
+        }
+        let vjobs = specs.iter().map(|s| s.vjob.clone()).collect();
+        ControlLoop {
+            cluster,
+            monitor: MonitoringService::default(),
+            decision,
+            executor: PlanExecutor::new(SimulatedXenDriver::default()),
+            config,
+            vjobs,
+            pending_completed: BTreeSet::new(),
+            iteration: 0,
+        }
+    }
+
+    /// The current vjob states.
+    pub fn vjobs(&self) -> &[Vjob] {
+        &self.vjobs
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &SimulatedCluster {
+        &self.cluster
+    }
+
+    /// True once every vjob is terminated.
+    pub fn all_terminated(&self) -> bool {
+        self.vjobs.iter().all(|j| j.state == VjobState::Terminated)
+    }
+
+    /// Perform one iteration of the loop.
+    pub fn iterate(&mut self) -> Result<IterationReport, LoopError> {
+        let started_at = self.cluster.clock_secs();
+
+        // 1. Observe.
+        self.cluster.refresh_demands();
+        let _snapshot = self.monitor.observe(&self.cluster);
+        for vjob in &self.vjobs {
+            if vjob.state == VjobState::Running && self.cluster.is_vjob_complete(vjob.id) {
+                self.pending_completed.insert(vjob.id);
+            }
+        }
+
+        // 2. Decide.
+        let decision = self
+            .decision
+            .decide(self.cluster.configuration(), &self.vjobs, &self.pending_completed)
+            .map_err(|e| LoopError::Decision(e.to_string()))?;
+
+        // 3 & 4. Plan and execute, unless nothing changes and the cluster is
+        // already viable.
+        let needs_switch = decision.changes_anything(&self.vjobs)
+            || !self.cluster.configuration().is_viable();
+        let mut plan_stats = PlanStats::default();
+        let mut plan_cost = None;
+        let mut switch_duration = 0.0;
+        let mut search_stats = SearchStats::default();
+        let mut failed_actions = 0;
+        let mut completed_now: Vec<VjobId> = Vec::new();
+
+        if needs_switch {
+            let outcome = self
+                .config
+                .optimizer
+                .optimize(self.cluster.configuration(), &decision, &self.vjobs)
+                .map_err(LoopError::Optimizer)?;
+            let report = self.executor.execute(&mut self.cluster, &outcome.plan);
+            plan_stats = outcome.plan.stats();
+            plan_cost = Some(outcome.cost.clone());
+            switch_duration = report.duration_secs;
+            search_stats = outcome.stats.clone();
+            failed_actions = report.failed_actions.len();
+            for event in &report.completed_vjobs {
+                let ClusterEvent::VjobCompleted(id) = event;
+                self.pending_completed.insert(*id);
+            }
+
+            // Commit the vjob state changes that the switch realized.
+            for vjob in &mut self.vjobs {
+                if let Some(&wanted) = decision.vjob_states.get(&vjob.id) {
+                    if wanted != vjob.state && vjob.state.can_transition_to(wanted) {
+                        vjob.transition_to(wanted).expect("checked transition");
+                        self.cluster.update_vjob(vjob);
+                        if wanted == VjobState::Terminated {
+                            self.pending_completed.remove(&vjob.id);
+                            completed_now.push(vjob.id);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Sleep until the next iteration.
+        let remaining = (self.config.period_secs - switch_duration).max(0.0);
+        let events = self.cluster.advance(remaining, &BTreeMap::new());
+        for event in events {
+            let ClusterEvent::VjobCompleted(id) = event;
+            self.pending_completed.insert(id);
+        }
+
+        let report = IterationReport {
+            iteration: self.iteration,
+            started_at_secs: started_at,
+            performed_switch: needs_switch,
+            plan_stats,
+            plan_cost,
+            switch_duration_secs: switch_duration,
+            search_stats,
+            failed_actions,
+            completed_vjobs: completed_now,
+            utilization: self.cluster.utilization(),
+        };
+        self.iteration += 1;
+        Ok(report)
+    }
+
+    /// Run iterations until every vjob is terminated (or the iteration bound
+    /// is hit) and return the full report.
+    pub fn run_until_complete(&mut self) -> Result<RunReport, LoopError> {
+        let mut iterations = Vec::new();
+        let mut utilization = Vec::new();
+        let mut completion_time = None;
+        for _ in 0..self.config.max_iterations {
+            let report = self.iterate()?;
+            utilization.push(report.utilization);
+            iterations.push(report);
+            if self.all_terminated() {
+                completion_time = Some(self.cluster.clock_secs());
+                break;
+            }
+        }
+        Ok(RunReport {
+            iterations,
+            utilization,
+            completion_time_secs: completion_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consolidation::FcfsConsolidation;
+    use cwcs_model::{Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vm, VmId};
+    use cwcs_workload::{VmWorkProfile, WorkPhase};
+    use std::time::Duration;
+
+    /// Build a small scenario: `node_count` nodes (2 cores, 4 GiB) and
+    /// `vjob_count` vjobs of `vms_per_vjob` busy VMs running `work_secs` of
+    /// computation each.
+    fn scenario(
+        node_count: u32,
+        vjob_count: u32,
+        vms_per_vjob: u32,
+        work_secs: f64,
+    ) -> (SimulatedCluster, Vec<VjobSpec>) {
+        let mut config = Configuration::new();
+        for i in 0..node_count {
+            config
+                .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+                .unwrap();
+        }
+        let mut specs = Vec::new();
+        let mut next_vm = 0u32;
+        for j in 0..vjob_count {
+            let vm_ids: Vec<VmId> = (0..vms_per_vjob)
+                .map(|_| {
+                    let id = VmId(next_vm);
+                    next_vm += 1;
+                    id
+                })
+                .collect();
+            let vms: Vec<Vm> = vm_ids
+                .iter()
+                .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::cores(1)))
+                .collect();
+            for vm in &vms {
+                config.add_vm(vm.clone()).unwrap();
+            }
+            let vjob = cwcs_model::Vjob::new(cwcs_model::VjobId(j), vm_ids, j as u64);
+            let profiles = vms
+                .iter()
+                .map(|_| VmWorkProfile::new(vec![WorkPhase::compute(work_secs)]))
+                .collect();
+            specs.push(VjobSpec::new(vjob, vms, profiles));
+        }
+        (SimulatedCluster::new(config), specs)
+    }
+
+    fn fast_config() -> ControlLoopConfig {
+        ControlLoopConfig {
+            period_secs: 30.0,
+            optimizer: PlanOptimizer::with_timeout(Duration::from_millis(300)),
+            max_iterations: 200,
+        }
+    }
+
+    #[test]
+    fn small_workload_runs_to_completion() {
+        // 4 nodes (8 cores), 2 vjobs of 3 busy VMs: everything fits at once.
+        let (cluster, specs) = scenario(4, 2, 3, 60.0);
+        let mut control =
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), fast_config());
+        let report = control.run_until_complete().unwrap();
+        assert!(control.all_terminated());
+        let completion = report.completion_time_secs.expect("run completes");
+        assert!(completion >= 60.0, "jobs need at least their work time");
+        assert!(completion < 600.0, "but not absurdly more, got {completion}");
+        // The first iteration performed the runs.
+        assert!(report.iterations[0].performed_switch);
+        assert!(report.iterations[0].plan_stats.runs > 0);
+        // Eventually stop actions were issued.
+        assert!(report.iterations.iter().any(|it| it.plan_stats.stops > 0));
+    }
+
+    #[test]
+    fn overloaded_cluster_suspends_and_later_resumes() {
+        // 1 node (2 cores), 2 vjobs of 2 busy VMs each: only one vjob can run
+        // at a time; the second runs after the first completes.
+        let (cluster, specs) = scenario(1, 2, 2, 60.0);
+        let mut control =
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), fast_config());
+        let report = control.run_until_complete().unwrap();
+        assert!(control.all_terminated());
+        // The second vjob must have waited: completion takes at least two
+        // job durations.
+        let completion = report.completion_time_secs.unwrap();
+        assert!(completion >= 120.0, "sequential execution expected, got {completion}");
+    }
+
+    #[test]
+    fn iteration_reports_are_consistent() {
+        let (cluster, specs) = scenario(2, 1, 2, 30.0);
+        let mut control =
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), fast_config());
+        let first = control.iterate().unwrap();
+        assert_eq!(first.iteration, 0);
+        assert!(first.performed_switch);
+        assert!(first.plan_cost.is_some());
+        assert_eq!(first.failed_actions, 0);
+        // Virtual time advanced by at least the period.
+        assert!(control.cluster().clock_secs() >= 30.0 - 1e-9);
+        let second = control.iterate().unwrap();
+        assert_eq!(second.iteration, 1);
+        assert!(second.started_at_secs >= 30.0 - 1e-9);
+    }
+
+    #[test]
+    fn idle_iterations_do_not_switch() {
+        // Long jobs: the first iteration starts the vjobs (the applications
+        // are not running yet, so the observed demand is low), the second may
+        // rebalance once the real demand shows up, and after that the loop
+        // must reach a steady state with no further context switch until the
+        // jobs complete.
+        let (cluster, specs) = scenario(4, 2, 2, 500.0);
+        let mut control =
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), fast_config());
+        let first = control.iterate().unwrap();
+        assert!(first.performed_switch);
+        let _second = control.iterate().unwrap();
+        let third = control.iterate().unwrap();
+        let fourth = control.iterate().unwrap();
+        assert!(!third.performed_switch, "steady state must not reshuffle VMs");
+        assert!(!fourth.performed_switch, "steady state must not reshuffle VMs");
+        assert_eq!(fourth.plan_stats.total_actions(), 0);
+    }
+
+    #[test]
+    fn run_report_exposes_figure_11_points() {
+        let (cluster, specs) = scenario(2, 2, 2, 60.0);
+        let mut control =
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), fast_config());
+        let report = control.run_until_complete().unwrap();
+        let points = report.switch_points();
+        assert!(!points.is_empty());
+        for (_cost, duration) in &points {
+            assert!(*duration >= 0.0);
+        }
+        assert!(report.mean_switch_duration_secs() > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The decision-module abstraction.
+//!
+//! "The algorithm in the decision module is responsible of computing a new
+//! viable configuration which indicates the state of the vjobs for the next
+//! iteration." (Section 3.2)  The administrator implements this trait to
+//! express a scheduling policy; [`crate::consolidation::FcfsConsolidation`]
+//! is the sample policy of the paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use cwcs_model::{Configuration, Vjob, VjobId, VjobState};
+
+/// The output of a decision module: the state every vjob should have at the
+/// next iteration, plus the (viable) configuration the module used to prove
+/// that those states fit on the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// State requested for each vjob.
+    pub vjob_states: BTreeMap<VjobId, VjobState>,
+    /// The viable configuration computed by the module (running VMs placed,
+    /// e.g. by First-Fit Decreasing).  The optimizer is free to pick any
+    /// *equivalent* configuration (same states, possibly different hosts)
+    /// with a cheaper reconfiguration plan.
+    pub proof_configuration: Configuration,
+}
+
+impl Decision {
+    /// Vjobs requested to run.
+    pub fn running_vjobs(&self) -> Vec<VjobId> {
+        self.vjob_states
+            .iter()
+            .filter(|(_, &s)| s == VjobState::Running)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Vjobs requested to sleep.
+    pub fn sleeping_vjobs(&self) -> Vec<VjobId> {
+        self.vjob_states
+            .iter()
+            .filter(|(_, &s)| s == VjobState::Sleeping)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// True when the decision changes the state of at least one vjob.
+    pub fn changes_anything(&self, vjobs: &[Vjob]) -> bool {
+        vjobs.iter().any(|j| {
+            self.vjob_states
+                .get(&j.id)
+                .map(|&s| s != j.state)
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Errors raised by decision modules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionError {
+    /// The module references a vjob unknown to the configuration.
+    UnknownVjob(VjobId),
+    /// The module could not produce any viable configuration (should not
+    /// happen: an empty cluster is always viable).
+    NoViableConfiguration,
+    /// Free-form failure.
+    Other(String),
+}
+
+impl fmt::Display for DecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionError::UnknownVjob(id) => write!(f, "decision references unknown {id}"),
+            DecisionError::NoViableConfiguration => {
+                write!(f, "decision module could not produce a viable configuration")
+            }
+            DecisionError::Other(msg) => write!(f, "decision module failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecisionError {}
+
+/// A scheduling policy: decide the state of every vjob for the next
+/// iteration.
+pub trait DecisionModule {
+    /// Compute the next states.
+    ///
+    /// * `current` — the configuration observed by the monitoring service
+    ///   (demands refreshed);
+    /// * `vjobs` — every vjob known to the system with its current state;
+    /// * `completed` — vjobs whose application signalled completion since the
+    ///   last iteration; the policy is expected to terminate them.
+    fn decide(
+        &mut self,
+        current: &Configuration,
+        vjobs: &[Vjob],
+        completed: &BTreeSet<VjobId>,
+    ) -> Result<Decision, DecisionError>;
+
+    /// Name used in reports.
+    fn name(&self) -> &str {
+        "decision-module"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwcs_model::VmId;
+
+    fn vjob(id: u32, state: VjobState) -> Vjob {
+        let mut j = Vjob::new(VjobId(id), vec![VmId(id)], id as u64);
+        // Walk the life cycle to reach the requested state.
+        match state {
+            VjobState::Waiting => {}
+            VjobState::Running => j.transition_to(VjobState::Running).unwrap(),
+            VjobState::Sleeping => {
+                j.transition_to(VjobState::Running).unwrap();
+                j.transition_to(VjobState::Sleeping).unwrap();
+            }
+            VjobState::Terminated => {
+                j.transition_to(VjobState::Running).unwrap();
+                j.transition_to(VjobState::Terminated).unwrap();
+            }
+        }
+        j
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let mut states = BTreeMap::new();
+        states.insert(VjobId(0), VjobState::Running);
+        states.insert(VjobId(1), VjobState::Sleeping);
+        states.insert(VjobId(2), VjobState::Running);
+        let decision = Decision {
+            vjob_states: states,
+            proof_configuration: Configuration::new(),
+        };
+        assert_eq!(decision.running_vjobs(), vec![VjobId(0), VjobId(2)]);
+        assert_eq!(decision.sleeping_vjobs(), vec![VjobId(1)]);
+    }
+
+    #[test]
+    fn changes_anything_compares_with_current_states() {
+        let mut states = BTreeMap::new();
+        states.insert(VjobId(0), VjobState::Running);
+        states.insert(VjobId(1), VjobState::Sleeping);
+        let decision = Decision {
+            vjob_states: states,
+            proof_configuration: Configuration::new(),
+        };
+        let unchanged = vec![vjob(0, VjobState::Running), vjob(1, VjobState::Sleeping)];
+        assert!(!decision.changes_anything(&unchanged));
+        let changed = vec![vjob(0, VjobState::Running), vjob(1, VjobState::Running)];
+        assert!(decision.changes_anything(&changed));
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(DecisionError::UnknownVjob(VjobId(3)).to_string().contains("vjob-3"));
+        assert!(DecisionError::NoViableConfiguration.to_string().contains("viable"));
+        assert!(DecisionError::Other("boom".into()).to_string().contains("boom"));
+    }
+}

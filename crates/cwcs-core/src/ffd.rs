@@ -1,0 +1,224 @@
+//! First-Fit Decreasing packing.
+//!
+//! "This heuristic sorts the VMs in a decreasing order regarding to their
+//! memory and their CPU demands and try to assign each VM on the first node
+//! with a sufficient amount of free resources." (Section 3.2)
+//!
+//! The heuristic is used in two places:
+//! * by the sample decision module to test whether one more vjob fits on the
+//!   cluster (the Running Job Selection Problem);
+//! * as the baseline configuration planner of Figure 10: the first complete
+//!   viable configuration it produces is kept as-is, without any attempt at
+//!   reducing the reconfiguration cost.
+
+use std::collections::BTreeMap;
+
+use cwcs_model::{Configuration, NodeId, ResourceDemand, VmId, VmState};
+
+/// The First-Fit Decreasing packer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFitDecreasing;
+
+impl FirstFitDecreasing {
+    /// Try to place the given VMs (with the demands recorded in `config`) on
+    /// the nodes of `config`, on top of the VMs already running there.
+    ///
+    /// Returns the host chosen for each VM, or `None` when at least one VM
+    /// cannot be placed.
+    pub fn place(config: &Configuration, vms: &[VmId]) -> Option<BTreeMap<VmId, NodeId>> {
+        Self::place_with_free(config, vms, &mut Self::free_resources(config))
+    }
+
+    /// Current free resources per node (capacity minus running VMs), in node
+    /// id order.
+    pub fn free_resources(config: &Configuration) -> Vec<(NodeId, ResourceDemand)> {
+        config
+            .usages()
+            .into_iter()
+            .map(|(node, usage)| (node, usage.free()))
+            .collect()
+    }
+
+    /// Same as [`FirstFitDecreasing::place`], but against an explicit
+    /// free-resource vector which is updated in place when the placement
+    /// succeeds (so successive calls can pack several vjobs one after the
+    /// other, as the RJSP loop does).
+    pub fn place_with_free(
+        config: &Configuration,
+        vms: &[VmId],
+        free: &mut Vec<(NodeId, ResourceDemand)>,
+    ) -> Option<BTreeMap<VmId, NodeId>> {
+        // Sort the VMs by decreasing memory then CPU demand; ties are broken
+        // by ascending id so that identical VMs keep a stable, intuitive
+        // order (and an already-packed cluster maps onto itself).
+        let mut ordered: Vec<VmId> = vms.to_vec();
+        ordered.sort_by_key(|&vm| {
+            let v = config.vm(vm).expect("vm exists");
+            (std::cmp::Reverse((v.memory.raw(), v.cpu.raw())), vm.0)
+        });
+
+        let mut tentative = free.clone();
+        let mut placement = BTreeMap::new();
+        for vm in ordered {
+            let demand = config.vm(vm).expect("vm exists").demand();
+            let slot = tentative
+                .iter_mut()
+                .find(|(_, available)| demand.fits_in(available));
+            match slot {
+                Some((node, available)) => {
+                    *available = available.saturating_sub(&demand);
+                    placement.insert(vm, *node);
+                }
+                None => return None,
+            }
+        }
+        *free = tentative;
+        Some(placement)
+    }
+
+    /// Compute a complete viable placement for every VM that must run: the
+    /// "first completed viable configuration" baseline of Figure 10.
+    ///
+    /// `must_run` lists the VMs that must be in the Running state; every
+    /// other VM is ignored (it consumes nothing).  Returns `None` when the
+    /// cluster cannot host them all.
+    pub fn pack_all(
+        config: &Configuration,
+        must_run: &[VmId],
+    ) -> Option<BTreeMap<VmId, NodeId>> {
+        // Packing starts from empty nodes: the running VMs of the current
+        // configuration are re-placed too (they are part of `must_run`).
+        let mut free: Vec<(NodeId, ResourceDemand)> = config
+            .nodes()
+            .map(|n| (n.id, n.capacity()))
+            .collect();
+        Self::place_with_free(config, must_run, &mut free)
+    }
+
+    /// Convenience used by tests and the optimizer: all VMs currently in the
+    /// Running state.
+    pub fn running_vms(config: &Configuration) -> Vec<VmId> {
+        config.vms_in_state(VmState::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwcs_model::{CpuCapacity, MemoryMib, Node, Vm, VmAssignment};
+
+    fn cluster(nodes: u32, cpu: u32, mem_gib: u64) -> Configuration {
+        let mut c = Configuration::new();
+        for i in 0..nodes {
+            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(cpu), MemoryMib::gib(mem_gib)))
+                .unwrap();
+        }
+        c
+    }
+
+    fn add_vm(c: &mut Configuration, id: u32, mem_mib: u64, cpu_pct: u32) {
+        c.add_vm(Vm::new(VmId(id), MemoryMib::mib(mem_mib), CpuCapacity::percent(cpu_pct)))
+            .unwrap();
+    }
+
+    #[test]
+    fn places_when_there_is_room() {
+        let mut c = cluster(2, 2, 4);
+        for i in 0..4 {
+            add_vm(&mut c, i, 1024, 100);
+        }
+        let placement = FirstFitDecreasing::place(&c, &[VmId(0), VmId(1), VmId(2), VmId(3)]).unwrap();
+        assert_eq!(placement.len(), 4);
+        // Two VMs per node (CPU is the binding constraint).
+        let on_node0 = placement.values().filter(|&&n| n == NodeId(0)).count();
+        assert_eq!(on_node0, 2);
+    }
+
+    #[test]
+    fn fails_when_cpu_is_exhausted() {
+        let mut c = cluster(1, 2, 8);
+        for i in 0..3 {
+            add_vm(&mut c, i, 512, 100);
+        }
+        assert!(FirstFitDecreasing::place(&c, &[VmId(0), VmId(1), VmId(2)]).is_none());
+    }
+
+    #[test]
+    fn fails_when_memory_is_exhausted() {
+        let mut c = cluster(1, 8, 2);
+        for i in 0..3 {
+            add_vm(&mut c, i, 1024, 10);
+        }
+        assert!(FirstFitDecreasing::place(&c, &[VmId(0), VmId(1), VmId(2)]).is_none());
+    }
+
+    #[test]
+    fn accounts_for_already_running_vms() {
+        let mut c = cluster(1, 2, 4);
+        add_vm(&mut c, 0, 1024, 100);
+        add_vm(&mut c, 1, 1024, 100);
+        add_vm(&mut c, 2, 1024, 100);
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
+        // The node has 2 cores, both taken: a third busy VM cannot fit.
+        assert!(FirstFitDecreasing::place(&c, &[VmId(2)]).is_none());
+    }
+
+    #[test]
+    fn larger_vms_are_placed_first() {
+        // A big VM and two small ones on two asymmetrically-filled nodes:
+        // placing the big one first is what makes the packing succeed.
+        let mut c = cluster(2, 4, 3);
+        add_vm(&mut c, 0, 2048, 10); // big
+        add_vm(&mut c, 1, 1024, 10);
+        add_vm(&mut c, 2, 1024, 10);
+        let placement = FirstFitDecreasing::place(&c, &[VmId(1), VmId(2), VmId(0)]).unwrap();
+        assert_eq!(placement.len(), 3);
+        // The 2 GiB VM and one 1 GiB VM share a 3 GiB node, the other goes elsewhere.
+        let node_of_big = placement[&VmId(0)];
+        let sharing = placement
+            .iter()
+            .filter(|(_, &n)| n == node_of_big)
+            .count();
+        assert_eq!(sharing, 2);
+    }
+
+    #[test]
+    fn incremental_packing_reuses_free_vector() {
+        let mut c = cluster(2, 2, 4);
+        for i in 0..4 {
+            add_vm(&mut c, i, 1024, 100);
+        }
+        let mut free = FirstFitDecreasing::free_resources(&c);
+        let first = FirstFitDecreasing::place_with_free(&c, &[VmId(0), VmId(1)], &mut free).unwrap();
+        let second = FirstFitDecreasing::place_with_free(&c, &[VmId(2), VmId(3)], &mut free).unwrap();
+        assert_eq!(first.len() + second.len(), 4);
+        // A fifth busy VM does not fit anymore.
+        add_vm(&mut c, 4, 512, 100);
+        assert!(FirstFitDecreasing::place_with_free(&c, &[VmId(4)], &mut free).is_none());
+    }
+
+    #[test]
+    fn failed_placement_does_not_consume_resources() {
+        let mut c = cluster(1, 1, 4);
+        add_vm(&mut c, 0, 1024, 100);
+        add_vm(&mut c, 1, 1024, 100);
+        let mut free = FirstFitDecreasing::free_resources(&c);
+        let before = free.clone();
+        assert!(FirstFitDecreasing::place_with_free(&c, &[VmId(0), VmId(1)], &mut free).is_none());
+        assert_eq!(free, before, "a failed packing must not leak reservations");
+    }
+
+    #[test]
+    fn pack_all_ignores_current_placement() {
+        let mut c = cluster(2, 1, 4);
+        add_vm(&mut c, 0, 1024, 100);
+        add_vm(&mut c, 1, 1024, 100);
+        // Both crammed (non-viably) on node 0.
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
+        let placement = FirstFitDecreasing::pack_all(&c, &[VmId(0), VmId(1)]).unwrap();
+        let nodes: std::collections::BTreeSet<NodeId> = placement.values().copied().collect();
+        assert_eq!(nodes.len(), 2, "packing from scratch spreads them out");
+    }
+}

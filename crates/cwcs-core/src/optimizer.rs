@@ -1,0 +1,515 @@
+//! Constraint-programming optimization of the cluster-wide context switch
+//! (Section 4.3).
+//!
+//! Given the current configuration and the vjob states chosen by the decision
+//! module, many equivalent viable configurations exist; they differ by the
+//! cost of the reconfiguration plan that reaches them.  The optimizer builds
+//! a CP model over the placement of the VMs that must run:
+//!
+//! * one assignment variable per running VM whose domain is the set of nodes;
+//! * one bin-packing constraint per resource dimension (CPU and memory), the
+//!   multi-knapsack constraint of the paper;
+//! * a branch & bound objective that estimates the cost of the induced plan
+//!   from the VMs already assigned (migration = `Dm`, local resume = `Dm`,
+//!   remote resume = `2·Dm`, run/stop = 0), exactly the incremental estimate
+//!   Entropy uses while the configuration is being constructed;
+//! * first-fail variable ordering weighted by the VM demands ("VMs with
+//!   important CPU and memory requirements are treated earlier") and a value
+//!   ordering that tries each VM's current location first so that cheap
+//!   configurations are found early;
+//! * a solve timeout: the best configuration found so far is returned when
+//!   the time budget expires (40 s in the Figure 10 experiment).
+//!
+//! The First-Fit-Decreasing baseline ([`PlanOptimizer::ffd_outcome`]) stops
+//! at the first viable configuration, without any cost consideration: it is
+//! the comparison point of Figure 10.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use cwcs_model::{
+    Configuration, NodeId, Vjob, VjobId, VjobState, VmAssignment, VmId, VmState,
+};
+use cwcs_plan::{ActionCostModel, PlanCost, Planner, PlannerError, ReconfigurationPlan};
+use cwcs_solver::constraints::BinPacking;
+use cwcs_solver::search::{
+    ClosureObjective, Search, SearchConfig, SearchStats, ValueSelection, VariableSelection,
+};
+use cwcs_solver::{Model, VarId};
+
+use crate::decision::Decision;
+use crate::ffd::FirstFitDecreasing;
+
+/// Result of an optimization: the chosen target configuration, its plan and
+/// the associated costs.
+#[derive(Debug, Clone)]
+pub struct OptimizedOutcome {
+    /// The target configuration (viable, with the requested vjob states).
+    pub target: Configuration,
+    /// The reconfiguration plan from the current configuration.
+    pub plan: ReconfigurationPlan,
+    /// Cost breakdown of the plan (Table 1 model).
+    pub cost: PlanCost,
+    /// Search statistics (empty for the FFD baseline).
+    pub stats: SearchStats,
+}
+
+/// Errors raised by the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerError {
+    /// The requested states do not fit on the cluster at all.
+    NoViablePlacement,
+    /// The planner could not sequence the actions.
+    Planner(PlannerError),
+    /// A vjob references a VM unknown to the configuration.
+    UnknownVm(VmId),
+}
+
+impl fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerError::NoViablePlacement => {
+                write!(f, "no viable placement exists for the requested vjob states")
+            }
+            OptimizerError::Planner(e) => write!(f, "planning failed: {e}"),
+            OptimizerError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
+impl From<PlannerError> for OptimizerError {
+    fn from(e: PlannerError) -> Self {
+        OptimizerError::Planner(e)
+    }
+}
+
+/// The plan optimizer.
+#[derive(Debug, Clone)]
+pub struct PlanOptimizer {
+    /// Time budget of the branch & bound search.
+    pub timeout: Duration,
+    /// Cost model used both for the search estimate and the final plan cost.
+    pub cost_model: ActionCostModel,
+    /// Planner used to sequence the chosen configuration.
+    pub planner: Planner,
+}
+
+impl Default for PlanOptimizer {
+    fn default() -> Self {
+        PlanOptimizer {
+            timeout: Duration::from_secs(40),
+            cost_model: ActionCostModel::paper(),
+            planner: Planner::new(),
+        }
+    }
+}
+
+impl PlanOptimizer {
+    /// An optimizer with the given time budget.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        PlanOptimizer {
+            timeout,
+            ..Default::default()
+        }
+    }
+
+    /// Optimize: find a cheap viable configuration implementing `decision`
+    /// and the plan that reaches it from `current`.
+    pub fn optimize(
+        &self,
+        current: &Configuration,
+        decision: &Decision,
+        vjobs: &[Vjob],
+    ) -> Result<OptimizedOutcome, OptimizerError> {
+        let must_run = Self::vms_to_run(decision, vjobs);
+        let node_ids = current.node_ids();
+        if node_ids.is_empty() {
+            return Err(OptimizerError::NoViablePlacement);
+        }
+
+        // --- Build the CP model -----------------------------------------
+        let mut model = Model::new();
+        let mut vars: Vec<(VmId, VarId)> = Vec::with_capacity(must_run.len());
+        for &vm in &must_run {
+            let var = model.new_named_var(format!("host({vm})"), 0, node_ids.len() as u32 - 1);
+            vars.push((vm, var));
+        }
+
+        let cpu_sizes: Vec<u64> = must_run
+            .iter()
+            .map(|&vm| current.vm(vm).map(|v| v.cpu.raw() as u64))
+            .collect::<Result<_, _>>()
+            .map_err(|_| OptimizerError::UnknownVm(must_run[0]))?;
+        let mem_sizes: Vec<u64> = must_run
+            .iter()
+            .map(|&vm| current.vm(vm).unwrap().memory.raw())
+            .collect();
+        let cpu_capacities: Vec<u64> = node_ids
+            .iter()
+            .map(|&n| current.node(n).unwrap().cpu.raw() as u64)
+            .collect();
+        let mem_capacities: Vec<u64> = node_ids
+            .iter()
+            .map(|&n| current.node(n).unwrap().memory.raw())
+            .collect();
+        let var_ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
+        model.post(BinPacking::new(var_ids.clone(), cpu_sizes.clone(), cpu_capacities));
+        model.post(BinPacking::new(var_ids.clone(), mem_sizes.clone(), mem_capacities));
+
+        // --- Heuristics ---------------------------------------------------
+        // Preferred value: the VM's current node (running) or the node
+        // holding its image (sleeping), which yields zero-migration / local
+        // resume placements first.
+        let node_index: BTreeMap<NodeId, u32> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        let mut preferred: Vec<Option<u32>> = vec![None; model.var_count()];
+        // Per-variable move cost table: cost of assigning VM i to node j.
+        let mut move_costs: Vec<Vec<u64>> = Vec::with_capacity(must_run.len());
+        for (i, &vm) in must_run.iter().enumerate() {
+            let assignment = current.assignment(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            let dm = current.vm(vm).unwrap().memory.raw();
+            let anchor = match assignment.state {
+                VmState::Running => assignment.host,
+                VmState::Sleeping => assignment.image,
+                _ => None,
+            };
+            preferred[vars[i].1 .0] = anchor.and_then(|n| node_index.get(&n).copied());
+            let costs: Vec<u64> = node_ids
+                .iter()
+                .map(|&node| match assignment.state {
+                    VmState::Running => {
+                        if Some(node) == assignment.host {
+                            0
+                        } else {
+                            dm
+                        }
+                    }
+                    VmState::Sleeping => {
+                        if Some(node) == assignment.image {
+                            dm
+                        } else {
+                            self.cost_model.remote_resume_factor * dm
+                        }
+                    }
+                    // Waiting VMs boot wherever: constant (0) cost.
+                    _ => self.cost_model.run_cost,
+                })
+                .collect();
+            move_costs.push(costs);
+        }
+        let weights: Vec<u64> = {
+            // Weight used by first-fail tie-breaking: bigger VMs first.
+            let mut w = vec![0u64; model.var_count()];
+            for (i, (_, var)) in vars.iter().enumerate() {
+                w[var.0] = mem_sizes[i] + cpu_sizes[i] * 10;
+            }
+            w
+        };
+
+        let config = SearchConfig {
+            variable_selection: VariableSelection::FirstFail {
+                weights: Some(weights),
+            },
+            value_selection: ValueSelection::Preferred(preferred),
+            timeout: Some(self.timeout),
+            node_limit: None,
+        };
+
+        // --- Objective -----------------------------------------------------
+        let objective_vars = var_ids.clone();
+        let move_costs_eval = move_costs.clone();
+        let move_costs_lb = move_costs;
+        let evaluate = move |store: &cwcs_solver::DomainStore| -> i64 {
+            objective_vars
+                .iter()
+                .enumerate()
+                .map(|(i, &var)| move_costs_eval[i][store.value(var) as usize] as i64)
+                .sum()
+        };
+        let objective_vars_lb = var_ids.clone();
+        let lower_bound = move |store: &cwcs_solver::DomainStore| -> i64 {
+            objective_vars_lb
+                .iter()
+                .enumerate()
+                .map(|(i, &var)| {
+                    if store.is_fixed(var) {
+                        move_costs_lb[i][store.value(var) as usize] as i64
+                    } else {
+                        // The cheapest still-possible node is a valid lower bound.
+                        store
+                            .domain(var)
+                            .iter()
+                            .map(|n| move_costs_lb[i][n as usize] as i64)
+                            .min()
+                            .unwrap_or(0)
+                    }
+                })
+                .sum()
+        };
+        let objective = ClosureObjective::new(evaluate, lower_bound);
+
+        // --- Search ---------------------------------------------------------
+        let outcome = Search::new(&model, config).minimize(&objective);
+
+        let placement: BTreeMap<VmId, NodeId> = match outcome.best {
+            Some(solution) => vars
+                .iter()
+                .map(|&(vm, var)| (vm, node_ids[solution[var] as usize]))
+                .collect(),
+            None => {
+                // The CP search found nothing within its budget (or the
+                // problem is infeasible): fall back to First-Fit Decreasing.
+                FirstFitDecreasing::pack_all(current, &must_run)
+                    .ok_or(OptimizerError::NoViablePlacement)?
+            }
+        };
+
+        let target = Self::build_target(current, decision, vjobs, &placement)?;
+        let plan = self.planner.plan(current, &target, vjobs)?;
+        let cost = self.cost_model.plan_cost(&plan);
+        Ok(OptimizedOutcome {
+            target,
+            plan,
+            cost,
+            stats: outcome.stats,
+        })
+    }
+
+    /// The First-Fit-Decreasing baseline: keep the first viable configuration
+    /// (the decision module's proof placement recomputed with FFD), with no
+    /// cost optimization.
+    pub fn ffd_outcome(
+        &self,
+        current: &Configuration,
+        decision: &Decision,
+        vjobs: &[Vjob],
+    ) -> Result<OptimizedOutcome, OptimizerError> {
+        let must_run = Self::vms_to_run(decision, vjobs);
+        let placement = FirstFitDecreasing::pack_all(current, &must_run)
+            .ok_or(OptimizerError::NoViablePlacement)?;
+        let target = Self::build_target(current, decision, vjobs, &placement)?;
+        let plan = self.planner.plan(current, &target, vjobs)?;
+        let cost = self.cost_model.plan_cost(&plan);
+        Ok(OptimizedOutcome {
+            target,
+            plan,
+            cost,
+            stats: SearchStats::default(),
+        })
+    }
+
+    /// The VMs that must be running in the target configuration.
+    fn vms_to_run(decision: &Decision, vjobs: &[Vjob]) -> Vec<VmId> {
+        let running: Vec<VjobId> = decision.running_vjobs();
+        vjobs
+            .iter()
+            .filter(|j| running.contains(&j.id))
+            .flat_map(|j| j.vms.iter().copied())
+            .collect()
+    }
+
+    /// Build the target configuration: running VMs take the optimized
+    /// placement, the other VMs follow their vjob's target state.
+    fn build_target(
+        current: &Configuration,
+        decision: &Decision,
+        vjobs: &[Vjob],
+        placement: &BTreeMap<VmId, NodeId>,
+    ) -> Result<Configuration, OptimizerError> {
+        let mut target = current.clone();
+        for vjob in vjobs {
+            let wanted = decision
+                .vjob_states
+                .get(&vjob.id)
+                .copied()
+                .unwrap_or(vjob.state);
+            for &vm in &vjob.vms {
+                let assignment = current.assignment(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+                let next = match wanted {
+                    VjobState::Running => {
+                        let node = placement
+                            .get(&vm)
+                            .copied()
+                            .ok_or(OptimizerError::NoViablePlacement)?;
+                        VmAssignment::running(node)
+                    }
+                    VjobState::Sleeping => match assignment.state {
+                        // Keep the image where it already is; a running VM
+                        // suspends onto its current host.
+                        VmState::Sleeping => assignment,
+                        VmState::Running => VmAssignment::sleeping(
+                            assignment.host.expect("running VM has a host"),
+                        ),
+                        _ => assignment,
+                    },
+                    VjobState::Terminated => match assignment.state {
+                        VmState::Running => VmAssignment::terminated(),
+                        // Already out of the way (never started or asleep):
+                        // keep as-is, the life cycle has no single action for
+                        // these transitions.
+                        _ => assignment,
+                    },
+                    VjobState::Waiting => assignment,
+                };
+                target
+                    .set_assignment(vm, next)
+                    .map_err(|_| OptimizerError::UnknownVm(vm))?;
+            }
+        }
+        Ok(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consolidation::FcfsConsolidation;
+    use crate::decision::DecisionModule;
+    use cwcs_model::{CpuCapacity, MemoryMib, Node, Vm};
+    use std::collections::BTreeSet;
+
+    /// A cluster where every running VM is already well placed: the optimal
+    /// plan is empty while FFD would reshuffle everything.
+    fn settled_cluster() -> (Configuration, Vec<Vjob>) {
+        let mut c = Configuration::new();
+        for i in 0..4 {
+            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+        }
+        let mut vjobs = Vec::new();
+        for j in 0..4 {
+            let vm_ids = vec![VmId(j * 2), VmId(j * 2 + 1)];
+            for &vm in &vm_ids {
+                c.add_vm(Vm::new(vm, MemoryMib::mib(1024), CpuCapacity::cores(1))).unwrap();
+                c.set_assignment(vm, VmAssignment::running(NodeId(j))).unwrap();
+            }
+            let mut vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
+            vjob.transition_to(VjobState::Running).unwrap();
+            vjobs.push(vjob);
+        }
+        (c, vjobs)
+    }
+
+    fn decide(c: &Configuration, vjobs: &[Vjob]) -> Decision {
+        FcfsConsolidation::new()
+            .decide(c, vjobs, &BTreeSet::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn optimizer_keeps_well_placed_vms() {
+        let (c, vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        assert_eq!(outcome.cost.total, 0, "nothing should move");
+        assert!(outcome.plan.is_empty());
+        assert!(outcome.target.is_viable());
+    }
+
+    #[test]
+    fn ffd_baseline_is_never_cheaper_than_the_optimizer() {
+        let (c, vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let optimized = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        let ffd = optimizer.ffd_outcome(&c, &decision, &vjobs).unwrap();
+        assert!(optimized.cost.total <= ffd.cost.total);
+    }
+
+    #[test]
+    fn overload_produces_suspends_and_a_viable_target() {
+        // 2 nodes, 3 vjobs of 2 busy VMs each: one vjob must sleep.
+        let mut c = Configuration::new();
+        for i in 0..2 {
+            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+        }
+        let mut vjobs = Vec::new();
+        for j in 0..3u32 {
+            let vm_ids = vec![VmId(j * 2), VmId(j * 2 + 1)];
+            for (k, &vm) in vm_ids.iter().enumerate() {
+                c.add_vm(Vm::new(vm, MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
+                if j < 2 {
+                    c.set_assignment(vm, VmAssignment::running(NodeId((j as usize + k) as u32 % 2)))
+                        .unwrap();
+                }
+            }
+            let mut vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
+            if j < 2 {
+                vjob.transition_to(VjobState::Running).unwrap();
+            }
+            vjobs.push(vjob);
+        }
+        let decision = decide(&c, &vjobs);
+        // The third vjob cannot fit: it stays waiting; the first two run.
+        assert_eq!(decision.vjob_states[&VjobId(2)], VjobState::Waiting);
+
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        assert!(outcome.target.is_viable());
+        outcome.plan.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn sleeping_vjob_prefers_local_resume() {
+        // A sleeping vjob whose images are on node 1, with room everywhere:
+        // the optimizer must resume it on node 1 (local resume, cost Dm) and
+        // not elsewhere (2·Dm).
+        let mut c = Configuration::new();
+        for i in 0..3 {
+            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+        }
+        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(1024), CpuCapacity::cores(1))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(1))).unwrap();
+        let mut vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
+        vjob.transition_to(VjobState::Running).unwrap();
+        vjob.transition_to(VjobState::Sleeping).unwrap();
+        let vjobs = vec![vjob];
+        let decision = decide(&c, &vjobs);
+        assert_eq!(decision.vjob_states[&VjobId(0)], VjobState::Running);
+
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        assert_eq!(outcome.target.host(VmId(0)).unwrap(), Some(NodeId(1)));
+        assert_eq!(outcome.plan.stats().local_resumes, 1);
+        assert_eq!(outcome.plan.stats().remote_resumes, 0);
+        assert_eq!(outcome.cost.total, 1024);
+    }
+
+    #[test]
+    fn terminated_vjobs_generate_stops() {
+        let (c, vjobs) = settled_cluster();
+        let completed: BTreeSet<VjobId> = [VjobId(0)].into_iter().collect();
+        let decision = FcfsConsolidation::new().decide(&c, &vjobs, &completed).unwrap();
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        assert_eq!(outcome.plan.stats().stops, 2);
+        assert_eq!(
+            outcome.target.state(VmId(0)).unwrap(),
+            VmState::Terminated
+        );
+    }
+
+    #[test]
+    fn infeasible_states_are_rejected() {
+        // One tiny node, one vjob that cannot fit but is forced Running.
+        let mut c = Configuration::new();
+        c.add_node(Node::new(NodeId(0), CpuCapacity::cores(1), MemoryMib::mib(256))).unwrap();
+        c.add_vm(Vm::new(VmId(0), MemoryMib::gib(8), CpuCapacity::cores(1))).unwrap();
+        let vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
+        let mut states = BTreeMap::new();
+        states.insert(VjobId(0), VjobState::Running);
+        let decision = Decision {
+            vjob_states: states,
+            proof_configuration: c.clone(),
+        };
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(200));
+        let err = optimizer.optimize(&c, &decision, &[vjob]).unwrap_err();
+        assert_eq!(err, OptimizerError::NoViablePlacement);
+    }
+}

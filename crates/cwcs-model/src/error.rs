@@ -1,0 +1,104 @@
+//! Error type shared by the model crate.
+
+use std::fmt;
+
+use crate::{NodeId, VjobId, VmId};
+
+/// Errors raised by model-level operations (configuration edits, life-cycle
+/// transitions, capacity checks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The VM is not known to the configuration or inventory.
+    UnknownVm(VmId),
+    /// The node is not known to the configuration or inventory.
+    UnknownNode(NodeId),
+    /// The vjob is not known to the inventory.
+    UnknownVjob(VjobId),
+    /// A VM was registered twice.
+    DuplicateVm(VmId),
+    /// A node was registered twice.
+    DuplicateNode(NodeId),
+    /// A vjob was registered twice.
+    DuplicateVjob(VjobId),
+    /// A life-cycle transition that Figure 2 of the paper does not allow.
+    IllegalTransition {
+        /// The vjob (or VM) whose state was being changed.
+        vm: VmId,
+        /// State before the attempted transition.
+        from: crate::VmState,
+        /// Requested state.
+        to: crate::VmState,
+    },
+    /// A running VM has no hosting node, or a non-running VM has one.
+    InconsistentAssignment(VmId),
+    /// Placing the VM on the node would exceed its CPU or memory capacity.
+    CapacityExceeded {
+        /// Node that would be overloaded.
+        node: NodeId,
+        /// VM whose placement triggered the overflow.
+        vm: VmId,
+    },
+    /// A generic invariant violation with a human-readable description.
+    Invariant(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
+            ModelError::UnknownNode(node) => write!(f, "unknown node {node}"),
+            ModelError::UnknownVjob(vjob) => write!(f, "unknown vjob {vjob}"),
+            ModelError::DuplicateVm(vm) => write!(f, "VM {vm} registered twice"),
+            ModelError::DuplicateNode(node) => write!(f, "node {node} registered twice"),
+            ModelError::DuplicateVjob(vjob) => write!(f, "vjob {vjob} registered twice"),
+            ModelError::IllegalTransition { vm, from, to } => {
+                write!(f, "illegal transition of {vm} from {from:?} to {to:?}")
+            }
+            ModelError::InconsistentAssignment(vm) => {
+                write!(f, "inconsistent host assignment for {vm}")
+            }
+            ModelError::CapacityExceeded { node, vm } => {
+                write!(f, "placing {vm} on {node} exceeds its capacity")
+            }
+            ModelError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VmState;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ModelError::UnknownVm(VmId(7));
+        assert!(err.to_string().contains("vm-7"));
+        let err = ModelError::CapacityExceeded {
+            node: NodeId(3),
+            vm: VmId(1),
+        };
+        assert!(err.to_string().contains("node-3"));
+        assert!(err.to_string().contains("vm-1"));
+    }
+
+    #[test]
+    fn illegal_transition_mentions_both_states() {
+        let err = ModelError::IllegalTransition {
+            vm: VmId(0),
+            from: VmState::Terminated,
+            to: VmState::Running,
+        };
+        let text = err.to_string();
+        assert!(text.contains("Terminated"));
+        assert!(text.contains("Running"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ModelError::UnknownVm(VmId(1)), ModelError::UnknownVm(VmId(1)));
+        assert_ne!(ModelError::UnknownVm(VmId(1)), ModelError::UnknownVm(VmId(2)));
+    }
+}

@@ -1,0 +1,35 @@
+//! # cwcs-model — data model for cluster-wide context switches
+//!
+//! This crate defines the vocabulary shared by every other crate of the
+//! workspace: physical **nodes** with CPU and memory capacities, **virtual
+//! machines** with CPU and memory demands, **virtualized jobs** (vjobs) that
+//! group VMs and follow the life cycle of Figure 2 of the paper
+//! (Waiting → Running ⇄ Sleeping → Terminated), and **configurations** that
+//! map every VM to a state and, for running VMs, a hosting node.
+//!
+//! A configuration is *viable* when every node can satisfy the CPU and memory
+//! demands of the running VMs it hosts.  Viability is the invariant that the
+//! reconfiguration planner (`cwcs-plan`) maintains at every intermediate step
+//! of a cluster-wide context switch and that the optimizer (`cwcs-core`)
+//! enforces on the target configuration.
+//!
+//! The types here are deliberately plain data: they carry no behaviour tied
+//! to a particular hypervisor, monitoring system or scheduler, so that the
+//! planner, the simulator and the workload generators can all share them.
+
+pub mod configuration;
+pub mod error;
+pub mod node;
+pub mod resources;
+pub mod vjob;
+pub mod vm;
+
+pub use configuration::{Configuration, ConfigurationDelta, VmAssignment};
+pub use error::ModelError;
+pub use node::{Node, NodeId};
+pub use resources::{CpuCapacity, MemoryMib, ResourceDemand, ResourceUsage};
+pub use vjob::{Vjob, VjobId, VjobState};
+pub use vm::{Vm, VmId, VmState};
+
+/// Convenient result alias used throughout the model crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

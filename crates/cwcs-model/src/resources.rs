@@ -1,0 +1,414 @@
+//! Resource quantities: processing units and memory.
+//!
+//! The paper models two resource dimensions (Section 3.2): the **capacity of
+//! processing units** of a node and its **memory capacity**, against the CPU
+//! and memory **demands** of the VMs it hosts.  Finding a viable
+//! configuration is a 2-dimensional bin-packing / multiple-knapsack problem
+//! over these two dimensions.
+//!
+//! CPU is counted in *processing units* scaled by [`CPU_UNIT`], so that a VM
+//! may demand a fraction of a core (an idle NAS-Grid VM demands close to
+//! zero, a computing VM demands one full unit).  Memory is counted in MiB.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Scale factor of one processing unit: a full core is `CPU_UNIT` capacity
+/// points, so demands can be expressed with 1% granularity.
+pub const CPU_UNIT: u32 = 100;
+
+/// CPU capacity or demand, in hundredths of a processing unit.
+///
+/// `CpuCapacity::cores(2)` is a dual-core node; `CpuCapacity::percent(50)` is
+/// a VM using half a core.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CpuCapacity(pub u32);
+
+impl CpuCapacity {
+    /// Zero CPU demand.
+    pub const ZERO: CpuCapacity = CpuCapacity(0);
+
+    /// Capacity of `n` full cores / processing units.
+    pub const fn cores(n: u32) -> Self {
+        CpuCapacity(n * CPU_UNIT)
+    }
+
+    /// Demand expressed as a percentage of one core.
+    pub const fn percent(p: u32) -> Self {
+        CpuCapacity(p)
+    }
+
+    /// Raw value in hundredths of a processing unit.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Number of whole cores this capacity represents (rounded down).
+    pub const fn whole_cores(self) -> u32 {
+        self.0 / CPU_UNIT
+    }
+
+    /// Saturating subtraction, useful when computing remaining capacity.
+    pub fn saturating_sub(self, other: CpuCapacity) -> CpuCapacity {
+        CpuCapacity(self.0.saturating_sub(other.0))
+    }
+
+    /// True when this demand fits in `capacity`.
+    pub fn fits_in(self, capacity: CpuCapacity) -> bool {
+        self.0 <= capacity.0
+    }
+}
+
+impl Add for CpuCapacity {
+    type Output = CpuCapacity;
+    fn add(self, rhs: CpuCapacity) -> CpuCapacity {
+        CpuCapacity(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for CpuCapacity {
+    fn add_assign(&mut self, rhs: CpuCapacity) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for CpuCapacity {
+    type Output = CpuCapacity;
+    fn sub(self, rhs: CpuCapacity) -> CpuCapacity {
+        CpuCapacity(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for CpuCapacity {
+    fn sub_assign(&mut self, rhs: CpuCapacity) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for CpuCapacity {
+    fn sum<I: Iterator<Item = CpuCapacity>>(iter: I) -> CpuCapacity {
+        iter.fold(CpuCapacity::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for CpuCapacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % CPU_UNIT == 0 {
+            write!(f, "{}pu", self.0 / CPU_UNIT)
+        } else {
+            write!(f, "{:.2}pu", self.0 as f64 / CPU_UNIT as f64)
+        }
+    }
+}
+
+/// Memory capacity or demand, in MiB.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MemoryMib(pub u64);
+
+impl MemoryMib {
+    /// Zero memory demand.
+    pub const ZERO: MemoryMib = MemoryMib(0);
+
+    /// Memory expressed in MiB.
+    pub const fn mib(n: u64) -> Self {
+        MemoryMib(n)
+    }
+
+    /// Memory expressed in GiB.
+    pub const fn gib(n: u64) -> Self {
+        MemoryMib(n * 1024)
+    }
+
+    /// Raw value in MiB.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction, useful when computing remaining capacity.
+    pub fn saturating_sub(self, other: MemoryMib) -> MemoryMib {
+        MemoryMib(self.0.saturating_sub(other.0))
+    }
+
+    /// True when this demand fits in `capacity`.
+    pub fn fits_in(self, capacity: MemoryMib) -> bool {
+        self.0 <= capacity.0
+    }
+}
+
+impl Add for MemoryMib {
+    type Output = MemoryMib;
+    fn add(self, rhs: MemoryMib) -> MemoryMib {
+        MemoryMib(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MemoryMib {
+    fn add_assign(&mut self, rhs: MemoryMib) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MemoryMib {
+    type Output = MemoryMib;
+    fn sub(self, rhs: MemoryMib) -> MemoryMib {
+        MemoryMib(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for MemoryMib {
+    fn sub_assign(&mut self, rhs: MemoryMib) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for MemoryMib {
+    fn sum<I: Iterator<Item = MemoryMib>>(iter: I) -> MemoryMib {
+        iter.fold(MemoryMib::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for MemoryMib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 && self.0 % 1024 == 0 {
+            write!(f, "{}GiB", self.0 / 1024)
+        } else {
+            write!(f, "{}MiB", self.0)
+        }
+    }
+}
+
+/// A two-dimensional resource demand (CPU, memory), the quantity the paper
+/// calls `Dc(vj)` and `Dm(vj)` for a VM `vj`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ResourceDemand {
+    /// CPU demand in hundredths of a processing unit.
+    pub cpu: CpuCapacity,
+    /// Memory demand in MiB.
+    pub memory: MemoryMib,
+}
+
+impl ResourceDemand {
+    /// No demand at all.
+    pub const ZERO: ResourceDemand = ResourceDemand {
+        cpu: CpuCapacity::ZERO,
+        memory: MemoryMib::ZERO,
+    };
+
+    /// Build a demand from a CPU and a memory quantity.
+    pub const fn new(cpu: CpuCapacity, memory: MemoryMib) -> Self {
+        ResourceDemand { cpu, memory }
+    }
+
+    /// True when both dimensions of this demand fit in `capacity`.
+    pub fn fits_in(&self, capacity: &ResourceDemand) -> bool {
+        self.cpu.fits_in(capacity.cpu) && self.memory.fits_in(capacity.memory)
+    }
+
+    /// Component-wise saturating subtraction.
+    pub fn saturating_sub(&self, other: &ResourceDemand) -> ResourceDemand {
+        ResourceDemand {
+            cpu: self.cpu.saturating_sub(other.cpu),
+            memory: self.memory.saturating_sub(other.memory),
+        }
+    }
+
+    /// True when both dimensions are zero.
+    pub fn is_zero(&self) -> bool {
+        self.cpu == CpuCapacity::ZERO && self.memory == MemoryMib::ZERO
+    }
+}
+
+impl Add for ResourceDemand {
+    type Output = ResourceDemand;
+    fn add(self, rhs: ResourceDemand) -> ResourceDemand {
+        ResourceDemand {
+            cpu: self.cpu + rhs.cpu,
+            memory: self.memory + rhs.memory,
+        }
+    }
+}
+
+impl AddAssign for ResourceDemand {
+    fn add_assign(&mut self, rhs: ResourceDemand) {
+        self.cpu += rhs.cpu;
+        self.memory += rhs.memory;
+    }
+}
+
+impl Sum for ResourceDemand {
+    fn sum<I: Iterator<Item = ResourceDemand>>(iter: I) -> ResourceDemand {
+        iter.fold(ResourceDemand::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for ResourceDemand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.cpu, self.memory)
+    }
+}
+
+/// Aggregated resource usage of a node: how much of its capacity is consumed
+/// by the running VMs it hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Total demand of the hosted running VMs.
+    pub used: ResourceDemand,
+    /// Capacity of the node.
+    pub capacity: ResourceDemand,
+}
+
+impl ResourceUsage {
+    /// Build a usage report for a node of the given capacity with nothing on
+    /// it yet.
+    pub fn empty(capacity: ResourceDemand) -> Self {
+        ResourceUsage {
+            used: ResourceDemand::ZERO,
+            capacity,
+        }
+    }
+
+    /// Remaining free resources (component-wise, saturating at zero).
+    pub fn free(&self) -> ResourceDemand {
+        self.capacity.saturating_sub(&self.used)
+    }
+
+    /// True when the used amount does not exceed the capacity on either
+    /// dimension.
+    pub fn is_within_capacity(&self) -> bool {
+        self.used.fits_in(&self.capacity)
+    }
+
+    /// True when `demand` can be added without exceeding the capacity.
+    pub fn can_host(&self, demand: &ResourceDemand) -> bool {
+        (self.used + *demand).fits_in(&self.capacity)
+    }
+
+    /// Account for an extra hosted demand.
+    pub fn add(&mut self, demand: &ResourceDemand) {
+        self.used += *demand;
+    }
+
+    /// Remove a previously hosted demand (saturating).
+    pub fn remove(&mut self, demand: &ResourceDemand) {
+        self.used = self.used.saturating_sub(demand);
+    }
+
+    /// CPU utilization ratio in `[0, +inf)`, 1.0 meaning fully used.
+    pub fn cpu_ratio(&self) -> f64 {
+        if self.capacity.cpu.raw() == 0 {
+            0.0
+        } else {
+            self.used.cpu.raw() as f64 / self.capacity.cpu.raw() as f64
+        }
+    }
+
+    /// Memory utilization ratio in `[0, +inf)`, 1.0 meaning fully used.
+    pub fn memory_ratio(&self) -> f64 {
+        if self.capacity.memory.raw() == 0 {
+            0.0
+        } else {
+            self.used.memory.raw() as f64 / self.capacity.memory.raw() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_units_and_percent() {
+        assert_eq!(CpuCapacity::cores(2).raw(), 200);
+        assert_eq!(CpuCapacity::percent(50).raw(), 50);
+        assert_eq!(CpuCapacity::cores(3).whole_cores(), 3);
+        assert_eq!(CpuCapacity::percent(250).whole_cores(), 2);
+    }
+
+    #[test]
+    fn cpu_arithmetic() {
+        let a = CpuCapacity::cores(1);
+        let b = CpuCapacity::percent(50);
+        assert_eq!((a + b).raw(), 150);
+        assert_eq!((a - b).raw(), 50);
+        assert_eq!(b.saturating_sub(a), CpuCapacity::ZERO);
+        let total: CpuCapacity = [a, b, b].into_iter().sum();
+        assert_eq!(total.raw(), 200);
+    }
+
+    #[test]
+    fn memory_arithmetic() {
+        let a = MemoryMib::gib(4);
+        let b = MemoryMib::mib(512);
+        assert_eq!((a + b).raw(), 4096 + 512);
+        assert_eq!((a - b).raw(), 4096 - 512);
+        assert_eq!(b.saturating_sub(a), MemoryMib::ZERO);
+        assert!(b.fits_in(a));
+        assert!(!a.fits_in(b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CpuCapacity::cores(2).to_string(), "2pu");
+        assert_eq!(CpuCapacity::percent(50).to_string(), "0.50pu");
+        assert_eq!(MemoryMib::gib(2).to_string(), "2GiB");
+        assert_eq!(MemoryMib::mib(512).to_string(), "512MiB");
+    }
+
+    #[test]
+    fn demand_fits_and_adds() {
+        let node = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(4));
+        let vm = ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::gib(1));
+        assert!(vm.fits_in(&node));
+        assert!(!(vm + vm + vm).fits_in(&node));
+        assert!((vm + vm).fits_in(&node));
+    }
+
+    #[test]
+    fn demand_fits_requires_both_dimensions() {
+        let node = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(1));
+        let cpu_heavy = ResourceDemand::new(CpuCapacity::cores(3), MemoryMib::mib(128));
+        let mem_heavy = ResourceDemand::new(CpuCapacity::percent(10), MemoryMib::gib(2));
+        assert!(!cpu_heavy.fits_in(&node));
+        assert!(!mem_heavy.fits_in(&node));
+    }
+
+    #[test]
+    fn usage_tracks_free_space() {
+        let cap = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(4));
+        let mut usage = ResourceUsage::empty(cap);
+        let vm = ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::gib(1));
+        assert!(usage.can_host(&vm));
+        usage.add(&vm);
+        assert_eq!(usage.free().cpu, CpuCapacity::cores(1));
+        assert_eq!(usage.free().memory, MemoryMib::gib(3));
+        usage.add(&vm);
+        assert!(!usage.can_host(&vm));
+        assert!(usage.is_within_capacity());
+        usage.remove(&vm);
+        assert!(usage.can_host(&vm));
+    }
+
+    #[test]
+    fn usage_ratios() {
+        let cap = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(4));
+        let mut usage = ResourceUsage::empty(cap);
+        usage.add(&ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::gib(1)));
+        assert!((usage.cpu_ratio() - 0.5).abs() < 1e-9);
+        assert!((usage.memory_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_ratio_is_zero() {
+        let usage = ResourceUsage::empty(ResourceDemand::ZERO);
+        assert_eq!(usage.cpu_ratio(), 0.0);
+        assert_eq!(usage.memory_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Virtual machines and their per-VM states.
+//!
+//! A VM is the unit on which the context-switch actions operate (run, stop,
+//! migrate, suspend, resume).  The scheduler reasons at the granularity of a
+//! vjob (see [`crate::vjob`]), but the reconfiguration planner and the
+//! drivers manipulate individual VMs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::resources::{CpuCapacity, MemoryMib, ResourceDemand};
+
+/// Identifier of a virtual machine, unique across the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VmId(pub u32);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// State of a VM (and, by aggregation, of a vjob) in the life cycle of
+/// Figure 2 of the paper.
+///
+/// The pseudo-state *Ready* of the paper is the union of [`VmState::Waiting`]
+/// and [`VmState::Sleeping`]; use [`VmState::is_ready`] to test it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+pub enum VmState {
+    /// Submitted but never run yet.
+    Waiting,
+    /// Running on a node.
+    Running,
+    /// Suspended to persistent storage; its memory image lives on some node.
+    Sleeping,
+    /// Stopped for good; its resources are released and it will never run
+    /// again.
+    Terminated,
+}
+
+impl VmState {
+    /// The paper's *Ready* pseudo-state: the VM could be started or resumed.
+    pub fn is_ready(self) -> bool {
+        matches!(self, VmState::Waiting | VmState::Sleeping)
+    }
+
+    /// True when the VM consumes CPU and memory on a node.
+    pub fn consumes_resources(self) -> bool {
+        matches!(self, VmState::Running)
+    }
+
+    /// True when the life-cycle of Figure 2 allows a transition from `self`
+    /// to `to`.
+    ///
+    /// Allowed transitions:
+    /// * Waiting → Running (run)
+    /// * Running → Sleeping (suspend)
+    /// * Sleeping → Running (resume)
+    /// * Running → Terminated (stop)
+    /// * any state → itself (no action; migration keeps the Running state)
+    pub fn can_transition_to(self, to: VmState) -> bool {
+        use VmState::*;
+        match (self, to) {
+            (a, b) if a == b => true,
+            (Waiting, Running) => true,
+            (Running, Sleeping) => true,
+            (Sleeping, Running) => true,
+            (Running, Terminated) => true,
+            _ => false,
+        }
+    }
+
+    /// All states, useful for exhaustive tests and generators.
+    pub const ALL: [VmState; 4] = [
+        VmState::Waiting,
+        VmState::Running,
+        VmState::Sleeping,
+        VmState::Terminated,
+    ];
+}
+
+impl fmt::Display for VmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmState::Waiting => "waiting",
+            VmState::Running => "running",
+            VmState::Sleeping => "sleeping",
+            VmState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A virtual machine: a name, a memory demand and a CPU demand.
+///
+/// The memory demand `Dm` drives the cost of migrations, suspends and
+/// resumes (Table 1 of the paper).  The CPU demand `Dc` is a full processing
+/// unit while the embedded application computes and (close to) zero when it
+/// idles; the monitoring service of `cwcs-sim` updates it over time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vm {
+    /// Unique identifier.
+    pub id: VmId,
+    /// Human-readable name (used to sort pipelined suspend/resume actions, as
+    /// the paper sorts actions by host/VM name).
+    pub name: String,
+    /// Memory allocated to the VM, in MiB.  This is `Dm(vj)` in the paper.
+    pub memory: MemoryMib,
+    /// Current CPU demand, in hundredths of a processing unit.  This is
+    /// `Dc(vj)` in the paper.
+    pub cpu: CpuCapacity,
+}
+
+impl Vm {
+    /// Build a VM with the given identifier, memory allocation and CPU
+    /// demand.  The name defaults to `vm-<id>`.
+    pub fn new(id: VmId, memory: MemoryMib, cpu: CpuCapacity) -> Self {
+        Vm {
+            id,
+            name: format!("vm-{}", id.0),
+            memory,
+            cpu,
+        }
+    }
+
+    /// Replace the generated name with an explicit one.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The 2-dimensional demand of this VM, used by viability checks.
+    pub fn demand(&self) -> ResourceDemand {
+        ResourceDemand::new(self.cpu, self.memory)
+    }
+
+    /// True when the VM currently needs a full processing unit (it is
+    /// executing a computation phase).
+    pub fn is_busy(&self) -> bool {
+        self.cpu.raw() >= crate::resources::CPU_UNIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(mem: u64, cpu: u32) -> Vm {
+        Vm::new(VmId(1), MemoryMib::mib(mem), CpuCapacity::percent(cpu))
+    }
+
+    #[test]
+    fn ready_pseudo_state() {
+        assert!(VmState::Waiting.is_ready());
+        assert!(VmState::Sleeping.is_ready());
+        assert!(!VmState::Running.is_ready());
+        assert!(!VmState::Terminated.is_ready());
+    }
+
+    #[test]
+    fn only_running_consumes_resources() {
+        for state in VmState::ALL {
+            assert_eq!(state.consumes_resources(), state == VmState::Running);
+        }
+    }
+
+    #[test]
+    fn legal_transitions_follow_figure_2() {
+        use VmState::*;
+        assert!(Waiting.can_transition_to(Running));
+        assert!(Running.can_transition_to(Sleeping));
+        assert!(Sleeping.can_transition_to(Running));
+        assert!(Running.can_transition_to(Terminated));
+        // Self transitions (e.g. migration keeps Running) are allowed.
+        for s in VmState::ALL {
+            assert!(s.can_transition_to(s));
+        }
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        use VmState::*;
+        assert!(!Waiting.can_transition_to(Sleeping));
+        assert!(!Waiting.can_transition_to(Terminated));
+        assert!(!Sleeping.can_transition_to(Waiting));
+        assert!(!Sleeping.can_transition_to(Terminated));
+        assert!(!Terminated.can_transition_to(Running));
+        assert!(!Terminated.can_transition_to(Waiting));
+        assert!(!Terminated.can_transition_to(Sleeping));
+        assert!(!Running.can_transition_to(Waiting));
+    }
+
+    #[test]
+    fn vm_demand_combines_both_dimensions() {
+        let v = vm(1024, 100);
+        assert_eq!(v.demand().memory, MemoryMib::mib(1024));
+        assert_eq!(v.demand().cpu, CpuCapacity::cores(1));
+    }
+
+    #[test]
+    fn busy_threshold_is_a_full_unit() {
+        assert!(vm(512, 100).is_busy());
+        assert!(vm(512, 150).is_busy());
+        assert!(!vm(512, 99).is_busy());
+        assert!(!vm(512, 0).is_busy());
+    }
+
+    #[test]
+    fn vm_name_defaults_and_overrides() {
+        let v = Vm::new(VmId(42), MemoryMib::mib(256), CpuCapacity::ZERO);
+        assert_eq!(v.name, "vm-42");
+        let v = v.with_name("nasgrid-ed-3");
+        assert_eq!(v.name, "nasgrid-ed-3");
+    }
+
+    #[test]
+    fn vm_id_displays_with_prefix() {
+        assert_eq!(VmId(9).to_string(), "vm-9");
+    }
+}

@@ -1,0 +1,370 @@
+//! The simulated cluster: configuration + virtual clock + application
+//! progress.
+//!
+//! The cluster owns a [`Configuration`] and, for each VM, the
+//! [`VmWorkProfile`] of the application it runs.  Advancing the virtual clock
+//! makes running VMs progress through their profile (at a reduced rate when a
+//! context-switch operation is decelerating their node), updates their CPU
+//! demand accordingly, and reports the vjobs whose work completed — the
+//! signal the paper's applications send to Entropy so it can stop the vjob.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use cwcs_model::{Configuration, CpuCapacity, MemoryMib, NodeId, Vjob, VjobId, VmId, VmState};
+use cwcs_workload::{VjobSpec, VmWorkProfile};
+
+use crate::durations::{DurationModel, InterferenceModel};
+
+/// Events reported by the cluster when the clock advances.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterEvent {
+    /// Every VM of the vjob has finished its work profile.
+    VjobCompleted(VjobId),
+}
+
+/// A snapshot of the cluster utilization, one point of Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Virtual time of the sample, in seconds.
+    pub time_secs: f64,
+    /// Memory currently used by running VMs, in GiB.
+    pub memory_gib: f64,
+    /// CPU demand of running VMs as a percentage of the total cluster
+    /// capacity (can exceed 100% on an overloaded cluster, as in Figure
+    /// 13(b)).
+    pub cpu_percent: f64,
+    /// Number of VMs in the Running state.
+    pub running_vms: usize,
+}
+
+/// The simulated cluster.
+pub struct SimulatedCluster {
+    configuration: Configuration,
+    clock_secs: f64,
+    /// Work profile and progress (in full-speed seconds) of each VM.
+    progress: HashMap<VmId, (VmWorkProfile, f64)>,
+    /// Vjob membership used for completion detection.
+    vjobs: HashMap<VjobId, Vjob>,
+    /// Vjobs already reported as completed.
+    completed: Vec<VjobId>,
+    durations: DurationModel,
+    interference: InterferenceModel,
+}
+
+impl SimulatedCluster {
+    /// Build a cluster from a configuration, with no workload attached.
+    pub fn new(configuration: Configuration) -> Self {
+        SimulatedCluster {
+            configuration,
+            clock_secs: 0.0,
+            progress: HashMap::new(),
+            vjobs: HashMap::new(),
+            completed: Vec::new(),
+            durations: DurationModel::paper(),
+            interference: InterferenceModel::paper(),
+        }
+    }
+
+    /// Override the duration model.
+    pub fn with_durations(mut self, durations: DurationModel) -> Self {
+        self.durations = durations;
+        self
+    }
+
+    /// Override the interference model.
+    pub fn with_interference(mut self, interference: InterferenceModel) -> Self {
+        self.interference = interference;
+        self
+    }
+
+    /// Register a vjob spec: its VMs must already exist in the configuration.
+    pub fn register_vjob(&mut self, spec: &VjobSpec) {
+        for (vm, profile) in spec.vjob.vms.iter().zip(&spec.profiles) {
+            self.progress.insert(*vm, (profile.clone(), 0.0));
+        }
+        self.vjobs.insert(spec.vjob.id, spec.vjob.clone());
+    }
+
+    /// Update the stored state of a vjob (the control loop owns the life
+    /// cycle; the cluster only needs membership for completion detection).
+    pub fn update_vjob(&mut self, vjob: &Vjob) {
+        self.vjobs.insert(vjob.id, vjob.clone());
+    }
+
+    /// The current configuration.
+    pub fn configuration(&self) -> &Configuration {
+        &self.configuration
+    }
+
+    /// Mutable access to the configuration (used by the executor/drivers).
+    pub fn configuration_mut(&mut self) -> &mut Configuration {
+        &mut self.configuration
+    }
+
+    /// The virtual clock, in seconds.
+    pub fn clock_secs(&self) -> f64 {
+        self.clock_secs
+    }
+
+    /// The duration model of this cluster.
+    pub fn durations(&self) -> &DurationModel {
+        &self.durations
+    }
+
+    /// The interference model of this cluster.
+    pub fn interference(&self) -> &InterferenceModel {
+        &self.interference
+    }
+
+    /// Progress (in full-speed seconds) of a VM's application.
+    pub fn progress_of(&self, vm: VmId) -> Option<f64> {
+        self.progress.get(&vm).map(|(_, p)| *p)
+    }
+
+    /// True when the VM has finished its work profile.
+    pub fn is_vm_complete(&self, vm: VmId) -> bool {
+        self.progress
+            .get(&vm)
+            .map(|(profile, progress)| profile.is_complete(*progress))
+            .unwrap_or(false)
+    }
+
+    /// True when every VM of the vjob has finished its work.
+    pub fn is_vjob_complete(&self, vjob: VjobId) -> bool {
+        self.vjobs
+            .get(&vjob)
+            .map(|j| j.vms.iter().all(|&vm| self.is_vm_complete(vm)))
+            .unwrap_or(false)
+    }
+
+    /// Vjobs whose completion has already been reported.
+    pub fn completed_vjobs(&self) -> &[VjobId] {
+        &self.completed
+    }
+
+    /// Advance the virtual clock by `dt_secs`.  `decelerations` maps nodes to
+    /// the slow-down factor their busy VMs experience during the interval
+    /// (1.0 when absent).  Returns the vjobs that completed during the
+    /// interval (each is reported once).
+    pub fn advance(
+        &mut self,
+        dt_secs: f64,
+        decelerations: &BTreeMap<NodeId, f64>,
+    ) -> Vec<ClusterEvent> {
+        assert!(dt_secs >= 0.0, "time only moves forward");
+        // Progress running VMs.
+        let running: Vec<(VmId, NodeId)> = self
+            .configuration
+            .vms_in_state(VmState::Running)
+            .into_iter()
+            .filter_map(|vm| self.configuration.host(vm).unwrap().map(|h| (vm, h)))
+            .collect();
+        for (vm, host) in running {
+            if let Some((profile, progress)) = self.progress.get_mut(&vm) {
+                let factor = decelerations.get(&host).copied().unwrap_or(1.0).max(1.0);
+                *progress += dt_secs / factor;
+                let _ = profile;
+            }
+        }
+        self.clock_secs += dt_secs;
+        self.refresh_demands();
+
+        // Report newly-completed vjobs.
+        let mut events = Vec::new();
+        let vjob_ids: Vec<VjobId> = self.vjobs.keys().copied().collect();
+        for vjob in vjob_ids {
+            if !self.completed.contains(&vjob) && self.is_vjob_complete(vjob) {
+                self.completed.push(vjob);
+                events.push(ClusterEvent::VjobCompleted(vjob));
+            }
+        }
+        events
+    }
+
+    /// Refresh the CPU demand of every VM with a profile from its current
+    /// progress (this is what the Ganglia daemons of the paper observe).
+    ///
+    /// Only running VMs expose the demand of their current phase: the
+    /// embedded application "is launched when all the VMs of the vjob are in
+    /// the Running state", so a waiting VM consumes (and reports) nothing.
+    /// Sleeping VMs keep their last observed demand, which is what the
+    /// decision module uses to decide whether they can be resumed.
+    pub fn refresh_demands(&mut self) {
+        let updates: Vec<(VmId, CpuCapacity)> = self
+            .progress
+            .iter()
+            .map(|(&vm, (profile, progress))| (vm, profile.demand_at(*progress)))
+            .collect();
+        for (vm, cpu) in updates {
+            let state = self.configuration.state(vm);
+            if let Ok(entry) = self.configuration.vm_mut(vm) {
+                match state {
+                    Ok(VmState::Running) => entry.cpu = cpu,
+                    Ok(VmState::Waiting) => entry.cpu = CpuCapacity::ZERO,
+                    // Sleeping / Terminated: keep the last observation.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// One utilization sample (a point of Figure 13).
+    pub fn utilization(&self) -> UtilizationSample {
+        let mut memory = MemoryMib::ZERO;
+        let mut cpu: u64 = 0;
+        let mut running = 0;
+        for vm in self.configuration.vms_in_state(VmState::Running) {
+            let v = self.configuration.vm(vm).unwrap();
+            memory += v.memory;
+            cpu += v.cpu.raw() as u64;
+            running += 1;
+        }
+        let capacity = self.configuration.total_capacity();
+        let cpu_percent = if capacity.cpu.raw() == 0 {
+            0.0
+        } else {
+            100.0 * cpu as f64 / capacity.cpu.raw() as f64
+        };
+        UtilizationSample {
+            time_secs: self.clock_secs,
+            memory_gib: memory.raw() as f64 / 1024.0,
+            cpu_percent,
+            running_vms: running,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwcs_model::{Node, Vjob, Vm, VmAssignment};
+    use cwcs_workload::WorkPhase;
+
+    fn spec(vjob_id: u32, vm_ids: &[u32], work_secs: f64) -> VjobSpec {
+        let vms: Vec<Vm> = vm_ids
+            .iter()
+            .map(|&i| Vm::new(VmId(i), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .collect();
+        let vjob = Vjob::new(VjobId(vjob_id), vms.iter().map(|v| v.id).collect(), 0);
+        let profiles = vms
+            .iter()
+            .map(|_| VmWorkProfile::new(vec![WorkPhase::compute(work_secs)]))
+            .collect();
+        VjobSpec::new(vjob, vms, profiles)
+    }
+
+    fn cluster_with(spec_list: &[VjobSpec]) -> SimulatedCluster {
+        let mut config = Configuration::new();
+        for i in 0..4 {
+            config
+                .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+                .unwrap();
+        }
+        for spec in spec_list {
+            for vm in &spec.vms {
+                config.add_vm(vm.clone()).unwrap();
+            }
+        }
+        let mut cluster = SimulatedCluster::new(config);
+        for spec in spec_list {
+            cluster.register_vjob(spec);
+        }
+        cluster
+    }
+
+    #[test]
+    fn running_vms_progress_and_complete() {
+        let spec = spec(0, &[0, 1], 100.0);
+        let mut cluster = cluster_with(&[spec]);
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        let events = cluster.advance(50.0, &BTreeMap::new());
+        assert!(events.is_empty());
+        assert_eq!(cluster.progress_of(VmId(0)), Some(50.0));
+        let events = cluster.advance(50.0, &BTreeMap::new());
+        assert_eq!(events, vec![ClusterEvent::VjobCompleted(VjobId(0))]);
+        // Completion is only reported once.
+        let events = cluster.advance(10.0, &BTreeMap::new());
+        assert!(events.is_empty());
+        assert!(cluster.is_vjob_complete(VjobId(0)));
+    }
+
+    #[test]
+    fn non_running_vms_do_not_progress() {
+        let spec = spec(0, &[0], 100.0);
+        let mut cluster = cluster_with(&[spec]);
+        // VM stays Waiting.
+        cluster.advance(1000.0, &BTreeMap::new());
+        assert_eq!(cluster.progress_of(VmId(0)), Some(0.0));
+        assert!(!cluster.is_vjob_complete(VjobId(0)));
+    }
+
+    #[test]
+    fn deceleration_slows_progress() {
+        let spec = spec(0, &[0], 100.0);
+        let mut cluster = cluster_with(&[spec]);
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let mut slow = BTreeMap::new();
+        slow.insert(NodeId(0), 1.5);
+        cluster.advance(30.0, &slow);
+        assert!((cluster.progress_of(VmId(0)).unwrap() - 20.0).abs() < 1e-9);
+        // Other nodes are unaffected.
+        let mut other = BTreeMap::new();
+        other.insert(NodeId(3), 2.0);
+        cluster.advance(30.0, &other);
+        assert!((cluster.progress_of(VmId(0)).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demands_follow_the_profile() {
+        // One VM with a compute phase then nothing: after completion its CPU
+        // demand drops to zero.
+        let spec = spec(0, &[0], 10.0);
+        let mut cluster = cluster_with(&[spec]);
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        cluster.refresh_demands();
+        assert_eq!(cluster.configuration().vm(VmId(0)).unwrap().cpu, CpuCapacity::cores(1));
+        cluster.advance(20.0, &BTreeMap::new());
+        assert_eq!(cluster.configuration().vm(VmId(0)).unwrap().cpu, CpuCapacity::ZERO);
+    }
+
+    #[test]
+    fn utilization_sample_counts_running_vms() {
+        let s = spec(0, &[0, 1, 2], 100.0);
+        let mut cluster = cluster_with(&[s]);
+        for i in 0..2 {
+            cluster
+                .configuration_mut()
+                .set_assignment(VmId(i), VmAssignment::running(NodeId(i)))
+                .unwrap();
+        }
+        cluster.refresh_demands();
+        let sample = cluster.utilization();
+        assert_eq!(sample.running_vms, 2);
+        assert!((sample.memory_gib - 1.0).abs() < 1e-9);
+        // 2 busy cores out of 8: 25%.
+        assert!((sample.cpu_percent - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_accumulates() {
+        let mut cluster = cluster_with(&[]);
+        cluster.advance(12.5, &BTreeMap::new());
+        cluster.advance(7.5, &BTreeMap::new());
+        assert!((cluster.clock_secs() - 20.0).abs() < 1e-9);
+    }
+}

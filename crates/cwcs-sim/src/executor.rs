@@ -1,0 +1,329 @@
+//! Execution of a reconfiguration plan on the simulated cluster.
+//!
+//! Pools run one after the other; inside a pool every action starts at its
+//! pipeline offset and runs for the duration predicted by the cluster's
+//! [`DurationModel`](crate::durations::DurationModel).  The pool completes
+//! when its last action completes.  While a pool runs, the busy VMs hosted on
+//! the nodes touched by its actions are decelerated according to the
+//! [`InterferenceModel`](crate::durations::InterferenceModel), which is how
+//! the paper's measured 1.3–1.5× slow-down surfaces in the simulated
+//! application completion times.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use cwcs_model::NodeId;
+use cwcs_plan::{Action, ReconfigurationPlan};
+
+use crate::cluster::{ClusterEvent, SimulatedCluster};
+use crate::driver::{DriverError, HypervisorDriver};
+
+/// Timing record of one executed action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionRecord {
+    /// The action.
+    pub action: Action,
+    /// Start time relative to the beginning of the context switch, seconds.
+    pub start_secs: f64,
+    /// Duration of the action, seconds.
+    pub duration_secs: f64,
+}
+
+impl ActionRecord {
+    /// End time relative to the beginning of the context switch.
+    pub fn end_secs(&self) -> f64 {
+        self.start_secs + self.duration_secs
+    }
+}
+
+/// Timing record of one pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolRecord {
+    /// Start of the pool relative to the beginning of the switch.
+    pub start_secs: f64,
+    /// Duration of the pool (last action end minus pool start).
+    pub duration_secs: f64,
+    /// Actions executed by this pool.
+    pub actions: Vec<ActionRecord>,
+}
+
+/// Outcome of a cluster-wide context switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Total duration of the switch, in seconds (the Y axis of Figure 11).
+    pub duration_secs: f64,
+    /// Per-pool breakdown.
+    pub pools: Vec<PoolRecord>,
+    /// Actions that failed (with failure injection) and were skipped.
+    pub failed_actions: Vec<Action>,
+    /// Vjobs that completed while the switch was running.
+    pub completed_vjobs: Vec<ClusterEvent>,
+}
+
+impl ExecutionReport {
+    /// Number of successfully executed actions.
+    pub fn executed_actions(&self) -> usize {
+        self.pools.iter().map(|p| p.actions.len()).sum()
+    }
+}
+
+/// Executes plans against a [`SimulatedCluster`] through a driver.
+pub struct PlanExecutor<D: HypervisorDriver> {
+    driver: D,
+}
+
+impl<D: HypervisorDriver> PlanExecutor<D> {
+    /// Build an executor around a driver.
+    pub fn new(driver: D) -> Self {
+        PlanExecutor { driver }
+    }
+
+    /// Access the driver (e.g. to reach its failure injector).
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// Execute `plan` on `cluster`: apply every action through the driver,
+    /// advance the virtual clock pool by pool, and decelerate the
+    /// applications co-hosted with the operations.
+    pub fn execute(
+        &self,
+        cluster: &mut SimulatedCluster,
+        plan: &ReconfigurationPlan,
+    ) -> ExecutionReport {
+        let mut report = ExecutionReport {
+            duration_secs: 0.0,
+            pools: Vec::new(),
+            failed_actions: Vec::new(),
+            completed_vjobs: Vec::new(),
+        };
+        let interference = *cluster.interference();
+        let durations = *cluster.durations();
+        let mut elapsed = 0.0;
+
+        for pool in plan.pools() {
+            let pool_start = elapsed;
+            let mut pool_actions = Vec::new();
+            let mut pool_end = pool_start;
+            // Deceleration applied to every node touched by the pool.
+            let mut decelerations: BTreeMap<NodeId, f64> = BTreeMap::new();
+
+            for planned in &pool.actions {
+                let action = planned.action;
+                let predicted = durations.action_duration(&action);
+                match self.driver.execute(&action, cluster.configuration_mut()) {
+                    Ok(duration) => {
+                        let start = pool_start + planned.offset_secs as f64;
+                        pool_end = pool_end.max(start + duration);
+                        let factor = interference.factor_for(&action);
+                        for node in Self::touched_nodes(&action) {
+                            let entry = decelerations.entry(node).or_insert(1.0);
+                            *entry = entry.max(factor);
+                        }
+                        pool_actions.push(ActionRecord {
+                            action,
+                            start_secs: start,
+                            duration_secs: duration,
+                        });
+                    }
+                    Err(DriverError::OperationFailed { action, .. }) => {
+                        report.failed_actions.push(action);
+                        // The failed operation still wasted its predicted time
+                        // window on the cluster.
+                        pool_end = pool_end.max(pool_start + planned.offset_secs as f64 + predicted);
+                    }
+                    Err(DriverError::Model(_)) => {
+                        report.failed_actions.push(action);
+                    }
+                }
+            }
+
+            let pool_duration = (pool_end - pool_start).max(0.0);
+            let events = cluster.advance(pool_duration, &decelerations);
+            report.completed_vjobs.extend(events);
+            elapsed = pool_end;
+            report.pools.push(PoolRecord {
+                start_secs: pool_start,
+                duration_secs: pool_duration,
+                actions: pool_actions,
+            });
+        }
+
+        report.duration_secs = elapsed;
+        report
+    }
+
+    fn touched_nodes(action: &Action) -> Vec<NodeId> {
+        let mut nodes = Vec::new();
+        if let Some((node, _)) = action.releases() {
+            nodes.push(node);
+        }
+        if let Some((node, _)) = action.requires() {
+            if !nodes.contains(&node) {
+                nodes.push(node);
+            }
+        }
+        if let Action::Resume { image, .. } = action {
+            if !nodes.contains(image) {
+                nodes.push(*image);
+            }
+        }
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SimulatedXenDriver;
+    use cwcs_model::{
+        Configuration, CpuCapacity, MemoryMib, Node, ResourceDemand, Vjob, VjobId, Vm,
+        VmAssignment, VmId,
+    };
+    use cwcs_plan::{Planner, Pool};
+    use cwcs_workload::{VjobSpec, VmWorkProfile};
+
+    fn demand(mem: u64) -> ResourceDemand {
+        ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::mib(mem))
+    }
+
+    fn cluster() -> SimulatedCluster {
+        let mut config = Configuration::new();
+        for i in 0..3 {
+            config
+                .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+                .unwrap();
+        }
+        for i in 0..3 {
+            config
+                .add_vm(Vm::new(VmId(i), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+                .unwrap();
+        }
+        let mut cluster = SimulatedCluster::new(config);
+        let vms: Vec<Vm> = (0..3)
+            .map(|i| Vm::new(VmId(i), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+            .collect();
+        let vjob = Vjob::new(VjobId(0), vms.iter().map(|v| v.id).collect(), 0);
+        let profiles = vms
+            .iter()
+            .map(|_| VmWorkProfile::single_compute(500.0))
+            .collect();
+        cluster.register_vjob(&VjobSpec::new(vjob, vms, profiles));
+        cluster
+    }
+
+    #[test]
+    fn executes_a_run_plan_and_charges_time() {
+        let mut cluster = cluster();
+        let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
+            Action::Run { vm: VmId(0), node: NodeId(0), demand: demand(1024) },
+            Action::Run { vm: VmId(1), node: NodeId(1), demand: demand(1024) },
+        ])]);
+        let executor = PlanExecutor::new(SimulatedXenDriver::default());
+        let report = executor.execute(&mut cluster, &plan);
+        // Two boots in parallel: the switch lasts one boot (6 s).
+        assert!((report.duration_secs - 6.0).abs() < 1e-9);
+        assert_eq!(report.executed_actions(), 2);
+        assert_eq!(cluster.configuration().host(VmId(0)).unwrap(), Some(NodeId(0)));
+        assert!((cluster.clock_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pools_are_sequential_and_offsets_respected() {
+        let mut cluster = cluster();
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let mut pool1 = Pool::from_actions(vec![Action::Suspend {
+            vm: VmId(0),
+            node: NodeId(0),
+            demand: demand(1024),
+        }]);
+        pool1.actions[0].offset_secs = 2;
+        let pool2 = Pool::from_actions(vec![Action::Run {
+            vm: VmId(1),
+            node: NodeId(0),
+            demand: demand(1024),
+        }]);
+        let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![pool1, pool2]);
+        let executor = PlanExecutor::new(SimulatedXenDriver::default());
+        let report = executor.execute(&mut cluster, &plan);
+        // Pool 1: starts at 0, suspend starts at 2 and lasts ~50 s -> ~52 s.
+        // Pool 2: starts after pool 1 and lasts 6 s.
+        let suspend_duration = cluster.durations().suspend_duration(
+            MemoryMib::mib(1024),
+            crate::durations::TransferMethod::Local,
+        );
+        let expected = 2.0 + suspend_duration + 6.0;
+        assert!((report.duration_secs - expected).abs() < 1e-6);
+        assert!(report.pools[1].start_secs > report.pools[0].duration_secs - 1e-9);
+    }
+
+    #[test]
+    fn failed_actions_are_reported_and_skipped() {
+        let mut cluster = cluster();
+        let driver = SimulatedXenDriver::default();
+        driver.failure_injector().fail_next_action_on(VmId(0));
+        let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
+            Action::Run { vm: VmId(0), node: NodeId(0), demand: demand(1024) },
+            Action::Run { vm: VmId(1), node: NodeId(1), demand: demand(1024) },
+        ])]);
+        let executor = PlanExecutor::new(driver);
+        let report = executor.execute(&mut cluster, &plan);
+        assert_eq!(report.failed_actions.len(), 1);
+        assert_eq!(report.executed_actions(), 1);
+        // The failed VM is still waiting; the other one runs.
+        assert_eq!(cluster.configuration().state(VmId(0)).unwrap(), cwcs_model::VmState::Waiting);
+        assert_eq!(cluster.configuration().host(VmId(1)).unwrap(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn co_hosted_vms_are_decelerated_during_operations() {
+        // VM0 runs on node 0 and computes; VM1 migrates away from node 0.
+        // During the migration VM0 progresses slower than wall-clock time.
+        let mut cluster = cluster();
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
+            Action::Migrate { vm: VmId(1), from: NodeId(0), to: NodeId(1), demand: demand(1024) },
+        ])]);
+        let executor = PlanExecutor::new(SimulatedXenDriver::default());
+        let report = executor.execute(&mut cluster, &plan);
+        let progress = cluster.progress_of(VmId(0)).unwrap();
+        assert!(
+            progress < report.duration_secs - 1e-9,
+            "progress {progress} must lag behind wall-clock {}",
+            report.duration_secs
+        );
+        assert!((progress - report.duration_secs / 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn end_to_end_with_planner() {
+        // Plan a real transition with the planner and execute it.
+        let mut cluster = cluster();
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let source = cluster.configuration().clone();
+        let mut target = source.clone();
+        target.set_assignment(VmId(0), VmAssignment::running(NodeId(2))).unwrap();
+        target.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
+        let plan = Planner::new().plan(&source, &target, &[]).unwrap();
+        let executor = PlanExecutor::new(SimulatedXenDriver::default());
+        let report = executor.execute(&mut cluster, &plan);
+        assert!(report.failed_actions.is_empty());
+        assert_eq!(cluster.configuration().host(VmId(0)).unwrap(), Some(NodeId(2)));
+        assert_eq!(cluster.configuration().host(VmId(1)).unwrap(), Some(NodeId(1)));
+        assert!(report.duration_secs > 0.0);
+    }
+}

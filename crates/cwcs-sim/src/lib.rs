@@ -1,0 +1,36 @@
+//! # cwcs-sim — a discrete-event cluster simulator for virtualized jobs
+//!
+//! The paper evaluates its prototype on an 11-node Xen 3.2 cluster with
+//! Ganglia monitoring and NFS storage.  That hardware is not available here,
+//! so this crate provides the substrate the rest of the workspace runs on:
+//!
+//! * [`durations`] — the action duration model calibrated against Figure 3
+//!   of the paper (boot ≈ 6 s, clean shutdown ≈ 25 s, migrate/suspend/resume
+//!   linear in the VM memory, remote transfers about twice as long as local
+//!   ones) and the interference model (a busy co-hosted VM is decelerated by
+//!   a factor of ≈ 1.3 during local operations, ≈ 1.5 during remote ones);
+//! * [`driver`] — the hypervisor driver abstraction (the equivalent of the
+//!   SSH/Xen-API drivers of Entropy) with a simulated Xen driver and failure
+//!   injection for tests;
+//! * [`cluster`] — the simulated cluster: a [`cwcs_model::Configuration`],
+//!   a virtual clock, and per-VM application progress driven by
+//!   [`cwcs_workload::VmWorkProfile`]s;
+//! * [`executor`] — execution of a [`cwcs_plan::ReconfigurationPlan`]:
+//!   pools run sequentially, actions of a pool run in parallel with their
+//!   pipeline offsets, and the busy VMs that share a node with an operation
+//!   are slowed down for its duration;
+//! * [`monitor`] — the Ganglia-like monitoring service: periodic snapshots
+//!   of the per-VM CPU and memory demands, with a configurable refresh
+//!   period (10 s in the paper).
+
+pub mod cluster;
+pub mod driver;
+pub mod durations;
+pub mod executor;
+pub mod monitor;
+
+pub use cluster::{ClusterEvent, SimulatedCluster, UtilizationSample};
+pub use driver::{DriverError, FailureInjector, HypervisorDriver, SimulatedXenDriver};
+pub use durations::{DurationModel, InterferenceModel, TransferMethod};
+pub use executor::{ActionRecord, ExecutionReport, PlanExecutor, PoolRecord};
+pub use monitor::{DemandSnapshot, MonitoringService};

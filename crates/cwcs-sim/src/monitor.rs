@@ -1,0 +1,179 @@
+//! The monitoring service: periodic snapshots of per-VM demands.
+//!
+//! Entropy "observes the CPU and memory consumptions of the running VMs by
+//! requesting an existent monitoring service" (Ganglia in the prototype) and
+//! "accumulates new informations about resource usage, which takes about 10
+//! seconds" before iterating again.  The simulated service reproduces that
+//! behaviour: it refreshes its snapshot at most every `refresh_period_secs`
+//! of virtual time, so the decision module works on slightly stale data, just
+//! like the real system.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use cwcs_model::{CpuCapacity, MemoryMib, VmId, VmState};
+
+use crate::cluster::SimulatedCluster;
+
+/// A snapshot of the demands of every VM at a given virtual time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandSnapshot {
+    /// Virtual time at which the snapshot was taken.
+    pub time_secs: f64,
+    /// Per-VM observed CPU demand.
+    pub cpu: BTreeMap<VmId, CpuCapacity>,
+    /// Per-VM observed memory demand.
+    pub memory: BTreeMap<VmId, MemoryMib>,
+    /// Per-VM observed state.
+    pub states: BTreeMap<VmId, VmState>,
+}
+
+impl DemandSnapshot {
+    /// Observed CPU demand of a VM (zero when unknown).
+    pub fn cpu_of(&self, vm: VmId) -> CpuCapacity {
+        self.cpu.get(&vm).copied().unwrap_or(CpuCapacity::ZERO)
+    }
+
+    /// Observed memory demand of a VM (zero when unknown).
+    pub fn memory_of(&self, vm: VmId) -> MemoryMib {
+        self.memory.get(&vm).copied().unwrap_or(MemoryMib::ZERO)
+    }
+}
+
+/// The Ganglia-like monitoring service.
+#[derive(Debug, Clone)]
+pub struct MonitoringService {
+    refresh_period_secs: f64,
+    last: Option<DemandSnapshot>,
+}
+
+impl Default for MonitoringService {
+    fn default() -> Self {
+        MonitoringService::new(10.0)
+    }
+}
+
+impl MonitoringService {
+    /// A service that refreshes its view at most every
+    /// `refresh_period_secs` seconds of virtual time (10 s in the paper).
+    pub fn new(refresh_period_secs: f64) -> Self {
+        MonitoringService {
+            refresh_period_secs,
+            last: None,
+        }
+    }
+
+    /// The refresh period.
+    pub fn refresh_period_secs(&self) -> f64 {
+        self.refresh_period_secs
+    }
+
+    /// Observe the cluster: returns the cached snapshot when it is fresh
+    /// enough, otherwise takes (and caches) a new one.
+    pub fn observe(&mut self, cluster: &SimulatedCluster) -> DemandSnapshot {
+        let now = cluster.clock_secs();
+        let fresh_enough = self
+            .last
+            .as_ref()
+            .map(|s| now - s.time_secs < self.refresh_period_secs)
+            .unwrap_or(false);
+        if fresh_enough {
+            return self.last.clone().expect("checked above");
+        }
+        let snapshot = Self::snapshot(cluster);
+        self.last = Some(snapshot.clone());
+        snapshot
+    }
+
+    /// Take an immediate snapshot, bypassing the cache.
+    pub fn snapshot(cluster: &SimulatedCluster) -> DemandSnapshot {
+        let config = cluster.configuration();
+        let mut cpu = BTreeMap::new();
+        let mut memory = BTreeMap::new();
+        let mut states = BTreeMap::new();
+        for vm in config.vms() {
+            cpu.insert(vm.id, vm.cpu);
+            memory.insert(vm.id, vm.memory);
+            states.insert(vm.id, config.state(vm.id).expect("vm exists"));
+        }
+        DemandSnapshot {
+            time_secs: cluster.clock_secs(),
+            cpu,
+            memory,
+            states,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwcs_model::{Configuration, Node, NodeId, Vjob, VjobId, Vm, VmAssignment};
+    use cwcs_workload::{VjobSpec, VmWorkProfile};
+    use std::collections::BTreeMap as Map;
+
+    fn cluster() -> SimulatedCluster {
+        let mut config = Configuration::new();
+        config
+            .add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4)))
+            .unwrap();
+        config
+            .add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        config
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let mut cluster = SimulatedCluster::new(config);
+        let vm = Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1));
+        let vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
+        cluster.register_vjob(&VjobSpec::new(
+            vjob,
+            vec![vm],
+            vec![VmWorkProfile::single_compute(30.0)],
+        ));
+        cluster.refresh_demands();
+        cluster
+    }
+
+    #[test]
+    fn snapshot_reports_demands_and_states() {
+        let cluster = cluster();
+        let snap = MonitoringService::snapshot(&cluster);
+        assert_eq!(snap.cpu_of(VmId(0)), CpuCapacity::cores(1));
+        assert_eq!(snap.memory_of(VmId(0)), MemoryMib::mib(512));
+        assert_eq!(snap.states[&VmId(0)], VmState::Running);
+        assert_eq!(snap.cpu_of(VmId(9)), CpuCapacity::ZERO);
+    }
+
+    #[test]
+    fn observation_is_cached_within_the_refresh_period() {
+        let mut cluster = cluster();
+        let mut monitor = MonitoringService::new(10.0);
+        let first = monitor.observe(&cluster);
+        assert_eq!(first.cpu_of(VmId(0)), CpuCapacity::cores(1));
+
+        // The VM finishes its work after 30 s; 5 s later the cached snapshot
+        // still reports the old demand...
+        cluster.advance(35.0, &Map::new());
+        // (advance refreshes demands: the VM now idles)
+        assert_eq!(cluster.configuration().vm(VmId(0)).unwrap().cpu, CpuCapacity::ZERO);
+        let cached = {
+            let mut m = MonitoringService::new(1000.0);
+            m.observe(&cluster); // prime at t=35
+            cluster.advance(5.0, &Map::new());
+            m.observe(&cluster)
+        };
+        assert_eq!(cached.time_secs, 35.0, "stale snapshot is served within the period");
+
+        // ...but a service with a 10 s period refreshes at t=35 (>= 10 s later).
+        let refreshed = monitor.observe(&cluster);
+        assert!(refreshed.time_secs >= 35.0);
+        assert_eq!(refreshed.cpu_of(VmId(0)), CpuCapacity::ZERO);
+    }
+
+    #[test]
+    fn default_period_matches_the_paper() {
+        assert_eq!(MonitoringService::default().refresh_period_secs(), 10.0);
+    }
+}

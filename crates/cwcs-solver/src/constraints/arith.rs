@@ -1,0 +1,218 @@
+//! Arithmetic constraints: equality/difference with constants and linear
+//! inequalities with non-negative coefficients.
+
+use crate::propagator::{Inconsistency, PropagationResult, Propagator};
+use crate::store::{DomainStore, VarId};
+
+/// `x == value`
+#[derive(Debug, Clone)]
+pub struct EqualConst {
+    var: VarId,
+    value: u32,
+}
+
+impl EqualConst {
+    /// Constrain `var` to equal `value`.
+    pub fn new(var: VarId, value: u32) -> Self {
+        EqualConst { var, value }
+    }
+}
+
+impl Propagator for EqualConst {
+    fn propagate(&self, store: &mut DomainStore) -> Result<PropagationResult, Inconsistency> {
+        let changed = store.assign(self.var, self.value)?;
+        Ok(if changed {
+            PropagationResult::Changed
+        } else {
+            PropagationResult::Unchanged
+        })
+    }
+
+    fn name(&self) -> &str {
+        "equal-const"
+    }
+}
+
+/// `x != value`
+#[derive(Debug, Clone)]
+pub struct NotEqualConst {
+    var: VarId,
+    value: u32,
+}
+
+impl NotEqualConst {
+    /// Constrain `var` to differ from `value`.
+    pub fn new(var: VarId, value: u32) -> Self {
+        NotEqualConst { var, value }
+    }
+}
+
+impl Propagator for NotEqualConst {
+    fn propagate(&self, store: &mut DomainStore) -> Result<PropagationResult, Inconsistency> {
+        let changed = store.remove(self.var, self.value)?;
+        Ok(if changed {
+            PropagationResult::Changed
+        } else {
+            PropagationResult::Unchanged
+        })
+    }
+
+    fn name(&self) -> &str {
+        "not-equal-const"
+    }
+}
+
+/// `Σ coefficient_i · x_i ≤ bound` with non-negative coefficients.
+///
+/// Propagation is bounds-consistent: for each variable the maximum value
+/// compatible with the minimal contribution of every other variable is
+/// enforced.
+#[derive(Debug, Clone)]
+pub struct LinearLeq {
+    vars: Vec<VarId>,
+    coefficients: Vec<u64>,
+    bound: u64,
+}
+
+impl LinearLeq {
+    /// Build the constraint `Σ coefficients[i] · vars[i] ≤ bound`.
+    ///
+    /// # Panics
+    /// Panics when `vars` and `coefficients` have different lengths.
+    pub fn new(vars: Vec<VarId>, coefficients: Vec<u64>, bound: u64) -> Self {
+        assert_eq!(vars.len(), coefficients.len());
+        LinearLeq {
+            vars,
+            coefficients,
+            bound,
+        }
+    }
+
+    /// `Σ x_i ≤ bound` (unit coefficients).
+    pub fn sum_leq(vars: Vec<VarId>, bound: u64) -> Self {
+        let n = vars.len();
+        LinearLeq::new(vars, vec![1; n], bound)
+    }
+}
+
+impl Propagator for LinearLeq {
+    fn propagate(&self, store: &mut DomainStore) -> Result<PropagationResult, Inconsistency> {
+        // Minimal total contribution.
+        let min_sum: u64 = self
+            .vars
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(&v, &c)| c * store.min(v) as u64)
+            .sum();
+        if min_sum > self.bound {
+            return Err(Inconsistency::failure(format!(
+                "linear sum minimum {min_sum} exceeds bound {}",
+                self.bound
+            )));
+        }
+        let mut changed = false;
+        for (&v, &c) in self.vars.iter().zip(&self.coefficients) {
+            if c == 0 {
+                continue;
+            }
+            let others = min_sum - c * store.min(v) as u64;
+            let slack = self.bound - others;
+            let max_allowed = (slack / c) as u32;
+            if store.max(v) > max_allowed {
+                changed |= store.remove_above(v, max_allowed)?;
+            }
+        }
+        Ok(if changed {
+            PropagationResult::Changed
+        } else {
+            PropagationResult::Unchanged
+        })
+    }
+
+    fn name(&self) -> &str {
+        "linear-leq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::propagate_to_fixpoint;
+    use crate::store::Model;
+
+    fn fixpoint(m: &Model) -> Result<DomainStore, Inconsistency> {
+        let mut s = m.root_store();
+        propagate_to_fixpoint(m.propagators(), &mut s)?;
+        Ok(s)
+    }
+
+    #[test]
+    fn equal_const_fixes_the_variable() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 9);
+        m.post(EqualConst::new(x, 4));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.value(x), 4);
+    }
+
+    #[test]
+    fn equal_const_outside_domain_fails() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 3);
+        m.post(EqualConst::new(x, 7));
+        assert!(fixpoint(&m).is_err());
+    }
+
+    #[test]
+    fn not_equal_const_removes_the_value() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 2);
+        m.post(NotEqualConst::new(x, 1));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.domain(x).values(), vec![0, 2]);
+    }
+
+    #[test]
+    fn linear_leq_prunes_upper_bounds() {
+        // 2x + 3y <= 10 with x,y in [0,5]:
+        // x <= 5, y <= 3 after propagation (with the other at its minimum 0).
+        let mut m = Model::new();
+        let x = m.new_var(0, 5);
+        let y = m.new_var(0, 5);
+        m.post(LinearLeq::new(vec![x, y], vec![2, 3], 10));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.max(x), 5);
+        assert_eq!(s.max(y), 3);
+    }
+
+    #[test]
+    fn linear_leq_uses_other_minimums() {
+        // x + y <= 5, x >= 4 -> y <= 1
+        let mut m = Model::new();
+        let x = m.new_var(4, 5);
+        let y = m.new_var(0, 5);
+        m.post(LinearLeq::sum_leq(vec![x, y], 5));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.max(y), 1);
+    }
+
+    #[test]
+    fn linear_leq_detects_infeasibility() {
+        let mut m = Model::new();
+        let x = m.new_var(3, 5);
+        let y = m.new_var(3, 5);
+        m.post(LinearLeq::sum_leq(vec![x, y], 5));
+        assert!(fixpoint(&m).is_err());
+    }
+
+    #[test]
+    fn zero_coefficient_variables_are_ignored() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 9);
+        let y = m.new_var(0, 9);
+        m.post(LinearLeq::new(vec![x, y], vec![0, 1], 4));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.max(x), 9);
+        assert_eq!(s.max(y), 4);
+    }
+}

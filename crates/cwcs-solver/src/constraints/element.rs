@@ -1,0 +1,133 @@
+//! The element constraint `z = table[x]`.
+//!
+//! Used to channel an assignment variable (a node index) to a derived
+//! quantity taken from a constant table (for instance the cost of resuming a
+//! VM on each candidate node).
+
+use std::collections::BTreeSet;
+
+use crate::propagator::{Inconsistency, PropagationResult, Propagator};
+use crate::store::{DomainStore, VarId};
+
+/// `result = table[index]` where `table` is a constant array.
+#[derive(Debug, Clone)]
+pub struct Element {
+    index: VarId,
+    result: VarId,
+    table: Vec<u32>,
+}
+
+impl Element {
+    /// Build the constraint `result = table[index]`.
+    pub fn new(index: VarId, result: VarId, table: Vec<u32>) -> Self {
+        Element {
+            index,
+            result,
+            table,
+        }
+    }
+}
+
+impl Propagator for Element {
+    fn propagate(&self, store: &mut DomainStore) -> Result<PropagationResult, Inconsistency> {
+        let mut changed = false;
+
+        // Indices outside the table are impossible.
+        let max_index = self.table.len() as u32 - 1;
+        if store.max(self.index) > max_index {
+            changed |= store.remove_above(self.index, max_index)?;
+        }
+
+        // result must be one of table[i] for i in dom(index).
+        let supported: BTreeSet<u32> = store
+            .domain(self.index)
+            .iter()
+            .map(|i| self.table[i as usize])
+            .collect();
+        for value in store.domain(self.result).values() {
+            if !supported.contains(&value) {
+                changed |= store.remove(self.result, value)?;
+            }
+        }
+
+        // index i is only possible when table[i] is still in dom(result).
+        for i in store.domain(self.index).values() {
+            if !store.contains(self.result, self.table[i as usize]) {
+                changed |= store.remove(self.index, i)?;
+            }
+        }
+
+        Ok(if changed {
+            PropagationResult::Changed
+        } else {
+            PropagationResult::Unchanged
+        })
+    }
+
+    fn name(&self) -> &str {
+        "element"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::propagate_to_fixpoint;
+    use crate::store::Model;
+
+    fn fixpoint(m: &Model) -> Result<DomainStore, Inconsistency> {
+        let mut s = m.root_store();
+        propagate_to_fixpoint(m.propagators(), &mut s)?;
+        Ok(s)
+    }
+
+    #[test]
+    fn result_follows_index() {
+        let mut m = Model::new();
+        let i = m.new_var(1, 1);
+        let r = m.new_var(0, 100);
+        m.post(Element::new(i, r, vec![10, 20, 30]));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.value(r), 20);
+    }
+
+    #[test]
+    fn index_follows_result() {
+        let mut m = Model::new();
+        let i = m.new_var(0, 2);
+        let r = m.new_var(30, 30);
+        m.post(Element::new(i, r, vec![10, 20, 30]));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.value(i), 2);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_removed() {
+        let mut m = Model::new();
+        let i = m.new_var(0, 9);
+        let r = m.new_var(0, 100);
+        m.post(Element::new(i, r, vec![5, 6]));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.max(i), 1);
+        assert_eq!(s.domain(r).values(), vec![5, 6]);
+    }
+
+    #[test]
+    fn impossible_result_fails() {
+        let mut m = Model::new();
+        let i = m.new_var(0, 1);
+        let r = m.new_var(99, 99);
+        m.post(Element::new(i, r, vec![1, 2]));
+        assert!(fixpoint(&m).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_entries_keep_both_indices() {
+        let mut m = Model::new();
+        let i = m.new_var(0, 2);
+        let r = m.new_var(7, 7);
+        m.post(Element::new(i, r, vec![7, 3, 7]));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.domain(i).values(), vec![0, 2]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Knapsack consistency by dynamic programming (Trick, 2001).
+//!
+//! The constraint is `lo ≤ Σ weight_i · x_i ≤ hi` over 0/1 variables.  The
+//! propagator builds the layered reachability graph of partial sums
+//! (one layer per variable) forward and backward, and removes from a
+//! variable's domain every value that does not lie on a path from sum 0 to a
+//! sum inside `[lo, hi]`.  This is exactly the propagation Entropy relies on
+//! for its per-node knapsack constraints ("solving a Multiple Knapsack
+//! problem using a dynamic programming approach").
+
+use crate::propagator::{Inconsistency, PropagationResult, Propagator};
+use crate::store::{DomainStore, VarId};
+
+/// `lo ≤ Σ weights[i] · vars[i] ≤ hi` with `vars[i] ∈ {0, 1}`.
+#[derive(Debug, Clone)]
+pub struct Knapsack {
+    vars: Vec<VarId>,
+    weights: Vec<u64>,
+    lo: u64,
+    hi: u64,
+}
+
+impl Knapsack {
+    /// Build the constraint.  Variables are expected to be 0/1; larger values
+    /// in their domains are removed at propagation time.
+    ///
+    /// # Panics
+    /// Panics when `vars` and `weights` have different lengths or `lo > hi`.
+    pub fn new(vars: Vec<VarId>, weights: Vec<u64>, lo: u64, hi: u64) -> Self {
+        assert_eq!(vars.len(), weights.len());
+        assert!(lo <= hi, "empty knapsack interval");
+        Knapsack {
+            vars,
+            weights,
+            lo,
+            hi,
+        }
+    }
+
+    /// Capacity-only form: `Σ weights[i] · vars[i] ≤ capacity`.
+    pub fn at_most(vars: Vec<VarId>, weights: Vec<u64>, capacity: u64) -> Self {
+        Knapsack::new(vars, weights, 0, capacity)
+    }
+}
+
+impl Propagator for Knapsack {
+    fn propagate(&self, store: &mut DomainStore) -> Result<PropagationResult, Inconsistency> {
+        let n = self.vars.len();
+        let mut changed = false;
+
+        // Restrict the variables to {0, 1} first.
+        for &v in &self.vars {
+            if store.max(v) > 1 {
+                changed |= store.remove_above(v, 1)?;
+            }
+        }
+
+        let cap = self.hi as usize;
+
+        // forward[j] = set of sums reachable using variables 0..j (bitvec over 0..=hi).
+        let mut forward: Vec<Vec<bool>> = Vec::with_capacity(n + 1);
+        let mut layer = vec![false; cap + 1];
+        layer[0] = true;
+        forward.push(layer.clone());
+        for j in 0..n {
+            let mut next = vec![false; cap + 1];
+            let w = self.weights[j] as usize;
+            let can_zero = store.contains(self.vars[j], 0);
+            let can_one = store.contains(self.vars[j], 1);
+            for s in 0..=cap {
+                if !forward[j][s] {
+                    continue;
+                }
+                if can_zero {
+                    next[s] = true;
+                }
+                if can_one && s + w <= cap {
+                    next[s + w] = true;
+                }
+            }
+            forward.push(next);
+        }
+
+        // The final layer must intersect [lo, hi].
+        if !(self.lo as usize..=cap).any(|s| forward[n][s]) {
+            return Err(Inconsistency::failure("knapsack: no reachable sum in range"));
+        }
+
+        // backward[j] = set of sums s such that starting at sum s before
+        // variable j, a final sum in [lo, hi] is reachable.
+        let mut backward: Vec<Vec<bool>> = vec![vec![false; cap + 1]; n + 1];
+        for s in self.lo as usize..=cap {
+            backward[n][s] = true;
+        }
+        for j in (0..n).rev() {
+            let w = self.weights[j] as usize;
+            let can_zero = store.contains(self.vars[j], 0);
+            let can_one = store.contains(self.vars[j], 1);
+            for s in 0..=cap {
+                let mut ok = false;
+                if can_zero && backward[j + 1][s] {
+                    ok = true;
+                }
+                if !ok && can_one && s + w <= cap && backward[j + 1][s + w] {
+                    ok = true;
+                }
+                backward[j][s] = ok;
+            }
+        }
+
+        // A value v of variable j is supported iff there is a sum s reachable
+        // before j (forward[j][s]) such that after taking v the remainder can
+        // still complete (backward[j+1][s + w*v]).
+        for j in 0..n {
+            let w = self.weights[j] as usize;
+            for v in [0u32, 1u32] {
+                if !store.contains(self.vars[j], v) {
+                    continue;
+                }
+                let supported = (0..=cap).any(|s| {
+                    if !forward[j][s] {
+                        return false;
+                    }
+                    let after = s + w * v as usize;
+                    after <= cap && backward[j + 1][after]
+                });
+                if !supported {
+                    changed |= store.remove(self.vars[j], v)?;
+                }
+            }
+        }
+
+        Ok(if changed {
+            PropagationResult::Changed
+        } else {
+            PropagationResult::Unchanged
+        })
+    }
+
+    fn name(&self) -> &str {
+        "knapsack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::propagate_to_fixpoint;
+    use crate::store::Model;
+
+    fn fixpoint(m: &Model) -> Result<DomainStore, Inconsistency> {
+        let mut s = m.root_store();
+        propagate_to_fixpoint(m.propagators(), &mut s)?;
+        Ok(s)
+    }
+
+    #[test]
+    fn capacity_forces_exclusion() {
+        // Two items of weight 3 and 4, capacity 5: they cannot both be taken,
+        // but either alone (or none) fits, so no single value is prunable.
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let b = m.new_var(0, 1);
+        m.post(Knapsack::at_most(vec![a, b], vec![3, 4], 5));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.domain(a).size(), 2);
+        assert_eq!(s.domain(b).size(), 2);
+
+        // Fix a = 1: b must be 0.
+        let mut m = Model::new();
+        let a = m.new_var(1, 1);
+        let b = m.new_var(0, 1);
+        m.post(Knapsack::at_most(vec![a, b], vec![3, 4], 5));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.value(b), 0);
+    }
+
+    #[test]
+    fn lower_bound_forces_inclusion() {
+        // Weights 3 and 4, the sum must be at least 6: both must be taken.
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let b = m.new_var(0, 1);
+        m.post(Knapsack::new(vec![a, b], vec![3, 4], 6, 10));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.value(a), 1);
+        assert_eq!(s.value(b), 1);
+    }
+
+    #[test]
+    fn infeasible_interval_fails() {
+        // Weights 2 and 2, sum must be in [5, 5]: impossible.
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let b = m.new_var(0, 1);
+        m.post(Knapsack::new(vec![a, b], vec![2, 2], 5, 5));
+        assert!(fixpoint(&m).is_err());
+    }
+
+    #[test]
+    fn exact_sum_selects_the_unique_subset() {
+        // Weights 1, 2, 4: sum must equal 5 -> items 0 and 2, not 1.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..3).map(|_| m.new_var(0, 1)).collect();
+        m.post(Knapsack::new(vars.clone(), vec![1, 2, 4], 5, 5));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.value(vars[0]), 1);
+        assert_eq!(s.value(vars[1]), 0);
+        assert_eq!(s.value(vars[2]), 1);
+    }
+
+    #[test]
+    fn non_boolean_domains_are_clamped() {
+        let mut m = Model::new();
+        let a = m.new_var(0, 5);
+        m.post(Knapsack::at_most(vec![a], vec![1], 1));
+        let s = fixpoint(&m).unwrap();
+        assert_eq!(s.max(a), 1);
+    }
+
+    #[test]
+    fn zero_weight_items_are_free() {
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let b = m.new_var(0, 1);
+        m.post(Knapsack::new(vec![a, b], vec![0, 5], 5, 5));
+        let s = fixpoint(&m).unwrap();
+        // b must be taken to reach 5; a is unconstrained.
+        assert_eq!(s.value(b), 1);
+        assert_eq!(s.domain(a).size(), 2);
+    }
+}

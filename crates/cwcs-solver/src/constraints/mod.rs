@@ -1,0 +1,22 @@
+//! The constraints used by the placement models of `cwcs-core`.
+//!
+//! * [`arith`] — equality/difference with constants, linear inequalities;
+//! * [`all_different`] — pairwise difference (used by tests and auxiliary
+//!   models);
+//! * [`element`] — `z = table[x]` indexing;
+//! * [`knapsack`] — the dynamic-programming knapsack consistency of Trick
+//!   (2001), the propagation Entropy uses for per-node resource constraints;
+//! * [`bin_packing`] — the bin-packing constraint of Shaw (2004) over
+//!   assignment variables, the multi-knapsack formulation of the paper.
+
+pub mod all_different;
+pub mod arith;
+pub mod bin_packing;
+pub mod element;
+pub mod knapsack;
+
+pub use all_different::AllDifferent;
+pub use arith::{EqualConst, LinearLeq, NotEqualConst};
+pub use bin_packing::BinPacking;
+pub use element::Element;
+pub use knapsack::Knapsack;

@@ -1,0 +1,622 @@
+//! Depth-first search, branch & bound and the anytime behaviour of Entropy.
+//!
+//! The optimizer of the paper "keeps computing configurations with a reduced
+//! cost until it proves that the cost of the plan is minimum or hits the
+//! timeout".  [`Search::minimize`] reproduces exactly that contract: it
+//! returns the best solution found within the deadline together with
+//! statistics saying whether optimality was proven.
+//!
+//! Variable ordering defaults to **first-fail** (smallest domain first), the
+//! heuristic the paper cites (Haralick & Elliott, 1980); value ordering
+//! defaults to smallest-value-first but can be overridden, which the
+//! placement model uses to try a VM's current node first so that solutions
+//! with few migrations are found early.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::propagator::{propagate_to_fixpoint, Propagator};
+use crate::store::{DomainStore, Model, VarId};
+
+/// A complete assignment: one value per variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    values: Vec<u32>,
+}
+
+impl Solution {
+    fn from_store(store: &DomainStore) -> Self {
+        Solution {
+            values: (0..store.var_count())
+                .map(|i| store.value(VarId(i)))
+                .collect(),
+        }
+    }
+
+    /// Value assigned to a variable.
+    pub fn value(&self, var: VarId) -> u32 {
+        self.values[var.0]
+    }
+
+    /// All values in variable order.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+}
+
+impl std::ops::Index<VarId> for Solution {
+    type Output = u32;
+    fn index(&self, var: VarId) -> &u32 {
+        &self.values[var.0]
+    }
+}
+
+/// How the next branching variable is chosen.
+#[derive(Clone)]
+pub enum VariableSelection {
+    /// Smallest remaining domain first (first-fail).  Ties are broken by a
+    /// static weight (largest weight first) and then by variable index, so
+    /// that "VMs with important CPU and memory requirements are treated
+    /// earlier than VMs with lesser requirements" as in the paper.
+    FirstFail {
+        /// Optional static weight per variable (larger = branch earlier).
+        weights: Option<Vec<u64>>,
+    },
+    /// Declaration order.
+    InputOrder,
+}
+
+impl Default for VariableSelection {
+    fn default() -> Self {
+        VariableSelection::FirstFail { weights: None }
+    }
+}
+
+/// How the candidate values of the branching variable are ordered.
+#[derive(Clone)]
+pub enum ValueSelection {
+    /// Smallest value first.
+    MinValue,
+    /// A preferred value per variable is tried first (when still in the
+    /// domain), then the rest in increasing order.  The placement model uses
+    /// the current host of each VM as the preferred value.
+    Preferred(Vec<Option<u32>>),
+}
+
+impl Default for ValueSelection {
+    fn default() -> Self {
+        ValueSelection::MinValue
+    }
+}
+
+/// Objective for branch & bound minimisation.
+pub trait Objective {
+    /// Exact cost of a complete assignment.
+    fn evaluate(&self, store: &DomainStore) -> i64;
+
+    /// A lower bound of the cost of any completion of a partial assignment.
+    /// Must never exceed [`Objective::evaluate`] on any completion; returning
+    /// `i64::MIN` disables pruning at that node.
+    fn lower_bound(&self, store: &DomainStore) -> i64 {
+        let _ = store;
+        i64::MIN
+    }
+}
+
+/// Search configuration: heuristics and limits.
+#[derive(Clone, Default)]
+pub struct SearchConfig {
+    /// Variable-ordering heuristic.
+    pub variable_selection: VariableSelection,
+    /// Value-ordering heuristic.
+    pub value_selection: ValueSelection,
+    /// Wall-clock limit; `None` means unlimited.
+    pub timeout: Option<Duration>,
+    /// Maximum number of explored search nodes; `None` means unlimited.
+    pub node_limit: Option<u64>,
+}
+
+impl SearchConfig {
+    /// Configuration with a timeout (the 40 s limit of the Figure 10
+    /// experiment for instance).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        SearchConfig {
+            timeout: Some(timeout),
+            ..Default::default()
+        }
+    }
+}
+
+/// Statistics of one search run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of explored search nodes (decisions).
+    pub nodes: u64,
+    /// Number of failures (inconsistencies).
+    pub failures: u64,
+    /// Number of (improving) solutions found.
+    pub solutions: u64,
+    /// True when the search space was exhausted within the limits, i.e. the
+    /// last solution is proven optimal (for `minimize`) or the absence of
+    /// further solutions is proven.
+    pub completed: bool,
+    /// Wall-clock time spent searching, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// Result of a minimisation: best solution, its cost, and statistics.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// Best solution found, if any.
+    pub best: Option<Solution>,
+    /// Cost of the best solution.
+    pub best_cost: Option<i64>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// A depth-first constraint search over a [`Model`].
+pub struct Search<'m> {
+    model: &'m Model,
+    config: SearchConfig,
+}
+
+struct SearchState<'a> {
+    propagators: &'a [Arc<dyn Propagator>],
+    config: &'a SearchConfig,
+    deadline: Option<Instant>,
+    stats: SearchStats,
+    stopped: bool,
+}
+
+enum Outcome {
+    /// Keep exploring siblings.
+    Continue,
+    /// Stop the whole search (limit reached or first solution found in
+    /// satisfaction mode).
+    Stop,
+}
+
+impl<'m> Search<'m> {
+    /// Build a search over `model` with the given configuration.
+    pub fn new(model: &'m Model, config: SearchConfig) -> Self {
+        Search { model, config }
+    }
+
+    /// Find the first solution, if any.
+    pub fn solve(&self) -> Option<Solution> {
+        self.solve_with_stats().0
+    }
+
+    /// Find the first solution and report statistics.
+    pub fn solve_with_stats(&self) -> (Option<Solution>, SearchStats) {
+        let start = Instant::now();
+        let mut state = SearchState {
+            propagators: self.model.propagators(),
+            config: &self.config,
+            deadline: self.config.timeout.map(|t| start + t),
+            stats: SearchStats::default(),
+            stopped: false,
+        };
+        let mut first: Option<Solution> = None;
+        let store = self.model.root_store();
+        Self::dfs(&mut state, store, &mut |store, _state| {
+            first = Some(Solution::from_store(store));
+            Outcome::Stop
+        });
+        state.stats.completed = !state.stopped || first.is_some();
+        state.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        (first, state.stats)
+    }
+
+    /// Enumerate up to `limit` solutions (useful in tests).
+    pub fn solve_all(&self, limit: usize) -> Vec<Solution> {
+        let start = Instant::now();
+        let mut state = SearchState {
+            propagators: self.model.propagators(),
+            config: &self.config,
+            deadline: self.config.timeout.map(|t| start + t),
+            stats: SearchStats::default(),
+            stopped: false,
+        };
+        let mut solutions = Vec::new();
+        let store = self.model.root_store();
+        Self::dfs(&mut state, store, &mut |store, _state| {
+            solutions.push(Solution::from_store(store));
+            if solutions.len() >= limit {
+                Outcome::Stop
+            } else {
+                Outcome::Continue
+            }
+        });
+        solutions
+    }
+
+    /// Branch & bound minimisation of `objective`: explore the search tree,
+    /// keep the best solution found, prune subtrees whose lower bound cannot
+    /// improve it, and stop at the deadline.  The result is *anytime*: even
+    /// when the deadline fires the best solution found so far is returned.
+    pub fn minimize<O: Objective>(&self, objective: &O) -> MinimizeOutcome {
+        let start = Instant::now();
+        let mut state = SearchState {
+            propagators: self.model.propagators(),
+            config: &self.config,
+            deadline: self.config.timeout.map(|t| start + t),
+            stats: SearchStats::default(),
+            stopped: false,
+        };
+        let mut best: Option<Solution> = None;
+        let mut best_cost: Option<i64> = None;
+        let store = self.model.root_store();
+        Self::dfs_bnb(&mut state, store, objective, &mut best, &mut best_cost);
+        state.stats.completed = !state.stopped;
+        state.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        MinimizeOutcome {
+            best,
+            best_cost,
+            stats: state.stats,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DFS engines
+    // ------------------------------------------------------------------
+
+    fn limits_reached(state: &mut SearchState) -> bool {
+        if state.stopped {
+            return true;
+        }
+        if let Some(deadline) = state.deadline {
+            if Instant::now() >= deadline {
+                state.stopped = true;
+                return true;
+            }
+        }
+        if let Some(limit) = state.config.node_limit {
+            if state.stats.nodes >= limit {
+                state.stopped = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn dfs(
+        state: &mut SearchState,
+        mut store: DomainStore,
+        on_solution: &mut dyn FnMut(&DomainStore, &mut SearchState) -> Outcome,
+    ) -> Outcome {
+        if Self::limits_reached(state) {
+            return Outcome::Stop;
+        }
+        state.stats.nodes += 1;
+        if let Err(_e) = propagate_to_fixpoint(state.propagators, &mut store) {
+            state.stats.failures += 1;
+            return Outcome::Continue;
+        }
+        if store.all_fixed() {
+            state.stats.solutions += 1;
+            return on_solution(&store, state);
+        }
+        let var = Self::select_variable(&state.config.variable_selection, &store);
+        let values = Self::order_values(&state.config.value_selection, var, &store);
+        for value in values {
+            let mut child = store.clone();
+            if child.assign(var, value).is_err() {
+                state.stats.failures += 1;
+                continue;
+            }
+            match Self::dfs(state, child, on_solution) {
+                Outcome::Continue => {}
+                Outcome::Stop => return Outcome::Stop,
+            }
+        }
+        Outcome::Continue
+    }
+
+    fn dfs_bnb<O: Objective>(
+        state: &mut SearchState,
+        mut store: DomainStore,
+        objective: &O,
+        best: &mut Option<Solution>,
+        best_cost: &mut Option<i64>,
+    ) -> Outcome {
+        if Self::limits_reached(state) {
+            return Outcome::Stop;
+        }
+        state.stats.nodes += 1;
+        if let Err(_e) = propagate_to_fixpoint(state.propagators, &mut store) {
+            state.stats.failures += 1;
+            return Outcome::Continue;
+        }
+        // Bound: prune when the partial assignment cannot beat the incumbent.
+        if let Some(current_best) = *best_cost {
+            if objective.lower_bound(&store) >= current_best {
+                state.stats.failures += 1;
+                return Outcome::Continue;
+            }
+        }
+        if store.all_fixed() {
+            let cost = objective.evaluate(&store);
+            let improves = best_cost.map(|b| cost < b).unwrap_or(true);
+            if improves {
+                *best = Some(Solution::from_store(&store));
+                *best_cost = Some(cost);
+                state.stats.solutions += 1;
+            }
+            return Outcome::Continue;
+        }
+        let var = Self::select_variable(&state.config.variable_selection, &store);
+        let values = Self::order_values(&state.config.value_selection, var, &store);
+        for value in values {
+            let mut child = store.clone();
+            if child.assign(var, value).is_err() {
+                state.stats.failures += 1;
+                continue;
+            }
+            match Self::dfs_bnb(state, child, objective, best, best_cost) {
+                Outcome::Continue => {}
+                Outcome::Stop => return Outcome::Stop,
+            }
+        }
+        Outcome::Continue
+    }
+
+    fn select_variable(selection: &VariableSelection, store: &DomainStore) -> VarId {
+        let unfixed = store.unfixed_vars();
+        debug_assert!(!unfixed.is_empty());
+        match selection {
+            VariableSelection::InputOrder => unfixed[0],
+            VariableSelection::FirstFail { weights } => {
+                let weight = |v: VarId| -> u64 {
+                    weights
+                        .as_ref()
+                        .and_then(|w| w.get(v.0).copied())
+                        .unwrap_or(0)
+                };
+                *unfixed
+                    .iter()
+                    .min_by_key(|&&v| (store.domain(v).size(), std::cmp::Reverse(weight(v)), v.0))
+                    .expect("at least one unfixed variable")
+            }
+        }
+    }
+
+    fn order_values(selection: &ValueSelection, var: VarId, store: &DomainStore) -> Vec<u32> {
+        let mut values = store.domain(var).values();
+        match selection {
+            ValueSelection::MinValue => values,
+            ValueSelection::Preferred(preferred) => {
+                if let Some(Some(p)) = preferred.get(var.0) {
+                    if let Some(pos) = values.iter().position(|v| v == p) {
+                        values.remove(pos);
+                        values.insert(0, *p);
+                    }
+                }
+                values
+            }
+        }
+    }
+}
+
+/// Convenience objective backed by closures.
+pub struct ClosureObjective<E, L>
+where
+    E: Fn(&DomainStore) -> i64,
+    L: Fn(&DomainStore) -> i64,
+{
+    evaluate: E,
+    lower_bound: L,
+}
+
+impl<E, L> ClosureObjective<E, L>
+where
+    E: Fn(&DomainStore) -> i64,
+    L: Fn(&DomainStore) -> i64,
+{
+    /// Build an objective from an evaluation closure and a lower-bound
+    /// closure.
+    pub fn new(evaluate: E, lower_bound: L) -> Self {
+        ClosureObjective {
+            evaluate,
+            lower_bound,
+        }
+    }
+}
+
+impl<E, L> Objective for ClosureObjective<E, L>
+where
+    E: Fn(&DomainStore) -> i64,
+    L: Fn(&DomainStore) -> i64,
+{
+    fn evaluate(&self, store: &DomainStore) -> i64 {
+        (self.evaluate)(store)
+    }
+
+    fn lower_bound(&self, store: &DomainStore) -> i64 {
+        (self.lower_bound)(store)
+    }
+}
+
+/// Convenience: raised when a model that must have a solution has none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoSolution;
+
+impl std::fmt::Display for NoSolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the constraint model has no solution")
+    }
+}
+
+impl std::error::Error for NoSolution {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{AllDifferent, BinPacking, LinearLeq};
+    use crate::store::Model;
+
+    #[test]
+    fn solve_finds_a_feasible_assignment() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..4).map(|_| m.new_var(0, 3)).collect();
+        m.post(AllDifferent::new(vars.clone()));
+        let s = Search::new(&m, SearchConfig::default()).solve().unwrap();
+        let mut values: Vec<u32> = vars.iter().map(|&v| s[v]).collect();
+        values.sort();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unsatisfiable_model_returns_none() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..3).map(|_| m.new_var(0, 1)).collect();
+        m.post(AllDifferent::new(vars));
+        assert!(Search::new(&m, SearchConfig::default()).solve().is_none());
+    }
+
+    #[test]
+    fn solve_all_enumerates_every_solution() {
+        // Two variables in [0,1] with no constraint: 4 solutions.
+        let mut m = Model::new();
+        m.new_var(0, 1);
+        m.new_var(0, 1);
+        let all = Search::new(&m, SearchConfig::default()).solve_all(100);
+        assert_eq!(all.len(), 4);
+        // Limit is respected.
+        let some = Search::new(&m, SearchConfig::default()).solve_all(2);
+        assert_eq!(some.len(), 2);
+    }
+
+    #[test]
+    fn minimize_finds_the_optimum_and_proves_it() {
+        // Minimise x + y subject to x + y >= 3 encoded as 3 - x - y <= 0
+        // via LinearLeq on complemented variables is awkward; instead use
+        // bin-packing to force a spread and minimise a weighted sum.
+        let mut m = Model::new();
+        let x = m.new_var(0, 5);
+        let y = m.new_var(0, 5);
+        // x + y <= 8 (loose).
+        m.post(LinearLeq::sum_leq(vec![x, y], 8));
+        // Objective: minimise 2x + y.
+        let objective = ClosureObjective::new(
+            move |store: &DomainStore| 2 * store.value(x) as i64 + store.value(y) as i64,
+            move |store: &DomainStore| 2 * store.min(x) as i64 + store.min(y) as i64,
+        );
+        let outcome = Search::new(&m, SearchConfig::default()).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(0));
+        assert!(outcome.stats.completed);
+        let best = outcome.best.unwrap();
+        assert_eq!(best[x], 0);
+        assert_eq!(best[y], 0);
+    }
+
+    #[test]
+    fn minimize_respects_preferred_values() {
+        // Without constraints, the preferred value should be found first and
+        // never improved upon if it is already optimal for the objective.
+        let mut m = Model::new();
+        let x = m.new_var(0, 9);
+        let objective = ClosureObjective::new(
+            move |store: &DomainStore| {
+                // Cost 0 when x keeps its "current placement" 7, 1 otherwise.
+                if store.value(x) == 7 {
+                    0
+                } else {
+                    1
+                }
+            },
+            |_| 0,
+        );
+        let config = SearchConfig {
+            value_selection: ValueSelection::Preferred(vec![Some(7)]),
+            ..Default::default()
+        };
+        let outcome = Search::new(&m, config).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(0));
+        assert_eq!(outcome.best.unwrap()[x], 7);
+        // The very first solution explored was already the optimum.
+        assert_eq!(outcome.stats.solutions, 1);
+    }
+
+    #[test]
+    fn first_fail_branches_on_smallest_domain() {
+        let mut m = Model::new();
+        let _wide = m.new_var(0, 9);
+        let narrow = m.new_var(0, 1);
+        let store = m.root_store();
+        let chosen = Search::select_variable(&VariableSelection::default(), &store);
+        assert_eq!(chosen, narrow);
+    }
+
+    #[test]
+    fn first_fail_ties_break_by_weight() {
+        let mut m = Model::new();
+        let light = m.new_var(0, 1);
+        let heavy = m.new_var(0, 1);
+        let store = m.root_store();
+        let selection = VariableSelection::FirstFail {
+            weights: Some(vec![1, 10]),
+        };
+        let chosen = Search::select_variable(&selection, &store);
+        assert_eq!(chosen, heavy);
+        let _ = light;
+    }
+
+    #[test]
+    fn node_limit_stops_the_search() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..8).map(|_| m.new_var(0, 7)).collect();
+        m.post(AllDifferent::new(vars));
+        let config = SearchConfig {
+            node_limit: Some(3),
+            ..Default::default()
+        };
+        let (sol, stats) = Search::new(&m, config).solve_with_stats();
+        assert!(sol.is_none());
+        assert!(stats.nodes <= 4);
+    }
+
+    #[test]
+    fn timeout_is_anytime_for_minimize() {
+        // A big enough problem that optimality is not proven instantly, with
+        // a tiny timeout: we must still get *a* solution back (or none, but
+        // the run must terminate quickly) and completed == false if stopped.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..10).map(|_| m.new_var(0, 9)).collect();
+        m.post(BinPacking::new(
+            vars.clone(),
+            vec![1; 10],
+            vec![2; 10],
+        ));
+        let objective = ClosureObjective::new(
+            {
+                let vars = vars.clone();
+                move |store: &DomainStore| vars.iter().map(|&v| store.value(v) as i64).sum()
+            },
+            |_| i64::MIN,
+        );
+        let config = SearchConfig {
+            timeout: Some(Duration::from_millis(50)),
+            ..Default::default()
+        };
+        let outcome = Search::new(&m, config).minimize(&objective);
+        // Either it completed very fast (tiny problem for the machine) or it
+        // was cut; in both cases the call returns promptly and coherently.
+        if !outcome.stats.completed {
+            assert!(outcome.stats.elapsed_ms <= 5_000);
+        }
+        assert!(outcome.best.is_some());
+    }
+
+    #[test]
+    fn bin_packing_placement_end_to_end() {
+        // 4 VMs of CPU demand 1 on 2 nodes of capacity 2: a perfect split.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..4).map(|_| m.new_var(0, 1)).collect();
+        m.post(BinPacking::new(vars.clone(), vec![1; 4], vec![2, 2]));
+        let s = Search::new(&m, SearchConfig::default()).solve().unwrap();
+        let on_zero = vars.iter().filter(|&&v| s[v] == 0).count();
+        assert_eq!(on_zero, 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! The constraint model and the domain store manipulated during search.
+//!
+//! A [`Model`] owns the initial domains and the posted propagators; a
+//! [`DomainStore`] is the mutable copy of the domains that propagation and
+//! search work on.  Search restores state by cloning the store at every
+//! choice point, which is simple, allocation-friendly at our problem sizes,
+//! and trivially correct.
+
+use std::ops::Index;
+use std::sync::Arc;
+
+use crate::domain::IntDomain;
+use crate::propagator::{Inconsistency, Propagator};
+
+/// Index of a decision variable inside a [`Model`] / [`DomainStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+/// A constraint model: variables (initial domains) and propagators.
+#[derive(Clone, Default)]
+pub struct Model {
+    domains: Vec<IntDomain>,
+    names: Vec<String>,
+    propagators: Vec<Arc<dyn Propagator>>,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Create a variable whose domain is `[lo, hi]` (inclusive).
+    pub fn new_var(&mut self, lo: u32, hi: u32) -> VarId {
+        let id = VarId(self.domains.len());
+        self.domains.push(IntDomain::range(lo, hi));
+        self.names.push(format!("x{}", id.0));
+        id
+    }
+
+    /// Create a variable with an explicit set of candidate values.
+    pub fn new_var_with_values(&mut self, values: &[u32]) -> VarId {
+        let id = VarId(self.domains.len());
+        self.domains.push(IntDomain::from_values(values));
+        self.names.push(format!("x{}", id.0));
+        id
+    }
+
+    /// Create a named variable whose domain is `[lo, hi]`.
+    pub fn new_named_var(&mut self, name: impl Into<String>, lo: u32, hi: u32) -> VarId {
+        let id = self.new_var(lo, hi);
+        self.names[id.0] = name.into();
+        id
+    }
+
+    /// Post a propagator.
+    pub fn post<P: Propagator + 'static>(&mut self, propagator: P) {
+        self.propagators.push(Arc::new(propagator));
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Number of posted propagators.
+    pub fn propagator_count(&self) -> usize {
+        self.propagators.len()
+    }
+
+    /// Name of a variable (for debugging and statistics).
+    pub fn name(&self, var: VarId) -> &str {
+        &self.names[var.0]
+    }
+
+    /// Initial domain of a variable.
+    pub fn initial_domain(&self, var: VarId) -> &IntDomain {
+        &self.domains[var.0]
+    }
+
+    /// The propagators, shared with search.
+    pub(crate) fn propagators(&self) -> &[Arc<dyn Propagator>] {
+        &self.propagators
+    }
+
+    /// Build the root domain store (a copy of the initial domains).
+    pub fn root_store(&self) -> DomainStore {
+        DomainStore {
+            domains: self.domains.clone(),
+        }
+    }
+}
+
+/// The mutable set of domains manipulated by propagation and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainStore {
+    domains: Vec<IntDomain>,
+}
+
+impl DomainStore {
+    /// Domain of a variable.
+    pub fn domain(&self, var: VarId) -> &IntDomain {
+        &self.domains[var.0]
+    }
+
+    /// Number of variables in the store.
+    pub fn var_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when every variable is fixed.
+    pub fn all_fixed(&self) -> bool {
+        self.domains.iter().all(|d| d.is_fixed())
+    }
+
+    /// True when the variable is fixed.
+    pub fn is_fixed(&self, var: VarId) -> bool {
+        self.domains[var.0].is_fixed()
+    }
+
+    /// Value of a fixed variable.
+    ///
+    /// # Panics
+    /// Panics when the variable is not fixed.
+    pub fn value(&self, var: VarId) -> u32 {
+        self.domains[var.0].value()
+    }
+
+    /// Value of the variable if it is fixed, `None` otherwise.
+    pub fn fixed_value(&self, var: VarId) -> Option<u32> {
+        let d = &self.domains[var.0];
+        if d.is_fixed() {
+            Some(d.value())
+        } else {
+            None
+        }
+    }
+
+    /// Smallest candidate value.
+    pub fn min(&self, var: VarId) -> u32 {
+        self.domains[var.0].min()
+    }
+
+    /// Largest candidate value.
+    pub fn max(&self, var: VarId) -> u32 {
+        self.domains[var.0].max()
+    }
+
+    /// True when `value` is still a candidate for `var`.
+    pub fn contains(&self, var: VarId, value: u32) -> bool {
+        self.domains[var.0].contains(value)
+    }
+
+    /// Remove `value` from the domain of `var`.
+    ///
+    /// Returns `Ok(true)` when the domain changed, `Ok(false)` when the value
+    /// was already absent, and `Err(Inconsistency)` when the removal empties
+    /// the domain.
+    pub fn remove(&mut self, var: VarId, value: u32) -> Result<bool, Inconsistency> {
+        let changed = self.domains[var.0].remove(value);
+        if self.domains[var.0].is_empty() {
+            return Err(Inconsistency::wipeout(var));
+        }
+        Ok(changed)
+    }
+
+    /// Fix `var` to `value`.
+    pub fn assign(&mut self, var: VarId, value: u32) -> Result<bool, Inconsistency> {
+        let changed = self.domains[var.0].assign(value);
+        if self.domains[var.0].is_empty() {
+            return Err(Inconsistency::wipeout(var));
+        }
+        Ok(changed)
+    }
+
+    /// Remove every value of `var` strictly below `bound`.
+    pub fn remove_below(&mut self, var: VarId, bound: u32) -> Result<bool, Inconsistency> {
+        let changed = self.domains[var.0].remove_below(bound);
+        if self.domains[var.0].is_empty() {
+            return Err(Inconsistency::wipeout(var));
+        }
+        Ok(changed)
+    }
+
+    /// Remove every value of `var` strictly above `bound`.
+    pub fn remove_above(&mut self, var: VarId, bound: u32) -> Result<bool, Inconsistency> {
+        let changed = self.domains[var.0].remove_above(bound);
+        if self.domains[var.0].is_empty() {
+            return Err(Inconsistency::wipeout(var));
+        }
+        Ok(changed)
+    }
+
+    /// Variables that are not fixed yet, in index order.
+    pub fn unfixed_vars(&self) -> Vec<VarId> {
+        (0..self.domains.len())
+            .map(VarId)
+            .filter(|v| !self.is_fixed(*v))
+            .collect()
+    }
+}
+
+impl Index<VarId> for DomainStore {
+    type Output = IntDomain;
+    fn index(&self, var: VarId) -> &IntDomain {
+        &self.domains[var.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_creates_variables() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 5);
+        let y = m.new_named_var("host", 2, 4);
+        assert_eq!(m.var_count(), 2);
+        assert_eq!(m.name(x), "x0");
+        assert_eq!(m.name(y), "host");
+        assert_eq!(m.initial_domain(y).values(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn store_operations() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 5);
+        let mut s = m.root_store();
+        assert!(!s.all_fixed());
+        assert!(s.remove(x, 3).unwrap());
+        assert!(!s.contains(x, 3));
+        assert!(s.assign(x, 4).unwrap());
+        assert!(s.all_fixed());
+        assert_eq!(s.value(x), 4);
+        assert_eq!(s.fixed_value(x), Some(4));
+    }
+
+    #[test]
+    fn wipeout_is_reported() {
+        let mut m = Model::new();
+        let x = m.new_var(1, 1);
+        let mut s = m.root_store();
+        let err = s.remove(x, 1).unwrap_err();
+        assert_eq!(err.variable(), Some(x));
+    }
+
+    #[test]
+    fn bounds_tightening() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 10);
+        let mut s = m.root_store();
+        s.remove_below(x, 3).unwrap();
+        s.remove_above(x, 7).unwrap();
+        assert_eq!(s.min(x), 3);
+        assert_eq!(s.max(x), 7);
+        assert!(s.remove_below(x, 8).is_err());
+    }
+
+    #[test]
+    fn unfixed_vars_lists_open_variables() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 1);
+        let y = m.new_var(0, 1);
+        let mut s = m.root_store();
+        s.assign(x, 0).unwrap();
+        assert_eq!(s.unfixed_vars(), vec![y]);
+    }
+
+    #[test]
+    fn values_variable() {
+        let mut m = Model::new();
+        let x = m.new_var_with_values(&[2, 4, 8]);
+        let s = m.root_store();
+        assert_eq!(s.domain(x).values(), vec![2, 4, 8]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of the constraint solver: soundness of propagation
+//! (no feasible value is ever pruned), completeness of search on small
+//! instances, and optimality of branch & bound.
+
+use proptest::prelude::*;
+
+use cwcs_solver::constraints::{AllDifferent, BinPacking, Knapsack, LinearLeq};
+use cwcs_solver::search::{ClosureObjective, Search, SearchConfig};
+use cwcs_solver::{DomainStore, Model, VarId};
+
+/// Brute-force enumeration of the assignments of `domains` (small sizes only)
+/// that satisfy `check`.
+fn brute_force<F: Fn(&[u32]) -> bool>(domains: &[Vec<u32>], check: F) -> Vec<Vec<u32>> {
+    let mut solutions = Vec::new();
+    let mut assignment = vec![0u32; domains.len()];
+    fn recurse<F: Fn(&[u32]) -> bool>(
+        domains: &[Vec<u32>],
+        index: usize,
+        assignment: &mut Vec<u32>,
+        check: &F,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        if index == domains.len() {
+            if check(assignment) {
+                out.push(assignment.clone());
+            }
+            return;
+        }
+        for &value in &domains[index] {
+            assignment[index] = value;
+            recurse(domains, index + 1, assignment, check, out);
+        }
+    }
+    recurse(domains, 0, &mut assignment, &check, &mut solutions);
+    solutions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bin packing: the solver finds a solution exactly when brute force does,
+    /// and every solution it returns satisfies the capacities.
+    #[test]
+    fn bin_packing_agrees_with_brute_force(
+        sizes in proptest::collection::vec(1u64..5, 1..5),
+        capacities in proptest::collection::vec(1u64..8, 1..4),
+    ) {
+        let mut model = Model::new();
+        let n_bins = capacities.len() as u32;
+        let vars: Vec<VarId> = (0..sizes.len()).map(|_| model.new_var(0, n_bins - 1)).collect();
+        model.post(BinPacking::new(vars.clone(), sizes.clone(), capacities.clone()));
+        let solution = Search::new(&model, SearchConfig::default()).solve();
+
+        let domains: Vec<Vec<u32>> = (0..sizes.len()).map(|_| (0..n_bins).collect()).collect();
+        let reference = brute_force(&domains, |assignment| {
+            let mut load = vec![0u64; capacities.len()];
+            for (i, &bin) in assignment.iter().enumerate() {
+                load[bin as usize] += sizes[i];
+            }
+            load.iter().zip(&capacities).all(|(l, c)| l <= c)
+        });
+
+        prop_assert_eq!(solution.is_some(), !reference.is_empty());
+        if let Some(solution) = solution {
+            let mut load = vec![0u64; capacities.len()];
+            for (i, &var) in vars.iter().enumerate() {
+                load[solution[var] as usize] += sizes[i];
+            }
+            for (l, c) in load.iter().zip(&capacities) {
+                prop_assert!(l <= c);
+            }
+        }
+    }
+
+    /// Knapsack propagation is sound: it never removes a value that appears
+    /// in some satisfying assignment.
+    #[test]
+    fn knapsack_propagation_is_sound(
+        weights in proptest::collection::vec(1u64..6, 1..6),
+        bound_frac in 0u64..100,
+    ) {
+        let total: u64 = weights.iter().sum();
+        let hi = total * bound_frac / 100;
+        let mut model = Model::new();
+        let vars: Vec<VarId> = (0..weights.len()).map(|_| model.new_var(0, 1)).collect();
+        model.post(Knapsack::at_most(vars.clone(), weights.clone(), hi));
+
+        // Reference: which (var, value) pairs are part of some solution?
+        let domains: Vec<Vec<u32>> = (0..weights.len()).map(|_| vec![0, 1]).collect();
+        let reference = brute_force(&domains, |assignment| {
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| weights[i] * v as u64)
+                .sum::<u64>()
+                <= hi
+        });
+
+        // Run propagation only (via a search limited to the root node is not
+        // exposed; instead solve and check solution validity, then verify no
+        // supported value was pruned by comparing solution existence).
+        let solutions = Search::new(&model, SearchConfig::default()).solve_all(1_000);
+        prop_assert_eq!(solutions.len(), reference.len(), "solution counts must match");
+    }
+
+    /// Linear inequalities: every enumerated solution satisfies the bound and
+    /// the count matches brute force.
+    #[test]
+    fn linear_leq_enumeration_matches_brute_force(
+        coefficients in proptest::collection::vec(0u64..4, 1..4),
+        bound in 0u64..10,
+        domain_max in 1u32..4,
+    ) {
+        let mut model = Model::new();
+        let vars: Vec<VarId> = (0..coefficients.len())
+            .map(|_| model.new_var(0, domain_max))
+            .collect();
+        model.post(LinearLeq::new(vars.clone(), coefficients.clone(), bound));
+        let solutions = Search::new(&model, SearchConfig::default()).solve_all(100_000);
+
+        let domains: Vec<Vec<u32>> = (0..coefficients.len())
+            .map(|_| (0..=domain_max).collect())
+            .collect();
+        let reference = brute_force(&domains, |assignment| {
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| coefficients[i] * v as u64)
+                .sum::<u64>()
+                <= bound
+        });
+        prop_assert_eq!(solutions.len(), reference.len());
+    }
+
+    /// Branch & bound returns the true optimum on small all-different
+    /// weighted-assignment problems.
+    #[test]
+    fn minimize_finds_the_true_optimum(
+        costs in proptest::collection::vec(proptest::collection::vec(0i64..20, 3), 3),
+    ) {
+        // 3 variables over values {0,1,2}, all different, minimise the sum of
+        // per-variable value costs.
+        let mut model = Model::new();
+        let vars: Vec<VarId> = (0..3).map(|_| model.new_var(0, 2)).collect();
+        model.post(AllDifferent::new(vars.clone()));
+        let cost_table = costs.clone();
+        let vars_for_eval = vars.clone();
+        let objective = ClosureObjective::new(
+            move |store: &DomainStore| {
+                vars_for_eval
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| cost_table[i][store.value(v) as usize])
+                    .sum()
+            },
+            |_| i64::MIN,
+        );
+        let outcome = Search::new(&model, SearchConfig::default()).minimize(&objective);
+        let best = outcome.best_cost.expect("a permutation always exists");
+
+        // Brute force over the 6 permutations.
+        let mut reference = i64::MAX;
+        for p in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let cost: i64 = (0..3).map(|i| costs[i][p[i] as usize]).sum();
+            reference = reference.min(cost);
+        }
+        prop_assert_eq!(best, reference);
+        prop_assert!(outcome.stats.completed);
+    }
+}

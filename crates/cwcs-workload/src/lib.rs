@@ -1,0 +1,33 @@
+//! # cwcs-workload — workloads, trace generation and batch-scheduler baselines
+//!
+//! The evaluation of the paper relies on two workload sources:
+//!
+//! * the **NAS Grid Benchmarks** (ED, HC, MB, VP task graphs; classes W, A
+//!   and B), used both as the real applications run on the 11-node cluster
+//!   and as the source of the 81 per-VM traces that feed the generated
+//!   200-node configurations of Figure 10;
+//! * classic **batch-scheduler workloads** (jobs with submission times,
+//!   walltime estimates and processor counts), used to motivate the work
+//!   (Figure 1) and as the static-allocation baseline of Section 5.2
+//!   (Figure 12).
+//!
+//! We do not have the original traces, so [`nasgrid`] synthesises workloads
+//! with the same structure (9 or 18 VMs per vjob, phases of full-CPU
+//! computation separated by communication/idle phases, memory demands of
+//! 256 MiB to 2 GiB) and [`generator`] reproduces the generation procedure of
+//! Section 5.1 (200 nodes with 2 CPUs and 4 GiB each, random initial states,
+//! memory-viable placement, 30 samples per VM count).
+//!
+//! [`batch`] implements the schedulers of Figure 1: FCFS, FCFS + EASY
+//! backfilling, conservative backfilling, and EASY backfilling with
+//! preemption, together with makespan/utilization reporting.
+
+pub mod batch;
+pub mod generator;
+pub mod nasgrid;
+pub mod profile;
+
+pub use batch::{BatchJob, BatchOutcome, BatchScheduler, SchedulerKind};
+pub use generator::{GeneratedConfiguration, GeneratorParams, TraceGenerator};
+pub use nasgrid::{NasGridClass, NasGridKind, NasGridTemplate, VjobTemplate};
+pub use profile::{VjobSpec, VmWorkProfile, WorkPhase};

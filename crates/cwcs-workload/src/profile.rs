@@ -1,0 +1,214 @@
+//! Per-VM work profiles: what a VM does over its lifetime.
+//!
+//! A profile is a sequence of [`WorkPhase`]s.  During a *compute* phase the
+//! VM demands a full processing unit ("an entire processing unit if it is
+//! supposed to execute a computation", Section 5.1); during a communication
+//! or idle phase it demands only a small fraction.  The simulator advances
+//! the profile while the VM is in the Running state; when every phase of
+//! every VM of a vjob has completed, the vjob signals its termination to the
+//! control loop, exactly like the NAS Grid applications of the paper signal
+//! Entropy to stop their vjob.
+
+use serde::{Deserialize, Serialize};
+
+use cwcs_model::{CpuCapacity, MemoryMib, Vjob, Vm, VmId};
+
+/// One phase of work: a CPU demand held for a given amount of (full-speed)
+/// execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkPhase {
+    /// CPU demand during the phase.
+    pub cpu_demand: CpuCapacity,
+    /// Amount of work in the phase, expressed as seconds of execution at
+    /// full speed (a decelerated VM progresses proportionally slower).
+    pub duration_secs: f64,
+}
+
+impl WorkPhase {
+    /// A computation phase: one full processing unit for `duration_secs`.
+    pub fn compute(duration_secs: f64) -> Self {
+        WorkPhase {
+            cpu_demand: CpuCapacity::cores(1),
+            duration_secs,
+        }
+    }
+
+    /// A communication / idle phase: a small CPU demand for `duration_secs`.
+    pub fn idle(duration_secs: f64) -> Self {
+        WorkPhase {
+            cpu_demand: CpuCapacity::percent(10),
+            duration_secs,
+        }
+    }
+}
+
+/// The full work profile of one VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmWorkProfile {
+    phases: Vec<WorkPhase>,
+}
+
+impl VmWorkProfile {
+    /// Build a profile from its phases.
+    pub fn new(phases: Vec<WorkPhase>) -> Self {
+        VmWorkProfile { phases }
+    }
+
+    /// A profile with a single computation phase of the given length.
+    pub fn single_compute(duration_secs: f64) -> Self {
+        VmWorkProfile::new(vec![WorkPhase::compute(duration_secs)])
+    }
+
+    /// The phases of the profile.
+    pub fn phases(&self) -> &[WorkPhase] {
+        &self.phases
+    }
+
+    /// Total work of the profile, in full-speed seconds.
+    pub fn total_work_secs(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_secs).sum()
+    }
+
+    /// CPU demand after `progress_secs` seconds of full-speed execution.
+    /// Once the profile is exhausted the VM idles (zero demand).
+    pub fn demand_at(&self, progress_secs: f64) -> CpuCapacity {
+        let mut elapsed = 0.0;
+        for phase in &self.phases {
+            elapsed += phase.duration_secs;
+            if progress_secs < elapsed {
+                return phase.cpu_demand;
+            }
+        }
+        CpuCapacity::ZERO
+    }
+
+    /// True once `progress_secs` covers the whole profile.
+    pub fn is_complete(&self, progress_secs: f64) -> bool {
+        progress_secs >= self.total_work_secs() - 1e-9
+    }
+}
+
+/// A fully-specified vjob: the job, its VMs and the work profile of each VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VjobSpec {
+    /// The vjob (membership, priority, submission order).
+    pub vjob: Vjob,
+    /// The VMs of the vjob, in the same order as `vjob.vms`.
+    pub vms: Vec<Vm>,
+    /// The work profile of each VM, in the same order.
+    pub profiles: Vec<VmWorkProfile>,
+}
+
+impl VjobSpec {
+    /// Build a spec, checking that VMs and profiles line up with the vjob.
+    ///
+    /// # Panics
+    /// Panics when the three collections disagree on length or ids.
+    pub fn new(vjob: Vjob, vms: Vec<Vm>, profiles: Vec<VmWorkProfile>) -> Self {
+        assert_eq!(vjob.vms.len(), vms.len(), "one Vm per vjob member");
+        assert_eq!(vms.len(), profiles.len(), "one profile per VM");
+        for (expected, vm) in vjob.vms.iter().zip(&vms) {
+            assert_eq!(*expected, vm.id, "VM order must match the vjob");
+        }
+        VjobSpec {
+            vjob,
+            vms,
+            profiles,
+        }
+    }
+
+    /// Profile of a given VM, if it belongs to this vjob.
+    pub fn profile_of(&self, vm: VmId) -> Option<&VmWorkProfile> {
+        self.vjob
+            .vms
+            .iter()
+            .position(|&id| id == vm)
+            .map(|i| &self.profiles[i])
+    }
+
+    /// Total memory demand of the vjob.
+    pub fn total_memory(&self) -> MemoryMib {
+        self.vms.iter().map(|vm| vm.memory).sum()
+    }
+
+    /// The longest per-VM work of the vjob, a lower bound of its running
+    /// time.
+    pub fn critical_path_secs(&self) -> f64 {
+        self.profiles
+            .iter()
+            .map(|p| p.total_work_secs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwcs_model::VjobId;
+
+    fn profile() -> VmWorkProfile {
+        VmWorkProfile::new(vec![
+            WorkPhase::compute(100.0),
+            WorkPhase::idle(20.0),
+            WorkPhase::compute(50.0),
+        ])
+    }
+
+    #[test]
+    fn total_work_sums_phases() {
+        assert!((profile().total_work_secs() - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_follows_phases() {
+        let p = profile();
+        assert_eq!(p.demand_at(0.0), CpuCapacity::cores(1));
+        assert_eq!(p.demand_at(99.9), CpuCapacity::cores(1));
+        assert_eq!(p.demand_at(100.1), CpuCapacity::percent(10));
+        assert_eq!(p.demand_at(120.5), CpuCapacity::cores(1));
+        assert_eq!(p.demand_at(171.0), CpuCapacity::ZERO, "exhausted profile idles");
+    }
+
+    #[test]
+    fn completion_detection() {
+        let p = profile();
+        assert!(!p.is_complete(169.0));
+        assert!(p.is_complete(170.0));
+        assert!(p.is_complete(200.0));
+    }
+
+    #[test]
+    fn single_compute_profile() {
+        let p = VmWorkProfile::single_compute(60.0);
+        assert_eq!(p.phases().len(), 1);
+        assert!((p.total_work_secs() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vjob_spec_accessors() {
+        let vms: Vec<Vm> = (0..3)
+            .map(|i| Vm::new(VmId(i), MemoryMib::mib(512), CpuCapacity::ZERO))
+            .collect();
+        let vjob = Vjob::new(VjobId(1), vms.iter().map(|v| v.id).collect(), 0);
+        let profiles = vec![
+            VmWorkProfile::single_compute(10.0),
+            VmWorkProfile::single_compute(30.0),
+            VmWorkProfile::single_compute(20.0),
+        ];
+        let spec = VjobSpec::new(vjob, vms, profiles);
+        assert_eq!(spec.total_memory(), MemoryMib::mib(1536));
+        assert!((spec.critical_path_secs() - 30.0).abs() < 1e-9);
+        assert!(spec.profile_of(VmId(1)).is_some());
+        assert!(spec.profile_of(VmId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let vms: Vec<Vm> = (0..2)
+            .map(|i| Vm::new(VmId(i), MemoryMib::mib(512), CpuCapacity::ZERO))
+            .collect();
+        let vjob = Vjob::new(VjobId(1), vms.iter().map(|v| v.id).collect(), 0);
+        let _ = VjobSpec::new(vjob, vms, vec![VmWorkProfile::single_compute(1.0)]);
+    }
+}

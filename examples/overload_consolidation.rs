@@ -1,0 +1,104 @@
+//! Handling an overloaded cluster with suspends and resumes.
+//!
+//! Two vjobs are admitted while their applications idle; when both start
+//! computing the cluster no longer has enough processing units, the decision
+//! module suspends the most recently submitted vjob, and resumes it once the
+//! first one finishes — the scenario traditional dynamic consolidation cannot
+//! handle and the core motivation for cluster-wide context switches.
+//!
+//! Run with: `cargo run --release --example overload_consolidation`
+
+use std::time::Duration;
+
+use cluster_context_switch::core::{
+    ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer,
+};
+use cluster_context_switch::model::{
+    Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId,
+};
+use cluster_context_switch::sim::SimulatedCluster;
+use cluster_context_switch::workload::{VjobSpec, VmWorkProfile, WorkPhase};
+
+fn main() {
+    // 2 nodes x 2 processing units = 4 units in total.
+    let mut configuration = Configuration::new();
+    for i in 0..2 {
+        configuration
+            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+            .unwrap();
+    }
+
+    // Two vjobs of 3 VMs each.  Each VM starts with a quiet warm-up phase
+    // (low CPU) and then computes at full speed: at admission time both vjobs
+    // look cheap, but once the compute phases start the cluster would need
+    // 6 processing units.
+    let mut specs = Vec::new();
+    let mut next_vm = 0u32;
+    for j in 0..2u32 {
+        let vm_ids: Vec<VmId> = (0..3)
+            .map(|_| {
+                let id = VmId(next_vm);
+                next_vm += 1;
+                id
+            })
+            .collect();
+        let vms: Vec<Vm> = vm_ids
+            .iter()
+            .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::percent(10)))
+            .collect();
+        for vm in &vms {
+            configuration.add_vm(vm.clone()).unwrap();
+        }
+        let vjob = Vjob::new(VjobId(j), vm_ids, j as u64).with_name(format!("burst-{j}"));
+        let profiles = vms
+            .iter()
+            .map(|_| {
+                VmWorkProfile::new(vec![
+                    WorkPhase::idle(60.0),     // warm-up: both vjobs get admitted
+                    WorkPhase::compute(240.0), // burst: 6 busy VMs on 4 units
+                ])
+            })
+            .collect();
+        specs.push(VjobSpec::new(vjob, vms, profiles));
+    }
+
+    let config = ControlLoopConfig {
+        period_secs: 30.0,
+        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(500)),
+        max_iterations: 500,
+    };
+    let mut control = ControlLoop::new(
+        SimulatedCluster::new(configuration),
+        &specs,
+        FcfsConsolidation::new(),
+        config,
+    );
+    let report = control.run_until_complete().expect("scenario completes");
+
+    println!("iteration  time(min)  runs  migr  susp  resume  stop   switch(s)");
+    for it in &report.iterations {
+        if !it.performed_switch {
+            continue;
+        }
+        println!(
+            "{:>9}  {:>9.1}  {:>4}  {:>4}  {:>4}  {:>6}  {:>4}  {:>10.0}",
+            it.iteration,
+            it.started_at_secs / 60.0,
+            it.plan_stats.runs,
+            it.plan_stats.migrations,
+            it.plan_stats.suspends,
+            it.plan_stats.resumes,
+            it.plan_stats.stops,
+            it.switch_duration_secs,
+        );
+    }
+
+    let suspends: usize = report.iterations.iter().map(|i| i.plan_stats.suspends).sum();
+    let resumes: usize = report.iterations.iter().map(|i| i.plan_stats.resumes).sum();
+    println!();
+    println!(
+        "the overload was absorbed with {suspends} suspend(s) and {resumes} resume(s); \
+         every vjob completed after {:.1} min",
+        report.completion_time_secs.unwrap_or(0.0) / 60.0
+    );
+}

@@ -1,0 +1,90 @@
+//! Quickstart: submit a handful of virtualized jobs to a small simulated
+//! cluster and let the Entropy-style control loop schedule them with
+//! cluster-wide context switches.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::time::Duration;
+
+use cluster_context_switch::core::{ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer};
+use cluster_context_switch::model::{Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId};
+use cluster_context_switch::sim::SimulatedCluster;
+use cluster_context_switch::workload::{VjobSpec, VmWorkProfile, WorkPhase};
+
+fn main() {
+    // 1. Describe the cluster: 3 working nodes with 2 processing units and
+    //    4 GiB of memory each.
+    let mut configuration = Configuration::new();
+    for i in 0..3 {
+        configuration
+            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+            .expect("unique node id");
+    }
+
+    // 2. Describe three vjobs of two VMs each.  Every VM computes for a few
+    //    minutes; the cluster can only run two vjobs at a time, so the third
+    //    one will be started later (or another one suspended), entirely
+    //    driven by the scheduling policy.
+    let mut specs = Vec::new();
+    let mut next_vm = 0u32;
+    for j in 0..3u32 {
+        let vm_ids: Vec<VmId> = (0..2)
+            .map(|_| {
+                let id = VmId(next_vm);
+                next_vm += 1;
+                id
+            })
+            .collect();
+        let vms: Vec<Vm> = vm_ids
+            .iter()
+            .map(|&id| Vm::new(id, MemoryMib::mib(1024), CpuCapacity::cores(1)))
+            .collect();
+        for vm in &vms {
+            configuration.add_vm(vm.clone()).expect("unique vm id");
+        }
+        let vjob = Vjob::new(VjobId(j), vm_ids, j as u64).with_name(format!("job-{j}"));
+        let profiles = vms
+            .iter()
+            .map(|_| VmWorkProfile::new(vec![WorkPhase::compute(180.0)]))
+            .collect();
+        specs.push(VjobSpec::new(vjob, vms, profiles));
+    }
+
+    // 3. Build the simulated cluster and the control loop: the sample FCFS
+    //    dynamic-consolidation decision module, a 30 s period, and a small
+    //    optimization budget.
+    let cluster = SimulatedCluster::new(configuration);
+    let config = ControlLoopConfig {
+        period_secs: 30.0,
+        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(500)),
+        max_iterations: 500,
+    };
+    let mut control = ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), config);
+
+    // 4. Run until every vjob has completed, printing each cluster-wide
+    //    context switch as it happens.
+    let report = control
+        .run_until_complete()
+        .expect("the quickstart scenario completes");
+
+    println!("iteration  time(s)  switch?  actions  cost      duration(s)");
+    for it in &report.iterations {
+        println!(
+            "{:>9}  {:>7.0}  {:>7}  {:>7}  {:>8}  {:>11.0}",
+            it.iteration,
+            it.started_at_secs,
+            if it.performed_switch { "yes" } else { "no" },
+            it.plan_stats.total_actions(),
+            it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+            it.switch_duration_secs,
+        );
+    }
+    println!();
+    println!(
+        "all {} vjobs completed after {:.0} s of simulated time ({} context switches, mean {:.0} s each)",
+        specs.len(),
+        report.completion_time_secs.unwrap_or(0.0),
+        report.switch_points().len(),
+        report.mean_switch_duration_secs(),
+    );
+}

@@ -1,0 +1,329 @@
+//! Integration tests spanning every crate of the workspace: model →
+//! workload → decision → optimization → planning → simulated execution.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use cluster_context_switch::core::decision::DecisionModule;
+use cluster_context_switch::core::{
+    ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer, StaticFcfsBaseline,
+};
+use cluster_context_switch::model::{
+    Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, VjobState, Vm, VmId,
+    VmState,
+};
+use cluster_context_switch::plan::{ActionCostModel, Planner};
+use cluster_context_switch::sim::{PlanExecutor, SimulatedCluster, SimulatedXenDriver};
+use cluster_context_switch::workload::{
+    GeneratorParams, NasGridClass, NasGridKind, NasGridTemplate, TraceGenerator, VjobSpec,
+    VjobTemplate, VmWorkProfile, WorkPhase,
+};
+
+/// Build a cluster of `nodes` paper nodes and `vjobs` vjobs of `vms` busy VMs
+/// computing for `work_secs`.
+fn scenario(nodes: u32, vjobs: u32, vms: u32, work_secs: f64) -> (Configuration, Vec<VjobSpec>) {
+    let mut configuration = Configuration::new();
+    for i in 0..nodes {
+        configuration
+            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+            .unwrap();
+    }
+    let mut specs = Vec::new();
+    let mut next = 0u32;
+    for j in 0..vjobs {
+        let vm_ids: Vec<VmId> = (0..vms)
+            .map(|_| {
+                let id = VmId(next);
+                next += 1;
+                id
+            })
+            .collect();
+        let vm_objects: Vec<Vm> = vm_ids
+            .iter()
+            .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .collect();
+        for vm in &vm_objects {
+            configuration.add_vm(vm.clone()).unwrap();
+        }
+        let vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
+        let profiles = vm_objects
+            .iter()
+            .map(|_| VmWorkProfile::new(vec![WorkPhase::compute(work_secs)]))
+            .collect();
+        specs.push(VjobSpec::new(vjob, vm_objects, profiles));
+    }
+    (configuration, specs)
+}
+
+#[test]
+fn full_pipeline_decide_optimize_plan_execute() {
+    let (configuration, specs) = scenario(3, 2, 3, 120.0);
+    let vjobs: Vec<Vjob> = specs.iter().map(|s| s.vjob.clone()).collect();
+    let mut cluster = SimulatedCluster::new(configuration);
+    for spec in &specs {
+        cluster.register_vjob(spec);
+    }
+
+    // Decide.
+    let decision = FcfsConsolidation::new()
+        .decide(cluster.configuration(), &vjobs, &BTreeSet::new())
+        .unwrap();
+    assert_eq!(decision.running_vjobs().len(), 2, "everything fits");
+
+    // Optimize + plan.
+    let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(500));
+    let outcome = optimizer
+        .optimize(cluster.configuration(), &decision, &vjobs)
+        .unwrap();
+    assert!(outcome.target.is_viable());
+    assert_eq!(outcome.plan.stats().runs, 6);
+
+    // Execute on the simulator.
+    let report = PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &outcome.plan);
+    assert!(report.failed_actions.is_empty());
+    assert_eq!(
+        cluster.configuration().vms_in_state(VmState::Running).len(),
+        6
+    );
+    // Booting 6 VMs in parallel takes one boot duration.
+    assert!((report.duration_secs - 6.0).abs() < 1e-6);
+}
+
+#[test]
+fn control_loop_matches_baseline_semantics() {
+    // On an uncontended cluster, Entropy and static FCFS complete the same
+    // work; Entropy must never be slower by more than the context-switch
+    // overhead.
+    let (configuration, specs) = scenario(4, 2, 3, 90.0);
+    let entropy = {
+        let config = ControlLoopConfig {
+            period_secs: 30.0,
+            optimizer: PlanOptimizer::with_timeout(Duration::from_millis(200)),
+            max_iterations: 100,
+        };
+        let mut control = ControlLoop::new(
+            SimulatedCluster::new(configuration.clone()),
+            &specs,
+            FcfsConsolidation::new(),
+            config,
+        );
+        control.run_until_complete().unwrap()
+    };
+    let fcfs = StaticFcfsBaseline::default().run(SimulatedCluster::new(configuration), &specs);
+
+    let entropy_t = entropy.completion_time_secs.unwrap();
+    let fcfs_t = fcfs.completion_time_secs.unwrap();
+    assert!(entropy_t <= fcfs_t + 90.0, "entropy {entropy_t} vs fcfs {fcfs_t}");
+}
+
+#[test]
+fn contended_cluster_entropy_beats_static_fcfs() {
+    // 1 node (2 units), 3 vjobs of 2 VMs each whose compute phases alternate
+    // with idle phases: the static allocation serializes the vjobs while the
+    // consolidation interleaves them.
+    let mut configuration = Configuration::new();
+    configuration
+        .add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(8)))
+        .unwrap();
+    let mut specs = Vec::new();
+    let mut next = 0u32;
+    for j in 0..3u32 {
+        let vm_ids: Vec<VmId> = (0..2)
+            .map(|_| {
+                let id = VmId(next);
+                next += 1;
+                id
+            })
+            .collect();
+        let vms: Vec<Vm> = vm_ids
+            .iter()
+            .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::percent(10)))
+            .collect();
+        for vm in &vms {
+            configuration.add_vm(vm.clone()).unwrap();
+        }
+        let vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
+        // A compute burst followed by a long idle tail: under a static
+        // allocation each vjob holds both processing units for its whole
+        // lifetime, while consolidation overlaps the idle tails.  The phases
+        // are long enough for the context-switch costs to amortize.
+        let profiles = vms
+            .iter()
+            .map(|_| {
+                VmWorkProfile::new(vec![
+                    WorkPhase::compute(300.0),
+                    // Fully idle tail (zero demand) so another vjob can share
+                    // the processing units, like the gray-free VMs of Fig. 6.
+                    WorkPhase {
+                        cpu_demand: CpuCapacity::ZERO,
+                        duration_secs: 600.0,
+                    },
+                ])
+            })
+            .collect();
+        specs.push(VjobSpec::new(vjob, vms, profiles));
+    }
+
+    let fcfs = StaticFcfsBaseline::default().run(SimulatedCluster::new(configuration.clone()), &specs);
+    let config = ControlLoopConfig {
+        period_secs: 30.0,
+        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(200)),
+        max_iterations: 200,
+    };
+    let mut control = ControlLoop::new(
+        SimulatedCluster::new(configuration),
+        &specs,
+        FcfsConsolidation::new(),
+        config,
+    );
+    let entropy = control.run_until_complete().unwrap();
+
+    let fcfs_t = fcfs.completion_time_secs.unwrap();
+    let entropy_t = entropy.completion_time_secs.unwrap();
+    assert!(
+        entropy_t < fcfs_t,
+        "dynamic consolidation ({entropy_t} s) must beat static allocation ({fcfs_t} s)"
+    );
+}
+
+#[test]
+fn generated_configurations_can_be_optimized_end_to_end() {
+    // A Figure 10 style instance, downsized: generate, decide, optimize, and
+    // check the Entropy plan is at most as expensive as the FFD plan.
+    let params = GeneratorParams {
+        node_count: 30,
+        ..GeneratorParams::figure_10(54, 5)
+    };
+    let generated = TraceGenerator::new(params).generate();
+    let decision = FcfsConsolidation::new()
+        .decide(&generated.configuration, &generated.vjobs, &BTreeSet::new())
+        .unwrap();
+    let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(500));
+    let ffd = optimizer
+        .ffd_outcome(&generated.configuration, &decision, &generated.vjobs)
+        .unwrap();
+    let entropy = optimizer
+        .optimize(&generated.configuration, &decision, &generated.vjobs)
+        .unwrap();
+    assert!(entropy.cost.total <= ffd.cost.total);
+    // Both plans are executable from the generated configuration.
+    ffd.plan.validate(&generated.configuration).unwrap();
+    entropy.plan.validate(&generated.configuration).unwrap();
+}
+
+#[test]
+fn nasgrid_vjobs_run_to_completion_under_the_control_loop() {
+    // 6 dual-core nodes: enough processing units for a 9-VM ED vjob to run
+    // entirely (a vjob whose instantaneous demand exceeds the whole cluster
+    // could never be placed viably, by the paper's own definition).
+    let mut configuration = Configuration::new();
+    for i in 0..6 {
+        configuration
+            .add_node(Node::paper_cluster_node(NodeId(i)))
+            .unwrap();
+    }
+    let mut factory = VjobTemplate::new(3);
+    let templates = [
+        NasGridTemplate {
+            kind: NasGridKind::Ed,
+            class: NasGridClass::W,
+            vm_count: 9,
+            memory_per_vm: MemoryMib::mib(512),
+        },
+        NasGridTemplate {
+            kind: NasGridKind::Hc,
+            class: NasGridClass::W,
+            vm_count: 9,
+            memory_per_vm: MemoryMib::mib(512),
+        },
+    ];
+    let specs: Vec<VjobSpec> = templates
+        .iter()
+        .map(|t| {
+            let spec = factory.instantiate(t);
+            for vm in &spec.vms {
+                configuration.add_vm(vm.clone()).unwrap();
+            }
+            spec
+        })
+        .collect();
+    let config = ControlLoopConfig {
+        period_secs: 30.0,
+        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(300)),
+        max_iterations: 500,
+    };
+    let mut control = ControlLoop::new(
+        SimulatedCluster::new(configuration),
+        &specs,
+        FcfsConsolidation::new(),
+        config,
+    );
+    let report = control.run_until_complete().unwrap();
+    assert!(report.completion_time_secs.is_some());
+    assert!(control
+        .vjobs()
+        .iter()
+        .all(|j| j.state == VjobState::Terminated));
+}
+
+#[test]
+fn planner_and_executor_agree_on_final_configuration() {
+    // Whatever plan the planner builds, executing it on the simulator leads
+    // to exactly the configuration the plan validation predicts.
+    let (configuration, specs) = scenario(3, 2, 2, 60.0);
+    let vjobs: Vec<Vjob> = specs.iter().map(|s| s.vjob.clone()).collect();
+    let decision = FcfsConsolidation::new()
+        .decide(&configuration, &vjobs, &BTreeSet::new())
+        .unwrap();
+    let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(300));
+    let outcome = optimizer.optimize(&configuration, &decision, &vjobs).unwrap();
+
+    let predicted = outcome.plan.validate(&configuration).unwrap();
+
+    let mut cluster = SimulatedCluster::new(configuration);
+    for spec in &specs {
+        cluster.register_vjob(spec);
+    }
+    PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &outcome.plan);
+    for vm in predicted.vm_ids() {
+        assert_eq!(
+            predicted.assignment(vm).unwrap(),
+            cluster.configuration().assignment(vm).unwrap(),
+            "{vm} differs between prediction and execution"
+        );
+    }
+}
+
+#[test]
+fn cost_model_prefers_plans_with_fewer_movements() {
+    // Moving one VM must always cost less than moving two comparable VMs.
+    let mut configuration = Configuration::new();
+    for i in 0..4 {
+        configuration
+            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+            .unwrap();
+    }
+    for i in 0..2 {
+        configuration
+            .add_vm(Vm::new(VmId(i), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+            .unwrap();
+        configuration
+            .set_assignment(VmId(i), cluster_context_switch::model::VmAssignment::running(NodeId(i)))
+            .unwrap();
+    }
+    let planner = Planner::new();
+    let cost_model = ActionCostModel::paper();
+
+    let mut move_one = configuration.clone();
+    move_one
+        .set_assignment(VmId(0), cluster_context_switch::model::VmAssignment::running(NodeId(2)))
+        .unwrap();
+    let mut move_two = move_one.clone();
+    move_two
+        .set_assignment(VmId(1), cluster_context_switch::model::VmAssignment::running(NodeId(3)))
+        .unwrap();
+
+    let plan_one = planner.plan(&configuration, &move_one, &[]).unwrap();
+    let plan_two = planner.plan(&configuration, &move_two, &[]).unwrap();
+    assert!(cost_model.plan_cost(&plan_one).total < cost_model.plan_cost(&plan_two).total);
+}
