@@ -1,30 +1,29 @@
-//! Criterion bench for Figure 1: scheduling a job stream with the four
-//! batch policies.  The measured quantity is the scheduling time; the
-//! makespans printed by `cargo run --bin fig01_backfilling` give the
-//! qualitative comparison.
+//! Bench for Figure 1: scheduling a job stream with the four batch
+//! policies.  The measured quantity is the scheduling time; the makespans
+//! printed by `cargo run --bin fig01_backfilling` give the qualitative
+//! comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwcs_bench::BenchGroup;
+use cwcs_model::SmallRng;
 use cwcs_workload::{BatchJob, BatchScheduler, SchedulerKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn job_stream(count: u32) -> Vec<BatchJob> {
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = SmallRng::seed_from_u64(1);
     (0..count)
         .map(|i| {
             BatchJob::exact(
                 i,
-                i as f64 * rng.gen_range(5.0..30.0),
-                rng.gen_range(1..=9),
-                rng.gen_range(120.0..1800.0),
+                i as f64 * rng.f64_in(5.0, 30.0),
+                rng.u32_in_inclusive(1, 9),
+                rng.f64_in(120.0, 1800.0),
             )
         })
         .collect()
 }
 
-fn bench_schedulers(c: &mut Criterion) {
+fn main() {
     let jobs = job_stream(60);
-    let mut group = c.benchmark_group("fig01_backfilling");
+    let mut group = BenchGroup::new("fig01_backfilling");
     group.sample_size(20);
     for kind in [
         SchedulerKind::Fcfs,
@@ -32,11 +31,10 @@ fn bench_schedulers(c: &mut Criterion) {
         SchedulerKind::ConservativeBackfilling,
         SchedulerKind::EasyWithPreemption,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
-            b.iter(|| BatchScheduler::new(kind, 22).schedule(std::hint::black_box(&jobs)));
+        group.bench(&format!("{kind:?}"), || {
+            BatchScheduler::new(kind, 22).schedule(std::hint::black_box(&jobs))
         });
     }
-    group.finish();
 
     // Print the qualitative result once so it lands in the bench output.
     let fcfs = BatchScheduler::new(SchedulerKind::Fcfs, 22).schedule(&jobs);
@@ -47,6 +45,3 @@ fn bench_schedulers(c: &mut Criterion) {
         fcfs.makespan, easy.makespan, preempt.makespan
     );
 }
-
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion bench for Figure 3: executing single-action plans (run, stop,
-//! migrate, suspend, local/remote resume) on the simulated cluster and
-//! reporting the modelled durations per VM memory size.
+//! Bench for Figure 3: executing single-action plans (run, stop, migrate,
+//! suspend, local/remote resume) on the simulated cluster and reporting the
+//! modelled durations per VM memory size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwcs_bench::BenchGroup;
 use cwcs_model::{
     Configuration, CpuCapacity, MemoryMib, Node, NodeId, ResourceDemand, Vm, VmAssignment, VmId,
 };
@@ -11,42 +11,62 @@ use cwcs_sim::{DurationModel, PlanExecutor, SimulatedCluster, SimulatedXenDriver
 
 fn cluster_with_vm(memory_mib: u64, running: bool) -> SimulatedCluster {
     let mut config = Configuration::new();
-    config.add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
-    config.add_node(Node::new(NodeId(1), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
     config
-        .add_vm(Vm::new(VmId(0), MemoryMib::mib(memory_mib), CpuCapacity::cores(1)))
+        .add_node(Node::new(
+            NodeId(0),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+    config
+        .add_node(Node::new(
+            NodeId(1),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+    config
+        .add_vm(Vm::new(
+            VmId(0),
+            MemoryMib::mib(memory_mib),
+            CpuCapacity::cores(1),
+        ))
         .unwrap();
     if running {
-        config.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        config
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
     }
     SimulatedCluster::new(config)
 }
 
-fn bench_transitions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig03_transitions");
+fn main() {
+    let mut group = BenchGroup::new("fig03_transitions");
     group.sample_size(20);
     for memory in [512u64, 1024, 2048] {
         let demand = ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::mib(memory));
-        group.bench_with_input(BenchmarkId::new("migrate", memory), &memory, |b, _| {
-            b.iter(|| {
-                let mut cluster = cluster_with_vm(memory, true);
-                let plan = ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
-                    Action::Migrate { vm: VmId(0), from: NodeId(0), to: NodeId(1), demand },
-                ])]);
-                PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &plan)
-            });
+        group.bench(&format!("migrate/{memory}"), || {
+            let mut cluster = cluster_with_vm(memory, true);
+            let plan =
+                ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![Action::Migrate {
+                    vm: VmId(0),
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    demand,
+                }])]);
+            PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &plan)
         });
-        group.bench_with_input(BenchmarkId::new("suspend", memory), &memory, |b, _| {
-            b.iter(|| {
-                let mut cluster = cluster_with_vm(memory, true);
-                let plan = ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
-                    Action::Suspend { vm: VmId(0), node: NodeId(0), demand },
-                ])]);
-                PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &plan)
-            });
+        group.bench(&format!("suspend/{memory}"), || {
+            let mut cluster = cluster_with_vm(memory, true);
+            let plan =
+                ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![Action::Suspend {
+                    vm: VmId(0),
+                    node: NodeId(0),
+                    demand,
+                }])]);
+            PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &plan)
         });
     }
-    group.finish();
 
     // Print the modelled durations (the actual Figure 3 series).
     let model = DurationModel::paper();
@@ -61,6 +81,3 @@ fn bench_transitions(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_transitions);
-criterion_main!(benches);

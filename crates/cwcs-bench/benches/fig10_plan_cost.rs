@@ -1,5 +1,5 @@
-//! Criterion bench for Figure 10: cost of the reconfiguration plan computed
-//! by First-Fit Decreasing vs the CP optimizer on generated configurations.
+//! Bench for Figure 10: cost of the reconfiguration plan computed by
+//! First-Fit Decreasing vs the CP optimizer on generated configurations.
 //!
 //! The benchmark measures the optimization time on down-scaled instances so
 //! that `cargo bench` stays fast; it also prints the FFD vs Entropy costs so
@@ -9,13 +9,13 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwcs_bench::BenchGroup;
 use cwcs_core::decision::DecisionModule;
 use cwcs_core::{FcfsConsolidation, PlanOptimizer};
 use cwcs_workload::{GeneratorParams, TraceGenerator};
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_plan_cost");
+fn main() {
+    let mut group = BenchGroup::new("fig10_plan_cost");
     group.sample_size(10);
 
     for vm_target in [36usize, 72] {
@@ -25,26 +25,26 @@ fn bench_fig10(c: &mut Criterion) {
         };
         let generated = TraceGenerator::new(params).generate();
         let decision = FcfsConsolidation::new()
-            .decide(&generated.configuration, &generated.vjobs, &Default::default())
+            .decide(
+                &generated.configuration,
+                &generated.vjobs,
+                &Default::default(),
+            )
             .expect("decision succeeds");
 
-        group.bench_with_input(BenchmarkId::new("ffd", vm_target), &vm_target, |b, _| {
+        group.bench(&format!("ffd/{vm_target}"), || {
             let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(200));
-            b.iter(|| {
-                optimizer
-                    .ffd_outcome(&generated.configuration, &decision, &generated.vjobs)
-                    .map(|o| o.cost.total)
-                    .unwrap_or(0)
-            });
+            optimizer
+                .ffd_outcome(&generated.configuration, &decision, &generated.vjobs)
+                .map(|o| o.cost.total)
+                .unwrap_or(0)
         });
-        group.bench_with_input(BenchmarkId::new("entropy", vm_target), &vm_target, |b, _| {
+        group.bench(&format!("entropy/{vm_target}"), || {
             let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(200));
-            b.iter(|| {
-                optimizer
-                    .optimize(&generated.configuration, &decision, &generated.vjobs)
-                    .map(|o| o.cost.total)
-                    .unwrap_or(0)
-            });
+            optimizer
+                .optimize(&generated.configuration, &decision, &generated.vjobs)
+                .map(|o| o.cost.total)
+                .unwrap_or(0)
         });
 
         let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(500));
@@ -61,11 +61,11 @@ fn bench_fig10(c: &mut Criterion) {
             generated.vm_count(),
             ffd,
             entropy,
-            if ffd > 0 { 100.0 * (ffd as f64 - entropy as f64) / ffd as f64 } else { 0.0 }
+            if ffd > 0 {
+                100.0 * (ffd as f64 - entropy as f64) / ffd as f64
+            } else {
+                0.0
+            }
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

@@ -1,26 +1,24 @@
-//! Criterion bench for Figures 12/13 and the headline comparison: a full
-//! Entropy run vs a full static-FCFS run on a down-scaled Section 5.2
-//! scenario.  Prints the completion times so the ~40% reduction shape is
-//! visible in the bench output.
+//! Bench for Figures 12/13 and the headline comparison: a full Entropy run
+//! vs a full static-FCFS run on a down-scaled Section 5.2 scenario.  Prints
+//! the completion times so the ~40% reduction shape is visible in the bench
+//! output.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use cwcs_bench::{cluster_experiment_sized, entropy_run, percent_reduction, static_fcfs_run};
+use cwcs_bench::{
+    cluster_experiment_sized, entropy_run, percent_reduction, static_fcfs_run, BenchGroup,
+};
 
-fn bench_runs(c: &mut Criterion) {
+fn main() {
     // 6 dual-core nodes so that a 9-VM vjob can always be placed.
     let scenario = cluster_experiment_sized(11, 6, 3);
-    let mut group = c.benchmark_group("fig13_full_runs");
+    let mut group = BenchGroup::new("fig13_full_runs");
     group.sample_size(10);
 
-    group.bench_function("static_fcfs_run", |b| {
-        b.iter(|| static_fcfs_run(&scenario));
+    group.bench("static_fcfs_run", || static_fcfs_run(&scenario));
+    group.bench("entropy_run", || {
+        entropy_run(&scenario, Duration::from_millis(100))
     });
-    group.bench_function("entropy_run", |b| {
-        b.iter(|| entropy_run(&scenario, Duration::from_millis(100)));
-    });
-    group.finish();
 
     let fcfs = static_fcfs_run(&scenario);
     let entropy = entropy_run(&scenario, Duration::from_millis(200));
@@ -34,10 +32,14 @@ fn bench_runs(c: &mut Criterion) {
     );
     println!(
         "fig13 peak memory: Entropy {:.1} GiB, FCFS {:.1} GiB",
-        entropy.utilization.iter().map(|u| u.memory_gib).fold(0.0, f64::max),
-        fcfs.utilization.iter().map(|u| u.memory_gib).fold(0.0, f64::max)
+        entropy
+            .utilization
+            .iter()
+            .map(|u| u.memory_gib)
+            .fold(0.0, f64::max),
+        fcfs.utilization
+            .iter()
+            .map(|u| u.memory_gib)
+            .fold(0.0, f64::max)
     );
 }
-
-criterion_group!(benches, bench_runs);
-criterion_main!(benches);

@@ -6,9 +6,8 @@
 //! utilization and mean wait time.  The expected shape: preemption ≤ EASY ≤
 //! FCFS for the makespan, and the opposite order for utilization.
 
+use cwcs_model::SmallRng;
 use cwcs_workload::{BatchJob, BatchScheduler, SchedulerKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn policies() -> [SchedulerKind; 4] {
     [
@@ -50,12 +49,12 @@ fn main() {
 
     // A random stream of 60 jobs on 22 processors (the capacity of the
     // paper's 11-node dual-core cluster).
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SmallRng::seed_from_u64(42);
     let stream: Vec<BatchJob> = (0..60)
         .map(|i| {
-            let submit = i as f64 * rng.gen_range(5.0..30.0);
-            let procs = rng.gen_range(1..=9);
-            let runtime = rng.gen_range(120.0..1800.0);
+            let submit = i as f64 * rng.f64_in(5.0, 30.0);
+            let procs = rng.u32_in_inclusive(1, 9);
+            let runtime = rng.f64_in(120.0, 1800.0);
             BatchJob::exact(i, submit, procs, runtime)
         })
         .collect();

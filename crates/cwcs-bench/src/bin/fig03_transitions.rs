@@ -16,7 +16,10 @@ fn main() {
     let memories = [512u64, 1024, 2048];
 
     println!("Figure 3(a): run / migrate / stop duration (seconds) vs VM memory");
-    println!("{:<14} {:>10} {:>10} {:>10}", "action", "512MB", "1024MB", "2048MB");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "action", "512MB", "1024MB", "2048MB"
+    );
     println!(
         "{:<14} {:>10.1} {:>10.1} {:>10.1}",
         "start/run",
@@ -41,7 +44,10 @@ fn main() {
 
     println!();
     println!("Figure 3(b): suspend duration (seconds) vs VM memory");
-    println!("{:<14} {:>10} {:>10} {:>10}", "method", "512MB", "1024MB", "2048MB");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "method", "512MB", "1024MB", "2048MB"
+    );
     for method in TransferMethod::ALL {
         println!(
             "{:<14} {:>10.1} {:>10.1} {:>10.1}",
@@ -54,7 +60,10 @@ fn main() {
 
     println!();
     println!("Figure 3(c): resume duration (seconds) vs VM memory");
-    println!("{:<14} {:>10} {:>10} {:>10}", "method", "512MB", "1024MB", "2048MB");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "method", "512MB", "1024MB", "2048MB"
+    );
     for method in TransferMethod::ALL {
         println!(
             "{:<14} {:>10.1} {:>10.1} {:>10.1}",
@@ -69,6 +78,9 @@ fn main() {
     let interference = InterferenceModel::paper();
     println!("Deceleration of a busy co-hosted VM during the transition (§2.3):");
     println!("  local suspend/resume : {:.1}x", interference.local_factor);
-    println!("  scp/rsync transfers  : {:.1}x", interference.remote_factor);
+    println!(
+        "  scp/rsync transfers  : {:.1}x",
+        interference.remote_factor
+    );
     println!("  (i.e. the impact reaches a maximum of ~50% during the transition)");
 }

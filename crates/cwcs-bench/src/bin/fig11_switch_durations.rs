@@ -54,7 +54,11 @@ fn main() {
         index,
         report.mean_switch_duration_secs()
     );
-    let local: usize = report.iterations.iter().map(|i| i.plan_stats.local_resumes).sum();
+    let local: usize = report
+        .iterations
+        .iter()
+        .map(|i| i.plan_stats.local_resumes)
+        .sum();
     let total: usize = report.iterations.iter().map(|i| i.plan_stats.resumes).sum();
     if total > 0 {
         println!(

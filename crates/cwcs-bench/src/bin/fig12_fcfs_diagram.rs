@@ -21,7 +21,10 @@ fn main() {
     let completion = report
         .completion_time_secs
         .expect("the FCFS baseline completes");
-    println!("{:<12} {:>12} {:>12} {:>40}", "vjob", "start(min)", "end(min)", "timeline");
+    println!(
+        "{:<12} {:>12} {:>12} {:>40}",
+        "vjob", "start(min)", "end(min)", "timeline"
+    );
     for schedule in &report.schedules {
         let start_min = schedule.start_secs / 60.0;
         let end_min = schedule.end_secs.unwrap_or(completion) / 60.0;
@@ -30,7 +33,11 @@ fn main() {
         let scale = 40.0 / total_min.max(1.0);
         let lead = (start_min * scale).round() as usize;
         let bar = (((end_min - start_min) * scale).round() as usize).max(1);
-        let timeline = format!("{}{}", " ".repeat(lead.min(40)), "#".repeat(bar.min(40 - lead.min(40))));
+        let timeline = format!(
+            "{}{}",
+            " ".repeat(lead.min(40)),
+            "#".repeat(bar.min(40 - lead.min(40)))
+        );
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>40}",
             format!("vjob-{}", schedule.vjob.0),

@@ -12,7 +12,11 @@ use cwcs_bench::{cluster_experiment, entropy_run, static_fcfs_run};
 use cwcs_sim::UtilizationSample;
 
 /// Resample a utilization series at a fixed interval (linear-hold).
-fn resample(samples: &[UtilizationSample], interval_secs: f64, horizon_secs: f64) -> Vec<UtilizationSample> {
+fn resample(
+    samples: &[UtilizationSample],
+    interval_secs: f64,
+    horizon_secs: f64,
+) -> Vec<UtilizationSample> {
     let mut out = Vec::new();
     let mut t = 0.0;
     while t <= horizon_secs {
@@ -55,10 +59,26 @@ fn main() {
     println!("time(min)  memory GiB (Entropy / FCFS)   CPU % of capacity (Entropy / FCFS)");
     for (e, f) in entropy_series.iter().zip(&fcfs_series) {
         let minute = e.time_secs / 60.0;
-        let entropy_mem = if e.time_secs <= entropy_end { e.memory_gib } else { 0.0 };
-        let fcfs_mem = if f.time_secs <= fcfs_end { f.memory_gib } else { 0.0 };
-        let entropy_cpu = if e.time_secs <= entropy_end { e.cpu_percent } else { 0.0 };
-        let fcfs_cpu = if f.time_secs <= fcfs_end { f.cpu_percent } else { 0.0 };
+        let entropy_mem = if e.time_secs <= entropy_end {
+            e.memory_gib
+        } else {
+            0.0
+        };
+        let fcfs_mem = if f.time_secs <= fcfs_end {
+            f.memory_gib
+        } else {
+            0.0
+        };
+        let entropy_cpu = if e.time_secs <= entropy_end {
+            e.cpu_percent
+        } else {
+            0.0
+        };
+        let fcfs_cpu = if f.time_secs <= fcfs_end {
+            f.cpu_percent
+        } else {
+            0.0
+        };
         println!(
             "{:>8.0}   {:>10.1} / {:<10.1}     {:>8.1} / {:<8.1}",
             minute, entropy_mem, fcfs_mem, entropy_cpu, fcfs_cpu

@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use cwcs_bench::{cluster_experiment, entropy_run, percent_reduction, static_fcfs_run};
+use cwcs_bench::{cluster_experiment, entropy_run, percent_reduction, static_fcfs_run, JsonObject};
 
 fn main() {
     let timeout_ms: u64 = std::env::var("CWCS_OPT_TIMEOUT_MS")
@@ -34,8 +34,14 @@ fn main() {
 
     println!();
     println!("{:<38} {:>10}", "metric", "value");
-    println!("{:<38} {:>10.1}", "FCFS completion time (min)", fcfs_minutes);
-    println!("{:<38} {:>10.1}", "Entropy completion time (min)", entropy_minutes);
+    println!(
+        "{:<38} {:>10.1}",
+        "FCFS completion time (min)", fcfs_minutes
+    );
+    println!(
+        "{:<38} {:>10.1}",
+        "Entropy completion time (min)", entropy_minutes
+    );
     println!(
         "{:<38} {:>9.1}%",
         "completion-time reduction",
@@ -51,10 +57,55 @@ fn main() {
         "mean switch duration (s)",
         entropy.mean_switch_duration_secs()
     );
-    let local: usize = entropy.iterations.iter().map(|i| i.plan_stats.local_resumes).sum();
-    let resumes: usize = entropy.iterations.iter().map(|i| i.plan_stats.resumes).sum();
-    println!("{:<38} {:>7}/{}", "local resumes / total resumes", local, resumes);
+    let local: usize = entropy
+        .iterations
+        .iter()
+        .map(|i| i.plan_stats.local_resumes)
+        .sum();
+    let resumes: usize = entropy
+        .iterations
+        .iter()
+        .map(|i| i.plan_stats.resumes)
+        .sum();
+    println!(
+        "{:<38} {:>7}/{}",
+        "local resumes / total resumes", local, resumes
+    );
 
     println!();
-    println!("paper reference: 250 min (FCFS) vs 150 min (Entropy), ~40% reduction, ~70 s mean switch.");
+    println!(
+        "paper reference: 250 min (FCFS) vs 150 min (Entropy), ~40% reduction, ~70 s mean switch."
+    );
+
+    // Emit the machine-readable artifact so the perf trajectory of the repo
+    // is recorded run over run.  Path overridable for CI artifact layouts.
+    let artifact_path =
+        std::env::var("CWCS_BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_headline.json".to_owned());
+    let json = JsonObject::new()
+        .string("benchmark", "headline_completion_time")
+        .integer("nodes", scenario.configuration.node_count() as u64)
+        .integer("vjobs", scenario.specs.len() as u64)
+        .integer("vms", scenario.configuration.vm_count() as u64)
+        .integer("optimizer_timeout_ms", timeout_ms)
+        .number("fcfs_completion_min", fcfs_minutes)
+        .number("entropy_completion_min", entropy_minutes)
+        .number(
+            "completion_reduction_percent",
+            percent_reduction(fcfs_minutes, entropy_minutes),
+        )
+        .integer("context_switches", entropy.switch_points().len() as u64)
+        .number(
+            "mean_switch_duration_secs",
+            entropy.mean_switch_duration_secs(),
+        )
+        .integer("local_resumes", local as u64)
+        .integer("total_resumes", resumes as u64)
+        .render();
+    match std::fs::write(&artifact_path, &json) {
+        Ok(()) => println!("wrote {artifact_path}"),
+        Err(e) => {
+            eprintln!("could not write {artifact_path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -10,7 +10,10 @@ fn main() {
     let model = ActionCostModel::paper();
     println!("Table 1: cost of an action on a VM vj (Dm = memory demand in MiB)");
     println!();
-    println!("{:<22} {:>10} {:>10} {:>10}", "action", "Dm=512", "Dm=1024", "Dm=2048");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "action", "Dm=512", "Dm=1024", "Dm=2048"
+    );
     let memories = [512u64, 1024, 2048];
 
     let row = |label: &str, costs: Vec<u64>| {
@@ -39,21 +42,39 @@ fn main() {
         "run(vj)",
         memories
             .iter()
-            .map(|&m| model.action_cost(&Action::Run { vm: VmId(0), node: NodeId(0), demand: demand(m) }))
+            .map(|&m| {
+                model.action_cost(&Action::Run {
+                    vm: VmId(0),
+                    node: NodeId(0),
+                    demand: demand(m),
+                })
+            })
             .collect(),
     );
     row(
         "stop(vj)",
         memories
             .iter()
-            .map(|&m| model.action_cost(&Action::Stop { vm: VmId(0), node: NodeId(0), demand: demand(m) }))
+            .map(|&m| {
+                model.action_cost(&Action::Stop {
+                    vm: VmId(0),
+                    node: NodeId(0),
+                    demand: demand(m),
+                })
+            })
             .collect(),
     );
     row(
         "suspend(vj)",
         memories
             .iter()
-            .map(|&m| model.action_cost(&Action::Suspend { vm: VmId(0), node: NodeId(0), demand: demand(m) }))
+            .map(|&m| {
+                model.action_cost(&Action::Suspend {
+                    vm: VmId(0),
+                    node: NodeId(0),
+                    demand: demand(m),
+                })
+            })
             .collect(),
     );
     row(

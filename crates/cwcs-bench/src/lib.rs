@@ -2,7 +2,7 @@
 //!
 //! Shared scenario builders and reporting helpers used by the experiment
 //! binaries (`src/bin/*.rs`, one per table/figure of the paper) and by the
-//! Criterion benches (`benches/*.rs`).
+//! dependency-free benches (`benches/*.rs`, driven by [`harness::BenchGroup`]).
 //!
 //! The two main scenarios are:
 //!
@@ -14,10 +14,12 @@
 //!   a generated 200-node configuration with a target VM count, on which the
 //!   FFD baseline and the CP optimizer both compute a reconfiguration plan.
 
+pub mod harness;
 pub mod report;
 pub mod scenarios;
 
-pub use report::{format_row, mean, percent_reduction};
+pub use harness::BenchGroup;
+pub use report::{format_row, mean, percent_reduction, JsonObject};
 pub use scenarios::{
     cluster_experiment, cluster_experiment_sized, entropy_run, figure_10_point, static_fcfs_run,
     ClusterScenario, Figure10Sample,

@@ -1,5 +1,80 @@
 //! Small reporting helpers shared by the experiment binaries.
 
+use std::fmt::Write as _;
+
+/// A flat JSON object builder for benchmark artifacts.
+///
+/// The container this workspace builds in has no crates.io access, so
+/// `serde_json` is unavailable; benchmark binaries only need flat
+/// string/number/bool objects, which this covers.  Keys are emitted in
+/// insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a string field (escaped).
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_owned(), json_escape(value)));
+        self
+    }
+
+    /// Add a finite float field (non-finite values are emitted as `null`).
+    pub fn number(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_owned()
+        };
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn integer(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Render the object as a pretty-printed JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(out, "  {}: {value}{comma}", json_escape(key));
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Format one row of an aligned text table.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -50,5 +125,30 @@ mod tests {
     fn rows_are_aligned() {
         let row = format_row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(row, "  a    bb");
+    }
+
+    #[test]
+    fn json_objects_render_flat_fields() {
+        let json = JsonObject::new()
+            .string("name", "headline")
+            .number("minutes", 1.5)
+            .integer("switches", 3)
+            .render();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"headline\",\n  \"minutes\": 1.5,\n  \"switches\": 3\n}\n"
+        );
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let json = JsonObject::new().string("k", "a\"b\\c\nd").render();
+        assert!(json.contains("\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let json = JsonObject::new().number("nan", f64::NAN).render();
+        assert!(json.contains("\"nan\": null"));
     }
 }

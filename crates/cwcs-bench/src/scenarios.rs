@@ -2,12 +2,11 @@
 
 use std::time::Duration;
 
-use cwcs_core::{
-    ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer, RunReport,
-    StaticFcfsBaseline,
-};
 use cwcs_core::baseline::BaselineReport;
 use cwcs_core::decision::DecisionModule;
+use cwcs_core::{
+    ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer, RunReport, StaticFcfsBaseline,
+};
 use cwcs_model::{Configuration, CpuCapacity, MemoryMib, Node, NodeId};
 use cwcs_sim::SimulatedCluster;
 use cwcs_workload::{
@@ -55,8 +54,18 @@ pub fn cluster_experiment_sized(seed: u64, nodes: u32, vjob_count: usize) -> Clu
     // processing units for once their compute phases start — the overload
     // situation of §5.2 ("the running vjobs demand 29 processing units while
     // only 22 are available") that forces suspends and later resumes.
-    let kinds = [NasGridKind::Ed, NasGridKind::Hc, NasGridKind::Mb, NasGridKind::Vp];
-    let classes = [NasGridClass::A, NasGridClass::W, NasGridClass::A, NasGridClass::W];
+    let kinds = [
+        NasGridKind::Ed,
+        NasGridKind::Hc,
+        NasGridKind::Mb,
+        NasGridKind::Vp,
+    ];
+    let classes = [
+        NasGridClass::A,
+        NasGridClass::W,
+        NasGridClass::A,
+        NasGridClass::W,
+    ];
     let memories = [
         MemoryMib::mib(512),
         MemoryMib::mib(1024),
@@ -141,7 +150,11 @@ pub fn figure_10_point(
     let generated = TraceGenerator::new(params).generate();
     let mut decision_module = FcfsConsolidation::new();
     let decision = decision_module
-        .decide(&generated.configuration, &generated.vjobs, &Default::default())
+        .decide(
+            &generated.configuration,
+            &generated.vjobs,
+            &Default::default(),
+        )
         .ok()?;
     let optimizer = PlanOptimizer::with_timeout(timeout);
     let ffd = optimizer

@@ -14,16 +14,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
-use cwcs_model::{
-    Configuration, CpuCapacity, NodeId, ResourceDemand, VjobId, VmAssignment, VmId,
-};
+use cwcs_model::{Configuration, CpuCapacity, NodeId, ResourceDemand, VjobId, VmAssignment, VmId};
 use cwcs_sim::{ClusterEvent, SimulatedCluster, UtilizationSample};
 use cwcs_workload::VjobSpec;
 
 /// Start/end record of one vjob (one bar of Figure 12).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VjobSchedule {
     /// The vjob.
     pub vjob: VjobId,
@@ -34,7 +30,7 @@ pub struct VjobSchedule {
 }
 
 /// Outcome of a static FCFS run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineReport {
     /// Per-vjob schedule, in submission order.
     pub schedules: Vec<VjobSchedule>,
@@ -219,7 +215,11 @@ mod tests {
         let mut config = Configuration::new();
         for i in 0..node_count {
             config
-                .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+                .add_node(Node::new(
+                    NodeId(i),
+                    CpuCapacity::cores(2),
+                    MemoryMib::gib(4),
+                ))
                 .unwrap();
         }
         let mut specs = Vec::new();
@@ -283,7 +283,11 @@ mod tests {
         let report = StaticFcfsBaseline::default().run(cluster, &specs);
         // vjob 0 and vjob 1 fit together (2 + 2 reservations on 4 cores);
         // vjob 2 must wait for a completion.
-        let third = report.schedules.iter().find(|s| s.vjob == VjobId(2)).unwrap();
+        let third = report
+            .schedules
+            .iter()
+            .find(|s| s.vjob == VjobId(2))
+            .unwrap();
         assert!(third.start_secs >= 30.0 - 1e-9);
         specs.truncate(0); // silence unused-mut lint paths
     }

@@ -48,10 +48,8 @@ impl DecisionModule for FcfsConsolidation {
 
         // Free resources per node, starting from empty nodes: the RJSP packs
         // every selected vjob from scratch.
-        let mut free: Vec<(NodeId, ResourceDemand)> = proof
-            .nodes()
-            .map(|n| (n.id, n.capacity()))
-            .collect();
+        let mut free: Vec<(NodeId, ResourceDemand)> =
+            proof.nodes().map(|n| (n.id, n.capacity())).collect();
 
         // Queue: every non-terminated vjob, by descending priority then
         // submission order (the FCFS queue of the paper).
@@ -72,9 +70,9 @@ impl DecisionModule for FcfsConsolidation {
                 // off their node in the proof (their real migration/suspend is
                 // the planner's business).
                 let reset = match assignment.state {
-                    cwcs_model::VmState::Running => VmAssignment::sleeping(
-                        assignment.host.expect("running VM has a host"),
-                    ),
+                    cwcs_model::VmState::Running => {
+                        VmAssignment::sleeping(assignment.host.expect("running VM has a host"))
+                    }
                     _ => assignment,
                 };
                 // `set_assignment` rather than `transition`: the proof
@@ -123,7 +121,10 @@ impl DecisionModule for FcfsConsolidation {
             states.entry(vjob.id).or_insert(vjob.state);
         }
 
-        debug_assert!(proof.is_viable(), "the RJSP proof configuration must be viable");
+        debug_assert!(
+            proof.is_viable(),
+            "the RJSP proof configuration must be viable"
+        );
         Ok(Decision {
             vjob_states: states,
             proof_configuration: proof,
@@ -148,21 +149,39 @@ mod tests {
     fn figure_6() -> (Configuration, Vec<Vjob>) {
         let mut c = Configuration::new();
         for i in 0..3 {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(1), MemoryMib::gib(4))).unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
         }
         // vjob 1: VMs 0 (idle) and 1 (busy)
-        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::percent(10))).unwrap();
-        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
+        c.add_vm(Vm::new(
+            VmId(0),
+            MemoryMib::mib(512),
+            CpuCapacity::percent(10),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
         // vjob 2: VMs 2 and 3, both busy
-        c.add_vm(Vm::new(VmId(2), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-        c.add_vm(Vm::new(VmId(3), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
+        c.add_vm(Vm::new(VmId(2), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(3), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
         // vjob 3: VM 4, busy
-        c.add_vm(Vm::new(VmId(4), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
+        c.add_vm(Vm::new(VmId(4), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
 
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
-        c.set_assignment(VmId(3), VmAssignment::running(NodeId(2))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        c.set_assignment(VmId(3), VmAssignment::running(NodeId(2)))
+            .unwrap();
 
         let mut vjob1 = Vjob::new(VjobId(1), vec![VmId(0), VmId(1)], 0);
         vjob1.transition_to(VjobState::Running).unwrap();
@@ -194,20 +213,34 @@ mod tests {
         // suspended — and vjob 3 (1 busy VM) fits in the freed unit.
         let mut c = Configuration::new();
         for i in 0..2 {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(1), MemoryMib::gib(4))).unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
         }
         // VM 0 is fully idle, like the gray-free VMs of Figure 6: it can
         // share a processing unit with a busy VM.
-        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::ZERO)).unwrap();
-        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-        c.add_vm(Vm::new(VmId(2), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-        c.add_vm(Vm::new(VmId(3), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-        c.add_vm(Vm::new(VmId(4), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
+        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::ZERO))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(2), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(3), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(4), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+            .unwrap();
         // VM 3 of vjob 2 crammed on node 1 as well: the cluster is overloaded.
-        c.set_assignment(VmId(3), VmAssignment::running(NodeId(1))).unwrap();
+        c.set_assignment(VmId(3), VmAssignment::running(NodeId(1)))
+            .unwrap();
 
         let mut vjob1 = Vjob::new(VjobId(1), vec![VmId(0), VmId(1)], 0);
         vjob1.transition_to(VjobState::Running).unwrap();
@@ -219,8 +252,16 @@ mod tests {
         let mut module = FcfsConsolidation::new();
         let decision = module.decide(&c, &vjobs, &BTreeSet::new()).unwrap();
         assert_eq!(decision.vjob_states[&VjobId(1)], VjobState::Running);
-        assert_eq!(decision.vjob_states[&VjobId(2)], VjobState::Sleeping, "overload suspends vjob 2");
-        assert_eq!(decision.vjob_states[&VjobId(3)], VjobState::Running, "vjob 3 backfills");
+        assert_eq!(
+            decision.vjob_states[&VjobId(2)],
+            VjobState::Sleeping,
+            "overload suspends vjob 2"
+        );
+        assert_eq!(
+            decision.vjob_states[&VjobId(3)],
+            VjobState::Running,
+            "vjob 3 backfills"
+        );
         assert!(decision.proof_configuration.is_viable());
     }
 
@@ -265,9 +306,16 @@ mod tests {
     fn sleeping_vjobs_are_reconsidered() {
         // A sleeping vjob and plenty of free resources: it must be resumed.
         let mut c = Configuration::new();
-        c.add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
-        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-        c.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(0))).unwrap();
+        c.add_node(Node::new(
+            NodeId(0),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(0)))
+            .unwrap();
         let mut vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
         vjob.transition_to(VjobState::Running).unwrap();
         vjob.transition_to(VjobState::Sleeping).unwrap();

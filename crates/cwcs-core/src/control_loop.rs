@@ -17,8 +17,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use cwcs_model::{Vjob, VjobId, VjobState};
 use cwcs_plan::{PlanCost, PlanStats};
 use cwcs_sim::{
@@ -54,7 +52,7 @@ impl Default for ControlLoopConfig {
 }
 
 /// Report of one control-loop iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationReport {
     /// Iteration number (starting at 0).
     pub iteration: usize,
@@ -69,7 +67,6 @@ pub struct IterationReport {
     /// Wall-clock duration of the switch, in seconds.
     pub switch_duration_secs: f64,
     /// Statistics of the constraint search.
-    #[serde(skip)]
     pub search_stats: SearchStats,
     /// Number of actions that failed (driver failures).
     pub failed_actions: usize,
@@ -80,7 +77,7 @@ pub struct IterationReport {
 }
 
 /// Report of a full run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Every iteration, in order.
     pub iterations: Vec<IterationReport>,
@@ -207,13 +204,17 @@ impl<D: DecisionModule> ControlLoop<D> {
         // 2. Decide.
         let decision = self
             .decision
-            .decide(self.cluster.configuration(), &self.vjobs, &self.pending_completed)
+            .decide(
+                self.cluster.configuration(),
+                &self.vjobs,
+                &self.pending_completed,
+            )
             .map_err(|e| LoopError::Decision(e.to_string()))?;
 
         // 3 & 4. Plan and execute, unless nothing changes and the cluster is
         // already viable.
-        let needs_switch = decision.changes_anything(&self.vjobs)
-            || !self.cluster.configuration().is_viable();
+        let needs_switch =
+            decision.changes_anything(&self.vjobs) || !self.cluster.configuration().is_viable();
         let mut plan_stats = PlanStats::default();
         let mut plan_cost = None;
         let mut switch_duration = 0.0;
@@ -320,7 +321,11 @@ mod tests {
         let mut config = Configuration::new();
         for i in 0..node_count {
             config
-                .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+                .add_node(Node::new(
+                    NodeId(i),
+                    CpuCapacity::cores(2),
+                    MemoryMib::gib(4),
+                ))
                 .unwrap();
         }
         let mut specs = Vec::new();
@@ -368,7 +373,10 @@ mod tests {
         assert!(control.all_terminated());
         let completion = report.completion_time_secs.expect("run completes");
         assert!(completion >= 60.0, "jobs need at least their work time");
-        assert!(completion < 600.0, "but not absurdly more, got {completion}");
+        assert!(
+            completion < 600.0,
+            "but not absurdly more, got {completion}"
+        );
         // The first iteration performed the runs.
         assert!(report.iterations[0].performed_switch);
         assert!(report.iterations[0].plan_stats.runs > 0);
@@ -388,7 +396,10 @@ mod tests {
         // The second vjob must have waited: completion takes at least two
         // job durations.
         let completion = report.completion_time_secs.unwrap();
-        assert!(completion >= 120.0, "sequential execution expected, got {completion}");
+        assert!(
+            completion >= 120.0,
+            "sequential execution expected, got {completion}"
+        );
     }
 
     #[test]
@@ -423,8 +434,14 @@ mod tests {
         let _second = control.iterate().unwrap();
         let third = control.iterate().unwrap();
         let fourth = control.iterate().unwrap();
-        assert!(!third.performed_switch, "steady state must not reshuffle VMs");
-        assert!(!fourth.performed_switch, "steady state must not reshuffle VMs");
+        assert!(
+            !third.performed_switch,
+            "steady state must not reshuffle VMs"
+        );
+        assert!(
+            !fourth.performed_switch,
+            "steady state must not reshuffle VMs"
+        );
         assert_eq!(fourth.plan_stats.total_actions(), 0);
     }
 

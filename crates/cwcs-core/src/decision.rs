@@ -72,7 +72,10 @@ impl fmt::Display for DecisionError {
         match self {
             DecisionError::UnknownVjob(id) => write!(f, "decision references unknown {id}"),
             DecisionError::NoViableConfiguration => {
-                write!(f, "decision module could not produce a viable configuration")
+                write!(
+                    f,
+                    "decision module could not produce a viable configuration"
+                )
             }
             DecisionError::Other(msg) => write!(f, "decision module failed: {msg}"),
         }
@@ -158,8 +161,14 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert!(DecisionError::UnknownVjob(VjobId(3)).to_string().contains("vjob-3"));
-        assert!(DecisionError::NoViableConfiguration.to_string().contains("viable"));
-        assert!(DecisionError::Other("boom".into()).to_string().contains("boom"));
+        assert!(DecisionError::UnknownVjob(VjobId(3))
+            .to_string()
+            .contains("vjob-3"));
+        assert!(DecisionError::NoViableConfiguration
+            .to_string()
+            .contains("viable"));
+        assert!(DecisionError::Other("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -82,16 +82,11 @@ impl FirstFitDecreasing {
     /// `must_run` lists the VMs that must be in the Running state; every
     /// other VM is ignored (it consumes nothing).  Returns `None` when the
     /// cluster cannot host them all.
-    pub fn pack_all(
-        config: &Configuration,
-        must_run: &[VmId],
-    ) -> Option<BTreeMap<VmId, NodeId>> {
+    pub fn pack_all(config: &Configuration, must_run: &[VmId]) -> Option<BTreeMap<VmId, NodeId>> {
         // Packing starts from empty nodes: the running VMs of the current
         // configuration are re-placed too (they are part of `must_run`).
-        let mut free: Vec<(NodeId, ResourceDemand)> = config
-            .nodes()
-            .map(|n| (n.id, n.capacity()))
-            .collect();
+        let mut free: Vec<(NodeId, ResourceDemand)> =
+            config.nodes().map(|n| (n.id, n.capacity())).collect();
         Self::place_with_free(config, must_run, &mut free)
     }
 
@@ -110,15 +105,23 @@ mod tests {
     fn cluster(nodes: u32, cpu: u32, mem_gib: u64) -> Configuration {
         let mut c = Configuration::new();
         for i in 0..nodes {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(cpu), MemoryMib::gib(mem_gib)))
-                .unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(cpu),
+                MemoryMib::gib(mem_gib),
+            ))
+            .unwrap();
         }
         c
     }
 
     fn add_vm(c: &mut Configuration, id: u32, mem_mib: u64, cpu_pct: u32) {
-        c.add_vm(Vm::new(VmId(id), MemoryMib::mib(mem_mib), CpuCapacity::percent(cpu_pct)))
-            .unwrap();
+        c.add_vm(Vm::new(
+            VmId(id),
+            MemoryMib::mib(mem_mib),
+            CpuCapacity::percent(cpu_pct),
+        ))
+        .unwrap();
     }
 
     #[test]
@@ -127,7 +130,8 @@ mod tests {
         for i in 0..4 {
             add_vm(&mut c, i, 1024, 100);
         }
-        let placement = FirstFitDecreasing::place(&c, &[VmId(0), VmId(1), VmId(2), VmId(3)]).unwrap();
+        let placement =
+            FirstFitDecreasing::place(&c, &[VmId(0), VmId(1), VmId(2), VmId(3)]).unwrap();
         assert_eq!(placement.len(), 4);
         // Two VMs per node (CPU is the binding constraint).
         let on_node0 = placement.values().filter(|&&n| n == NodeId(0)).count();
@@ -158,8 +162,10 @@ mod tests {
         add_vm(&mut c, 0, 1024, 100);
         add_vm(&mut c, 1, 1024, 100);
         add_vm(&mut c, 2, 1024, 100);
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
         // The node has 2 cores, both taken: a third busy VM cannot fit.
         assert!(FirstFitDecreasing::place(&c, &[VmId(2)]).is_none());
     }
@@ -176,10 +182,7 @@ mod tests {
         assert_eq!(placement.len(), 3);
         // The 2 GiB VM and one 1 GiB VM share a 3 GiB node, the other goes elsewhere.
         let node_of_big = placement[&VmId(0)];
-        let sharing = placement
-            .iter()
-            .filter(|(_, &n)| n == node_of_big)
-            .count();
+        let sharing = placement.iter().filter(|(_, &n)| n == node_of_big).count();
         assert_eq!(sharing, 2);
     }
 
@@ -190,8 +193,10 @@ mod tests {
             add_vm(&mut c, i, 1024, 100);
         }
         let mut free = FirstFitDecreasing::free_resources(&c);
-        let first = FirstFitDecreasing::place_with_free(&c, &[VmId(0), VmId(1)], &mut free).unwrap();
-        let second = FirstFitDecreasing::place_with_free(&c, &[VmId(2), VmId(3)], &mut free).unwrap();
+        let first =
+            FirstFitDecreasing::place_with_free(&c, &[VmId(0), VmId(1)], &mut free).unwrap();
+        let second =
+            FirstFitDecreasing::place_with_free(&c, &[VmId(2), VmId(3)], &mut free).unwrap();
         assert_eq!(first.len() + second.len(), 4);
         // A fifth busy VM does not fit anymore.
         add_vm(&mut c, 4, 512, 100);
@@ -215,8 +220,10 @@ mod tests {
         add_vm(&mut c, 0, 1024, 100);
         add_vm(&mut c, 1, 1024, 100);
         // Both crammed (non-viably) on node 0.
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
         let placement = FirstFitDecreasing::pack_all(&c, &[VmId(0), VmId(1)]).unwrap();
         let nodes: std::collections::BTreeSet<NodeId> = placement.values().copied().collect();
         assert_eq!(nodes.len(), 2, "packing from scratch spreads them out");

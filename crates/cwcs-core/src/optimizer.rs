@@ -28,9 +28,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
-use cwcs_model::{
-    Configuration, NodeId, Vjob, VjobId, VjobState, VmAssignment, VmId, VmState,
-};
+use cwcs_model::{Configuration, NodeId, Vjob, VjobId, VjobState, VmAssignment, VmId, VmState};
 use cwcs_plan::{ActionCostModel, PlanCost, Planner, PlannerError, ReconfigurationPlan};
 use cwcs_solver::constraints::BinPacking;
 use cwcs_solver::search::{
@@ -70,7 +68,10 @@ impl fmt::Display for OptimizerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimizerError::NoViablePlacement => {
-                write!(f, "no viable placement exists for the requested vjob states")
+                write!(
+                    f,
+                    "no viable placement exists for the requested vjob states"
+                )
             }
             OptimizerError::Planner(e) => write!(f, "planning failed: {e}"),
             OptimizerError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
@@ -156,8 +157,16 @@ impl PlanOptimizer {
             .map(|&n| current.node(n).unwrap().memory.raw())
             .collect();
         let var_ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
-        model.post(BinPacking::new(var_ids.clone(), cpu_sizes.clone(), cpu_capacities));
-        model.post(BinPacking::new(var_ids.clone(), mem_sizes.clone(), mem_capacities));
+        model.post(BinPacking::new(
+            var_ids.clone(),
+            cpu_sizes.clone(),
+            cpu_capacities,
+        ));
+        model.post(BinPacking::new(
+            var_ids.clone(),
+            mem_sizes.clone(),
+            mem_capacities,
+        ));
 
         // --- Heuristics ---------------------------------------------------
         // Preferred value: the VM's current node (running) or the node
@@ -172,7 +181,9 @@ impl PlanOptimizer {
         // Per-variable move cost table: cost of assigning VM i to node j.
         let mut move_costs: Vec<Vec<u64>> = Vec::with_capacity(must_run.len());
         for (i, &vm) in must_run.iter().enumerate() {
-            let assignment = current.assignment(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            let assignment = current
+                .assignment(vm)
+                .map_err(|_| OptimizerError::UnknownVm(vm))?;
             let dm = current.vm(vm).unwrap().memory.raw();
             let anchor = match assignment.state {
                 VmState::Running => assignment.host,
@@ -330,7 +341,9 @@ impl PlanOptimizer {
                 .copied()
                 .unwrap_or(vjob.state);
             for &vm in &vjob.vms {
-                let assignment = current.assignment(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+                let assignment = current
+                    .assignment(vm)
+                    .map_err(|_| OptimizerError::UnknownVm(vm))?;
                 let next = match wanted {
                     VjobState::Running => {
                         let node = placement
@@ -343,9 +356,9 @@ impl PlanOptimizer {
                         // Keep the image where it already is; a running VM
                         // suspends onto its current host.
                         VmState::Sleeping => assignment,
-                        VmState::Running => VmAssignment::sleeping(
-                            assignment.host.expect("running VM has a host"),
-                        ),
+                        VmState::Running => {
+                            VmAssignment::sleeping(assignment.host.expect("running VM has a host"))
+                        }
                         _ => assignment,
                     },
                     VjobState::Terminated => match assignment.state {
@@ -379,14 +392,21 @@ mod tests {
     fn settled_cluster() -> (Configuration, Vec<Vjob>) {
         let mut c = Configuration::new();
         for i in 0..4 {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
         }
         let mut vjobs = Vec::new();
         for j in 0..4 {
             let vm_ids = vec![VmId(j * 2), VmId(j * 2 + 1)];
             for &vm in &vm_ids {
-                c.add_vm(Vm::new(vm, MemoryMib::mib(1024), CpuCapacity::cores(1))).unwrap();
-                c.set_assignment(vm, VmAssignment::running(NodeId(j))).unwrap();
+                c.add_vm(Vm::new(vm, MemoryMib::mib(1024), CpuCapacity::cores(1)))
+                    .unwrap();
+                c.set_assignment(vm, VmAssignment::running(NodeId(j)))
+                    .unwrap();
             }
             let mut vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
             vjob.transition_to(VjobState::Running).unwrap();
@@ -427,16 +447,25 @@ mod tests {
         // 2 nodes, 3 vjobs of 2 busy VMs each: one vjob must sleep.
         let mut c = Configuration::new();
         for i in 0..2 {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
         }
         let mut vjobs = Vec::new();
         for j in 0..3u32 {
             let vm_ids = vec![VmId(j * 2), VmId(j * 2 + 1)];
             for (k, &vm) in vm_ids.iter().enumerate() {
-                c.add_vm(Vm::new(vm, MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
+                c.add_vm(Vm::new(vm, MemoryMib::mib(512), CpuCapacity::cores(1)))
+                    .unwrap();
                 if j < 2 {
-                    c.set_assignment(vm, VmAssignment::running(NodeId((j as usize + k) as u32 % 2)))
-                        .unwrap();
+                    c.set_assignment(
+                        vm,
+                        VmAssignment::running(NodeId((j as usize + k) as u32 % 2)),
+                    )
+                    .unwrap();
                 }
             }
             let mut vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
@@ -462,10 +491,21 @@ mod tests {
         // not elsewhere (2·Dm).
         let mut c = Configuration::new();
         for i in 0..3 {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
         }
-        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(1024), CpuCapacity::cores(1))).unwrap();
-        c.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(1))).unwrap();
+        c.add_vm(Vm::new(
+            VmId(0),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
+        .unwrap();
+        c.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(1)))
+            .unwrap();
         let mut vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
         vjob.transition_to(VjobState::Running).unwrap();
         vjob.transition_to(VjobState::Sleeping).unwrap();
@@ -485,22 +525,27 @@ mod tests {
     fn terminated_vjobs_generate_stops() {
         let (c, vjobs) = settled_cluster();
         let completed: BTreeSet<VjobId> = [VjobId(0)].into_iter().collect();
-        let decision = FcfsConsolidation::new().decide(&c, &vjobs, &completed).unwrap();
+        let decision = FcfsConsolidation::new()
+            .decide(&c, &vjobs, &completed)
+            .unwrap();
         let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
         let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
         assert_eq!(outcome.plan.stats().stops, 2);
-        assert_eq!(
-            outcome.target.state(VmId(0)).unwrap(),
-            VmState::Terminated
-        );
+        assert_eq!(outcome.target.state(VmId(0)).unwrap(), VmState::Terminated);
     }
 
     #[test]
     fn infeasible_states_are_rejected() {
         // One tiny node, one vjob that cannot fit but is forced Running.
         let mut c = Configuration::new();
-        c.add_node(Node::new(NodeId(0), CpuCapacity::cores(1), MemoryMib::mib(256))).unwrap();
-        c.add_vm(Vm::new(VmId(0), MemoryMib::gib(8), CpuCapacity::cores(1))).unwrap();
+        c.add_node(Node::new(
+            NodeId(0),
+            CpuCapacity::cores(1),
+            MemoryMib::mib(256),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(VmId(0), MemoryMib::gib(8), CpuCapacity::cores(1)))
+            .unwrap();
         let vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
         let mut states = BTreeMap::new();
         states.insert(VjobId(0), VjobState::Running);

@@ -12,7 +12,6 @@
 //! image: the cost model of Table 1 charges a resume twice as much when the
 //! image has to be fetched from a different node (remote resume).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::error::ModelError;
@@ -22,7 +21,7 @@ use crate::vm::{Vm, VmId, VmState};
 use crate::Result;
 
 /// Where a VM is and in which state, inside one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VmAssignment {
     /// Life-cycle state of the VM.
     pub state: VmState,
@@ -77,9 +76,7 @@ impl VmAssignment {
         match self.state {
             VmState::Running => self.host.is_some() && self.image.is_none(),
             VmState::Sleeping => self.host.is_none() && self.image.is_some(),
-            VmState::Waiting | VmState::Terminated => {
-                self.host.is_none() && self.image.is_none()
-            }
+            VmState::Waiting | VmState::Terminated => self.host.is_none() && self.image.is_none(),
         }
     }
 }
@@ -90,7 +87,7 @@ impl VmAssignment {
 /// Nodes and VMs are stored in `BTreeMap`s so that iteration order — and
 /// therefore everything derived from it (FFD packing, plan construction,
 /// generated identifiers) — is deterministic.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Configuration {
     nodes: BTreeMap<NodeId, Node>,
     vms: BTreeMap<VmId, Vm>,
@@ -393,12 +390,18 @@ impl Configuration {
                     to: *wanted,
                 }),
                 Some(_) => {}
-                None => deltas.push(ConfigurationDelta::Removed { vm: *vm, from: *current }),
+                None => deltas.push(ConfigurationDelta::Removed {
+                    vm: *vm,
+                    from: *current,
+                }),
             }
         }
         for (vm, wanted) in &target.assignments {
             if !self.assignments.contains_key(vm) {
-                deltas.push(ConfigurationDelta::Added { vm: *vm, to: *wanted });
+                deltas.push(ConfigurationDelta::Added {
+                    vm: *vm,
+                    to: *wanted,
+                });
             }
         }
         deltas
@@ -406,7 +409,7 @@ impl Configuration {
 }
 
 /// One per-VM difference between two configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConfigurationDelta {
     /// The VM exists in both configurations with different assignments.
     Changed {
@@ -449,12 +452,8 @@ mod tests {
             .unwrap();
         }
         for i in 0..3 {
-            c.add_vm(Vm::new(
-                VmId(i),
-                MemoryMib::gib(1),
-                CpuCapacity::cores(1),
-            ))
-            .unwrap();
+            c.add_vm(Vm::new(VmId(i), MemoryMib::gib(1), CpuCapacity::cores(1)))
+                .unwrap();
         }
         c
     }
@@ -473,7 +472,11 @@ mod tests {
     fn duplicate_registration_is_rejected() {
         let mut c = small_cluster();
         let err = c
-            .add_node(Node::new(NodeId(0), CpuCapacity::cores(1), MemoryMib::gib(1)))
+            .add_node(Node::new(
+                NodeId(0),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(1),
+            ))
             .unwrap_err();
         assert_eq!(err, ModelError::DuplicateNode(NodeId(0)));
         let err = c
@@ -485,12 +488,15 @@ mod tests {
     #[test]
     fn run_and_viability() {
         let mut c = small_cluster();
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
         assert!(c.is_viable());
         // Two busy single-core VMs on one single-core node: non-viable,
         // exactly Figure 5(a) of the paper.
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
         assert!(!c.is_viable());
         let violations = c.viability_violations();
         assert_eq!(violations.len(), 1);
@@ -500,8 +506,10 @@ mod tests {
     #[test]
     fn sleeping_vms_do_not_consume_resources() {
         let mut c = small_cluster();
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::sleeping(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::sleeping(NodeId(0)))
+            .unwrap();
         // Node 0 hosts one running VM and one suspended image: still viable,
         // the image consumes no CPU or memory in the model.
         assert!(c.is_viable());
@@ -513,17 +521,23 @@ mod tests {
     fn transition_follows_life_cycle() {
         let mut c = small_cluster();
         // Waiting → Running
-        c.transition(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.transition(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         // Running → Running on a different node (migration)
-        c.transition(VmId(0), VmAssignment::running(NodeId(1))).unwrap();
+        c.transition(VmId(0), VmAssignment::running(NodeId(1)))
+            .unwrap();
         // Running → Sleeping
-        c.transition(VmId(0), VmAssignment::sleeping(NodeId(1))).unwrap();
+        c.transition(VmId(0), VmAssignment::sleeping(NodeId(1)))
+            .unwrap();
         // Sleeping → Running
-        c.transition(VmId(0), VmAssignment::running(NodeId(2))).unwrap();
+        c.transition(VmId(0), VmAssignment::running(NodeId(2)))
+            .unwrap();
         // Running → Terminated
         c.transition(VmId(0), VmAssignment::terminated()).unwrap();
         // Terminated is final.
-        assert!(c.transition(VmId(0), VmAssignment::running(NodeId(0))).is_err());
+        assert!(c
+            .transition(VmId(0), VmAssignment::running(NodeId(0)))
+            .is_err());
     }
 
     #[test]
@@ -553,7 +567,8 @@ mod tests {
             ModelError::UnknownNode(NodeId(99))
         );
         assert_eq!(
-            c.set_assignment(VmId(99), VmAssignment::waiting()).unwrap_err(),
+            c.set_assignment(VmId(99), VmAssignment::waiting())
+                .unwrap_err(),
             ModelError::UnknownVm(VmId(99))
         );
     }
@@ -561,55 +576,72 @@ mod tests {
     #[test]
     fn usage_and_free_space() {
         let mut c = small_cluster();
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         let usage = c.usage(NodeId(0)).unwrap();
         assert_eq!(usage.used.cpu, CpuCapacity::cores(1));
         assert_eq!(usage.used.memory, MemoryMib::gib(1));
         assert_eq!(c.free(NodeId(0)).unwrap().memory, MemoryMib::gib(2));
         assert!(!c
-            .can_host(NodeId(0), &ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::gib(1)))
+            .can_host(
+                NodeId(0),
+                &ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::gib(1))
+            )
             .unwrap());
         assert!(c
-            .can_host(NodeId(0), &ResourceDemand::new(CpuCapacity::ZERO, MemoryMib::gib(2)))
+            .can_host(
+                NodeId(0),
+                &ResourceDemand::new(CpuCapacity::ZERO, MemoryMib::gib(2))
+            )
             .unwrap());
     }
 
     #[test]
     fn delta_reports_changes() {
         let mut a = small_cluster();
-        a.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        a.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         let mut b = a.clone();
-        b.set_assignment(VmId(0), VmAssignment::running(NodeId(1))).unwrap();
-        b.set_assignment(VmId(1), VmAssignment::running(NodeId(2))).unwrap();
+        b.set_assignment(VmId(0), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        b.set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+            .unwrap();
         let deltas = a.delta(&b);
         assert_eq!(deltas.len(), 2);
-        assert!(deltas.iter().any(|d| matches!(
-            d,
-            ConfigurationDelta::Changed { vm: VmId(0), .. }
-        )));
-        assert!(deltas.iter().any(|d| matches!(
-            d,
-            ConfigurationDelta::Changed { vm: VmId(1), .. }
-        )));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, ConfigurationDelta::Changed { vm: VmId(0), .. })));
+        assert!(deltas
+            .iter()
+            .any(|d| matches!(d, ConfigurationDelta::Changed { vm: VmId(1), .. })));
     }
 
     #[test]
     fn delta_reports_added_and_removed_vms() {
         let a = small_cluster();
         let mut b = a.clone();
-        b.add_vm(Vm::new(VmId(10), MemoryMib::mib(256), CpuCapacity::ZERO)).unwrap();
+        b.add_vm(Vm::new(VmId(10), MemoryMib::mib(256), CpuCapacity::ZERO))
+            .unwrap();
         let deltas = a.delta(&b);
         assert_eq!(deltas.len(), 1);
-        assert!(matches!(deltas[0], ConfigurationDelta::Added { vm: VmId(10), .. }));
+        assert!(matches!(
+            deltas[0],
+            ConfigurationDelta::Added { vm: VmId(10), .. }
+        ));
         let deltas_rev = b.delta(&a);
-        assert!(matches!(deltas_rev[0], ConfigurationDelta::Removed { vm: VmId(10), .. }));
+        assert!(matches!(
+            deltas_rev[0],
+            ConfigurationDelta::Removed { vm: VmId(10), .. }
+        ));
     }
 
     #[test]
     fn totals() {
         let mut c = small_cluster();
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
         assert_eq!(c.total_capacity().cpu, CpuCapacity::cores(3));
         assert_eq!(c.total_capacity().memory, MemoryMib::gib(9));
         assert_eq!(c.total_running_demand().cpu, CpuCapacity::cores(2));
@@ -637,24 +669,37 @@ mod tests {
         // CPU, VM1 is idle.  Two placements are viable.
         let mut c = Configuration::new();
         for i in 0..3 {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(1), MemoryMib::gib(2))).unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(2),
+            ))
+            .unwrap();
         }
-        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(512), CpuCapacity::ZERO)).unwrap();
-        c.add_vm(Vm::new(VmId(2), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-        c.add_vm(Vm::new(VmId(3), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
+        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(512), CpuCapacity::ZERO))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(2), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(3), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
 
         // Viable: VM1+VM2 on node 0, VM3 on node 1.
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(2), VmAssignment::running(NodeId(0))).unwrap();
-        c.set_assignment(VmId(3), VmAssignment::running(NodeId(1))).unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(2), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.set_assignment(VmId(3), VmAssignment::running(NodeId(1)))
+            .unwrap();
         assert!(c.is_viable());
 
         // Viable: one VM per node.
-        c.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+        c.set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+            .unwrap();
         assert!(c.is_viable());
 
         // Non-viable (Figure 5(a)): VM2 and VM3 share a uniprocessor node.
-        c.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
+        c.set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+            .unwrap();
         assert!(!c.is_viable());
     }
 }

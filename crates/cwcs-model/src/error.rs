@@ -98,7 +98,13 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(ModelError::UnknownVm(VmId(1)), ModelError::UnknownVm(VmId(1)));
-        assert_ne!(ModelError::UnknownVm(VmId(1)), ModelError::UnknownVm(VmId(2)));
+        assert_eq!(
+            ModelError::UnknownVm(VmId(1)),
+            ModelError::UnknownVm(VmId(1))
+        );
+        assert_ne!(
+            ModelError::UnknownVm(VmId(1)),
+            ModelError::UnknownVm(VmId(2))
+        );
     }
 }

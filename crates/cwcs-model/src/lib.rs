@@ -21,6 +21,7 @@ pub mod configuration;
 pub mod error;
 pub mod node;
 pub mod resources;
+pub mod rng;
 pub mod vjob;
 pub mod vm;
 
@@ -28,6 +29,7 @@ pub use configuration::{Configuration, ConfigurationDelta, VmAssignment};
 pub use error::ModelError;
 pub use node::{Node, NodeId};
 pub use resources::{CpuCapacity, MemoryMib, ResourceDemand, ResourceUsage};
+pub use rng::SmallRng;
 pub use vjob::{Vjob, VjobId, VjobState};
 pub use vm::{Vm, VmId, VmState};
 

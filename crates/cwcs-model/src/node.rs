@@ -4,15 +4,12 @@
 //! 4 GB RAM for the real cluster; 2 CPUs / 4 GB for the generated 200-node
 //! configurations), but nothing in the model requires homogeneity.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::resources::{CpuCapacity, MemoryMib, ResourceDemand};
 
 /// Identifier of a working node, unique across the cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -25,7 +22,7 @@ impl fmt::Display for NodeId {
 ///
 /// The capacities are the quantities the paper calls `Cc(ni)` (processing
 /// units) and `Cm(ni)` (memory) for a node `ni`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// Unique identifier.
     pub id: NodeId,

@@ -10,7 +10,6 @@
 //! may demand a fraction of a core (an idle NAS-Grid VM demands close to
 //! zero, a computing VM demands one full unit).  Memory is counted in MiB.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
@@ -23,9 +22,7 @@ pub const CPU_UNIT: u32 = 100;
 ///
 /// `CpuCapacity::cores(2)` is a dual-core node; `CpuCapacity::percent(50)` is
 /// a VM using half a core.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CpuCapacity(pub u32);
 
 impl CpuCapacity {
@@ -106,9 +103,7 @@ impl fmt::Display for CpuCapacity {
 }
 
 /// Memory capacity or demand, in MiB.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MemoryMib(pub u64);
 
 impl MemoryMib {
@@ -185,9 +180,7 @@ impl fmt::Display for MemoryMib {
 
 /// A two-dimensional resource demand (CPU, memory), the quantity the paper
 /// calls `Dc(vj)` and `Dm(vj)` for a VM `vj`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ResourceDemand {
     /// CPU demand in hundredths of a processing unit.
     pub cpu: CpuCapacity,
@@ -257,7 +250,7 @@ impl fmt::Display for ResourceDemand {
 
 /// Aggregated resource usage of a node: how much of its capacity is consumed
 /// by the running VMs it hosts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResourceUsage {
     /// Total demand of the hosted running VMs.
     pub used: ResourceDemand,
@@ -400,7 +393,10 @@ mod tests {
     fn usage_ratios() {
         let cap = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(4));
         let mut usage = ResourceUsage::empty(cap);
-        usage.add(&ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::gib(1)));
+        usage.add(&ResourceDemand::new(
+            CpuCapacity::cores(1),
+            MemoryMib::gib(1),
+        ));
         assert!((usage.cpu_ratio() - 0.5).abs() < 1e-9);
         assert!((usage.memory_ratio() - 0.25).abs() < 1e-9);
     }

@@ -7,7 +7,6 @@
 //! states for whole vjobs; the reconfiguration planner then emits per-VM
 //! actions while keeping the VMs of one vjob consistent.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::ModelError;
@@ -15,9 +14,7 @@ use crate::vm::{VmId, VmState};
 use crate::Result;
 
 /// Identifier of a vjob, unique across the cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VjobId(pub u32);
 
 impl fmt::Display for VjobId {
@@ -32,7 +29,7 @@ impl fmt::Display for VjobId {
 /// cluster-wide context switch; during the switch the VMs may transiently be
 /// in different states, which is why the planner groups and pipelines the
 /// suspends and resumes of a vjob (Section 4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VjobState {
     /// Submitted, never run yet.
     Waiting,
@@ -88,7 +85,7 @@ impl fmt::Display for VjobState {
 
 /// A virtualized job: an ordered set of VMs scheduled as one unit, with a
 /// submission order and a priority used by FCFS-style decision modules.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vjob {
     /// Unique identifier.
     pub id: VjobId,
@@ -168,7 +165,11 @@ impl Vjob {
     /// Sort key used by FCFS decision modules: descending priority, then
     /// ascending submission order, then id for determinism.
     pub fn queue_key(&self) -> (std::cmp::Reverse<u32>, u64, u32) {
-        (std::cmp::Reverse(self.priority), self.submission_order, self.id.0)
+        (
+            std::cmp::Reverse(self.priority),
+            self.submission_order,
+            self.id.0,
+        )
     }
 }
 
@@ -213,7 +214,11 @@ mod tests {
         let mut j = vjob(1, 1);
         assert!(j.transition_to(VjobState::Sleeping).is_err());
         assert!(j.transition_to(VjobState::Terminated).is_err());
-        assert_eq!(j.state, VjobState::Waiting, "failed transition must not change state");
+        assert_eq!(
+            j.state,
+            VjobState::Waiting,
+            "failed transition must not change state"
+        );
     }
 
     #[test]
@@ -231,7 +236,7 @@ mod tests {
         let early_low = vjob(1, 1);
         let late_low = vjob(2, 1);
         let late_high = vjob(3, 1).with_priority(5);
-        let mut queue = vec![late_low.clone(), late_high.clone(), early_low.clone()];
+        let mut queue = [late_low.clone(), late_high.clone(), early_low.clone()];
         queue.sort_by_key(|j| j.queue_key());
         let ids: Vec<u32> = queue.iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![3, 1, 2]);

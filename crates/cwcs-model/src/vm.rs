@@ -5,15 +5,12 @@
 //! vjob (see [`crate::vjob`]), but the reconfiguration planner and the
 //! drivers manipulate individual VMs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::resources::{CpuCapacity, MemoryMib, ResourceDemand};
 
 /// Identifier of a virtual machine, unique across the cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub u32);
 
 impl fmt::Display for VmId {
@@ -27,9 +24,7 @@ impl fmt::Display for VmId {
 ///
 /// The pseudo-state *Ready* of the paper is the union of [`VmState::Waiting`]
 /// and [`VmState::Sleeping`]; use [`VmState::is_ready`] to test it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VmState {
     /// Submitted but never run yet.
     Waiting,
@@ -101,7 +96,7 @@ impl fmt::Display for VmState {
 /// resumes (Table 1 of the paper).  The CPU demand `Dc` is a full processing
 /// unit while the embedded application computes and (close to) zero when it
 /// idles; the monitoring service of `cwcs-sim` updates it over time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vm {
     /// Unique identifier.
     pub id: VmId,

@@ -6,7 +6,6 @@
 //! the resources it *requires* on its destination node, which is what the
 //! planner needs to order actions (Section 4.1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use cwcs_model::{
@@ -18,7 +17,7 @@ use cwcs_model::{
 /// Every variant carries the resource demand of the VM as observed when the
 /// plan was built, so costs and durations can be computed without going back
 /// to the configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
     /// Boot a waiting VM on `node`.
     Run {
@@ -159,9 +158,7 @@ impl Action {
             Action::Run { vm, node, .. } => config.transition(vm, VmAssignment::running(node)),
             Action::Stop { vm, .. } => config.transition(vm, VmAssignment::terminated()),
             Action::Migrate { vm, to, .. } => config.transition(vm, VmAssignment::running(to)),
-            Action::Suspend { vm, node, .. } => {
-                config.transition(vm, VmAssignment::sleeping(node))
-            }
+            Action::Suspend { vm, node, .. } => config.transition(vm, VmAssignment::sleeping(node)),
             Action::Resume { vm, to, .. } => config.transition(vm, VmAssignment::running(to)),
         }
     }
@@ -171,9 +168,9 @@ impl Action {
     /// node the action touches first, then by VM id for determinism.
     pub fn pipeline_key(&self, config: &Configuration) -> (String, u32) {
         let node = match *self {
-            Action::Run { node, .. }
-            | Action::Stop { node, .. }
-            | Action::Suspend { node, .. } => node,
+            Action::Run { node, .. } | Action::Stop { node, .. } | Action::Suspend { node, .. } => {
+                node
+            }
             Action::Migrate { from, .. } => from,
             Action::Resume { to, .. } => to,
         };
@@ -217,35 +214,65 @@ mod tests {
     fn test_config() -> Configuration {
         let mut c = Configuration::new();
         for i in 0..3 {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
-                .unwrap();
-        }
-        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
             .unwrap();
+        }
+        c.add_vm(Vm::new(
+            VmId(0),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
+        .unwrap();
         c
     }
 
     #[test]
     fn releases_and_requires() {
         let d = demand();
-        let run = Action::Run { vm: VmId(0), node: NodeId(1), demand: d };
+        let run = Action::Run {
+            vm: VmId(0),
+            node: NodeId(1),
+            demand: d,
+        };
         assert_eq!(run.releases(), None);
         assert_eq!(run.requires(), Some((NodeId(1), d)));
         assert!(!run.is_always_feasible());
 
-        let stop = Action::Stop { vm: VmId(0), node: NodeId(1), demand: d };
+        let stop = Action::Stop {
+            vm: VmId(0),
+            node: NodeId(1),
+            demand: d,
+        };
         assert_eq!(stop.releases(), Some((NodeId(1), d)));
         assert_eq!(stop.requires(), None);
         assert!(stop.is_always_feasible());
 
-        let migrate = Action::Migrate { vm: VmId(0), from: NodeId(0), to: NodeId(1), demand: d };
+        let migrate = Action::Migrate {
+            vm: VmId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
         assert_eq!(migrate.releases(), Some((NodeId(0), d)));
         assert_eq!(migrate.requires(), Some((NodeId(1), d)));
 
-        let suspend = Action::Suspend { vm: VmId(0), node: NodeId(2), demand: d };
+        let suspend = Action::Suspend {
+            vm: VmId(0),
+            node: NodeId(2),
+            demand: d,
+        };
         assert!(suspend.is_always_feasible());
 
-        let resume = Action::Resume { vm: VmId(0), image: NodeId(0), to: NodeId(1), demand: d };
+        let resume = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
         assert_eq!(resume.requires(), Some((NodeId(1), d)));
         assert_eq!(resume.releases(), None);
     }
@@ -253,14 +280,28 @@ mod tests {
     #[test]
     fn local_and_remote_resume() {
         let d = demand();
-        let local = Action::Resume { vm: VmId(0), image: NodeId(1), to: NodeId(1), demand: d };
-        let remote = Action::Resume { vm: VmId(0), image: NodeId(0), to: NodeId(1), demand: d };
+        let local = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(1),
+            to: NodeId(1),
+            demand: d,
+        };
+        let remote = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
         assert!(local.is_local_resume());
         assert!(!local.is_remote_resume());
         assert!(remote.is_remote_resume());
         assert!(!remote.is_local_resume());
         // Non-resume actions are neither.
-        let run = Action::Run { vm: VmId(0), node: NodeId(1), demand: d };
+        let run = Action::Run {
+            vm: VmId(0),
+            node: NodeId(1),
+            demand: d,
+        };
         assert!(!run.is_local_resume());
         assert!(!run.is_remote_resume());
     }
@@ -269,19 +310,47 @@ mod tests {
     fn apply_walks_the_life_cycle() {
         let mut c = test_config();
         let d = demand();
-        Action::Run { vm: VmId(0), node: NodeId(0), demand: d }.apply(&mut c).unwrap();
+        Action::Run {
+            vm: VmId(0),
+            node: NodeId(0),
+            demand: d,
+        }
+        .apply(&mut c)
+        .unwrap();
         assert_eq!(c.host(VmId(0)).unwrap(), Some(NodeId(0)));
-        Action::Migrate { vm: VmId(0), from: NodeId(0), to: NodeId(1), demand: d }
-            .apply(&mut c)
-            .unwrap();
+        Action::Migrate {
+            vm: VmId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        }
+        .apply(&mut c)
+        .unwrap();
         assert_eq!(c.host(VmId(0)).unwrap(), Some(NodeId(1)));
-        Action::Suspend { vm: VmId(0), node: NodeId(1), demand: d }.apply(&mut c).unwrap();
+        Action::Suspend {
+            vm: VmId(0),
+            node: NodeId(1),
+            demand: d,
+        }
+        .apply(&mut c)
+        .unwrap();
         assert_eq!(c.image_location(VmId(0)).unwrap(), Some(NodeId(1)));
-        Action::Resume { vm: VmId(0), image: NodeId(1), to: NodeId(2), demand: d }
-            .apply(&mut c)
-            .unwrap();
+        Action::Resume {
+            vm: VmId(0),
+            image: NodeId(1),
+            to: NodeId(2),
+            demand: d,
+        }
+        .apply(&mut c)
+        .unwrap();
         assert_eq!(c.host(VmId(0)).unwrap(), Some(NodeId(2)));
-        Action::Stop { vm: VmId(0), node: NodeId(2), demand: d }.apply(&mut c).unwrap();
+        Action::Stop {
+            vm: VmId(0),
+            node: NodeId(2),
+            demand: d,
+        }
+        .apply(&mut c)
+        .unwrap();
         assert_eq!(c.state(VmId(0)).unwrap(), cwcs_model::VmState::Terminated);
     }
 
@@ -290,28 +359,63 @@ mod tests {
         let mut c = test_config();
         let d = demand();
         // Suspending a waiting VM is illegal.
-        let err = Action::Suspend { vm: VmId(0), node: NodeId(0), demand: d }
-            .apply(&mut c)
-            .unwrap_err();
+        let err = Action::Suspend {
+            vm: VmId(0),
+            node: NodeId(0),
+            demand: d,
+        }
+        .apply(&mut c)
+        .unwrap_err();
         assert!(matches!(err, ModelError::IllegalTransition { .. }));
     }
 
     #[test]
     fn display_is_readable() {
         let d = demand();
-        let a = Action::Migrate { vm: VmId(3), from: NodeId(1), to: NodeId(2), demand: d };
+        let a = Action::Migrate {
+            vm: VmId(3),
+            from: NodeId(1),
+            to: NodeId(2),
+            demand: d,
+        };
         assert_eq!(a.to_string(), "migrate(vm-3: node-1 -> node-2)");
-        let r = Action::Resume { vm: VmId(3), image: NodeId(1), to: NodeId(1), demand: d };
+        let r = Action::Resume {
+            vm: VmId(3),
+            image: NodeId(1),
+            to: NodeId(1),
+            demand: d,
+        };
         assert!(r.to_string().contains("local"));
     }
 
     #[test]
     fn kind_names() {
         let d = demand();
-        assert_eq!(Action::Run { vm: VmId(0), node: NodeId(0), demand: d }.kind(), "run");
-        assert_eq!(Action::Stop { vm: VmId(0), node: NodeId(0), demand: d }.kind(), "stop");
         assert_eq!(
-            Action::Suspend { vm: VmId(0), node: NodeId(0), demand: d }.kind(),
+            Action::Run {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }
+            .kind(),
+            "run"
+        );
+        assert_eq!(
+            Action::Stop {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }
+            .kind(),
+            "stop"
+        );
+        assert_eq!(
+            Action::Suspend {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }
+            .kind(),
             "suspend"
         );
     }

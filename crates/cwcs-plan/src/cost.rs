@@ -13,8 +13,6 @@
 //! cluster-wide context switch": the later an expensive pool, the more other
 //! actions pay for it.
 
-use serde::{Deserialize, Serialize};
-
 use crate::action::Action;
 use crate::plan::ReconfigurationPlan;
 
@@ -23,7 +21,7 @@ use crate::plan::ReconfigurationPlan;
 pub type Cost = u64;
 
 /// The per-action cost model of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ActionCostModel {
     /// Constant cost of a `run` action (0 in the paper).
     pub run_cost: Cost,
@@ -101,7 +99,7 @@ impl ActionCostModel {
 }
 
 /// Cost breakdown of a reconfiguration plan.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanCost {
     /// The plan cost of Section 4.2 (sum of total action costs).
     pub total: Cost,
@@ -136,20 +134,42 @@ mod tests {
         let model = ActionCostModel::paper();
         let d = demand(1024);
         assert_eq!(
-            model.action_cost(&Action::Run { vm: VmId(0), node: NodeId(0), demand: d }),
+            model.action_cost(&Action::Run {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }),
             0
         );
         assert_eq!(
-            model.action_cost(&Action::Stop { vm: VmId(0), node: NodeId(0), demand: d }),
+            model.action_cost(&Action::Stop {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }),
             0
         );
         assert_eq!(model.action_cost(&migrate(0, 1024)), 1024);
         assert_eq!(
-            model.action_cost(&Action::Suspend { vm: VmId(0), node: NodeId(0), demand: d }),
+            model.action_cost(&Action::Suspend {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }),
             1024
         );
-        let local = Action::Resume { vm: VmId(0), image: NodeId(1), to: NodeId(1), demand: d };
-        let remote = Action::Resume { vm: VmId(0), image: NodeId(0), to: NodeId(1), demand: d };
+        let local = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(1),
+            to: NodeId(1),
+            demand: d,
+        };
+        let remote = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
         assert_eq!(model.action_cost(&local), 1024);
         assert_eq!(model.action_cost(&remote), 2048);
     }
@@ -231,11 +251,19 @@ mod tests {
         };
         let d = demand(100);
         assert_eq!(
-            model.action_cost(&Action::Run { vm: VmId(0), node: NodeId(0), demand: d }),
+            model.action_cost(&Action::Run {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }),
             5
         );
         assert_eq!(
-            model.action_cost(&Action::Stop { vm: VmId(0), node: NodeId(0), demand: d }),
+            model.action_cost(&Action::Stop {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }),
             7
         );
     }
@@ -262,16 +290,34 @@ mod tests {
         let d = demand(1024);
         let plan = ReconfigurationPlan::from_pools(vec![
             planned(vec![
-                Action::Suspend { vm: VmId(3), node: NodeId(1), demand: d },
-                Action::Migrate { vm: VmId(1), from: NodeId(0), to: NodeId(1), demand: d },
+                Action::Suspend {
+                    vm: VmId(3),
+                    node: NodeId(1),
+                    demand: d,
+                },
+                Action::Migrate {
+                    vm: VmId(1),
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    demand: d,
+                },
             ]),
             planned(vec![
-                Action::Resume { vm: VmId(5), image: NodeId(2), to: NodeId(2), demand: d },
-                Action::Run { vm: VmId(6), node: NodeId(0), demand: d },
+                Action::Resume {
+                    vm: VmId(5),
+                    image: NodeId(2),
+                    to: NodeId(2),
+                    demand: d,
+                },
+                Action::Run {
+                    vm: VmId(6),
+                    node: NodeId(0),
+                    demand: d,
+                },
             ]),
         ]);
         let cost = model.plan_cost(&plan);
         assert_eq!(cost.pool_costs, vec![1024, 1024]);
-        assert_eq!(cost.total, 1024 + 1024 + (1024 + 1024) + (1024 + 0));
+        assert_eq!(cost.total, 1024 + 1024 + (1024 + 1024) + 1024);
     }
 }

@@ -125,7 +125,11 @@ impl ReconfigurationGraph {
                 }
                 (Waiting, Running) => {
                     let node = wanted.host.ok_or(GraphError::MissingHost(vm_id))?;
-                    Some(Action::Run { vm: vm_id, node, demand })
+                    Some(Action::Run {
+                        vm: vm_id,
+                        node,
+                        demand,
+                    })
                 }
                 (Running, Sleeping) => Some(Action::Suspend {
                     vm: vm_id,
@@ -147,7 +151,11 @@ impl ReconfigurationGraph {
                     demand,
                 }),
                 (from, to) => {
-                    return Err(GraphError::UnsupportedTransition { vm: vm_id, from, to })
+                    return Err(GraphError::UnsupportedTransition {
+                        vm: vm_id,
+                        from,
+                        to,
+                    })
                 }
             };
             if let Some(action) = action {
@@ -220,20 +228,31 @@ mod tests {
     fn cluster(nodes: u32) -> Configuration {
         let mut c = Configuration::new();
         for i in 0..nodes {
-            c.add_node(Node::new(NodeId(i), CpuCapacity::cores(1), MemoryMib::gib(2))).unwrap();
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(2),
+            ))
+            .unwrap();
         }
         c
     }
 
     fn add_vm(c: &mut Configuration, id: u32, mem: u64, cpu: u32) {
-        c.add_vm(Vm::new(VmId(id), MemoryMib::mib(mem), CpuCapacity::percent(cpu))).unwrap();
+        c.add_vm(Vm::new(
+            VmId(id),
+            MemoryMib::mib(mem),
+            CpuCapacity::percent(cpu),
+        ))
+        .unwrap();
     }
 
     #[test]
     fn identical_configurations_need_no_action() {
         let mut c = cluster(2);
         add_vm(&mut c, 0, 512, 100);
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         let g = ReconfigurationGraph::build(&c, &c.clone()).unwrap();
         assert!(g.is_empty());
     }
@@ -241,7 +260,13 @@ mod tests {
     #[test]
     fn every_life_cycle_action_is_generated() {
         let mut src = cluster(3);
-        for (id, state) in [(0, "waiting"), (1, "running"), (2, "running"), (3, "sleeping"), (4, "running")] {
+        for (id, state) in [
+            (0, "waiting"),
+            (1, "running"),
+            (2, "running"),
+            (3, "sleeping"),
+            (4, "running"),
+        ] {
             add_vm(&mut src, id, 512, 100);
             match state {
                 "running" => src
@@ -255,11 +280,16 @@ mod tests {
         }
         let mut dst = src.clone();
         // 0: run on node 2; 1: migrate 1 -> 0; 2: suspend; 3: resume on 1 (remote); 4: stop
-        dst.set_assignment(VmId(0), VmAssignment::running(NodeId(2))).unwrap();
-        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
-        dst.set_assignment(VmId(2), VmAssignment::sleeping(NodeId(2))).unwrap();
-        dst.set_assignment(VmId(3), VmAssignment::running(NodeId(1))).unwrap();
-        dst.set_assignment(VmId(4), VmAssignment::terminated()).unwrap();
+        dst.set_assignment(VmId(0), VmAssignment::running(NodeId(2)))
+            .unwrap();
+        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        dst.set_assignment(VmId(2), VmAssignment::sleeping(NodeId(2)))
+            .unwrap();
+        dst.set_assignment(VmId(3), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        dst.set_assignment(VmId(4), VmAssignment::terminated())
+            .unwrap();
 
         let g = ReconfigurationGraph::build(&src, &dst).unwrap();
         assert_eq!(g.len(), 5);
@@ -286,9 +316,13 @@ mod tests {
         add_vm(&mut src, 0, 512, 0);
         let mut dst = src.clone();
         // Waiting → Sleeping requires two actions; the graph refuses.
-        dst.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(0))).unwrap();
+        dst.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(0)))
+            .unwrap();
         let err = ReconfigurationGraph::build(&src, &dst).unwrap_err();
-        assert!(matches!(err, GraphError::UnsupportedTransition { vm: VmId(0), .. }));
+        assert!(matches!(
+            err,
+            GraphError::UnsupportedTransition { vm: VmId(0), .. }
+        ));
     }
 
     #[test]
@@ -296,10 +330,19 @@ mod tests {
         let mut c = cluster(2);
         add_vm(&mut c, 0, 512, 100);
         add_vm(&mut c, 1, 512, 100);
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         let demand = ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::mib(512));
-        let run_on_busy = Action::Run { vm: VmId(1), node: NodeId(0), demand };
-        let run_on_free = Action::Run { vm: VmId(1), node: NodeId(1), demand };
+        let run_on_busy = Action::Run {
+            vm: VmId(1),
+            node: NodeId(0),
+            demand,
+        };
+        let run_on_free = Action::Run {
+            vm: VmId(1),
+            node: NodeId(1),
+            demand,
+        };
         assert!(!ReconfigurationGraph::feasibility(&run_on_busy, &c).is_feasible());
         assert!(ReconfigurationGraph::feasibility(&run_on_free, &c).is_feasible());
         match ReconfigurationGraph::feasibility(&run_on_busy, &c) {
@@ -317,12 +360,25 @@ mod tests {
         add_vm(&mut c, 0, 512, 100);
         add_vm(&mut c, 1, 512, 100);
         add_vm(&mut c, 2, 512, 100);
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         let demand = ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::mib(512));
         let g = ReconfigurationGraph::from_actions(vec![
-            Action::Run { vm: VmId(1), node: NodeId(0), demand }, // blocked
-            Action::Run { vm: VmId(2), node: NodeId(1), demand }, // feasible
-            Action::Suspend { vm: VmId(0), node: NodeId(0), demand }, // always feasible
+            Action::Run {
+                vm: VmId(1),
+                node: NodeId(0),
+                demand,
+            }, // blocked
+            Action::Run {
+                vm: VmId(2),
+                node: NodeId(1),
+                demand,
+            }, // feasible
+            Action::Suspend {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand,
+            }, // always feasible
         ]);
         let (feasible, blocked) = g.partition_feasible(&c);
         assert_eq!(feasible.len(), 2);
@@ -335,12 +391,34 @@ mod tests {
         // Figure 7: VM2 running on N2 consumes too much memory for VM1 to
         // migrate there; suspend(VM2) is feasible, migrate(VM1) is blocked.
         let mut c = Configuration::new();
-        c.add_node(Node::new(NodeId(1), CpuCapacity::cores(2), MemoryMib::gib(2))).unwrap();
-        c.add_node(Node::new(NodeId(2), CpuCapacity::cores(2), MemoryMib::gib(2))).unwrap();
-        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(1536), CpuCapacity::percent(50))).unwrap();
-        c.add_vm(Vm::new(VmId(2), MemoryMib::mib(1024), CpuCapacity::percent(50))).unwrap();
-        c.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-        c.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+        c.add_node(Node::new(
+            NodeId(1),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(2),
+        ))
+        .unwrap();
+        c.add_node(Node::new(
+            NodeId(2),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(2),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(
+            VmId(1),
+            MemoryMib::mib(1536),
+            CpuCapacity::percent(50),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(
+            VmId(2),
+            MemoryMib::mib(1024),
+            CpuCapacity::percent(50),
+        ))
+        .unwrap();
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        c.set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+            .unwrap();
 
         let migrate_vm1 = Action::Migrate {
             vm: VmId(1),

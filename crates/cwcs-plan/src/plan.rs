@@ -9,7 +9,6 @@
 //! started one second apart so that the VMs are paused sequentially while the
 //! bulk of the writing happens in parallel.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use cwcs_model::{Configuration, ModelError, NodeId, ResourceDemand};
@@ -18,7 +17,7 @@ use crate::action::Action;
 
 /// An action with its start offset (in seconds) relative to the beginning of
 /// its pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlannedAction {
     /// The action to perform.
     pub action: Action,
@@ -28,7 +27,7 @@ pub struct PlannedAction {
 
 /// A set of actions that are feasible in parallel from the configuration
 /// reached after the previous pools.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Pool {
     /// Actions of the pool, with their pipeline offsets.
     pub actions: Vec<PlannedAction>,
@@ -92,7 +91,10 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::InfeasibleAction { action, node, .. } => {
-                write!(f, "action {action} is not feasible: not enough resources on {node}")
+                write!(
+                    f,
+                    "action {action} is not feasible: not enough resources on {node}"
+                )
             }
             PlanError::Model(e) => write!(f, "model error while applying plan: {e}"),
             PlanError::NonViableIntermediate { pool_index, node } => write!(
@@ -113,7 +115,7 @@ impl From<ModelError> for PlanError {
 
 /// Summary statistics of a plan (used by the experiment reports: "9 stop
 /// actions, 18 run actions, 9 resume actions and 9 migrations").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanStats {
     /// Number of pools.
     pub pools: usize,
@@ -141,7 +143,7 @@ impl PlanStats {
 }
 
 /// A reconfiguration plan: an ordered sequence of pools.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ReconfigurationPlan {
     pools: Vec<Pool>,
 }
@@ -306,11 +308,24 @@ mod tests {
     /// one waiting VM.
     fn config() -> Configuration {
         let mut c = Configuration::new();
-        c.add_node(Node::new(NodeId(0), CpuCapacity::cores(1), MemoryMib::gib(2))).unwrap();
-        c.add_node(Node::new(NodeId(1), CpuCapacity::cores(1), MemoryMib::gib(2))).unwrap();
-        c.add_vm(Vm::new(VmId(0), MemoryMib::gib(1), CpuCapacity::cores(1))).unwrap();
-        c.add_vm(Vm::new(VmId(1), MemoryMib::gib(1), CpuCapacity::cores(1))).unwrap();
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.add_node(Node::new(
+            NodeId(0),
+            CpuCapacity::cores(1),
+            MemoryMib::gib(2),
+        ))
+        .unwrap();
+        c.add_node(Node::new(
+            NodeId(1),
+            CpuCapacity::cores(1),
+            MemoryMib::gib(2),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(VmId(0), MemoryMib::gib(1), CpuCapacity::cores(1)))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(1), MemoryMib::gib(1), CpuCapacity::cores(1)))
+            .unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         c
     }
 
@@ -319,14 +334,41 @@ mod tests {
         let d = demand(512, 1);
         let plan = ReconfigurationPlan::from_pools(vec![
             Pool::from_actions(vec![
-                Action::Suspend { vm: VmId(0), node: NodeId(0), demand: d },
-                Action::Migrate { vm: VmId(1), from: NodeId(0), to: NodeId(1), demand: d },
+                Action::Suspend {
+                    vm: VmId(0),
+                    node: NodeId(0),
+                    demand: d,
+                },
+                Action::Migrate {
+                    vm: VmId(1),
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    demand: d,
+                },
             ]),
             Pool::from_actions(vec![
-                Action::Resume { vm: VmId(2), image: NodeId(1), to: NodeId(1), demand: d },
-                Action::Resume { vm: VmId(3), image: NodeId(0), to: NodeId(1), demand: d },
-                Action::Run { vm: VmId(4), node: NodeId(0), demand: d },
-                Action::Stop { vm: VmId(5), node: NodeId(0), demand: d },
+                Action::Resume {
+                    vm: VmId(2),
+                    image: NodeId(1),
+                    to: NodeId(1),
+                    demand: d,
+                },
+                Action::Resume {
+                    vm: VmId(3),
+                    image: NodeId(0),
+                    to: NodeId(1),
+                    demand: d,
+                },
+                Action::Run {
+                    vm: VmId(4),
+                    node: NodeId(0),
+                    demand: d,
+                },
+                Action::Stop {
+                    vm: VmId(5),
+                    node: NodeId(0),
+                    demand: d,
+                },
             ]),
         ]);
         let stats = plan.stats();
@@ -366,7 +408,13 @@ mod tests {
             demand: demand(1024, 1),
         }])]);
         let err = plan.validate(&c).unwrap_err();
-        assert!(matches!(err, PlanError::InfeasibleAction { node: NodeId(0), .. }));
+        assert!(matches!(
+            err,
+            PlanError::InfeasibleAction {
+                node: NodeId(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -376,8 +424,16 @@ mod tests {
         // must refuse because VM0's resources are only freed when the pool
         // completes (this is the sequential constraint of Figure 7).
         let plan = ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
-            Action::Suspend { vm: VmId(0), node: NodeId(0), demand: demand(1024, 1) },
-            Action::Run { vm: VmId(1), node: NodeId(0), demand: demand(1024, 1) },
+            Action::Suspend {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: demand(1024, 1),
+            },
+            Action::Run {
+                vm: VmId(1),
+                node: NodeId(0),
+                demand: demand(1024, 1),
+            },
         ])]);
         assert!(plan.validate(&c).is_err());
 
@@ -410,9 +466,12 @@ mod tests {
     #[test]
     fn display_lists_pools_and_offsets() {
         let d = demand(512, 1);
-        let mut plan = ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
-            Action::Suspend { vm: VmId(0), node: NodeId(0), demand: d },
-        ])]);
+        let mut plan =
+            ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![Action::Suspend {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d,
+            }])]);
         plan.pools_mut()[0].actions[0].offset_secs = 2;
         let text = plan.to_string();
         assert!(text.contains("pool 1"));
@@ -422,7 +481,10 @@ mod tests {
 
     #[test]
     fn plan_error_display() {
-        let err = PlanError::NonViableIntermediate { pool_index: 2, node: NodeId(4) };
+        let err = PlanError::NonViableIntermediate {
+            pool_index: 2,
+            node: NodeId(4),
+        };
         assert!(err.to_string().contains("pool 2"));
         assert!(err.to_string().contains("node-4"));
     }

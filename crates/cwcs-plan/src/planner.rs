@@ -219,7 +219,12 @@ impl Planner {
                         match Self::break_cycle_with_suspend(&blocked) {
                             Some((suspend, index)) => {
                                 let (vm, from, to, demand) = match blocked[index] {
-                                    Action::Migrate { vm, from, to, demand } => (vm, from, to, demand),
+                                    Action::Migrate {
+                                        vm,
+                                        from,
+                                        to,
+                                        demand,
+                                    } => (vm, from, to, demand),
                                     _ => unreachable!("suspend fallback targets a migration"),
                                 };
                                 pool_actions.push(suspend);
@@ -255,7 +260,10 @@ impl Planner {
 
         // The construction maintains feasibility by design; validate in debug
         // builds to catch regressions early.
-        debug_assert!(plan.validate(source).is_ok(), "planner produced an invalid plan");
+        debug_assert!(
+            plan.validate(source).is_ok(),
+            "planner produced an invalid plan"
+        );
         Ok(plan)
     }
 
@@ -268,7 +276,13 @@ impl Planner {
         blocked: &[Action],
     ) -> Option<(Action, usize)> {
         for (index, action) in blocked.iter().enumerate() {
-            if let Action::Migrate { vm, from, to, demand } = *action {
+            if let Action::Migrate {
+                vm,
+                from,
+                to,
+                demand,
+            } = *action
+            {
                 for pivot in working.node_ids() {
                     if pivot == from || pivot == to {
                         continue;
@@ -294,7 +308,10 @@ impl Planner {
     /// (always feasible); its migration becomes a resume on the destination.
     fn break_cycle_with_suspend(blocked: &[Action]) -> Option<(Action, usize)> {
         blocked.iter().enumerate().find_map(|(index, action)| {
-            if let Action::Migrate { vm, from, demand, .. } = *action {
+            if let Action::Migrate {
+                vm, from, demand, ..
+            } = *action
+            {
                 Some((
                     Action::Suspend {
                         vm,
@@ -404,7 +421,11 @@ mod tests {
     }
 
     fn vm(id: u32, mem_mib: u64, cpu_pct: u32) -> Vm {
-        Vm::new(VmId(id), MemoryMib::mib(mem_mib), CpuCapacity::percent(cpu_pct))
+        Vm::new(
+            VmId(id),
+            MemoryMib::mib(mem_mib),
+            CpuCapacity::percent(cpu_pct),
+        )
     }
 
     #[test]
@@ -412,7 +433,8 @@ mod tests {
         let mut c = Configuration::new();
         c.add_node(node(0, 2, 4096)).unwrap();
         c.add_vm(vm(0, 512, 100)).unwrap();
-        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0))).unwrap();
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
         let plan = Planner::new().plan(&c, &c.clone(), &[]).unwrap();
         assert!(plan.is_empty());
     }
@@ -426,12 +448,16 @@ mod tests {
         src.add_node(node(2, 2, 2048)).unwrap();
         src.add_vm(vm(1, 1536, 50)).unwrap();
         src.add_vm(vm(2, 1024, 50)).unwrap();
-        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+            .unwrap();
 
         let mut dst = src.clone();
-        dst.set_assignment(VmId(2), VmAssignment::sleeping(NodeId(2))).unwrap();
-        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(2))).unwrap();
+        dst.set_assignment(VmId(2), VmAssignment::sleeping(NodeId(2)))
+            .unwrap();
+        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+            .unwrap();
 
         let plan = Planner::new().plan(&src, &dst, &[]).unwrap();
         assert_eq!(plan.pools().len(), 2);
@@ -439,7 +465,10 @@ mod tests {
         assert_eq!(plan.pools()[1].plain_actions()[0].kind(), "migrate");
         let final_config = plan.validate(&src).unwrap();
         assert_eq!(final_config.host(VmId(1)).unwrap(), Some(NodeId(2)));
-        assert_eq!(final_config.state(VmId(2)).unwrap(), cwcs_model::VmState::Sleeping);
+        assert_eq!(
+            final_config.state(VmId(2)).unwrap(),
+            cwcs_model::VmState::Sleeping
+        );
     }
 
     #[test]
@@ -452,12 +481,16 @@ mod tests {
         src.add_node(node(3, 1, 1024)).unwrap();
         src.add_vm(vm(1, 1024, 100)).unwrap();
         src.add_vm(vm(2, 1024, 100)).unwrap();
-        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+            .unwrap();
 
         let mut dst = src.clone();
-        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(2))).unwrap();
-        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
+        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+            .unwrap();
+        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+            .unwrap();
 
         let plan = Planner::new().plan(&src, &dst, &[]).unwrap();
         // Three migrations are needed: one of them is the bypass through N3.
@@ -478,11 +511,15 @@ mod tests {
         src.add_node(node(2, 1, 1024)).unwrap();
         src.add_vm(vm(1, 1024, 100)).unwrap();
         src.add_vm(vm(2, 1024, 100)).unwrap();
-        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+            .unwrap();
         let mut dst = src.clone();
-        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(2))).unwrap();
-        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
+        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+            .unwrap();
+        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+            .unwrap();
 
         let plan = Planner::new().plan(&src, &dst, &[]).unwrap();
         let stats = plan.stats();
@@ -503,10 +540,13 @@ mod tests {
         src.add_node(node(2, 1, 4096)).unwrap();
         src.add_vm(vm(1, 512, 100)).unwrap();
         src.add_vm(vm(2, 512, 100)).unwrap();
-        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+        src.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        src.set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+            .unwrap();
         let mut dst = src.clone();
-        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
+        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+            .unwrap();
         // dst is non-viable: node 1 would host two busy single-core VMs.
         let err = Planner::new().plan(&src, &dst, &[]).unwrap_err();
         assert!(matches!(err, PlannerError::UnresolvableDependency { .. }));
@@ -528,15 +568,22 @@ mod tests {
         src.add_vm(vm(3, 2048, 100)).unwrap();
         src.add_vm(vm(5, 1024, 100)).unwrap();
         src.add_vm(vm(6, 512, 100)).unwrap();
-        src.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
-        src.set_assignment(VmId(3), VmAssignment::running(NodeId(1))).unwrap();
-        src.set_assignment(VmId(5), VmAssignment::sleeping(NodeId(1))).unwrap();
+        src.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        src.set_assignment(VmId(3), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        src.set_assignment(VmId(5), VmAssignment::sleeping(NodeId(1)))
+            .unwrap();
 
         let mut dst = src.clone();
-        dst.set_assignment(VmId(3), VmAssignment::sleeping(NodeId(1))).unwrap();
-        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-        dst.set_assignment(VmId(5), VmAssignment::running(NodeId(0))).unwrap();
-        dst.set_assignment(VmId(6), VmAssignment::running(NodeId(2))).unwrap();
+        dst.set_assignment(VmId(3), VmAssignment::sleeping(NodeId(1)))
+            .unwrap();
+        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        dst.set_assignment(VmId(5), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        dst.set_assignment(VmId(6), VmAssignment::running(NodeId(2)))
+            .unwrap();
 
         let plan = Planner::new().plan(&src, &dst, &[]).unwrap();
         let final_config = plan.validate(&src).unwrap();
@@ -565,14 +612,20 @@ mod tests {
         src.add_vm(vm(0, 1024, 100)).unwrap(); // busy VM to suspend on node 1
         src.add_vm(vm(1, 512, 100)).unwrap(); // vjob VM, resumes on node 0 (free)
         src.add_vm(vm(2, 512, 100)).unwrap(); // vjob VM, resumes on node 1 (blocked)
-        src.set_assignment(VmId(0), VmAssignment::running(NodeId(1))).unwrap();
-        src.set_assignment(VmId(1), VmAssignment::sleeping(NodeId(0))).unwrap();
-        src.set_assignment(VmId(2), VmAssignment::sleeping(NodeId(1))).unwrap();
+        src.set_assignment(VmId(0), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        src.set_assignment(VmId(1), VmAssignment::sleeping(NodeId(0)))
+            .unwrap();
+        src.set_assignment(VmId(2), VmAssignment::sleeping(NodeId(1)))
+            .unwrap();
 
         let mut dst = src.clone();
-        dst.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(1))).unwrap();
-        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(0))).unwrap();
-        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
+        dst.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(1)))
+            .unwrap();
+        dst.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        dst.set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+            .unwrap();
 
         let vjob = Vjob::new(VjobId(0), vec![VmId(1), VmId(2)], 0);
 
@@ -581,7 +634,9 @@ mod tests {
             group_vjob_actions: false,
             pipeline_interval_secs: 1,
         });
-        let plan = planner.plan(&src, &dst, &[vjob.clone()]).unwrap();
+        let plan = planner
+            .plan(&src, &dst, std::slice::from_ref(&vjob))
+            .unwrap();
         let resume_pools: Vec<usize> = plan
             .pools()
             .iter()
@@ -589,7 +644,10 @@ mod tests {
             .filter(|(_, p)| p.plain_actions().iter().any(|a| a.kind() == "resume"))
             .map(|(i, _)| i)
             .collect();
-        assert!(resume_pools.len() > 1, "the scenario must spread resumes over pools");
+        assert!(
+            resume_pools.len() > 1,
+            "the scenario must spread resumes over pools"
+        );
 
         // With grouping: all resumes of the vjob in one pool.
         let plan = Planner::new().plan(&src, &dst, &[vjob]).unwrap();
@@ -600,7 +658,11 @@ mod tests {
             .filter(|(_, p)| p.plain_actions().iter().any(|a| a.kind() == "resume"))
             .map(|(i, _)| i)
             .collect();
-        assert_eq!(resume_pools.len(), 1, "grouped resumes must share a single pool");
+        assert_eq!(
+            resume_pools.len(),
+            1,
+            "grouped resumes must share a single pool"
+        );
         // And the grouped plan is still executable.
         plan.validate(&src).unwrap();
     }
@@ -612,15 +674,21 @@ mod tests {
         src.add_node(node(1, 2, 4096)).unwrap();
         for i in 0..3 {
             src.add_vm(vm(i, 512, 100)).unwrap();
-            src.set_assignment(VmId(i), VmAssignment::running(NodeId(i % 2))).unwrap();
+            src.set_assignment(VmId(i), VmAssignment::running(NodeId(i % 2)))
+                .unwrap();
         }
         let mut dst = src.clone();
         for i in 0..3 {
             let host = src.host(VmId(i)).unwrap().unwrap();
-            dst.set_assignment(VmId(i), VmAssignment::sleeping(host)).unwrap();
+            dst.set_assignment(VmId(i), VmAssignment::sleeping(host))
+                .unwrap();
         }
         let plan = Planner::new().plan(&src, &dst, &[]).unwrap();
-        let offsets: Vec<u32> = plan.pools()[0].actions.iter().map(|p| p.offset_secs).collect();
+        let offsets: Vec<u32> = plan.pools()[0]
+            .actions
+            .iter()
+            .map(|p| p.offset_secs)
+            .collect();
         let mut sorted = offsets.clone();
         sorted.sort();
         assert_eq!(sorted, vec![0, 1, 2]);
@@ -638,7 +706,8 @@ mod tests {
         }
         for i in 0..3 {
             src.add_vm(vm(i, 1024, 100)).unwrap();
-            src.set_assignment(VmId(i), VmAssignment::running(NodeId(i))).unwrap();
+            src.set_assignment(VmId(i), VmAssignment::running(NodeId(i)))
+                .unwrap();
         }
         // Plan A: migrate everything one node to the right.
         let mut dst_migrate = src.clone();

@@ -10,22 +10,20 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use cwcs_model::{Configuration, CpuCapacity, MemoryMib, NodeId, Vjob, VjobId, VmId, VmState};
 use cwcs_workload::{VjobSpec, VmWorkProfile};
 
 use crate::durations::{DurationModel, InterferenceModel};
 
 /// Events reported by the cluster when the clock advances.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterEvent {
     /// Every VM of the vjob has finished its work profile.
     VjobCompleted(VjobId),
 }
 
 /// A snapshot of the cluster utilization, one point of Figure 13.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilizationSample {
     /// Virtual time of the sample, in seconds.
     pub time_secs: f64,
@@ -259,7 +257,11 @@ mod tests {
         let mut config = Configuration::new();
         for i in 0..4 {
             config
-                .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+                .add_node(Node::new(
+                    NodeId(i),
+                    CpuCapacity::cores(2),
+                    MemoryMib::gib(4),
+                ))
                 .unwrap();
         }
         for spec in spec_list {
@@ -337,9 +339,15 @@ mod tests {
             .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
             .unwrap();
         cluster.refresh_demands();
-        assert_eq!(cluster.configuration().vm(VmId(0)).unwrap().cpu, CpuCapacity::cores(1));
+        assert_eq!(
+            cluster.configuration().vm(VmId(0)).unwrap().cpu,
+            CpuCapacity::cores(1)
+        );
         cluster.advance(20.0, &BTreeMap::new());
-        assert_eq!(cluster.configuration().vm(VmId(0)).unwrap().cpu, CpuCapacity::ZERO);
+        assert_eq!(
+            cluster.configuration().vm(VmId(0)).unwrap().cpu,
+            CpuCapacity::ZERO
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use cwcs_model::{Configuration, ModelError, VmId};
 use cwcs_plan::Action;
@@ -77,17 +77,26 @@ impl FailureInjector {
 
     /// Make the next action touching `vm` fail.
     pub fn fail_next_action_on(&self, vm: VmId) {
-        self.failing_vms.lock().insert(vm);
+        self.failing_vms
+            .lock()
+            .expect("failing_vms mutex poisoned")
+            .insert(vm);
     }
 
     /// Number of pending injected failures.
     pub fn pending(&self) -> usize {
-        self.failing_vms.lock().len()
+        self.failing_vms
+            .lock()
+            .expect("failing_vms mutex poisoned")
+            .len()
     }
 
     /// Consume a pending failure for `vm`, if any.
     fn take(&self, vm: VmId) -> bool {
-        self.failing_vms.lock().remove(&vm)
+        self.failing_vms
+            .lock()
+            .expect("failing_vms mutex poisoned")
+            .remove(&vm)
     }
 }
 
@@ -148,9 +157,24 @@ mod tests {
 
     fn config() -> Configuration {
         let mut c = Configuration::new();
-        c.add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
-        c.add_node(Node::new(NodeId(1), CpuCapacity::cores(2), MemoryMib::gib(4))).unwrap();
-        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(1024), CpuCapacity::cores(1))).unwrap();
+        c.add_node(Node::new(
+            NodeId(0),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+        c.add_node(Node::new(
+            NodeId(1),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(
+            VmId(0),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
+        .unwrap();
         c
     }
 

@@ -15,13 +15,11 @@
 //! [`DurationModel::paper()`] encodes those calibration points; every
 //! coefficient can be overridden for sensitivity studies.
 
-use serde::{Deserialize, Serialize};
-
 use cwcs_model::MemoryMib;
 use cwcs_plan::Action;
 
 /// How a suspended image travels to another node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferMethod {
     /// The image stays on the node (no transfer).
     Local,
@@ -33,8 +31,11 @@ pub enum TransferMethod {
 
 impl TransferMethod {
     /// All methods, in the order of Figure 3's legends.
-    pub const ALL: [TransferMethod; 3] =
-        [TransferMethod::Local, TransferMethod::Scp, TransferMethod::Rsync];
+    pub const ALL: [TransferMethod; 3] = [
+        TransferMethod::Local,
+        TransferMethod::Scp,
+        TransferMethod::Rsync,
+    ];
 
     /// Label used by the figure reproductions.
     pub fn label(&self) -> &'static str {
@@ -47,7 +48,7 @@ impl TransferMethod {
 }
 
 /// The action-duration model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DurationModel {
     /// Boot duration of a VM, seconds (≈ 6 s in the paper).
     pub run_secs: f64,
@@ -165,7 +166,7 @@ impl DurationModel {
 
 /// Deceleration of busy VMs co-hosted with an ongoing operation (§2.3: "the
 /// impact reaches a maximum of 50% during the transition").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InterferenceModel {
     /// Slow-down factor during local operations (≈ 1.3 in the paper).
     pub local_factor: f64,
@@ -226,8 +227,14 @@ mod tests {
         let m = DurationModel::paper();
         let at_512 = m.migrate_duration(MemoryMib::mib(512));
         let at_2048 = m.migrate_duration(MemoryMib::mib(2048));
-        assert!(at_512 > 5.0 && at_512 < 12.0, "≈ 8 s at 512 MiB, got {at_512}");
-        assert!(at_2048 > 20.0 && at_2048 < 30.0, "≈ 26 s at 2 GiB, got {at_2048}");
+        assert!(
+            at_512 > 5.0 && at_512 < 12.0,
+            "≈ 8 s at 512 MiB, got {at_512}"
+        );
+        assert!(
+            at_2048 > 20.0 && at_2048 < 30.0,
+            "≈ 26 s at 2 GiB, got {at_2048}"
+        );
         assert!(at_2048 > at_512, "duration grows with memory");
     }
 
@@ -235,7 +242,10 @@ mod tests {
     fn remote_resume_reaches_three_minutes() {
         let m = DurationModel::paper();
         let remote = m.resume_duration(MemoryMib::mib(2048), TransferMethod::Scp);
-        assert!(remote > 150.0 && remote < 230.0, "≈ 3 minutes, got {remote}");
+        assert!(
+            remote > 150.0 && remote < 230.0,
+            "≈ 3 minutes, got {remote}"
+        );
         let local = m.resume_duration(MemoryMib::mib(2048), TransferMethod::Local);
         assert!((remote / local - 2.0).abs() < 0.2, "remote ≈ 2× local");
     }
@@ -255,13 +265,34 @@ mod tests {
         let m = DurationModel::paper();
         let d = demand(1024);
         assert_eq!(
-            m.action_duration(&Action::Run { vm: VmId(0), node: NodeId(0), demand: d }),
+            m.action_duration(&Action::Run {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: d
+            }),
             6.0
         );
-        let migrate = Action::Migrate { vm: VmId(0), from: NodeId(0), to: NodeId(1), demand: d };
-        assert!((m.action_duration(&migrate) - m.migrate_duration(MemoryMib::mib(1024))).abs() < 1e-9);
-        let local_resume = Action::Resume { vm: VmId(0), image: NodeId(1), to: NodeId(1), demand: d };
-        let remote_resume = Action::Resume { vm: VmId(0), image: NodeId(0), to: NodeId(1), demand: d };
+        let migrate = Action::Migrate {
+            vm: VmId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
+        assert!(
+            (m.action_duration(&migrate) - m.migrate_duration(MemoryMib::mib(1024))).abs() < 1e-9
+        );
+        let local_resume = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(1),
+            to: NodeId(1),
+            demand: d,
+        };
+        let remote_resume = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
         assert!(m.action_duration(&remote_resume) > m.action_duration(&local_resume) * 1.5);
     }
 
@@ -282,10 +313,28 @@ mod tests {
     fn interference_factors() {
         let i = InterferenceModel::paper();
         let d = demand(512);
-        let migrate = Action::Migrate { vm: VmId(0), from: NodeId(0), to: NodeId(1), demand: d };
-        let suspend = Action::Suspend { vm: VmId(0), node: NodeId(0), demand: d };
-        let run = Action::Run { vm: VmId(0), node: NodeId(0), demand: d };
-        let remote_resume = Action::Resume { vm: VmId(0), image: NodeId(0), to: NodeId(1), demand: d };
+        let migrate = Action::Migrate {
+            vm: VmId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
+        let suspend = Action::Suspend {
+            vm: VmId(0),
+            node: NodeId(0),
+            demand: d,
+        };
+        let run = Action::Run {
+            vm: VmId(0),
+            node: NodeId(0),
+            demand: d,
+        };
+        let remote_resume = Action::Resume {
+            vm: VmId(0),
+            image: NodeId(0),
+            to: NodeId(1),
+            demand: d,
+        };
         assert_eq!(i.factor_for(&migrate), 1.5);
         assert_eq!(i.factor_for(&suspend), 1.3);
         assert_eq!(i.factor_for(&run), 1.0);

@@ -11,8 +11,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use cwcs_model::NodeId;
 use cwcs_plan::{Action, ReconfigurationPlan};
 
@@ -20,7 +18,7 @@ use crate::cluster::{ClusterEvent, SimulatedCluster};
 use crate::driver::{DriverError, HypervisorDriver};
 
 /// Timing record of one executed action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActionRecord {
     /// The action.
     pub action: Action,
@@ -38,7 +36,7 @@ impl ActionRecord {
 }
 
 /// Timing record of one pool.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoolRecord {
     /// Start of the pool relative to the beginning of the switch.
     pub start_secs: f64,
@@ -49,7 +47,7 @@ pub struct PoolRecord {
 }
 
 /// Outcome of a cluster-wide context switch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// Total duration of the switch, in seconds (the Y axis of Figure 11).
     pub duration_secs: f64,
@@ -131,7 +129,8 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
                         report.failed_actions.push(action);
                         // The failed operation still wasted its predicted time
                         // window on the cluster.
-                        pool_end = pool_end.max(pool_start + planned.offset_secs as f64 + predicted);
+                        pool_end =
+                            pool_end.max(pool_start + planned.offset_secs as f64 + predicted);
                     }
                     Err(DriverError::Model(_)) => {
                         report.failed_actions.push(action);
@@ -192,12 +191,20 @@ mod tests {
         let mut config = Configuration::new();
         for i in 0..3 {
             config
-                .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+                .add_node(Node::new(
+                    NodeId(i),
+                    CpuCapacity::cores(2),
+                    MemoryMib::gib(4),
+                ))
                 .unwrap();
         }
         for i in 0..3 {
             config
-                .add_vm(Vm::new(VmId(i), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+                .add_vm(Vm::new(
+                    VmId(i),
+                    MemoryMib::mib(1024),
+                    CpuCapacity::cores(1),
+                ))
                 .unwrap();
         }
         let mut cluster = SimulatedCluster::new(config);
@@ -217,15 +224,26 @@ mod tests {
     fn executes_a_run_plan_and_charges_time() {
         let mut cluster = cluster();
         let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
-            Action::Run { vm: VmId(0), node: NodeId(0), demand: demand(1024) },
-            Action::Run { vm: VmId(1), node: NodeId(1), demand: demand(1024) },
+            Action::Run {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: demand(1024),
+            },
+            Action::Run {
+                vm: VmId(1),
+                node: NodeId(1),
+                demand: demand(1024),
+            },
         ])]);
         let executor = PlanExecutor::new(SimulatedXenDriver::default());
         let report = executor.execute(&mut cluster, &plan);
         // Two boots in parallel: the switch lasts one boot (6 s).
         assert!((report.duration_secs - 6.0).abs() < 1e-9);
         assert_eq!(report.executed_actions(), 2);
-        assert_eq!(cluster.configuration().host(VmId(0)).unwrap(), Some(NodeId(0)));
+        assert_eq!(
+            cluster.configuration().host(VmId(0)).unwrap(),
+            Some(NodeId(0))
+        );
         assert!((cluster.clock_secs() - 6.0).abs() < 1e-9);
     }
 
@@ -267,16 +285,30 @@ mod tests {
         let driver = SimulatedXenDriver::default();
         driver.failure_injector().fail_next_action_on(VmId(0));
         let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
-            Action::Run { vm: VmId(0), node: NodeId(0), demand: demand(1024) },
-            Action::Run { vm: VmId(1), node: NodeId(1), demand: demand(1024) },
+            Action::Run {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: demand(1024),
+            },
+            Action::Run {
+                vm: VmId(1),
+                node: NodeId(1),
+                demand: demand(1024),
+            },
         ])]);
         let executor = PlanExecutor::new(driver);
         let report = executor.execute(&mut cluster, &plan);
         assert_eq!(report.failed_actions.len(), 1);
         assert_eq!(report.executed_actions(), 1);
         // The failed VM is still waiting; the other one runs.
-        assert_eq!(cluster.configuration().state(VmId(0)).unwrap(), cwcs_model::VmState::Waiting);
-        assert_eq!(cluster.configuration().host(VmId(1)).unwrap(), Some(NodeId(1)));
+        assert_eq!(
+            cluster.configuration().state(VmId(0)).unwrap(),
+            cwcs_model::VmState::Waiting
+        );
+        assert_eq!(
+            cluster.configuration().host(VmId(1)).unwrap(),
+            Some(NodeId(1))
+        );
     }
 
     #[test]
@@ -293,7 +325,12 @@ mod tests {
             .set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
             .unwrap();
         let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
-            Action::Migrate { vm: VmId(1), from: NodeId(0), to: NodeId(1), demand: demand(1024) },
+            Action::Migrate {
+                vm: VmId(1),
+                from: NodeId(0),
+                to: NodeId(1),
+                demand: demand(1024),
+            },
         ])]);
         let executor = PlanExecutor::new(SimulatedXenDriver::default());
         let report = executor.execute(&mut cluster, &plan);
@@ -316,14 +353,24 @@ mod tests {
             .unwrap();
         let source = cluster.configuration().clone();
         let mut target = source.clone();
-        target.set_assignment(VmId(0), VmAssignment::running(NodeId(2))).unwrap();
-        target.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
+        target
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(2)))
+            .unwrap();
+        target
+            .set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+            .unwrap();
         let plan = Planner::new().plan(&source, &target, &[]).unwrap();
         let executor = PlanExecutor::new(SimulatedXenDriver::default());
         let report = executor.execute(&mut cluster, &plan);
         assert!(report.failed_actions.is_empty());
-        assert_eq!(cluster.configuration().host(VmId(0)).unwrap(), Some(NodeId(2)));
-        assert_eq!(cluster.configuration().host(VmId(1)).unwrap(), Some(NodeId(1)));
+        assert_eq!(
+            cluster.configuration().host(VmId(0)).unwrap(),
+            Some(NodeId(2))
+        );
+        assert_eq!(
+            cluster.configuration().host(VmId(1)).unwrap(),
+            Some(NodeId(1))
+        );
         assert!(report.duration_secs > 0.0);
     }
 }

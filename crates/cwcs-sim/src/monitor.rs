@@ -10,14 +10,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use cwcs_model::{CpuCapacity, MemoryMib, VmId, VmState};
 
 use crate::cluster::SimulatedCluster;
 
 /// A snapshot of the demands of every VM at a given virtual time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemandSnapshot {
     /// Virtual time at which the snapshot was taken.
     pub time_secs: f64,
@@ -116,7 +114,11 @@ mod tests {
     fn cluster() -> SimulatedCluster {
         let mut config = Configuration::new();
         config
-            .add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4)))
+            .add_node(Node::new(
+                NodeId(0),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
             .unwrap();
         config
             .add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1)))
@@ -157,14 +159,20 @@ mod tests {
         // still reports the old demand...
         cluster.advance(35.0, &Map::new());
         // (advance refreshes demands: the VM now idles)
-        assert_eq!(cluster.configuration().vm(VmId(0)).unwrap().cpu, CpuCapacity::ZERO);
+        assert_eq!(
+            cluster.configuration().vm(VmId(0)).unwrap().cpu,
+            CpuCapacity::ZERO
+        );
         let cached = {
             let mut m = MonitoringService::new(1000.0);
             m.observe(&cluster); // prime at t=35
             cluster.advance(5.0, &Map::new());
             m.observe(&cluster)
         };
-        assert_eq!(cached.time_secs, 35.0, "stale snapshot is served within the period");
+        assert_eq!(
+            cached.time_secs, 35.0,
+            "stale snapshot is served within the period"
+        );
 
         // ...but a service with a 10 s period refreshes at t=35 (>= 10 s later).
         let refreshed = monitor.observe(&cluster);

@@ -188,7 +188,11 @@ mod tests {
         let b = m.new_var(0, 1);
         m.post(BinPacking::new(vec![a, b], vec![5, 0], vec![5, 0]));
         let s = fixpoint(&m).unwrap();
-        assert_eq!(s.domain(b).size(), 2, "a zero-size item can share a full bin");
+        assert_eq!(
+            s.domain(b).size(),
+            2,
+            "a zero-size item can share a full bin"
+        );
     }
 
     #[test]
@@ -202,7 +206,11 @@ mod tests {
         // CPU: both need a full unit, each node has one unit.
         m.post(BinPacking::new(vec![a, b], vec![1, 1], vec![1, 1]));
         // Memory: plenty everywhere.
-        m.post(BinPacking::new(vec![a, b], vec![512, 512], vec![4096, 4096]));
+        m.post(BinPacking::new(
+            vec![a, b],
+            vec![512, 512],
+            vec![4096, 4096],
+        ));
         // Fix a to node 0: CPU packing forces b to node 1.
         m.post(crate::constraints::EqualConst::new(a, 0));
         let s = fixpoint(&m).unwrap();

@@ -83,14 +83,16 @@ impl Propagator for Knapsack {
 
         // The final layer must intersect [lo, hi].
         if !(self.lo as usize..=cap).any(|s| forward[n][s]) {
-            return Err(Inconsistency::failure("knapsack: no reachable sum in range"));
+            return Err(Inconsistency::failure(
+                "knapsack: no reachable sum in range",
+            ));
         }
 
         // backward[j] = set of sums s such that starting at sum s before
         // variable j, a final sum in [lo, hi] is reachable.
         let mut backward: Vec<Vec<bool>> = vec![vec![false; cap + 1]; n + 1];
-        for s in self.lo as usize..=cap {
-            backward[n][s] = true;
+        for flag in backward[n][self.lo as usize..=cap].iter_mut() {
+            *flag = true;
         }
         for j in (0..n).rev() {
             let w = self.weights[j] as usize;

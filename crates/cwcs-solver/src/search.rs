@@ -73,20 +73,15 @@ impl Default for VariableSelection {
 }
 
 /// How the candidate values of the branching variable are ordered.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub enum ValueSelection {
     /// Smallest value first.
+    #[default]
     MinValue,
     /// A preferred value per variable is tried first (when still in the
     /// domain), then the rest in increasing order.  The placement model uses
     /// the current host of each VM as the preferred value.
     Preferred(Vec<Option<u32>>),
-}
-
-impl Default for ValueSelection {
-    fn default() -> Self {
-        ValueSelection::MinValue
-    }
 }
 
 /// Objective for branch & bound minimisation.
@@ -584,11 +579,7 @@ mod tests {
         // the run must terminate quickly) and completed == false if stopped.
         let mut m = Model::new();
         let vars: Vec<_> = (0..10).map(|_| m.new_var(0, 9)).collect();
-        m.post(BinPacking::new(
-            vars.clone(),
-            vec![1; 10],
-            vec![2; 10],
-        ));
+        m.post(BinPacking::new(vars.clone(), vec![1; 10], vec![2; 10]));
         let objective = ClosureObjective::new(
             {
                 let vars = vars.clone();

@@ -21,10 +21,8 @@
 //! The outcome reports per-job start/end times, the makespan and the average
 //! utilization, which is what Figures 1 and 12 display.
 
-use serde::{Deserialize, Serialize};
-
 /// A rigid batch job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchJob {
     /// Identifier (report key).
     pub id: u32,
@@ -52,7 +50,7 @@ impl BatchJob {
 }
 
 /// The scheduling policies of Figure 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Strict FCFS, no overtaking.
     Fcfs,
@@ -65,7 +63,7 @@ pub enum SchedulerKind {
 }
 
 /// Execution record of one job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSchedule {
     /// The job.
     pub job_id: u32,
@@ -85,7 +83,7 @@ impl JobSchedule {
 }
 
 /// Aggregate outcome of a schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchOutcome {
     /// Which policy produced the schedule.
     pub kind: SchedulerKind,
@@ -267,7 +265,12 @@ impl BatchScheduler {
     /// before the previous one has started.
     fn schedule_fcfs(&self, jobs: &[BatchJob]) -> Vec<JobSchedule> {
         let mut order: Vec<&BatchJob> = jobs.iter().collect();
-        order.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap().then(a.id.cmp(&b.id)));
+        order.sort_by(|a, b| {
+            a.submit_time
+                .partial_cmp(&b.submit_time)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
         let mut profile = ResourceProfile::new(self.processors);
         let mut schedules = Vec::new();
         let mut previous_start: f64 = 0.0;
@@ -296,7 +299,12 @@ impl BatchScheduler {
     /// *estimates*; execution uses the actual runtimes.
     fn schedule_backfilling(&self, jobs: &[BatchJob], conservative: bool) -> Vec<JobSchedule> {
         let mut order: Vec<&BatchJob> = jobs.iter().collect();
-        order.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap().then(a.id.cmp(&b.id)));
+        order.sort_by(|a, b| {
+            a.submit_time
+                .partial_cmp(&b.submit_time)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
 
         // Profile of *estimated* occupation used to compute reservations.
         let mut estimate_profile = ResourceProfile::new(self.processors);
@@ -317,8 +325,8 @@ impl BatchScheduler {
                 if let Some((res_start, res_duration, res_procs)) = head_reservation {
                     // If starting now would overlap the reservation window and
                     // exhaust its processors, push this job after it.
-                    let overlaps = start < res_start + res_duration
-                        && start + job.estimate_secs > res_start;
+                    let overlaps =
+                        start < res_start + res_duration && start + job.estimate_secs > res_start;
                     if overlaps {
                         let free_during = estimate_profile.free_at(res_start);
                         if free_during < (res_procs + job.processors) as i64 {
@@ -363,7 +371,12 @@ impl BatchScheduler {
         }
 
         let mut order: Vec<&BatchJob> = jobs.iter().collect();
-        order.sort_by(|a, b| a.submit_time.partial_cmp(&b.submit_time).unwrap().then(a.id.cmp(&b.id)));
+        order.sort_by(|a, b| {
+            a.submit_time
+                .partial_cmp(&b.submit_time)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
         let mut states: Vec<JobState> = order
             .iter()
             .map(|j| JobState {
@@ -375,10 +388,7 @@ impl BatchScheduler {
             })
             .collect();
 
-        let mut time = order
-            .first()
-            .map(|j| j.submit_time)
-            .unwrap_or(0.0);
+        let mut time = order.first().map(|j| j.submit_time).unwrap_or(0.0);
 
         loop {
             // Allocate processors in FCFS order among submitted, unfinished jobs.
@@ -506,9 +516,7 @@ mod tests {
         let fcfs = BatchScheduler::new(SchedulerKind::Fcfs, 4).schedule(&jobs);
         let easy = BatchScheduler::new(SchedulerKind::EasyBackfilling, 4).schedule(&jobs);
         // job2's start must not be delayed by the backfilling of job3.
-        assert!(
-            easy.schedule_of(2).unwrap().start <= fcfs.schedule_of(2).unwrap().start + 1e-9
-        );
+        assert!(easy.schedule_of(2).unwrap().start <= fcfs.schedule_of(2).unwrap().start + 1e-9);
         // Overall the makespan with EASY is never worse than plain FCFS here.
         assert!(easy.makespan <= fcfs.makespan + 1e-9);
     }
@@ -587,7 +595,10 @@ mod tests {
         ] {
             let outcome = BatchScheduler::new(kind, 4).schedule(&jobs);
             let s = outcome.schedule_of(7).unwrap();
-            assert!((s.start - 5.0).abs() < 1e-6, "{kind:?} must start at submission");
+            assert!(
+                (s.start - 5.0).abs() < 1e-6,
+                "{kind:?} must start at submission"
+            );
             assert!((s.end - 47.0).abs() < 1e-6);
         }
     }

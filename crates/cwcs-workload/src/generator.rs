@@ -14,9 +14,7 @@
 //! (CPU may be over-committed, which is precisely what gives the decision
 //! module and the planner something to fix).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use cwcs_model::SmallRng;
 
 use cwcs_model::{
     Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobState, VmAssignment,
@@ -26,7 +24,7 @@ use crate::nasgrid::{NasGridTemplate, VjobTemplate};
 use crate::profile::VjobSpec;
 
 /// Parameters of the generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorParams {
     /// Number of working nodes (200 in the paper).
     pub node_count: u32,
@@ -92,11 +90,15 @@ impl TraceGenerator {
 
     /// Generate one configuration.
     pub fn generate(&self) -> GeneratedConfiguration {
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut rng = SmallRng::seed_from_u64(self.params.seed);
         let mut configuration = Configuration::new();
         for i in 0..self.params.node_count {
             configuration
-                .add_node(Node::new(NodeId(i), self.params.node_cpu, self.params.node_memory))
+                .add_node(Node::new(
+                    NodeId(i),
+                    self.params.node_cpu,
+                    self.params.node_memory,
+                ))
                 .expect("node ids are unique");
         }
 
@@ -107,7 +109,7 @@ impl TraceGenerator {
         let mut specs: Vec<VjobSpec> = Vec::new();
         let mut vm_count = 0;
         while vm_count < self.params.vm_target {
-            let template = library[rng.gen_range(0..library.len())];
+            let template = library[rng.index(library.len())];
             let spec = factory.instantiate(&template);
             vm_count += spec.vms.len();
             specs.push(spec);
@@ -119,7 +121,7 @@ impl TraceGenerator {
             for vm in &spec.vms {
                 configuration.add_vm(vm.clone()).expect("vm ids are unique");
             }
-            let state = match rng.gen_range(0..3) {
+            let state = match rng.u32_in_inclusive(0, 2) {
                 0 => VjobState::Running,
                 1 => VjobState::Sleeping,
                 _ => VjobState::Waiting,
@@ -159,7 +161,7 @@ impl TraceGenerator {
             .collect()
     }
 
-    fn place(&self, configuration: &mut Configuration, vjobs: &[Vjob], rng: &mut StdRng) {
+    fn place(&self, configuration: &mut Configuration, vjobs: &[Vjob], rng: &mut SmallRng) {
         let node_ids = configuration.node_ids();
         // Remaining memory per node (placement only checks memory, like the
         // paper's generated assignments).
@@ -173,7 +175,7 @@ impl TraceGenerator {
                 VjobState::Running => {
                     for &vm_id in &vjob.vms {
                         // A busy VM demands a full processing unit.
-                        let busy = rng.gen_bool(self.params.busy_fraction);
+                        let busy = rng.bool_with(self.params.busy_fraction);
                         let cpu = if busy {
                             CpuCapacity::cores(1)
                         } else {
@@ -183,7 +185,7 @@ impl TraceGenerator {
                         let memory = configuration.vm(vm_id).unwrap().memory.raw();
                         // First fit on memory, starting from a random offset so
                         // the cluster is not filled from node 0 only.
-                        let offset = rng.gen_range(0..node_ids.len());
+                        let offset = rng.index(node_ids.len());
                         let mut placed = false;
                         for k in 0..node_ids.len() {
                             let idx = (offset + k) % node_ids.len();
@@ -204,13 +206,13 @@ impl TraceGenerator {
                 }
                 VjobState::Sleeping => {
                     for &vm_id in &vjob.vms {
-                        let node = node_ids[rng.gen_range(0..node_ids.len())];
+                        let node = node_ids[rng.index(node_ids.len())];
                         configuration
                             .set_assignment(vm_id, VmAssignment::sleeping(node))
                             .unwrap();
                         // A sleeping VM demands a full unit once resumed if it
                         // still has work; keep the demand it would have.
-                        let busy = rng.gen_bool(self.params.busy_fraction);
+                        let busy = rng.bool_with(self.params.busy_fraction);
                         configuration.vm_mut(vm_id).unwrap().cpu = if busy {
                             CpuCapacity::cores(1)
                         } else {
@@ -220,7 +222,7 @@ impl TraceGenerator {
                 }
                 VjobState::Waiting | VjobState::Terminated => {
                     for &vm_id in &vjob.vms {
-                        let busy = rng.gen_bool(self.params.busy_fraction);
+                        let busy = rng.bool_with(self.params.busy_fraction);
                         configuration.vm_mut(vm_id).unwrap().cpu = if busy {
                             CpuCapacity::cores(1)
                         } else {

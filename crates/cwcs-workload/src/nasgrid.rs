@@ -21,16 +21,14 @@
 //! processing units a vjob really needs over time, which is what the dynamic
 //! consolidation strategy exploits.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use cwcs_model::SmallRng;
 
 use cwcs_model::{CpuCapacity, MemoryMib, Vjob, VjobId, Vm, VmId};
 
 use crate::profile::{VjobSpec, VmWorkProfile, WorkPhase};
 
 /// The four NAS Grid data-flow graphs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NasGridKind {
     /// Embarrassingly Distributed.
     Ed,
@@ -64,7 +62,7 @@ impl NasGridKind {
 
 /// The problem classes used in the paper (W, A, B), which scale the amount
 /// of work per task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NasGridClass {
     /// Workstation class: short tasks.
     W,
@@ -99,7 +97,7 @@ impl NasGridClass {
 
 /// A template describing one vjob to instantiate: graph kind, class, number
 /// of VMs and per-VM memory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NasGridTemplate {
     /// Data-flow graph.
     pub kind: NasGridKind,
@@ -152,7 +150,12 @@ impl NasGridTemplate {
 
     /// Human-readable name, e.g. `ED.A.9`.
     pub fn name(&self) -> String {
-        format!("{}.{}.{}", self.kind.name(), self.class.name(), self.vm_count)
+        format!(
+            "{}.{}.{}",
+            self.kind.name(),
+            self.class.name(),
+            self.vm_count
+        )
     }
 }
 
@@ -161,7 +164,7 @@ impl NasGridTemplate {
 pub struct VjobTemplate {
     next_vm: u32,
     next_vjob: u32,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl VjobTemplate {
@@ -170,7 +173,7 @@ impl VjobTemplate {
         VjobTemplate {
             next_vm: 0,
             next_vjob: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 
@@ -197,15 +200,22 @@ impl VjobTemplate {
             .iter()
             .enumerate()
             .map(|(i, &id)| {
-                Vm::new(id, template.memory_per_vm, CpuCapacity::ZERO)
-                    .with_name(format!("{}-{}-vm{}", template.name(), vjob_id.0, i))
+                Vm::new(id, template.memory_per_vm, CpuCapacity::ZERO).with_name(format!(
+                    "{}-{}-vm{}",
+                    template.name(),
+                    vjob_id.0,
+                    i
+                ))
             })
             .collect();
 
         let profiles = self.profiles_for(template);
 
-        let vjob = Vjob::new(vjob_id, vm_ids, vjob_id.0 as u64)
-            .with_name(format!("{}-{}", template.name(), vjob_id.0));
+        let vjob = Vjob::new(vjob_id, vm_ids, vjob_id.0 as u64).with_name(format!(
+            "{}-{}",
+            template.name(),
+            vjob_id.0
+        ));
 
         VjobSpec::new(vjob, vms, profiles)
     }
@@ -218,7 +228,7 @@ impl VjobTemplate {
     fn jitter(&mut self) -> f64 {
         // +/- 10% of jitter so that two instances of the same template do not
         // behave identically, like two runs of the real benchmark.
-        1.0 + self.rng.gen_range(-0.1..0.1)
+        1.0 + self.rng.f64_in(-0.1, 0.1)
     }
 
     fn profiles_for(&mut self, template: &NasGridTemplate) -> Vec<VmWorkProfile> {

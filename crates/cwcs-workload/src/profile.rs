@@ -9,13 +9,11 @@
 //! control loop, exactly like the NAS Grid applications of the paper signal
 //! Entropy to stop their vjob.
 
-use serde::{Deserialize, Serialize};
-
 use cwcs_model::{CpuCapacity, MemoryMib, Vjob, Vm, VmId};
 
 /// One phase of work: a CPU demand held for a given amount of (full-speed)
 /// execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkPhase {
     /// CPU demand during the phase.
     pub cpu_demand: CpuCapacity,
@@ -43,7 +41,7 @@ impl WorkPhase {
 }
 
 /// The full work profile of one VM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmWorkProfile {
     phases: Vec<WorkPhase>,
 }
@@ -89,7 +87,7 @@ impl VmWorkProfile {
 }
 
 /// A fully-specified vjob: the job, its VMs and the work profile of each VM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VjobSpec {
     /// The vjob (membership, priority, submission order).
     pub vjob: Vjob,
@@ -166,7 +164,11 @@ mod tests {
         assert_eq!(p.demand_at(99.9), CpuCapacity::cores(1));
         assert_eq!(p.demand_at(100.1), CpuCapacity::percent(10));
         assert_eq!(p.demand_at(120.5), CpuCapacity::cores(1));
-        assert_eq!(p.demand_at(171.0), CpuCapacity::ZERO, "exhausted profile idles");
+        assert_eq!(
+            p.demand_at(171.0),
+            CpuCapacity::ZERO,
+            "exhausted profile idles"
+        );
     }
 
     #[test]

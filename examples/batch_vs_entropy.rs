@@ -6,25 +6,13 @@
 
 use std::time::Duration;
 
-use cluster_context_switch::core::{
-    ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer, StaticFcfsBaseline,
-};
-use cluster_context_switch::model::{Configuration, MemoryMib, Node, NodeId};
-use cluster_context_switch::sim::SimulatedCluster;
-use cluster_context_switch::workload::{
-    NasGridClass, NasGridKind, NasGridTemplate, VjobTemplate,
-};
+use cluster_context_switch::model::{MemoryMib, Node, NodeId};
+use cluster_context_switch::workload::{NasGridClass, NasGridKind, NasGridTemplate, VjobTemplate};
+use cluster_context_switch::Engine;
 
 fn main() {
+    // 4 NAS-Grid-like vjobs of 9 VMs each, submitted at the same time, on
     // 5 working nodes (the paper uses 11; the shape is the same).
-    let mut configuration = Configuration::new();
-    for i in 0..5 {
-        configuration
-            .add_node(Node::paper_cluster_node(NodeId(i)))
-            .unwrap();
-    }
-
-    // 4 NAS-Grid-like vjobs of 9 VMs each, submitted at the same time.
     let templates = [
         NasGridTemplate {
             kind: NasGridKind::Ed,
@@ -52,19 +40,17 @@ fn main() {
         },
     ];
     let mut factory = VjobTemplate::new(11);
-    let specs: Vec<_> = templates
-        .iter()
-        .map(|t| {
-            let spec = factory.instantiate(t);
-            for vm in &spec.vms {
-                configuration.add_vm(vm.clone()).unwrap();
-            }
-            spec
-        })
-        .collect();
+    let mut engine = Engine::builder()
+        .nodes((0..5).map(|i| Node::paper_cluster_node(NodeId(i))))
+        .vjobs(templates.iter().map(|t| factory.instantiate(t)))
+        .period_secs(30.0)
+        .optimizer_timeout(Duration::from_millis(500))
+        .max_iterations(2_000)
+        .build()
+        .expect("the Section 5.2 scenario is well-formed");
 
     // --- Static FCFS allocation -------------------------------------------
-    let fcfs = StaticFcfsBaseline::default().run(SimulatedCluster::new(configuration.clone()), &specs);
+    let fcfs = engine.run_static_baseline();
     let fcfs_minutes = fcfs.completion_time_secs.expect("completes") / 60.0;
     println!("static FCFS allocation:");
     for schedule in &fcfs.schedules {
@@ -79,18 +65,7 @@ fn main() {
     println!();
 
     // --- Entropy: dynamic consolidation + cluster-wide context switches ----
-    let config = ControlLoopConfig {
-        period_secs: 30.0,
-        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(500)),
-        max_iterations: 2_000,
-    };
-    let mut control = ControlLoop::new(
-        SimulatedCluster::new(configuration),
-        &specs,
-        FcfsConsolidation::new(),
-        config,
-    );
-    let entropy = control.run_until_complete().expect("completes");
+    let entropy = engine.run().expect("completes");
     let entropy_minutes = entropy.completion_time_secs.expect("completes") / 60.0;
     println!("Entropy (dynamic consolidation + cluster-wide context switches):");
     println!(

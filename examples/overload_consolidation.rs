@@ -10,28 +10,15 @@
 
 use std::time::Duration;
 
-use cluster_context_switch::core::{
-    ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer,
-};
-use cluster_context_switch::model::{
-    Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId,
-};
-use cluster_context_switch::sim::SimulatedCluster;
+use cluster_context_switch::model::{CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId};
 use cluster_context_switch::workload::{VjobSpec, VmWorkProfile, WorkPhase};
+use cluster_context_switch::Engine;
 
 fn main() {
-    // 2 nodes x 2 processing units = 4 units in total.
-    let mut configuration = Configuration::new();
-    for i in 0..2 {
-        configuration
-            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
-            .unwrap();
-    }
-
     // Two vjobs of 3 VMs each.  Each VM starts with a quiet warm-up phase
     // (low CPU) and then computes at full speed: at admission time both vjobs
     // look cheap, but once the compute phases start the cluster would need
-    // 6 processing units.
+    // 6 processing units while 2 nodes x 2 units = 4 are available.
     let mut specs = Vec::new();
     let mut next_vm = 0u32;
     for j in 0..2u32 {
@@ -46,9 +33,6 @@ fn main() {
             .iter()
             .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::percent(10)))
             .collect();
-        for vm in &vms {
-            configuration.add_vm(vm.clone()).unwrap();
-        }
         let vjob = Vjob::new(VjobId(j), vm_ids, j as u64).with_name(format!("burst-{j}"));
         let profiles = vms
             .iter()
@@ -62,18 +46,15 @@ fn main() {
         specs.push(VjobSpec::new(vjob, vms, profiles));
     }
 
-    let config = ControlLoopConfig {
-        period_secs: 30.0,
-        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(500)),
-        max_iterations: 500,
-    };
-    let mut control = ControlLoop::new(
-        SimulatedCluster::new(configuration),
-        &specs,
-        FcfsConsolidation::new(),
-        config,
-    );
-    let report = control.run_until_complete().expect("scenario completes");
+    let mut engine = Engine::builder()
+        .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
+        .vjobs(specs)
+        .period_secs(30.0)
+        .optimizer_timeout(Duration::from_millis(500))
+        .max_iterations(500)
+        .build()
+        .expect("the overload scenario is well-formed");
+    let report = engine.run().expect("scenario completes");
 
     println!("iteration  time(min)  runs  migr  susp  resume  stop   switch(s)");
     for it in &report.iterations {
@@ -93,7 +74,11 @@ fn main() {
         );
     }
 
-    let suspends: usize = report.iterations.iter().map(|i| i.plan_stats.suspends).sum();
+    let suspends: usize = report
+        .iterations
+        .iter()
+        .map(|i| i.plan_stats.suspends)
+        .sum();
     let resumes: usize = report.iterations.iter().map(|i| i.plan_stats.resumes).sum();
     println!();
     println!(

@@ -6,22 +6,12 @@
 
 use std::time::Duration;
 
-use cluster_context_switch::core::{ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer};
-use cluster_context_switch::model::{Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId};
-use cluster_context_switch::sim::SimulatedCluster;
+use cluster_context_switch::model::{CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId};
 use cluster_context_switch::workload::{VjobSpec, VmWorkProfile, WorkPhase};
+use cluster_context_switch::Engine;
 
 fn main() {
-    // 1. Describe the cluster: 3 working nodes with 2 processing units and
-    //    4 GiB of memory each.
-    let mut configuration = Configuration::new();
-    for i in 0..3 {
-        configuration
-            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
-            .expect("unique node id");
-    }
-
-    // 2. Describe three vjobs of two VMs each.  Every VM computes for a few
+    // 1. Describe three vjobs of two VMs each.  Every VM computes for a few
     //    minutes; the cluster can only run two vjobs at a time, so the third
     //    one will be started later (or another one suspended), entirely
     //    driven by the scheduling policy.
@@ -39,9 +29,6 @@ fn main() {
             .iter()
             .map(|&id| Vm::new(id, MemoryMib::mib(1024), CpuCapacity::cores(1)))
             .collect();
-        for vm in &vms {
-            configuration.add_vm(vm.clone()).expect("unique vm id");
-        }
         let vjob = Vjob::new(VjobId(j), vm_ids, j as u64).with_name(format!("job-{j}"));
         let profiles = vms
             .iter()
@@ -50,23 +37,23 @@ fn main() {
         specs.push(VjobSpec::new(vjob, vms, profiles));
     }
 
-    // 3. Build the simulated cluster and the control loop: the sample FCFS
-    //    dynamic-consolidation decision module, a 30 s period, and a small
-    //    optimization budget.
-    let cluster = SimulatedCluster::new(configuration);
-    let config = ControlLoopConfig {
-        period_secs: 30.0,
-        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(500)),
-        max_iterations: 500,
-    };
-    let mut control = ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), config);
+    // 2. Build the engine: 3 working nodes with 2 processing units and 4 GiB
+    //    of memory each, the sample FCFS dynamic-consolidation decision
+    //    module, a 30 s control period, and a small optimization budget.
+    let mut engine = Engine::builder()
+        .nodes((0..3).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
+        .vjobs(specs)
+        .period_secs(30.0)
+        .optimizer_timeout(Duration::from_millis(500))
+        .max_iterations(500)
+        .build()
+        .expect("the quickstart scenario is well-formed");
 
-    // 4. Run until every vjob has completed, printing each cluster-wide
-    //    context switch as it happens.
-    let report = control
-        .run_until_complete()
-        .expect("the quickstart scenario completes");
+    // 3. Run the full observe → decide → plan → execute loop until every
+    //    vjob has completed, then print each cluster-wide context switch.
+    let report = engine.run().expect("the quickstart scenario completes");
 
+    println!("RunReport ({} iterations)", report.iterations.len());
     println!("iteration  time(s)  switch?  actions  cost      duration(s)");
     for it in &report.iterations {
         println!(
@@ -82,7 +69,7 @@ fn main() {
     println!();
     println!(
         "all {} vjobs completed after {:.0} s of simulated time ({} context switches, mean {:.0} s each)",
-        specs.len(),
+        engine.vjobs().len(),
         report.completion_time_secs.unwrap_or(0.0),
         report.switch_points().len(),
         report.mean_switch_duration_secs(),

@@ -34,17 +34,33 @@ fn main() {
     // ----------------------------------------------------------------------
     let mut current = cluster(2048);
     current
-        .add_vm(Vm::new(VmId(1), MemoryMib::mib(1536), CpuCapacity::percent(50)))
+        .add_vm(Vm::new(
+            VmId(1),
+            MemoryMib::mib(1536),
+            CpuCapacity::percent(50),
+        ))
         .unwrap();
     current
-        .add_vm(Vm::new(VmId(2), MemoryMib::mib(1024), CpuCapacity::percent(50)))
+        .add_vm(Vm::new(
+            VmId(2),
+            MemoryMib::mib(1024),
+            CpuCapacity::percent(50),
+        ))
         .unwrap();
-    current.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-    current.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+    current
+        .set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+        .unwrap();
+    current
+        .set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+        .unwrap();
 
     let mut target = current.clone();
-    target.set_assignment(VmId(2), VmAssignment::sleeping(NodeId(2))).unwrap();
-    target.set_assignment(VmId(1), VmAssignment::running(NodeId(2))).unwrap();
+    target
+        .set_assignment(VmId(2), VmAssignment::sleeping(NodeId(2)))
+        .unwrap();
+    target
+        .set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+        .unwrap();
 
     let plan = planner.plan(&current, &target, &[]).expect("plannable");
     println!("=== Figure 7: sequential constraint ===");
@@ -57,19 +73,37 @@ fn main() {
     // ----------------------------------------------------------------------
     let mut current = cluster(1024);
     current
-        .add_vm(Vm::new(VmId(1), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+        .add_vm(Vm::new(
+            VmId(1),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
         .unwrap();
     current
-        .add_vm(Vm::new(VmId(2), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+        .add_vm(Vm::new(
+            VmId(2),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
         .unwrap();
-    current.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-    current.set_assignment(VmId(2), VmAssignment::running(NodeId(2))).unwrap();
+    current
+        .set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+        .unwrap();
+    current
+        .set_assignment(VmId(2), VmAssignment::running(NodeId(2)))
+        .unwrap();
 
     let mut target = current.clone();
-    target.set_assignment(VmId(1), VmAssignment::running(NodeId(2))).unwrap();
-    target.set_assignment(VmId(2), VmAssignment::running(NodeId(1))).unwrap();
+    target
+        .set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+        .unwrap();
+    target
+        .set_assignment(VmId(2), VmAssignment::running(NodeId(1)))
+        .unwrap();
 
-    let plan = planner.plan(&current, &target, &[]).expect("cycle is broken via node 3");
+    let plan = planner
+        .plan(&current, &target, &[])
+        .expect("cycle is broken via node 3");
     println!("=== Figure 8: inter-dependent migrations broken by a bypass migration ===");
     print!("{plan}");
     println!(
@@ -83,19 +117,53 @@ fn main() {
     // a run.
     // ----------------------------------------------------------------------
     let mut current = cluster(2048);
-    current.add_vm(Vm::new(VmId(1), MemoryMib::mib(1024), CpuCapacity::cores(1))).unwrap();
-    current.add_vm(Vm::new(VmId(3), MemoryMib::mib(2048), CpuCapacity::cores(1))).unwrap();
-    current.add_vm(Vm::new(VmId(5), MemoryMib::mib(1024), CpuCapacity::cores(1))).unwrap();
-    current.add_vm(Vm::new(VmId(6), MemoryMib::mib(512), CpuCapacity::cores(1))).unwrap();
-    current.set_assignment(VmId(1), VmAssignment::running(NodeId(1))).unwrap();
-    current.set_assignment(VmId(3), VmAssignment::running(NodeId(2))).unwrap();
-    current.set_assignment(VmId(5), VmAssignment::sleeping(NodeId(2))).unwrap();
+    current
+        .add_vm(Vm::new(
+            VmId(1),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
+        .unwrap();
+    current
+        .add_vm(Vm::new(
+            VmId(3),
+            MemoryMib::mib(2048),
+            CpuCapacity::cores(1),
+        ))
+        .unwrap();
+    current
+        .add_vm(Vm::new(
+            VmId(5),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
+        .unwrap();
+    current
+        .add_vm(Vm::new(VmId(6), MemoryMib::mib(512), CpuCapacity::cores(1)))
+        .unwrap();
+    current
+        .set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+        .unwrap();
+    current
+        .set_assignment(VmId(3), VmAssignment::running(NodeId(2)))
+        .unwrap();
+    current
+        .set_assignment(VmId(5), VmAssignment::sleeping(NodeId(2)))
+        .unwrap();
 
     let mut target = current.clone();
-    target.set_assignment(VmId(3), VmAssignment::sleeping(NodeId(2))).unwrap();
-    target.set_assignment(VmId(1), VmAssignment::running(NodeId(2))).unwrap();
-    target.set_assignment(VmId(5), VmAssignment::running(NodeId(1))).unwrap();
-    target.set_assignment(VmId(6), VmAssignment::running(NodeId(3))).unwrap();
+    target
+        .set_assignment(VmId(3), VmAssignment::sleeping(NodeId(2)))
+        .unwrap();
+    target
+        .set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+        .unwrap();
+    target
+        .set_assignment(VmId(5), VmAssignment::running(NodeId(1)))
+        .unwrap();
+    target
+        .set_assignment(VmId(6), VmAssignment::running(NodeId(3)))
+        .unwrap();
 
     let plan = planner.plan(&current, &target, &[]).expect("plannable");
     println!("=== Figure 9: a reconfiguration plan with two pools ===");

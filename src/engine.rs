@@ -1,0 +1,356 @@
+//! The [`Engine`]: one typed entry point for the whole pipeline.
+//!
+//! The workspace crates each own one stage of Figure 4 of the paper —
+//! `cwcs-sim` observes, `cwcs-core` decides and optimizes, `cwcs-plan`
+//! plans, `cwcs-sim` executes — and the [`ControlLoop`] in `cwcs-core`
+//! already chains them.  What was missing is a single façade that builds a
+//! whole experiment (cluster, vjobs, tuning) without touching five crates:
+//! that is the [`EngineBuilder`] / [`Engine`] pair.
+//!
+//! ```
+//! use cluster_context_switch::Engine;
+//! use cluster_context_switch::model::{CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId};
+//! use cluster_context_switch::workload::{VjobSpec, VmWorkProfile, WorkPhase};
+//!
+//! let vm = Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1));
+//! let spec = VjobSpec::new(
+//!     Vjob::new(VjobId(0), vec![VmId(0)], 0),
+//!     vec![vm],
+//!     vec![VmWorkProfile::new(vec![WorkPhase::compute(60.0)])],
+//! );
+//! let mut engine = Engine::builder()
+//!     .node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4)))
+//!     .vjob(spec)
+//!     .build()
+//!     .expect("valid scenario");
+//! let report = engine.run().expect("scenario completes");
+//! assert!(report.completion_time_secs.is_some());
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+
+use cwcs_core::control_loop::LoopError;
+use cwcs_core::{
+    BaselineReport, ControlLoop, ControlLoopConfig, DecisionModule, FcfsConsolidation,
+    IterationReport, PlanOptimizer, RunReport, StaticFcfsBaseline,
+};
+use cwcs_model::{Configuration, ModelError, Node, Vjob};
+use cwcs_sim::{DurationModel, SimulatedCluster};
+use cwcs_workload::VjobSpec;
+
+/// Errors raised while assembling an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A node or VM could not be registered (duplicate id, unknown host, …).
+    Model(ModelError),
+    /// The scenario has no nodes: nothing can ever run.
+    NoNodes,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Model(e) => write!(f, "invalid scenario: {e}"),
+            EngineError::NoNodes => write!(f, "invalid scenario: no nodes declared"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+/// Builder for [`Engine`]: declare the cluster, the vjobs and the control
+/// parameters, then [`build`](EngineBuilder::build).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    nodes: Vec<Node>,
+    specs: Vec<VjobSpec>,
+    period_secs: f64,
+    optimizer_timeout: Duration,
+    max_iterations: usize,
+    durations: Option<DurationModel>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            nodes: Vec::new(),
+            specs: Vec::new(),
+            period_secs: 30.0,
+            optimizer_timeout: Duration::from_millis(500),
+            max_iterations: 2_000,
+            durations: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Add one physical node.
+    pub fn node(mut self, node: Node) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Add several physical nodes.
+    pub fn nodes(mut self, nodes: impl IntoIterator<Item = Node>) -> Self {
+        self.nodes.extend(nodes);
+        self
+    }
+
+    /// Submit one vjob (its VMs are registered with the cluster).
+    pub fn vjob(mut self, spec: VjobSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Submit several vjobs.
+    pub fn vjobs(mut self, specs: impl IntoIterator<Item = VjobSpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Period between two control-loop iterations (30 s in the paper).
+    pub fn period_secs(mut self, period_secs: f64) -> Self {
+        self.period_secs = period_secs;
+        self
+    }
+
+    /// Time budget of the constraint-programming optimizer per iteration.
+    pub fn optimizer_timeout(mut self, timeout: Duration) -> Self {
+        self.optimizer_timeout = timeout;
+        self
+    }
+
+    /// Safety bound on the number of iterations of [`Engine::run`].
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Override the action-duration model of the simulator (defaults to the
+    /// paper's measured durations).
+    pub fn durations(mut self, durations: DurationModel) -> Self {
+        self.durations = Some(durations);
+        self
+    }
+
+    /// Assemble the initial [`Configuration`] from the declared nodes and
+    /// vjobs.
+    fn configuration(&self) -> Result<Configuration, EngineError> {
+        if self.nodes.is_empty() {
+            return Err(EngineError::NoNodes);
+        }
+        let mut configuration = Configuration::new();
+        for node in &self.nodes {
+            configuration.add_node(node.clone())?;
+        }
+        for spec in &self.specs {
+            for vm in &spec.vms {
+                configuration.add_vm(vm.clone())?;
+            }
+        }
+        Ok(configuration)
+    }
+
+    /// Build an engine driven by the paper's sample FCFS dynamic-consolidation
+    /// decision module.
+    pub fn build(self) -> Result<Engine<FcfsConsolidation>, EngineError> {
+        self.build_with_decision(FcfsConsolidation::new())
+    }
+
+    /// Build an engine driven by a custom decision module.
+    pub fn build_with_decision<D: DecisionModule>(
+        self,
+        decision: D,
+    ) -> Result<Engine<D>, EngineError> {
+        let configuration = self.configuration()?;
+        let mut cluster = SimulatedCluster::new(configuration.clone());
+        if let Some(durations) = self.durations {
+            cluster = cluster.with_durations(durations);
+        }
+        let config = ControlLoopConfig {
+            period_secs: self.period_secs,
+            optimizer: PlanOptimizer::with_timeout(self.optimizer_timeout),
+            max_iterations: self.max_iterations,
+        };
+        let control = ControlLoop::new(cluster, &self.specs, decision, config);
+        Ok(Engine {
+            initial_configuration: configuration,
+            specs: self.specs,
+            durations: self.durations,
+            control,
+        })
+    }
+}
+
+/// The unified observe → decide → plan → execute pipeline.
+///
+/// An `Engine` owns a simulated cluster, the submitted vjobs and an
+/// Entropy-style control loop over them.  [`step`](Engine::step) performs one
+/// full iteration of the loop; [`run`](Engine::run) iterates until every vjob
+/// terminated; [`run_static_baseline`](Engine::run_static_baseline) replays
+/// the same scenario under the paper's static FCFS allocation for
+/// comparisons.
+pub struct Engine<D: DecisionModule = FcfsConsolidation> {
+    initial_configuration: Configuration,
+    specs: Vec<VjobSpec>,
+    durations: Option<DurationModel>,
+    control: ControlLoop<D>,
+}
+
+impl Engine<FcfsConsolidation> {
+    /// Start describing a scenario.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+}
+
+impl<D: DecisionModule> Engine<D> {
+    /// Perform one observe → decide → plan → execute iteration.
+    pub fn step(&mut self) -> Result<IterationReport, LoopError> {
+        self.control.iterate()
+    }
+
+    /// Iterate until every vjob terminated (or the iteration bound is hit)
+    /// and return the full report.
+    pub fn run(&mut self) -> Result<RunReport, LoopError> {
+        self.control.run_until_complete()
+    }
+
+    /// Replay the same scenario under the static FCFS allocation baseline
+    /// (Figure 12), starting from the initial configuration.
+    pub fn run_static_baseline(&self) -> BaselineReport {
+        let mut cluster = SimulatedCluster::new(self.initial_configuration.clone());
+        if let Some(durations) = self.durations {
+            cluster = cluster.with_durations(durations);
+        }
+        StaticFcfsBaseline::default().run(cluster, &self.specs)
+    }
+
+    /// The current vjob states.
+    pub fn vjobs(&self) -> &[Vjob] {
+        self.control.vjobs()
+    }
+
+    /// The submitted vjob specs.
+    pub fn specs(&self) -> &[VjobSpec] {
+        &self.specs
+    }
+
+    /// The simulated cluster (current configuration, virtual clock, …).
+    pub fn cluster(&self) -> &SimulatedCluster {
+        self.control.cluster()
+    }
+
+    /// The initial configuration the scenario started from.
+    pub fn initial_configuration(&self) -> &Configuration {
+        &self.initial_configuration
+    }
+
+    /// True once every vjob is terminated.
+    pub fn all_terminated(&self) -> bool {
+        self.control.all_terminated()
+    }
+
+    /// Escape hatch: the underlying control loop.
+    pub fn control_loop(&mut self) -> &mut ControlLoop<D> {
+        &mut self.control
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwcs_model::{CpuCapacity, MemoryMib, NodeId, Vjob, VjobId, Vm, VmId};
+    use cwcs_workload::{VmWorkProfile, WorkPhase};
+
+    fn spec(vjob: u32, first_vm: u32, vm_count: u32, work_secs: f64) -> VjobSpec {
+        let vm_ids: Vec<VmId> = (0..vm_count).map(|i| VmId(first_vm + i)).collect();
+        let vms: Vec<Vm> = vm_ids
+            .iter()
+            .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .collect();
+        let profiles = vms
+            .iter()
+            .map(|_| VmWorkProfile::new(vec![WorkPhase::compute(work_secs)]))
+            .collect();
+        VjobSpec::new(Vjob::new(VjobId(vjob), vm_ids, vjob as u64), vms, profiles)
+    }
+
+    #[test]
+    fn builder_rejects_empty_clusters() {
+        match Engine::builder().build() {
+            Err(err) => assert_eq!(err, EngineError::NoNodes),
+            Ok(_) => panic!("an engine without nodes must be rejected"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_vms() {
+        let result = Engine::builder()
+            .node(Node::new(
+                NodeId(0),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
+            .vjob(spec(0, 0, 2, 60.0))
+            .vjob(spec(1, 1, 2, 60.0)) // VmId(1) clashes
+            .build();
+        assert!(matches!(result, Err(EngineError::Model(_))));
+    }
+
+    #[test]
+    fn engine_runs_a_small_scenario_to_completion() {
+        let mut engine = Engine::builder()
+            .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
+            .vjob(spec(0, 0, 2, 60.0))
+            .vjob(spec(1, 2, 2, 60.0))
+            .optimizer_timeout(Duration::from_millis(200))
+            .build()
+            .unwrap();
+        let report = engine.run().expect("completes");
+        assert!(engine.all_terminated());
+        assert!(report.completion_time_secs.is_some());
+        assert!(!report.iterations.is_empty());
+    }
+
+    #[test]
+    fn step_is_one_iteration() {
+        let mut engine = Engine::builder()
+            .node(Node::new(
+                NodeId(0),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
+            .vjob(spec(0, 0, 1, 60.0))
+            .optimizer_timeout(Duration::from_millis(200))
+            .build()
+            .unwrap();
+        let first = engine.step().expect("first iteration");
+        assert_eq!(first.iteration, 0);
+        assert!(first.performed_switch, "first iteration starts the vjob");
+        let second = engine.step().expect("second iteration");
+        assert_eq!(second.iteration, 1);
+    }
+
+    #[test]
+    fn baseline_replays_the_same_scenario() {
+        let mut engine = Engine::builder()
+            .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
+            .vjob(spec(0, 0, 2, 60.0))
+            .optimizer_timeout(Duration::from_millis(200))
+            .build()
+            .unwrap();
+        let baseline = engine.run_static_baseline();
+        assert!(baseline.completion_time_secs.is_some());
+        // Running the baseline does not consume the engine.
+        let report = engine.run().expect("completes");
+        assert!(report.completion_time_secs.is_some());
+    }
+}

@@ -11,7 +11,14 @@
 //! * [`core`] — the Entropy-style control loop, decision modules and the
 //!   constraint-programming plan optimizer.
 //!
+//! The [`Engine`] ties them together: declare a cluster and a set of vjobs
+//! with [`Engine::builder`], then [`Engine::run`] drives the full
+//! observe → decide → plan → execute loop and returns a
+//! [`RunReport`](cwcs_core::RunReport).
+//!
 //! See `examples/quickstart.rs` for a guided tour.
+
+pub mod engine;
 
 pub use cwcs_core as core;
 pub use cwcs_model as model;
@@ -19,3 +26,5 @@ pub use cwcs_plan as plan;
 pub use cwcs_sim as sim;
 pub use cwcs_solver as solver;
 pub use cwcs_workload as workload;
+
+pub use engine::{Engine, EngineBuilder, EngineError};

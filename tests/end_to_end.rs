@@ -5,12 +5,9 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 use cluster_context_switch::core::decision::DecisionModule;
-use cluster_context_switch::core::{
-    ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer, StaticFcfsBaseline,
-};
+use cluster_context_switch::core::{FcfsConsolidation, PlanOptimizer};
 use cluster_context_switch::model::{
-    Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, VjobState, Vm, VmId,
-    VmState,
+    Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, VjobState, Vm, VmId, VmState,
 };
 use cluster_context_switch::plan::{ActionCostModel, Planner};
 use cluster_context_switch::sim::{PlanExecutor, SimulatedCluster, SimulatedXenDriver};
@@ -18,16 +15,14 @@ use cluster_context_switch::workload::{
     GeneratorParams, NasGridClass, NasGridKind, NasGridTemplate, TraceGenerator, VjobSpec,
     VjobTemplate, VmWorkProfile, WorkPhase,
 };
+use cluster_context_switch::Engine;
 
 /// Build a cluster of `nodes` paper nodes and `vjobs` vjobs of `vms` busy VMs
 /// computing for `work_secs`.
-fn scenario(nodes: u32, vjobs: u32, vms: u32, work_secs: f64) -> (Configuration, Vec<VjobSpec>) {
-    let mut configuration = Configuration::new();
-    for i in 0..nodes {
-        configuration
-            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
-            .unwrap();
-    }
+fn scenario(nodes: u32, vjobs: u32, vms: u32, work_secs: f64) -> (Vec<Node>, Vec<VjobSpec>) {
+    let nodes: Vec<Node> = (0..nodes)
+        .map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+        .collect();
     let mut specs = Vec::new();
     let mut next = 0u32;
     for j in 0..vjobs {
@@ -42,9 +37,6 @@ fn scenario(nodes: u32, vjobs: u32, vms: u32, work_secs: f64) -> (Configuration,
             .iter()
             .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::cores(1)))
             .collect();
-        for vm in &vm_objects {
-            configuration.add_vm(vm.clone()).unwrap();
-        }
         let vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
         let profiles = vm_objects
             .iter()
@@ -52,12 +44,27 @@ fn scenario(nodes: u32, vjobs: u32, vms: u32, work_secs: f64) -> (Configuration,
             .collect();
         specs.push(VjobSpec::new(vjob, vm_objects, profiles));
     }
-    (configuration, specs)
+    (nodes, specs)
+}
+
+/// Materialize the initial configuration of a `scenario`.
+fn configuration_of(nodes: &[Node], specs: &[VjobSpec]) -> Configuration {
+    let mut configuration = Configuration::new();
+    for node in nodes {
+        configuration.add_node(node.clone()).unwrap();
+    }
+    for spec in specs {
+        for vm in &spec.vms {
+            configuration.add_vm(vm.clone()).unwrap();
+        }
+    }
+    configuration
 }
 
 #[test]
 fn full_pipeline_decide_optimize_plan_execute() {
-    let (configuration, specs) = scenario(3, 2, 3, 120.0);
+    let (nodes, specs) = scenario(3, 2, 3, 120.0);
+    let configuration = configuration_of(&nodes, &specs);
     let vjobs: Vec<Vjob> = specs.iter().map(|s| s.vjob.clone()).collect();
     let mut cluster = SimulatedCluster::new(configuration);
     for spec in &specs {
@@ -79,7 +86,8 @@ fn full_pipeline_decide_optimize_plan_execute() {
     assert_eq!(outcome.plan.stats().runs, 6);
 
     // Execute on the simulator.
-    let report = PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &outcome.plan);
+    let report =
+        PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut cluster, &outcome.plan);
     assert!(report.failed_actions.is_empty());
     assert_eq!(
         cluster.configuration().vms_in_state(VmState::Running).len(),
@@ -94,26 +102,24 @@ fn control_loop_matches_baseline_semantics() {
     // On an uncontended cluster, Entropy and static FCFS complete the same
     // work; Entropy must never be slower by more than the context-switch
     // overhead.
-    let (configuration, specs) = scenario(4, 2, 3, 90.0);
-    let entropy = {
-        let config = ControlLoopConfig {
-            period_secs: 30.0,
-            optimizer: PlanOptimizer::with_timeout(Duration::from_millis(200)),
-            max_iterations: 100,
-        };
-        let mut control = ControlLoop::new(
-            SimulatedCluster::new(configuration.clone()),
-            &specs,
-            FcfsConsolidation::new(),
-            config,
-        );
-        control.run_until_complete().unwrap()
-    };
-    let fcfs = StaticFcfsBaseline::default().run(SimulatedCluster::new(configuration), &specs);
+    let (nodes, specs) = scenario(4, 2, 3, 90.0);
+    let mut engine = Engine::builder()
+        .nodes(nodes)
+        .vjobs(specs)
+        .period_secs(30.0)
+        .optimizer_timeout(Duration::from_millis(200))
+        .max_iterations(100)
+        .build()
+        .unwrap();
+    let fcfs = engine.run_static_baseline();
+    let entropy = engine.run().unwrap();
 
     let entropy_t = entropy.completion_time_secs.unwrap();
     let fcfs_t = fcfs.completion_time_secs.unwrap();
-    assert!(entropy_t <= fcfs_t + 90.0, "entropy {entropy_t} vs fcfs {fcfs_t}");
+    assert!(
+        entropy_t <= fcfs_t + 90.0,
+        "entropy {entropy_t} vs fcfs {fcfs_t}"
+    );
 }
 
 #[test]
@@ -121,10 +127,6 @@ fn contended_cluster_entropy_beats_static_fcfs() {
     // 1 node (2 units), 3 vjobs of 2 VMs each whose compute phases alternate
     // with idle phases: the static allocation serializes the vjobs while the
     // consolidation interleaves them.
-    let mut configuration = Configuration::new();
-    configuration
-        .add_node(Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(8)))
-        .unwrap();
     let mut specs = Vec::new();
     let mut next = 0u32;
     for j in 0..3u32 {
@@ -139,9 +141,6 @@ fn contended_cluster_entropy_beats_static_fcfs() {
             .iter()
             .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::percent(10)))
             .collect();
-        for vm in &vms {
-            configuration.add_vm(vm.clone()).unwrap();
-        }
         let vjob = Vjob::new(VjobId(j), vm_ids, j as u64);
         // A compute burst followed by a long idle tail: under a static
         // allocation each vjob holds both processing units for its whole
@@ -164,19 +163,20 @@ fn contended_cluster_entropy_beats_static_fcfs() {
         specs.push(VjobSpec::new(vjob, vms, profiles));
     }
 
-    let fcfs = StaticFcfsBaseline::default().run(SimulatedCluster::new(configuration.clone()), &specs);
-    let config = ControlLoopConfig {
-        period_secs: 30.0,
-        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(200)),
-        max_iterations: 200,
-    };
-    let mut control = ControlLoop::new(
-        SimulatedCluster::new(configuration),
-        &specs,
-        FcfsConsolidation::new(),
-        config,
-    );
-    let entropy = control.run_until_complete().unwrap();
+    let mut engine = Engine::builder()
+        .node(Node::new(
+            NodeId(0),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(8),
+        ))
+        .vjobs(specs)
+        .period_secs(30.0)
+        .optimizer_timeout(Duration::from_millis(200))
+        .max_iterations(200)
+        .build()
+        .unwrap();
+    let fcfs = engine.run_static_baseline();
+    let entropy = engine.run().unwrap();
 
     let fcfs_t = fcfs.completion_time_secs.unwrap();
     let entropy_t = entropy.completion_time_secs.unwrap();
@@ -216,12 +216,6 @@ fn nasgrid_vjobs_run_to_completion_under_the_control_loop() {
     // 6 dual-core nodes: enough processing units for a 9-VM ED vjob to run
     // entirely (a vjob whose instantaneous demand exceeds the whole cluster
     // could never be placed viably, by the paper's own definition).
-    let mut configuration = Configuration::new();
-    for i in 0..6 {
-        configuration
-            .add_node(Node::paper_cluster_node(NodeId(i)))
-            .unwrap();
-    }
     let mut factory = VjobTemplate::new(3);
     let templates = [
         NasGridTemplate {
@@ -237,30 +231,18 @@ fn nasgrid_vjobs_run_to_completion_under_the_control_loop() {
             memory_per_vm: MemoryMib::mib(512),
         },
     ];
-    let specs: Vec<VjobSpec> = templates
-        .iter()
-        .map(|t| {
-            let spec = factory.instantiate(t);
-            for vm in &spec.vms {
-                configuration.add_vm(vm.clone()).unwrap();
-            }
-            spec
-        })
-        .collect();
-    let config = ControlLoopConfig {
-        period_secs: 30.0,
-        optimizer: PlanOptimizer::with_timeout(Duration::from_millis(300)),
-        max_iterations: 500,
-    };
-    let mut control = ControlLoop::new(
-        SimulatedCluster::new(configuration),
-        &specs,
-        FcfsConsolidation::new(),
-        config,
-    );
-    let report = control.run_until_complete().unwrap();
+    let specs: Vec<VjobSpec> = templates.iter().map(|t| factory.instantiate(t)).collect();
+    let mut engine = Engine::builder()
+        .nodes((0..6).map(|i| Node::paper_cluster_node(NodeId(i))))
+        .vjobs(specs)
+        .period_secs(30.0)
+        .optimizer_timeout(Duration::from_millis(300))
+        .max_iterations(500)
+        .build()
+        .unwrap();
+    let report = engine.run().unwrap();
     assert!(report.completion_time_secs.is_some());
-    assert!(control
+    assert!(engine
         .vjobs()
         .iter()
         .all(|j| j.state == VjobState::Terminated));
@@ -270,13 +252,16 @@ fn nasgrid_vjobs_run_to_completion_under_the_control_loop() {
 fn planner_and_executor_agree_on_final_configuration() {
     // Whatever plan the planner builds, executing it on the simulator leads
     // to exactly the configuration the plan validation predicts.
-    let (configuration, specs) = scenario(3, 2, 2, 60.0);
+    let (nodes, specs) = scenario(3, 2, 2, 60.0);
+    let configuration = configuration_of(&nodes, &specs);
     let vjobs: Vec<Vjob> = specs.iter().map(|s| s.vjob.clone()).collect();
     let decision = FcfsConsolidation::new()
         .decide(&configuration, &vjobs, &BTreeSet::new())
         .unwrap();
     let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(300));
-    let outcome = optimizer.optimize(&configuration, &decision, &vjobs).unwrap();
+    let outcome = optimizer
+        .optimize(&configuration, &decision, &vjobs)
+        .unwrap();
 
     let predicted = outcome.plan.validate(&configuration).unwrap();
 
@@ -300,15 +285,26 @@ fn cost_model_prefers_plans_with_fewer_movements() {
     let mut configuration = Configuration::new();
     for i in 0..4 {
         configuration
-            .add_node(Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4)))
+            .add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
             .unwrap();
     }
     for i in 0..2 {
         configuration
-            .add_vm(Vm::new(VmId(i), MemoryMib::mib(1024), CpuCapacity::cores(1)))
+            .add_vm(Vm::new(
+                VmId(i),
+                MemoryMib::mib(1024),
+                CpuCapacity::cores(1),
+            ))
             .unwrap();
         configuration
-            .set_assignment(VmId(i), cluster_context_switch::model::VmAssignment::running(NodeId(i)))
+            .set_assignment(
+                VmId(i),
+                cluster_context_switch::model::VmAssignment::running(NodeId(i)),
+            )
             .unwrap();
     }
     let planner = Planner::new();
@@ -316,14 +312,51 @@ fn cost_model_prefers_plans_with_fewer_movements() {
 
     let mut move_one = configuration.clone();
     move_one
-        .set_assignment(VmId(0), cluster_context_switch::model::VmAssignment::running(NodeId(2)))
+        .set_assignment(
+            VmId(0),
+            cluster_context_switch::model::VmAssignment::running(NodeId(2)),
+        )
         .unwrap();
     let mut move_two = move_one.clone();
     move_two
-        .set_assignment(VmId(1), cluster_context_switch::model::VmAssignment::running(NodeId(3)))
+        .set_assignment(
+            VmId(1),
+            cluster_context_switch::model::VmAssignment::running(NodeId(3)),
+        )
         .unwrap();
 
     let plan_one = planner.plan(&configuration, &move_one, &[]).unwrap();
     let plan_two = planner.plan(&configuration, &move_two, &[]).unwrap();
     assert!(cost_model.plan_cost(&plan_one).total < cost_model.plan_cost(&plan_two).total);
+}
+
+#[test]
+fn entropy_plan_never_costs_more_than_the_ffd_baseline() {
+    // Plan-cost monotonicity: on any scenario, the CP optimizer starts from
+    // the FFD packing as its incumbent, so the Entropy plan can only be
+    // cheaper than or equal to the FCFS/FFD baseline plan — never more
+    // expensive.  Checked across several generated instances.
+    for seed in [2u64, 7, 19] {
+        let params = GeneratorParams {
+            node_count: 25,
+            ..GeneratorParams::figure_10(45, seed)
+        };
+        let generated = TraceGenerator::new(params).generate();
+        let decision = FcfsConsolidation::new()
+            .decide(&generated.configuration, &generated.vjobs, &BTreeSet::new())
+            .unwrap();
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(300));
+        let ffd = optimizer
+            .ffd_outcome(&generated.configuration, &decision, &generated.vjobs)
+            .unwrap();
+        let entropy = optimizer
+            .optimize(&generated.configuration, &decision, &generated.vjobs)
+            .unwrap();
+        assert!(
+            entropy.cost.total <= ffd.cost.total,
+            "seed {seed}: entropy plan costs {} but the FFD baseline costs {}",
+            entropy.cost.total,
+            ffd.cost.total
+        );
+    }
 }
