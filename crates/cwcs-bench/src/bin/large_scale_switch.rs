@@ -1,0 +1,128 @@
+//! Large-scale context switch: the event-driven engine at the
+//! thousand-action regime the ROADMAP targets.
+//!
+//! Builds a generated 500-node / ~4 500-VM cluster in which 100 fully packed
+//! nodes are drained onto the rest of the cluster and the small-memory ones
+//! are backfilled in place, plans the switch, and executes the same plan
+//! with both engines:
+//!
+//! * the **pool-barrier** executor (the paper's sequential pools);
+//! * the **event-driven** executor (per-action precedence, interval
+//!   interference).
+//!
+//! The run asserts the event-driven invariants — switch duration ≤ barrier
+//! duration, identical final configuration — prints both makespans and the
+//! wall-clock time of each engine, and writes `BENCH_large_scale.json`.
+
+use std::time::Instant;
+
+use cwcs_bench::{large_scale_switch, JsonObject};
+use cwcs_model::Vjob;
+use cwcs_plan::Planner;
+use cwcs_sim::{ExecutionMode, PlanExecutor, SimulatedXenDriver};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nodes = env_usize("CWCS_LS_NODES", 500) as u32;
+    let drained = env_usize("CWCS_LS_DRAINED", 100) as u32;
+
+    let scenario = large_scale_switch(nodes, drained);
+    println!(
+        "Large-scale switch: {} nodes ({} to drain), {} VMs in {} vjobs",
+        scenario.source.node_count(),
+        drained,
+        scenario.source.vm_count(),
+        scenario.specs.len()
+    );
+
+    let vjobs: Vec<Vjob> = scenario.specs.iter().map(|s| s.vjob.clone()).collect();
+    let planning = Instant::now();
+    let plan = Planner::new()
+        .plan(&scenario.source, &scenario.target, &vjobs)
+        .expect("the large-scale switch is plannable");
+    let planning_ms = planning.elapsed().as_secs_f64() * 1e3;
+    let stats = plan.stats();
+    println!(
+        "plan: {} actions in {} pools ({} migrations, {} runs) built in {:.0} ms",
+        stats.total_actions(),
+        stats.pools,
+        stats.migrations,
+        stats.runs,
+        planning_ms
+    );
+
+    let mut results = Vec::new();
+    for (label, mode) in [
+        ("pool-barrier", ExecutionMode::PoolBarrier),
+        ("event-driven", ExecutionMode::EventDriven),
+    ] {
+        let mut cluster = scenario.cluster();
+        let executor = PlanExecutor::new(SimulatedXenDriver::default()).with_mode(mode);
+        let wall = Instant::now();
+        let report = executor.execute(&mut cluster, &plan);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        assert!(report.failed_actions.is_empty());
+        println!(
+            "{:<14} switch {:>8.1} s  (max concurrency {:>4}, simulated in {:>7.0} ms)",
+            label,
+            report.duration_secs,
+            report.timeline.max_concurrency(),
+            wall_ms
+        );
+        results.push((label, report, cluster, wall_ms));
+    }
+
+    let (_, barrier_report, barrier_cluster, barrier_ms) = &results[0];
+    let (_, event_report, event_cluster, event_ms) = &results[1];
+
+    // The event-driven invariants at scale.
+    assert!(
+        event_report.duration_secs <= barrier_report.duration_secs + 1e-6,
+        "event-driven ({:.1} s) must never exceed the barrier ({:.1} s)",
+        event_report.duration_secs,
+        barrier_report.duration_secs
+    );
+    assert_eq!(
+        event_cluster.configuration(),
+        barrier_cluster.configuration(),
+        "both engines must reach the identical final configuration"
+    );
+
+    let saved = barrier_report.duration_secs - event_report.duration_secs;
+    println!(
+        "event-driven engine saves {:.1} s of switch time ({:.1}%)",
+        saved,
+        100.0 * saved / barrier_report.duration_secs.max(1e-9)
+    );
+
+    let artifact_path =
+        std::env::var("CWCS_LS_ARTIFACT").unwrap_or_else(|_| "BENCH_large_scale.json".to_owned());
+    let json = JsonObject::new()
+        .string("benchmark", "large_scale_switch")
+        .integer("nodes", scenario.source.node_count() as u64)
+        .integer("vms", scenario.source.vm_count() as u64)
+        .integer("plan_actions", stats.total_actions() as u64)
+        .number("planning_ms", planning_ms)
+        .number("barrier_switch_secs", barrier_report.duration_secs)
+        .number("event_switch_secs", event_report.duration_secs)
+        .number("barrier_wall_ms", *barrier_ms)
+        .number("event_wall_ms", *event_ms)
+        .integer(
+            "event_max_concurrency",
+            event_report.timeline.max_concurrency() as u64,
+        )
+        .render();
+    match std::fs::write(&artifact_path, &json) {
+        Ok(()) => println!("wrote {artifact_path}"),
+        Err(e) => {
+            eprintln!("could not write {artifact_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -21,6 +21,6 @@ pub mod scenarios;
 pub use harness::BenchGroup;
 pub use report::{format_row, mean, percent_reduction, JsonObject};
 pub use scenarios::{
-    cluster_experiment, cluster_experiment_sized, entropy_run, figure_10_point, static_fcfs_run,
-    ClusterScenario, Figure10Sample,
+    cluster_experiment, cluster_experiment_sized, entropy_run, figure_10_point, large_scale_switch,
+    static_fcfs_run, ClusterScenario, Figure10Sample, LargeScaleScenario,
 };

@@ -100,6 +100,7 @@ pub fn entropy_run(scenario: &ClusterScenario, optimizer_timeout: Duration) -> R
         period_secs: 30.0,
         optimizer: PlanOptimizer::with_timeout(optimizer_timeout),
         max_iterations: 5_000,
+        ..Default::default()
     };
     let mut control = ControlLoop::new(
         scenario.cluster(),
@@ -176,6 +177,185 @@ pub fn paper_node(id: u32) -> Node {
     Node::new(NodeId(id), CpuCapacity::cores(2), MemoryMib::gib(4))
 }
 
+/// A generated large-scale context switch: a source configuration with
+/// hundreds of nodes and thousands of VMs, and a target configuration that
+/// drains part of the cluster and backfills it — the thousand-action regime
+/// the event-driven engine is built for.
+#[derive(Debug, Clone)]
+pub struct LargeScaleScenario {
+    /// The initial configuration (running + waiting VMs).
+    pub source: Configuration,
+    /// The target configuration (drained nodes evacuated and backfilled).
+    pub target: Configuration,
+    /// Every vjob with its VMs and work profiles.
+    pub specs: Vec<VjobSpec>,
+}
+
+impl LargeScaleScenario {
+    /// A fresh simulated cluster over the source configuration, with every
+    /// vjob registered.
+    pub fn cluster(&self) -> SimulatedCluster {
+        let mut cluster = SimulatedCluster::new(self.source.clone());
+        for spec in &self.specs {
+            cluster.register_vjob(spec);
+        }
+        cluster
+    }
+}
+
+/// Build a large-scale drain-and-backfill switch over `node_count` nodes of
+/// 10 processing units / 24 GiB each:
+///
+/// * the first `drained_nodes` nodes are fully packed (one 10-VM vjob each,
+///   per-node memory class cycling 2 GiB → 512 MiB → 1 GiB) and must be
+///   evacuated: their VMs migrate to the remaining *receiver* nodes, which
+///   run a 7-VM vjob each and keep 3 units spare;
+/// * the drained nodes whose VMs are small (every class except 2 GiB) are
+///   immediately backfilled with a waiting 10-VM vjob booting in place; the
+///   2-GiB nodes stay empty, as if drained for maintenance.
+///
+/// The resulting plan pairs every backfill `run` with the specific
+/// migrations that free its node.  A pool barrier makes all the runs wait
+/// for the globally slowest migration (the 2-GiB evacuations, ~26 s); the
+/// event-driven engine starts each run as soon as its own node is free,
+/// which is what produces a strictly shorter switch.
+///
+/// With the defaults of the `large_scale_switch` binary (500 nodes, 100
+/// drained) this is a 4 460-VM cluster and a ~1 660-action plan.
+pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScenario {
+    const UNITS_PER_NODE: u32 = 10;
+    const RECEIVER_LOAD: u32 = 7;
+    const RECEIVER_FREE: u32 = UNITS_PER_NODE - RECEIVER_LOAD;
+    let receivers = node_count
+        .checked_sub(drained_nodes)
+        .expect("drained_nodes <= node_count");
+    assert!(
+        UNITS_PER_NODE * drained_nodes <= RECEIVER_FREE * receivers,
+        "receivers cannot absorb the drained VMs"
+    );
+    let drained_memory = [
+        MemoryMib::mib(2048),
+        MemoryMib::mib(512),
+        MemoryMib::mib(1024),
+    ];
+
+    let mut source = Configuration::new();
+    for i in 0..node_count {
+        source
+            .add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(UNITS_PER_NODE),
+                MemoryMib::gib(24),
+            ))
+            .expect("unique node ids");
+    }
+
+    let mut specs: Vec<VjobSpec> = Vec::new();
+    let mut next_vm = 0u32;
+    let mut add_vjob = |source: &mut Configuration,
+                        specs: &mut Vec<VjobSpec>,
+                        vm_count: u32,
+                        memory: MemoryMib,
+                        host: Option<NodeId>| {
+        let vjob_id = specs.len() as u32;
+        let vm_ids: Vec<cwcs_model::VmId> = (0..vm_count)
+            .map(|_| {
+                let id = cwcs_model::VmId(next_vm);
+                next_vm += 1;
+                id
+            })
+            .collect();
+        let vms: Vec<cwcs_model::Vm> = vm_ids
+            .iter()
+            .map(|&id| cwcs_model::Vm::new(id, memory, CpuCapacity::cores(1)))
+            .collect();
+        for vm in &vms {
+            source.add_vm(vm.clone()).expect("unique vm ids");
+            if let Some(node) = host {
+                source
+                    .set_assignment(vm.id, cwcs_model::VmAssignment::running(node))
+                    .expect("placement stays within capacity");
+            }
+        }
+        let mut vjob = cwcs_model::Vjob::new(cwcs_model::VjobId(vjob_id), vm_ids, vjob_id as u64);
+        if host.is_some() {
+            vjob.transition_to(cwcs_model::VjobState::Running)
+                .expect("waiting -> running");
+        }
+        let profiles = vms
+            .iter()
+            .map(|_| {
+                cwcs_workload::VmWorkProfile::new(vec![cwcs_workload::WorkPhase::compute(3600.0)])
+            })
+            .collect();
+        specs.push(VjobSpec::new(vjob, vms, profiles));
+    };
+
+    // Drained nodes: one full vjob each, memory class cycling per node.
+    for i in 0..drained_nodes {
+        let memory = drained_memory[(i % 3) as usize];
+        add_vjob(
+            &mut source,
+            &mut specs,
+            UNITS_PER_NODE,
+            memory,
+            Some(NodeId(i)),
+        );
+    }
+    // Receiver nodes: a 7-VM vjob each, 3 units spare.
+    for i in drained_nodes..node_count {
+        add_vjob(
+            &mut source,
+            &mut specs,
+            RECEIVER_LOAD,
+            MemoryMib::gib(1),
+            Some(NodeId(i)),
+        );
+    }
+    // One waiting backfill vjob per small-memory drained node.
+    let backfilled: Vec<NodeId> = (0..drained_nodes)
+        .filter(|i| i % 3 != 0)
+        .map(NodeId)
+        .collect();
+    let first_backfill_vjob = specs.len();
+    for _ in &backfilled {
+        add_vjob(
+            &mut source,
+            &mut specs,
+            UNITS_PER_NODE,
+            MemoryMib::gib(1),
+            None,
+        );
+    }
+
+    // Target: evacuate the drained nodes onto the receivers (3 per
+    // receiver), then boot each backfill vjob on its drained node.
+    let mut target = source.clone();
+    let mut migrated = 0u32;
+    for spec in specs.iter().take(drained_nodes as usize) {
+        for &vm in &spec.vjob.vms {
+            let receiver = NodeId(drained_nodes + migrated / RECEIVER_FREE);
+            target
+                .set_assignment(vm, cwcs_model::VmAssignment::running(receiver))
+                .expect("receiver has room");
+            migrated += 1;
+        }
+    }
+    for (offset, &node) in backfilled.iter().enumerate() {
+        for &vm in &specs[first_backfill_vjob + offset].vjob.vms {
+            target
+                .set_assignment(vm, cwcs_model::VmAssignment::running(node))
+                .expect("drained node has room");
+        }
+    }
+
+    LargeScaleScenario {
+        source,
+        target,
+        specs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +382,44 @@ mod tests {
             .expect("small instances are solvable");
         assert!(sample.vm_count >= 18);
         assert!(sample.entropy_cost <= sample.ffd_cost);
+    }
+
+    #[test]
+    fn large_scale_switch_downsized_is_strictly_faster_event_driven() {
+        use cwcs_sim::{ExecutionMode, PlanExecutor, SimulatedXenDriver};
+
+        // A 40-node instance of the 500-node drain scenario: same shape,
+        // test-sized (8 drained nodes, 5 of them backfilled).
+        let scenario = large_scale_switch(40, 8);
+        assert_eq!(scenario.source.node_count(), 40);
+        // 8×10 drained + 32×7 receivers + 5×10 backfill.
+        assert_eq!(scenario.source.vm_count(), 354);
+        let vjobs: Vec<cwcs_model::Vjob> = scenario.specs.iter().map(|s| s.vjob.clone()).collect();
+        let plan = cwcs_plan::Planner::new()
+            .plan(&scenario.source, &scenario.target, &vjobs)
+            .unwrap();
+        assert_eq!(plan.stats().migrations, 80, "8 drained nodes of 10 VMs");
+        assert_eq!(plan.stats().runs, 50, "5 backfill vjobs of 10 VMs");
+
+        let mut barrier_cluster = scenario.cluster();
+        let barrier = PlanExecutor::new(SimulatedXenDriver::default())
+            .with_mode(ExecutionMode::PoolBarrier)
+            .execute(&mut barrier_cluster, &plan);
+        let mut event_cluster = scenario.cluster();
+        let event =
+            PlanExecutor::new(SimulatedXenDriver::default()).execute(&mut event_cluster, &plan);
+        // The backfill runs only wait for their own node's migrations, none
+        // of which are the slowest: the event engine wins strictly.
+        assert!(
+            event.duration_secs < barrier.duration_secs - 1e-6,
+            "event {} vs barrier {}",
+            event.duration_secs,
+            barrier.duration_secs
+        );
+        assert_eq!(
+            event_cluster.configuration(),
+            barrier_cluster.configuration()
+        );
     }
 
     #[test]

@@ -20,8 +20,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use cwcs_model::{Vjob, VjobId, VjobState};
 use cwcs_plan::{PlanCost, PlanStats};
 use cwcs_sim::{
-    ClusterEvent, MonitoringService, PlanExecutor, SimulatedCluster, SimulatedXenDriver,
-    UtilizationSample,
+    ClusterEvent, ExecutionMode, ExecutionTimeline, MonitoringService, PlanExecutor,
+    SimulatedCluster, SimulatedXenDriver, UtilizationSample,
 };
 use cwcs_solver::SearchStats;
 use cwcs_workload::VjobSpec;
@@ -39,6 +39,9 @@ pub struct ControlLoopConfig {
     /// Safety bound on the number of iterations of
     /// [`ControlLoop::run_until_complete`].
     pub max_iterations: usize,
+    /// How context switches are executed (event-driven by default; the
+    /// paper's pool-barrier semantics are available for comparisons).
+    pub execution_mode: ExecutionMode,
 }
 
 impl Default for ControlLoopConfig {
@@ -47,6 +50,7 @@ impl Default for ControlLoopConfig {
             period_secs: 30.0,
             optimizer: PlanOptimizer::default(),
             max_iterations: 10_000,
+            execution_mode: ExecutionMode::default(),
         }
     }
 }
@@ -70,6 +74,9 @@ pub struct IterationReport {
     pub search_stats: SearchStats,
     /// Number of actions that failed (driver failures).
     pub failed_actions: usize,
+    /// Timeline of the executed switch (per-action start/end times, exact
+    /// vjob completion times), `None` when no switch was performed.
+    pub switch_timeline: Option<ExecutionTimeline>,
     /// Vjobs that completed during this iteration.
     pub completed_vjobs: Vec<VjobId>,
     /// Utilization at the end of the iteration.
@@ -161,11 +168,13 @@ impl<D: DecisionModule> ControlLoop<D> {
             cluster.register_vjob(spec);
         }
         let vjobs = specs.iter().map(|s| s.vjob.clone()).collect();
+        let executor =
+            PlanExecutor::new(SimulatedXenDriver::default()).with_mode(config.execution_mode);
         ControlLoop {
             cluster,
             monitor: MonitoringService::default(),
             decision,
-            executor: PlanExecutor::new(SimulatedXenDriver::default()),
+            executor,
             config,
             vjobs,
             pending_completed: BTreeSet::new(),
@@ -221,6 +230,7 @@ impl<D: DecisionModule> ControlLoop<D> {
         let mut search_stats = SearchStats::default();
         let mut failed_actions = 0;
         let mut completed_now: Vec<VjobId> = Vec::new();
+        let mut switch_timeline = None;
 
         if needs_switch {
             let outcome = self
@@ -238,6 +248,7 @@ impl<D: DecisionModule> ControlLoop<D> {
                 let ClusterEvent::VjobCompleted(id) = event;
                 self.pending_completed.insert(*id);
             }
+            switch_timeline = Some(report.timeline);
 
             // Commit the vjob state changes that the switch realized.
             for vjob in &mut self.vjobs {
@@ -271,6 +282,7 @@ impl<D: DecisionModule> ControlLoop<D> {
             switch_duration_secs: switch_duration,
             search_stats,
             failed_actions,
+            switch_timeline,
             completed_vjobs: completed_now,
             utilization: self.cluster.utilization(),
         };
@@ -360,6 +372,7 @@ mod tests {
             period_secs: 30.0,
             optimizer: PlanOptimizer::with_timeout(Duration::from_millis(300)),
             max_iterations: 200,
+            ..Default::default()
         }
     }
 
@@ -412,6 +425,10 @@ mod tests {
         assert!(first.performed_switch);
         assert!(first.plan_cost.is_some());
         assert_eq!(first.failed_actions, 0);
+        // The switch exposes its timeline, consistent with its duration.
+        let timeline = first.switch_timeline.as_ref().expect("switch performed");
+        assert!(!timeline.entries.is_empty());
+        assert!((timeline.duration_secs - first.switch_duration_secs).abs() < 1e-9);
         // Virtual time advanced by at least the period.
         assert!(control.cluster().clock_secs() >= 30.0 - 1e-9);
         let second = control.iterate().unwrap();

@@ -139,15 +139,13 @@ impl PlanOptimizer {
             vars.push((vm, var));
         }
 
-        let cpu_sizes: Vec<u64> = must_run
-            .iter()
-            .map(|&vm| current.vm(vm).map(|v| v.cpu.raw() as u64))
-            .collect::<Result<_, _>>()
-            .map_err(|_| OptimizerError::UnknownVm(must_run[0]))?;
-        let mem_sizes: Vec<u64> = must_run
-            .iter()
-            .map(|&vm| current.vm(vm).unwrap().memory.raw())
-            .collect();
+        let mut cpu_sizes: Vec<u64> = Vec::with_capacity(must_run.len());
+        let mut mem_sizes: Vec<u64> = Vec::with_capacity(must_run.len());
+        for &vm in &must_run {
+            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            cpu_sizes.push(entry.cpu.raw() as u64);
+            mem_sizes.push(entry.memory.raw());
+        }
         let cpu_capacities: Vec<u64> = node_ids
             .iter()
             .map(|&n| current.node(n).unwrap().cpu.raw() as u64)
@@ -184,7 +182,7 @@ impl PlanOptimizer {
             let assignment = current
                 .assignment(vm)
                 .map_err(|_| OptimizerError::UnknownVm(vm))?;
-            let dm = current.vm(vm).unwrap().memory.raw();
+            let dm = mem_sizes[i];
             let anchor = match assignment.state {
                 VmState::Running => assignment.host,
                 VmState::Sleeping => assignment.image,
@@ -532,6 +530,33 @@ mod tests {
         let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
         assert_eq!(outcome.plan.stats().stops, 2);
         assert_eq!(outcome.target.state(VmId(0)).unwrap(), VmState::Terminated);
+    }
+
+    #[test]
+    fn unknown_vm_errors_name_the_offending_vm() {
+        // Regression: a vjob whose *second* VM is unknown to the
+        // configuration used to be reported as `UnknownVm(first_vm)`.
+        let mut c = Configuration::new();
+        c.add_node(Node::new(
+            NodeId(0),
+            CpuCapacity::cores(4),
+            MemoryMib::gib(8),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        // VmId(99) is never registered.
+        let vjob = Vjob::new(VjobId(0), vec![VmId(0), VmId(99)], 0);
+        let mut states = BTreeMap::new();
+        states.insert(VjobId(0), VjobState::Running);
+        let decision = Decision {
+            vjob_states: states,
+            proof_configuration: c.clone(),
+        };
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(200));
+        let err = optimizer.optimize(&c, &decision, &[vjob]).unwrap_err();
+        assert_eq!(err, OptimizerError::UnknownVm(VmId(99)));
+        assert!(err.to_string().contains("vm-99"));
     }
 
     #[test]

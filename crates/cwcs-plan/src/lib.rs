@@ -17,17 +17,22 @@
 //!   same vjob;
 //! * [`plan`] — the plan itself (pools of actions with pipeline offsets),
 //!   step-by-step validation, and summary statistics;
+//! * [`dependencies`] — per-action precedence edges recovered from a pooled
+//!   plan (same-VM ordering plus the releases each action's destination node
+//!   needs), the input of the event-driven executor in `cwcs-sim`;
 //! * [`cost`] — the cost model of Table 1 and the plan cost used by the
 //!   optimizer of `cwcs-core`.
 
 pub mod action;
 pub mod cost;
+pub mod dependencies;
 pub mod graph;
 pub mod plan;
 pub mod planner;
 
 pub use action::Action;
 pub use cost::{ActionCostModel, PlanCost};
+pub use dependencies::{DependencyNode, PlanDependencies};
 pub use graph::{ActionFeasibility, ReconfigurationGraph};
 pub use plan::{PlanError, PlanStats, PlannedAction, Pool, ReconfigurationPlan};
 pub use planner::{Planner, PlannerConfig, PlannerError};

@@ -97,9 +97,12 @@ impl fmt::Display for PlanError {
                 )
             }
             PlanError::Model(e) => write!(f, "model error while applying plan: {e}"),
+            // `pool_index` is 0-based; the plan printout numbers pools from
+            // 1, so the message must too for the labels to line up.
             PlanError::NonViableIntermediate { pool_index, node } => write!(
                 f,
-                "configuration after pool {pool_index} is not viable ({node} overloaded)"
+                "configuration after pool {} is not viable ({node} overloaded)",
+                pool_index + 1
             ),
         }
     }
@@ -481,11 +484,48 @@ mod tests {
 
     #[test]
     fn plan_error_display() {
+        // `pool_index` 2 is the third pool, printed as `pool 3:` by the plan
+        // display — the error must point at that same label.
         let err = PlanError::NonViableIntermediate {
             pool_index: 2,
             node: NodeId(4),
         };
-        assert!(err.to_string().contains("pool 2"));
+        assert!(err.to_string().contains("pool 3"));
+        assert!(!err.to_string().contains("pool 2"));
         assert!(err.to_string().contains("node-4"));
+    }
+
+    #[test]
+    fn non_viable_intermediate_error_matches_plan_printout() {
+        // Regression for the 0-based/1-based mismatch: validate() a plan whose
+        // second pool overloads a node and check the error names the pool with
+        // the same number the printout uses.
+        let c = config();
+        let plan = ReconfigurationPlan::from_pools(vec![
+            Pool::from_actions(vec![Action::Run {
+                vm: VmId(1),
+                node: NodeId(1),
+                demand: demand(1024, 1),
+            }]),
+            // Migrating the busy VM next to the one just started overloads
+            // node 1 (2 busy single-core VMs on a single-core node).
+            Pool::from_actions(vec![Action::Migrate {
+                vm: VmId(0),
+                from: NodeId(0),
+                to: NodeId(1),
+                demand: demand(0, 0),
+            }]),
+        ]);
+        let err = plan.validate(&c).unwrap_err();
+        let PlanError::NonViableIntermediate { pool_index, .. } = &err else {
+            panic!("expected a non-viable intermediate, got {err:?}");
+        };
+        assert_eq!(*pool_index, 1);
+        let label = format!("pool {}:", pool_index + 1);
+        assert!(
+            plan.to_string().contains(&label),
+            "the printout must contain the label the error points at"
+        );
+        assert!(err.to_string().contains("pool 2"));
     }
 }

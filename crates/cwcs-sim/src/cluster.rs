@@ -181,6 +181,50 @@ impl SimulatedCluster {
         events
     }
 
+    /// Wall-clock seconds until the next vjob completion, assuming the
+    /// current assignments and the given per-node `decelerations` hold for
+    /// the whole interval.  Returns `None` when no still-incomplete vjob can
+    /// complete without a state change (some member VM is not running).
+    ///
+    /// The event-driven executor uses this to fire vjob completions at their
+    /// exact virtual times instead of at the end of a pool window.
+    pub fn next_completion_horizon(&self, decelerations: &BTreeMap<NodeId, f64>) -> Option<f64> {
+        let mut horizon: Option<f64> = None;
+        for (id, vjob) in &self.vjobs {
+            if self.completed.contains(id) {
+                continue;
+            }
+            // A vjob completes when its slowest member finishes its work.
+            let mut vjob_time: f64 = 0.0;
+            let mut can_complete = true;
+            for &vm in &vjob.vms {
+                let Some((profile, progress)) = self.progress.get(&vm) else {
+                    can_complete = false;
+                    break;
+                };
+                if profile.is_complete(*progress) {
+                    continue;
+                }
+                if !matches!(self.configuration.state(vm), Ok(VmState::Running)) {
+                    can_complete = false;
+                    break;
+                }
+                let host = self.configuration.host(vm).ok().flatten();
+                let factor = host
+                    .and_then(|h| decelerations.get(&h))
+                    .copied()
+                    .unwrap_or(1.0)
+                    .max(1.0);
+                let remaining = (profile.total_work_secs() - progress).max(0.0);
+                vjob_time = vjob_time.max(remaining * factor);
+            }
+            if can_complete {
+                horizon = Some(horizon.map_or(vjob_time, |h| h.min(vjob_time)));
+            }
+        }
+        horizon
+    }
+
     /// Refresh the CPU demand of every VM with a profile from its current
     /// progress (this is what the Ganglia daemons of the paper observe).
     ///
@@ -366,6 +410,42 @@ mod tests {
         assert!((sample.memory_gib - 1.0).abs() < 1e-9);
         // 2 busy cores out of 8: 25%.
         assert!((sample.cpu_percent - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_horizon_accounts_for_deceleration() {
+        let spec = spec(0, &[0], 100.0);
+        let mut cluster = cluster_with(&[spec]);
+        // A waiting VM never completes: no horizon.
+        assert_eq!(cluster.next_completion_horizon(&BTreeMap::new()), None);
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        assert!((cluster.next_completion_horizon(&BTreeMap::new()).unwrap() - 100.0).abs() < 1e-9);
+        // A 1.5× deceleration stretches the horizon accordingly.
+        let mut slow = BTreeMap::new();
+        slow.insert(NodeId(0), 1.5);
+        assert!((cluster.next_completion_horizon(&slow).unwrap() - 150.0).abs() < 1e-9);
+        // After partial progress the horizon shrinks.
+        cluster.advance(40.0, &BTreeMap::new());
+        assert!((cluster.next_completion_horizon(&BTreeMap::new()).unwrap() - 60.0).abs() < 1e-9);
+        // Once reported, the completed vjob stops contributing a horizon.
+        cluster.advance(60.0, &BTreeMap::new());
+        assert_eq!(cluster.next_completion_horizon(&BTreeMap::new()), None);
+    }
+
+    #[test]
+    fn completion_horizon_takes_the_earliest_vjob() {
+        let specs = [spec(0, &[0], 100.0), spec(1, &[1], 40.0)];
+        let mut cluster = cluster_with(&specs);
+        for i in 0..2 {
+            cluster
+                .configuration_mut()
+                .set_assignment(VmId(i), VmAssignment::running(NodeId(i)))
+                .unwrap();
+        }
+        assert!((cluster.next_completion_horizon(&BTreeMap::new()).unwrap() - 40.0).abs() < 1e-9);
     }
 
     #[test]

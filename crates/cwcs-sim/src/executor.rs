@@ -1,21 +1,47 @@
 //! Execution of a reconfiguration plan on the simulated cluster.
 //!
-//! Pools run one after the other; inside a pool every action starts at its
-//! pipeline offset and runs for the duration predicted by the cluster's
-//! [`DurationModel`](crate::durations::DurationModel).  The pool completes
-//! when its last action completes.  While a pool runs, the busy VMs hosted on
-//! the nodes touched by its actions are decelerated according to the
-//! [`InterferenceModel`](crate::durations::InterferenceModel), which is how
-//! the paper's measured 1.3–1.5× slow-down surfaces in the simulated
-//! application completion times.
+//! Two execution engines are available:
+//!
+//! * **event-driven** (the default) — the plan's pools are lowered to a
+//!   per-action dependency graph ([`cwcs_plan::PlanDependencies`]) and run on
+//!   a time-ordered event queue: each action starts as soon as the releases
+//!   it depends on have occurred (plus its pipeline offset), interference is
+//!   charged per overlapping time interval per node, and vjob completions
+//!   fire at their exact virtual times.  Because the dependency edges are a
+//!   subset of the pool barrier's implicit edges, the event-driven switch
+//!   never lasts longer than the barrier execution of the same plan and both
+//!   reach the identical final configuration;
+//! * **pool-barrier** (compatibility mode) — the paper's literal reading:
+//!   pools run one after the other, every action of pool N+1 waits for the
+//!   slowest action of pool N, and the busy VMs hosted on the nodes touched
+//!   by a pool are decelerated for the whole pool window according to the
+//!   [`InterferenceModel`](crate::durations::InterferenceModel) — the
+//!   paper's measured 1.3–1.5× slow-down.
+//!
+//! In both modes a failed action still occupies its predicted time window on
+//! its nodes, so co-hosted VMs are decelerated during failed operations too.
 
 use std::collections::BTreeMap;
 
 use cwcs_model::NodeId;
-use cwcs_plan::{Action, ReconfigurationPlan};
+use cwcs_plan::{Action, PlanDependencies, ReconfigurationPlan};
 
 use crate::cluster::{ClusterEvent, SimulatedCluster};
 use crate::driver::{DriverError, HypervisorDriver};
+use crate::events::{
+    Event, EventKind, EventQueue, ExecutionTimeline, TimelineEntry, VjobCompletion,
+};
+
+/// How the executor schedules the actions of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Event-queue execution with per-action precedence (the default).
+    #[default]
+    EventDriven,
+    /// Sequential pools with a barrier between them (the paper's Section 4.1
+    /// semantics, kept for comparisons and regression baselines).
+    PoolBarrier,
+}
 
 /// Timing record of one executed action.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +62,10 @@ impl ActionRecord {
 }
 
 /// Timing record of one pool.
+///
+/// Under event-driven execution the "pool" is the group of actions that came
+/// from the same pool of the plan; its start is the earliest action start and
+/// its duration spans to the latest action end (pools may overlap in time).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolRecord {
     /// Start of the pool relative to the beginning of the switch.
@@ -57,6 +87,9 @@ pub struct ExecutionReport {
     pub failed_actions: Vec<Action>,
     /// Vjobs that completed while the switch was running.
     pub completed_vjobs: Vec<ClusterEvent>,
+    /// The full timeline: per-action start/end times and exact vjob
+    /// completion times.
+    pub timeline: ExecutionTimeline,
 }
 
 impl ExecutionReport {
@@ -69,12 +102,27 @@ impl ExecutionReport {
 /// Executes plans against a [`SimulatedCluster`] through a driver.
 pub struct PlanExecutor<D: HypervisorDriver> {
     driver: D,
+    mode: ExecutionMode,
 }
 
 impl<D: HypervisorDriver> PlanExecutor<D> {
-    /// Build an executor around a driver.
+    /// Build an executor around a driver, using the event-driven engine.
     pub fn new(driver: D) -> Self {
-        PlanExecutor { driver }
+        PlanExecutor {
+            driver,
+            mode: ExecutionMode::EventDriven,
+        }
+    }
+
+    /// Select the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The execution mode of this executor.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
     }
 
     /// Access the driver (e.g. to reach its failure injector).
@@ -83,9 +131,177 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
     }
 
     /// Execute `plan` on `cluster`: apply every action through the driver,
-    /// advance the virtual clock pool by pool, and decelerate the
-    /// applications co-hosted with the operations.
+    /// advance the virtual clock, and decelerate the applications co-hosted
+    /// with the operations.
     pub fn execute(
+        &self,
+        cluster: &mut SimulatedCluster,
+        plan: &ReconfigurationPlan,
+    ) -> ExecutionReport {
+        match self.mode {
+            ExecutionMode::EventDriven => self.execute_event_driven(cluster, plan),
+            ExecutionMode::PoolBarrier => self.execute_pool_barrier(cluster, plan),
+        }
+    }
+
+    /// Event-driven execution: lower the plan to a dependency graph and run
+    /// it on a time-ordered event queue.
+    fn execute_event_driven(
+        &self,
+        cluster: &mut SimulatedCluster,
+        plan: &ReconfigurationPlan,
+    ) -> ExecutionReport {
+        let dependencies = PlanDependencies::derive(plan, cluster.configuration());
+        let interference = *cluster.interference();
+        let durations = *cluster.durations();
+        let count = dependencies.len();
+
+        let mut pending: Vec<usize> = Vec::with_capacity(count);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); count];
+        for (index, node) in dependencies.nodes().iter().enumerate() {
+            pending.push(node.deps.len());
+            for &dep in &node.deps {
+                dependents[dep].push(index);
+            }
+        }
+
+        let mut queue = EventQueue::new();
+        for (index, node) in dependencies.nodes().iter().enumerate() {
+            if node.deps.is_empty() {
+                queue.push(Event {
+                    time_secs: node.offset_secs as f64,
+                    kind: EventKind::ActionStart,
+                    index,
+                });
+            }
+        }
+
+        let mut timeline = ExecutionTimeline::default();
+        let mut failed_actions = Vec::new();
+        // Actions currently occupying their time window: the nodes they touch
+        // and the interference factor they impose.
+        let mut in_flight: BTreeMap<usize, (Vec<NodeId>, f64)> = BTreeMap::new();
+        let mut now = 0.0;
+
+        while let Some(event) = queue.pop() {
+            // The in-flight set is constant over [now, event.time): advance
+            // the applications under the current per-node decelerations.
+            let decelerations = Self::current_decelerations(&in_flight);
+            now = Self::advance_exact(
+                cluster,
+                now,
+                event.time_secs,
+                &decelerations,
+                &mut timeline.completions,
+            );
+
+            match event.kind {
+                EventKind::ActionEnd => {
+                    in_flight.remove(&event.index);
+                    for &dependent in &dependents[event.index] {
+                        pending[dependent] -= 1;
+                        if pending[dependent] == 0 {
+                            let offset = dependencies.nodes()[dependent].offset_secs as f64;
+                            queue.push(Event {
+                                time_secs: now + offset,
+                                kind: EventKind::ActionStart,
+                                index: dependent,
+                            });
+                        }
+                    }
+                }
+                EventKind::ActionStart => {
+                    let node = &dependencies.nodes()[event.index];
+                    let action = node.action;
+                    let predicted = durations.action_duration(&action);
+                    match self.driver.execute(&action, cluster.configuration_mut()) {
+                        Ok(duration) => {
+                            in_flight.insert(
+                                event.index,
+                                (
+                                    Self::touched_nodes(&action),
+                                    interference.factor_for(&action),
+                                ),
+                            );
+                            queue.push(Event {
+                                time_secs: now + duration,
+                                kind: EventKind::ActionEnd,
+                                index: event.index,
+                            });
+                            timeline.entries.push(TimelineEntry {
+                                action,
+                                pool_index: node.pool_index,
+                                start_secs: now,
+                                end_secs: now + duration,
+                                failed: false,
+                            });
+                        }
+                        Err(DriverError::OperationFailed { action, .. }) => {
+                            failed_actions.push(action);
+                            // The failed operation still wasted its predicted
+                            // window on its nodes: co-hosted VMs slow down and
+                            // dependents wait for the window to clear.
+                            in_flight.insert(
+                                event.index,
+                                (
+                                    Self::touched_nodes(&action),
+                                    interference.factor_for(&action),
+                                ),
+                            );
+                            queue.push(Event {
+                                time_secs: now + predicted,
+                                kind: EventKind::ActionEnd,
+                                index: event.index,
+                            });
+                            timeline.entries.push(TimelineEntry {
+                                action,
+                                pool_index: node.pool_index,
+                                start_secs: now,
+                                end_secs: now + predicted,
+                                failed: true,
+                            });
+                        }
+                        Err(DriverError::Model(_)) => {
+                            // The driver refused the action outright: no time
+                            // is charged and dependents are released at once.
+                            failed_actions.push(action);
+                            queue.push(Event {
+                                time_secs: now,
+                                kind: EventKind::ActionEnd,
+                                index: event.index,
+                            });
+                            timeline.entries.push(TimelineEntry {
+                                action,
+                                pool_index: node.pool_index,
+                                start_secs: now,
+                                end_secs: now,
+                                failed: true,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        timeline.duration_secs = now;
+        let pools = Self::pool_records(plan, &timeline);
+        let completed_vjobs = timeline
+            .completions
+            .iter()
+            .map(|c| ClusterEvent::VjobCompleted(c.vjob))
+            .collect();
+        ExecutionReport {
+            duration_secs: now,
+            pools,
+            failed_actions,
+            completed_vjobs,
+            timeline,
+        }
+    }
+
+    /// Pool-barrier execution: the compatibility mode matching the paper's
+    /// sequential-pool semantics.
+    fn execute_pool_barrier(
         &self,
         cluster: &mut SimulatedCluster,
         plan: &ReconfigurationPlan,
@@ -95,12 +311,13 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
             pools: Vec::new(),
             failed_actions: Vec::new(),
             completed_vjobs: Vec::new(),
+            timeline: ExecutionTimeline::default(),
         };
         let interference = *cluster.interference();
         let durations = *cluster.durations();
         let mut elapsed = 0.0;
 
-        for pool in plan.pools() {
+        for (pool_index, pool) in plan.pools().iter().enumerate() {
             let pool_start = elapsed;
             let mut pool_actions = Vec::new();
             let mut pool_end = pool_start;
@@ -110,9 +327,9 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
             for planned in &pool.actions {
                 let action = planned.action;
                 let predicted = durations.action_duration(&action);
+                let start = pool_start + planned.offset_secs as f64;
                 match self.driver.execute(&action, cluster.configuration_mut()) {
                     Ok(duration) => {
-                        let start = pool_start + planned.offset_secs as f64;
                         pool_end = pool_end.max(start + duration);
                         let factor = interference.factor_for(&action);
                         for node in Self::touched_nodes(&action) {
@@ -124,22 +341,55 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
                             start_secs: start,
                             duration_secs: duration,
                         });
+                        report.timeline.entries.push(TimelineEntry {
+                            action,
+                            pool_index,
+                            start_secs: start,
+                            end_secs: start + duration,
+                            failed: false,
+                        });
                     }
                     Err(DriverError::OperationFailed { action, .. }) => {
                         report.failed_actions.push(action);
                         // The failed operation still wasted its predicted time
-                        // window on the cluster.
-                        pool_end =
-                            pool_end.max(pool_start + planned.offset_secs as f64 + predicted);
+                        // window on the cluster: the pool stretches and the
+                        // touched nodes suffer the interference all the same.
+                        pool_end = pool_end.max(start + predicted);
+                        let factor = interference.factor_for(&action);
+                        for node in Self::touched_nodes(&action) {
+                            let entry = decelerations.entry(node).or_insert(1.0);
+                            *entry = entry.max(factor);
+                        }
+                        report.timeline.entries.push(TimelineEntry {
+                            action,
+                            pool_index,
+                            start_secs: start,
+                            end_secs: start + predicted,
+                            failed: true,
+                        });
                     }
                     Err(DriverError::Model(_)) => {
                         report.failed_actions.push(action);
+                        report.timeline.entries.push(TimelineEntry {
+                            action,
+                            pool_index,
+                            start_secs: start,
+                            end_secs: start,
+                            failed: true,
+                        });
                     }
                 }
             }
 
             let pool_duration = (pool_end - pool_start).max(0.0);
             let events = cluster.advance(pool_duration, &decelerations);
+            for event in &events {
+                let ClusterEvent::VjobCompleted(id) = event;
+                report.timeline.completions.push(VjobCompletion {
+                    vjob: *id,
+                    time_secs: pool_end,
+                });
+            }
             report.completed_vjobs.extend(events);
             elapsed = pool_end;
             report.pools.push(PoolRecord {
@@ -150,7 +400,114 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
         }
 
         report.duration_secs = elapsed;
+        report.timeline.duration_secs = elapsed;
         report
+    }
+
+    /// Advance the cluster from `now` to `target` under constant
+    /// `decelerations`, firing vjob completions at their exact times.
+    fn advance_exact(
+        cluster: &mut SimulatedCluster,
+        mut now: f64,
+        target: f64,
+        decelerations: &BTreeMap<NodeId, f64>,
+        completions: &mut Vec<VjobCompletion>,
+    ) -> f64 {
+        while target - now > 1e-12 {
+            let remaining = target - now;
+            let horizon = cluster.next_completion_horizon(decelerations);
+            match horizon {
+                Some(h) if h < remaining - 1e-12 => {
+                    let step = h.max(0.0);
+                    let events = cluster.advance(step, decelerations);
+                    now += step;
+                    let fired = !events.is_empty();
+                    for ClusterEvent::VjobCompleted(id) in events {
+                        completions.push(VjobCompletion {
+                            vjob: id,
+                            time_secs: now,
+                        });
+                    }
+                    if !fired && step <= 1e-9 {
+                        // Numerical guard: a degenerate horizon that fired
+                        // nothing; finish the segment in one step.
+                        let events = cluster.advance(target - now, decelerations);
+                        now = target;
+                        for ClusterEvent::VjobCompleted(id) in events {
+                            completions.push(VjobCompletion {
+                                vjob: id,
+                                time_secs: now,
+                            });
+                        }
+                        break;
+                    }
+                }
+                _ => {
+                    let events = cluster.advance(remaining, decelerations);
+                    now = target;
+                    for ClusterEvent::VjobCompleted(id) in events {
+                        completions.push(VjobCompletion {
+                            vjob: id,
+                            time_secs: now,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        now
+    }
+
+    /// Per-node deceleration implied by the in-flight actions: the strongest
+    /// factor among the operations touching each node.
+    fn current_decelerations(
+        in_flight: &BTreeMap<usize, (Vec<NodeId>, f64)>,
+    ) -> BTreeMap<NodeId, f64> {
+        let mut decelerations: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for (nodes, factor) in in_flight.values() {
+            for node in nodes {
+                let entry = decelerations.entry(*node).or_insert(1.0);
+                *entry = entry.max(*factor);
+            }
+        }
+        decelerations
+    }
+
+    /// Group the timeline entries back into per-pool records.  The records
+    /// list the successful actions, but the pool bounds span failed actions'
+    /// occupied windows too (matching the barrier mode, where a failed
+    /// action stretches its pool).
+    fn pool_records(plan: &ReconfigurationPlan, timeline: &ExecutionTimeline) -> Vec<PoolRecord> {
+        plan.pools()
+            .iter()
+            .enumerate()
+            .map(|(pool_index, _)| {
+                let mut start = f64::INFINITY;
+                let mut end = 0.0f64;
+                let mut any = false;
+                for entry in timeline.pool_entries(pool_index) {
+                    any = true;
+                    start = start.min(entry.start_secs);
+                    end = end.max(entry.end_secs);
+                }
+                let start = if any { start } else { 0.0 };
+                let mut actions: Vec<ActionRecord> = timeline
+                    .pool_entries(pool_index)
+                    .filter(|e| !e.failed)
+                    .map(|e| ActionRecord {
+                        action: e.action,
+                        start_secs: e.start_secs,
+                        duration_secs: e.duration_secs(),
+                    })
+                    .collect();
+                actions.sort_by(|a, b| a.start_secs.total_cmp(&b.start_secs));
+                PoolRecord {
+                    start_secs: start,
+                    duration_secs: (end - start).max(0.0),
+                    actions,
+                }
+            })
+            .collect()
     }
 
     fn touched_nodes(action: &Action) -> Vec<NodeId> {
@@ -236,10 +593,12 @@ mod tests {
             },
         ])]);
         let executor = PlanExecutor::new(SimulatedXenDriver::default());
+        assert_eq!(executor.mode(), ExecutionMode::EventDriven);
         let report = executor.execute(&mut cluster, &plan);
         // Two boots in parallel: the switch lasts one boot (6 s).
         assert!((report.duration_secs - 6.0).abs() < 1e-9);
         assert_eq!(report.executed_actions(), 2);
+        assert_eq!(report.timeline.max_concurrency(), 2);
         assert_eq!(
             cluster.configuration().host(VmId(0)).unwrap(),
             Some(NodeId(0))
@@ -248,7 +607,43 @@ mod tests {
     }
 
     #[test]
-    fn pools_are_sequential_and_offsets_respected() {
+    fn pools_are_sequential_and_offsets_respected_under_the_barrier() {
+        let mut cluster = cluster();
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let mut pool1 = Pool::from_actions(vec![Action::Suspend {
+            vm: VmId(0),
+            node: NodeId(0),
+            demand: demand(1024),
+        }]);
+        pool1.actions[0].offset_secs = 2;
+        let pool2 = Pool::from_actions(vec![Action::Run {
+            vm: VmId(1),
+            node: NodeId(0),
+            demand: demand(1024),
+        }]);
+        let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![pool1, pool2]);
+        let executor =
+            PlanExecutor::new(SimulatedXenDriver::default()).with_mode(ExecutionMode::PoolBarrier);
+        let report = executor.execute(&mut cluster, &plan);
+        // Pool 1: starts at 0, suspend starts at 2 and lasts ~50 s -> ~52 s.
+        // Pool 2: starts after pool 1 and lasts 6 s.
+        let suspend_duration = cluster.durations().suspend_duration(
+            MemoryMib::mib(1024),
+            crate::durations::TransferMethod::Local,
+        );
+        let expected = 2.0 + suspend_duration + 6.0;
+        assert!((report.duration_secs - expected).abs() < 1e-6);
+        assert!(report.pools[1].start_secs > report.pools[0].duration_secs - 1e-9);
+    }
+
+    #[test]
+    fn event_engine_overlaps_independent_pools() {
+        // Same plan as the barrier test above: the run does not need the
+        // suspend's release (node 0 has room for both VMs), so the event
+        // engine starts it at t=0 and the switch lasts only the suspend.
         let mut cluster = cluster();
         cluster
             .configuration_mut()
@@ -268,15 +663,72 @@ mod tests {
         let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![pool1, pool2]);
         let executor = PlanExecutor::new(SimulatedXenDriver::default());
         let report = executor.execute(&mut cluster, &plan);
-        // Pool 1: starts at 0, suspend starts at 2 and lasts ~50 s -> ~52 s.
-        // Pool 2: starts after pool 1 and lasts 6 s.
         let suspend_duration = cluster.durations().suspend_duration(
             MemoryMib::mib(1024),
             crate::durations::TransferMethod::Local,
         );
-        let expected = 2.0 + suspend_duration + 6.0;
-        assert!((report.duration_secs - expected).abs() < 1e-6);
-        assert!(report.pools[1].start_secs > report.pools[0].duration_secs - 1e-9);
+        assert!((report.duration_secs - (2.0 + suspend_duration)).abs() < 1e-6);
+        // The run started immediately, before the suspend completed.
+        let run_entry = report
+            .timeline
+            .entries
+            .iter()
+            .find(|e| e.action.kind() == "run")
+            .unwrap();
+        assert!(run_entry.start_secs.abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_engine_respects_release_dependencies() {
+        // VM0 fills node 0; VM1 can only run there once the suspend released
+        // it.  The event engine must serialize exactly those two actions.
+        let mut config = Configuration::new();
+        config
+            .add_node(Node::new(
+                NodeId(0),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(1),
+            ))
+            .unwrap();
+        for i in 0..2 {
+            config
+                .add_vm(Vm::new(
+                    VmId(i),
+                    MemoryMib::mib(1024),
+                    CpuCapacity::cores(1),
+                ))
+                .unwrap();
+        }
+        config
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let mut cluster = SimulatedCluster::new(config);
+        let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![
+            Pool::from_actions(vec![Action::Suspend {
+                vm: VmId(0),
+                node: NodeId(0),
+                demand: demand(1024),
+            }]),
+            Pool::from_actions(vec![Action::Run {
+                vm: VmId(1),
+                node: NodeId(0),
+                demand: demand(1024),
+            }]),
+        ]);
+        let executor = PlanExecutor::new(SimulatedXenDriver::default());
+        let report = executor.execute(&mut cluster, &plan);
+        let suspend_duration = cluster.durations().suspend_duration(
+            MemoryMib::mib(1024),
+            crate::durations::TransferMethod::Local,
+        );
+        let run_entry = report
+            .timeline
+            .entries
+            .iter()
+            .find(|e| e.action.kind() == "run")
+            .unwrap();
+        assert!((run_entry.start_secs - suspend_duration).abs() < 1e-6);
+        assert!((report.duration_secs - (suspend_duration + 6.0)).abs() < 1e-6);
     }
 
     #[test]
@@ -344,33 +796,132 @@ mod tests {
     }
 
     #[test]
-    fn end_to_end_with_planner() {
-        // Plan a real transition with the planner and execute it.
-        let mut cluster = cluster();
-        cluster
-            .configuration_mut()
-            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+    fn failed_operations_still_decelerate_co_hosted_vms() {
+        // Regression: a failed migration occupies its predicted window, so
+        // the VM co-hosted on the source node must slow down exactly as it
+        // would during a successful migration — in both execution modes.
+        for mode in [ExecutionMode::EventDriven, ExecutionMode::PoolBarrier] {
+            let mut cluster = cluster();
+            cluster
+                .configuration_mut()
+                .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+                .unwrap();
+            cluster
+                .configuration_mut()
+                .set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+                .unwrap();
+            let driver = SimulatedXenDriver::default();
+            driver.failure_injector().fail_next_action_on(VmId(1));
+            let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
+                Action::Migrate {
+                    vm: VmId(1),
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    demand: demand(1024),
+                },
+            ])]);
+            let executor = PlanExecutor::new(driver).with_mode(mode);
+            let report = executor.execute(&mut cluster, &plan);
+            assert_eq!(report.failed_actions.len(), 1);
+            assert!(report.duration_secs > 0.0, "the window is still charged");
+            let progress = cluster.progress_of(VmId(0)).unwrap();
+            assert!(
+                (progress - report.duration_secs / 1.5).abs() < 1e-6,
+                "{mode:?}: co-hosted VM must run at 1/1.5 speed during the \
+                 failed migration, progressed {progress} over {}",
+                report.duration_secs
+            );
+        }
+    }
+
+    #[test]
+    fn event_engine_fires_completions_at_exact_times() {
+        // VM0 computes 30 s of work on node 1 while a long suspend of VM1
+        // runs on node 0: the vjob completion must be stamped at t=30
+        // exactly, in the middle of the switch.
+        let mut config = Configuration::new();
+        for i in 0..2 {
+            config
+                .add_node(Node::new(
+                    NodeId(i),
+                    CpuCapacity::cores(2),
+                    MemoryMib::gib(4),
+                ))
+                .unwrap();
+        }
+        for i in 0..2 {
+            config
+                .add_vm(Vm::new(
+                    VmId(i),
+                    MemoryMib::mib(1024),
+                    CpuCapacity::cores(1),
+                ))
+                .unwrap();
+        }
+        config
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(1)))
             .unwrap();
-        let source = cluster.configuration().clone();
-        let mut target = source.clone();
-        target
-            .set_assignment(VmId(0), VmAssignment::running(NodeId(2)))
+        config
+            .set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
             .unwrap();
-        target
-            .set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
-            .unwrap();
-        let plan = Planner::new().plan(&source, &target, &[]).unwrap();
+        let mut cluster = SimulatedCluster::new(config);
+        let vm0 = Vm::new(VmId(0), MemoryMib::mib(1024), CpuCapacity::cores(1));
+        cluster.register_vjob(&VjobSpec::new(
+            Vjob::new(VjobId(0), vec![VmId(0)], 0),
+            vec![vm0],
+            vec![VmWorkProfile::single_compute(30.0)],
+        ));
+        let plan = cwcs_plan::ReconfigurationPlan::from_pools(vec![Pool::from_actions(vec![
+            Action::Suspend {
+                vm: VmId(1),
+                node: NodeId(0),
+                demand: demand(1024),
+            },
+        ])]);
         let executor = PlanExecutor::new(SimulatedXenDriver::default());
         let report = executor.execute(&mut cluster, &plan);
-        assert!(report.failed_actions.is_empty());
-        assert_eq!(
-            cluster.configuration().host(VmId(0)).unwrap(),
-            Some(NodeId(2))
+        assert!(report.duration_secs > 30.0, "the suspend takes ~50 s");
+        assert_eq!(report.timeline.completions.len(), 1);
+        let completion = &report.timeline.completions[0];
+        assert_eq!(completion.vjob, VjobId(0));
+        assert!(
+            (completion.time_secs - 30.0).abs() < 1e-6,
+            "completion at exact event time, got {}",
+            completion.time_secs
         );
-        assert_eq!(
-            cluster.configuration().host(VmId(1)).unwrap(),
-            Some(NodeId(1))
-        );
-        assert!(report.duration_secs > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_with_planner() {
+        // Plan a real transition with the planner and execute it with both
+        // engines: identical final configuration, event never slower.
+        for mode in [ExecutionMode::EventDriven, ExecutionMode::PoolBarrier] {
+            let mut cluster = cluster();
+            cluster
+                .configuration_mut()
+                .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+                .unwrap();
+            let source = cluster.configuration().clone();
+            let mut target = source.clone();
+            target
+                .set_assignment(VmId(0), VmAssignment::running(NodeId(2)))
+                .unwrap();
+            target
+                .set_assignment(VmId(1), VmAssignment::running(NodeId(1)))
+                .unwrap();
+            let plan = Planner::new().plan(&source, &target, &[]).unwrap();
+            let executor = PlanExecutor::new(SimulatedXenDriver::default()).with_mode(mode);
+            let report = executor.execute(&mut cluster, &plan);
+            assert!(report.failed_actions.is_empty());
+            assert_eq!(
+                cluster.configuration().host(VmId(0)).unwrap(),
+                Some(NodeId(2))
+            );
+            assert_eq!(
+                cluster.configuration().host(VmId(1)).unwrap(),
+                Some(NodeId(1))
+            );
+            assert!(report.duration_secs > 0.0);
+        }
     }
 }

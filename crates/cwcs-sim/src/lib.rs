@@ -15,10 +15,18 @@
 //! * [`cluster`] — the simulated cluster: a [`cwcs_model::Configuration`],
 //!   a virtual clock, and per-VM application progress driven by
 //!   [`cwcs_workload::VmWorkProfile`]s;
-//! * [`executor`] — execution of a [`cwcs_plan::ReconfigurationPlan`]:
-//!   pools run sequentially, actions of a pool run in parallel with their
-//!   pipeline offsets, and the busy VMs that share a node with an operation
-//!   are slowed down for its duration;
+//! * [`events`] — the time-ordered event queue and the
+//!   [`ExecutionTimeline`] of a context switch (per-action start/end times,
+//!   exact vjob completion times);
+//! * [`executor`] — execution of a [`cwcs_plan::ReconfigurationPlan`].  The
+//!   default **event-driven** engine lowers the pools to per-action
+//!   precedence edges and starts every action as soon as the releases it
+//!   depends on have occurred; interference is charged *per overlapping
+//!   time interval per node* — a busy VM is only slowed down while an
+//!   operation actually touches its node, not for a whole pool window.  The
+//!   paper's sequential pool-barrier semantics remain available as
+//!   [`ExecutionMode::PoolBarrier`](executor::ExecutionMode) for
+//!   comparisons;
 //! * [`monitor`] — the Ganglia-like monitoring service: periodic snapshots
 //!   of the per-VM CPU and memory demands, with a configurable refresh
 //!   period (10 s in the paper).
@@ -26,11 +34,13 @@
 pub mod cluster;
 pub mod driver;
 pub mod durations;
+pub mod events;
 pub mod executor;
 pub mod monitor;
 
 pub use cluster::{ClusterEvent, SimulatedCluster, UtilizationSample};
 pub use driver::{DriverError, FailureInjector, HypervisorDriver, SimulatedXenDriver};
 pub use durations::{DurationModel, InterferenceModel, TransferMethod};
-pub use executor::{ActionRecord, ExecutionReport, PlanExecutor, PoolRecord};
+pub use events::{Event, EventKind, EventQueue, ExecutionTimeline, TimelineEntry, VjobCompletion};
+pub use executor::{ActionRecord, ExecutionMode, ExecutionReport, PlanExecutor, PoolRecord};
 pub use monitor::{DemandSnapshot, MonitoringService};

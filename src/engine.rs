@@ -36,7 +36,7 @@ use cwcs_core::{
     IterationReport, PlanOptimizer, RunReport, StaticFcfsBaseline,
 };
 use cwcs_model::{Configuration, ModelError, Node, Vjob};
-use cwcs_sim::{DurationModel, SimulatedCluster};
+use cwcs_sim::{DurationModel, ExecutionMode, SimulatedCluster};
 use cwcs_workload::VjobSpec;
 
 /// Errors raised while assembling an [`Engine`].
@@ -75,6 +75,7 @@ pub struct EngineBuilder {
     optimizer_timeout: Duration,
     max_iterations: usize,
     durations: Option<DurationModel>,
+    execution_mode: ExecutionMode,
 }
 
 impl Default for EngineBuilder {
@@ -86,6 +87,7 @@ impl Default for EngineBuilder {
             optimizer_timeout: Duration::from_millis(500),
             max_iterations: 2_000,
             durations: None,
+            execution_mode: ExecutionMode::default(),
         }
     }
 }
@@ -140,6 +142,13 @@ impl EngineBuilder {
         self
     }
 
+    /// How context switches are executed: event-driven (the default) or the
+    /// paper's sequential pool-barrier semantics.
+    pub fn execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution_mode = mode;
+        self
+    }
+
     /// Assemble the initial [`Configuration`] from the declared nodes and
     /// vjobs.
     fn configuration(&self) -> Result<Configuration, EngineError> {
@@ -178,6 +187,7 @@ impl EngineBuilder {
             period_secs: self.period_secs,
             optimizer: PlanOptimizer::with_timeout(self.optimizer_timeout),
             max_iterations: self.max_iterations,
+            execution_mode: self.execution_mode,
         };
         let control = ControlLoop::new(cluster, &self.specs, decision, config);
         Ok(Engine {
@@ -337,6 +347,32 @@ mod tests {
         assert!(first.performed_switch, "first iteration starts the vjob");
         let second = engine.step().expect("second iteration");
         assert_eq!(second.iteration, 1);
+    }
+
+    #[test]
+    fn execution_modes_both_complete_the_same_scenario() {
+        let build = |mode| {
+            Engine::builder()
+                .nodes(
+                    (0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))),
+                )
+                .vjob(spec(0, 0, 2, 60.0))
+                .vjob(spec(1, 2, 2, 60.0))
+                .optimizer_timeout(Duration::from_millis(200))
+                .execution_mode(mode)
+                .build()
+                .unwrap()
+        };
+        let event = build(ExecutionMode::EventDriven).run().unwrap();
+        let barrier = build(ExecutionMode::PoolBarrier).run().unwrap();
+        let event_t = event.completion_time_secs.unwrap();
+        let barrier_t = barrier.completion_time_secs.unwrap();
+        // The event engine can only shorten switches; completion never
+        // regresses beyond one control period of slack.
+        assert!(
+            event_t <= barrier_t + 30.0,
+            "event {event_t} vs barrier {barrier_t}"
+        );
     }
 
     #[test]

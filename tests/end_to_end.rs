@@ -9,8 +9,10 @@ use cluster_context_switch::core::{FcfsConsolidation, PlanOptimizer};
 use cluster_context_switch::model::{
     Configuration, CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, VjobState, Vm, VmId, VmState,
 };
-use cluster_context_switch::plan::{ActionCostModel, Planner};
-use cluster_context_switch::sim::{PlanExecutor, SimulatedCluster, SimulatedXenDriver};
+use cluster_context_switch::plan::{ActionCostModel, Planner, ReconfigurationPlan};
+use cluster_context_switch::sim::{
+    ExecutionMode, PlanExecutor, SimulatedCluster, SimulatedXenDriver,
+};
 use cluster_context_switch::workload::{
     GeneratorParams, NasGridClass, NasGridKind, NasGridTemplate, TraceGenerator, VjobSpec,
     VjobTemplate, VmWorkProfile, WorkPhase,
@@ -328,6 +330,97 @@ fn cost_model_prefers_plans_with_fewer_movements() {
     let plan_one = planner.plan(&configuration, &move_one, &[]).unwrap();
     let plan_two = planner.plan(&configuration, &move_two, &[]).unwrap();
     assert!(cost_model.plan_cost(&plan_one).total < cost_model.plan_cost(&plan_two).total);
+}
+
+/// Execute `plan` from `source` with both engines and assert the event-driven
+/// invariants: switch duration ≤ barrier duration, identical final
+/// configuration.  Returns the two durations.
+fn assert_event_never_slower(
+    label: &str,
+    source: &Configuration,
+    plan: &ReconfigurationPlan,
+) -> (f64, f64) {
+    let mut barrier_cluster = SimulatedCluster::new(source.clone());
+    let barrier = PlanExecutor::new(SimulatedXenDriver::default())
+        .with_mode(ExecutionMode::PoolBarrier)
+        .execute(&mut barrier_cluster, plan);
+    let mut event_cluster = SimulatedCluster::new(source.clone());
+    let event = PlanExecutor::new(SimulatedXenDriver::default())
+        .with_mode(ExecutionMode::EventDriven)
+        .execute(&mut event_cluster, plan);
+    assert!(
+        event.duration_secs <= barrier.duration_secs + 1e-6,
+        "{label}: event-driven switch ({} s) exceeds the pool barrier ({} s)",
+        event.duration_secs,
+        barrier.duration_secs
+    );
+    assert_eq!(
+        event_cluster.configuration(),
+        barrier_cluster.configuration(),
+        "{label}: the engines reach different final configurations"
+    );
+    (event.duration_secs, barrier.duration_secs)
+}
+
+#[test]
+fn event_driven_switches_never_exceed_the_barrier_on_bench_scenarios() {
+    // Sweep every bench scenario family: for each context switch the control
+    // loop would perform, the event-driven engine must be at least as fast as
+    // the pool barrier and end in the identical configuration.
+
+    // 1. Cluster-experiment (§5.2) switches, several seeds and sizes.
+    for (seed, nodes, vjobs) in [(3u64, 6u32, 2usize), (7, 11, 4), (11, 8, 3)] {
+        let scenario = cwcs_bench::cluster_experiment_sized(seed, nodes, vjobs);
+        let vjobs_list: Vec<Vjob> = scenario.specs.iter().map(|s| s.vjob.clone()).collect();
+        let decision = FcfsConsolidation::new()
+            .decide(&scenario.configuration, &vjobs_list, &BTreeSet::new())
+            .unwrap();
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(300));
+        let outcome = optimizer
+            .optimize(&scenario.configuration, &decision, &vjobs_list)
+            .unwrap();
+        assert_event_never_slower(
+            &format!("cluster_experiment seed {seed}"),
+            &scenario.configuration,
+            &outcome.plan,
+        );
+    }
+
+    // 2. Figure 10 style generated instances.
+    for seed in [2u64, 7, 19] {
+        let params = GeneratorParams {
+            node_count: 25,
+            ..GeneratorParams::figure_10(45, seed)
+        };
+        let generated = TraceGenerator::new(params).generate();
+        let decision = FcfsConsolidation::new()
+            .decide(&generated.configuration, &generated.vjobs, &BTreeSet::new())
+            .unwrap();
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_millis(300));
+        let outcome = optimizer
+            .optimize(&generated.configuration, &decision, &generated.vjobs)
+            .unwrap();
+        assert_event_never_slower(
+            &format!("figure_10 seed {seed}"),
+            &generated.configuration,
+            &outcome.plan,
+        );
+    }
+
+    // 3. A downsized large-scale drain-and-backfill switch, where the event
+    // engine must be strictly faster: each backfill run waits only for the
+    // migrations draining its own node, not for the globally slowest one.
+    let scenario = cwcs_bench::large_scale_switch(40, 8);
+    let vjobs_list: Vec<Vjob> = scenario.specs.iter().map(|s| s.vjob.clone()).collect();
+    let plan = Planner::new()
+        .plan(&scenario.source, &scenario.target, &vjobs_list)
+        .unwrap();
+    let (event_secs, barrier_secs) =
+        assert_event_never_slower("large_scale", &scenario.source, &plan);
+    assert!(
+        event_secs < barrier_secs - 1e-6,
+        "large-scale: expected a strict win, got event {event_secs} vs barrier {barrier_secs}"
+    );
 }
 
 #[test]
