@@ -11,7 +11,11 @@
 
 use std::time::Duration;
 
-use cwcs_bench::{cluster_experiment, entropy_run, percent_reduction, static_fcfs_run, JsonObject};
+use cwcs_bench::{
+    cluster_experiment, deterministic_mode, entropy_run_with, percent_reduction, static_fcfs_run,
+    JsonObject,
+};
+use cwcs_core::PlanOptimizer;
 
 fn main() {
     let timeout_ms: u64 = std::env::var("CWCS_OPT_TIMEOUT_MS")
@@ -27,7 +31,15 @@ fn main() {
     );
 
     let fcfs = static_fcfs_run(&scenario);
-    let entropy = entropy_run(&scenario, Duration::from_millis(timeout_ms));
+    // Deterministic mode swaps the wall-clock budget for a search-node
+    // budget: the anytime outcome then no longer depends on machine speed,
+    // and two runs produce byte-identical artifacts.
+    let optimizer = if deterministic_mode() {
+        PlanOptimizer::with_timeout(Duration::from_secs(3_600)).with_node_limit(50_000)
+    } else {
+        PlanOptimizer::with_timeout(Duration::from_millis(timeout_ms))
+    };
+    let entropy = entropy_run_with(&scenario, optimizer);
 
     let fcfs_minutes = fcfs.completion_time_secs.expect("FCFS completes") / 60.0;
     let entropy_minutes = entropy.completion_time_secs.expect("Entropy completes") / 60.0;

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use cwcs_bench::{large_scale_switch, JsonObject};
+use cwcs_bench::{deterministic_mode, large_scale_switch, JsonObject};
 use cwcs_model::Vjob;
 use cwcs_plan::Planner;
 use cwcs_sim::{ExecutionMode, PlanExecutor, SimulatedXenDriver};
@@ -101,18 +101,19 @@ fn main() {
         100.0 * saved / barrier_report.duration_secs.max(1e-9)
     );
 
-    let artifact_path =
-        std::env::var("CWCS_LS_ARTIFACT").unwrap_or_else(|_| "BENCH_large_scale.json".to_owned());
+    let deterministic = deterministic_mode();
+    let artifact_path = std::env::var("CWCS_LS_ARTIFACT")
+        .unwrap_or_else(|_| "BENCH_large_scale_switch.json".to_owned());
     let json = JsonObject::new()
         .string("benchmark", "large_scale_switch")
         .integer("nodes", scenario.source.node_count() as u64)
         .integer("vms", scenario.source.vm_count() as u64)
         .integer("plan_actions", stats.total_actions() as u64)
-        .number("planning_ms", planning_ms)
+        .number_unless("planning_ms", planning_ms, deterministic)
         .number("barrier_switch_secs", barrier_report.duration_secs)
         .number("event_switch_secs", event_report.duration_secs)
-        .number("barrier_wall_ms", *barrier_ms)
-        .number("event_wall_ms", *event_ms)
+        .number_unless("barrier_wall_ms", *barrier_ms, deterministic)
+        .number_unless("event_wall_ms", *event_ms, deterministic)
         .integer(
             "event_max_concurrency",
             event_report.timeline.max_concurrency() as u64,

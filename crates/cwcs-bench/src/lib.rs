@@ -14,13 +14,14 @@
 //!   a generated 200-node configuration with a target VM count, on which the
 //!   FFD baseline and the CP optimizer both compute a reconfiguration plan.
 
+pub mod check;
 pub mod harness;
 pub mod report;
 pub mod scenarios;
 
 pub use harness::BenchGroup;
-pub use report::{format_row, mean, percent_reduction, JsonObject};
+pub use report::{deterministic_mode, format_row, mean, percent_reduction, JsonObject};
 pub use scenarios::{
-    cluster_experiment, cluster_experiment_sized, entropy_run, figure_10_point, large_scale_switch,
-    static_fcfs_run, ClusterScenario, Figure10Sample, LargeScaleScenario,
+    cluster_experiment, cluster_experiment_sized, entropy_run, entropy_run_with, figure_10_point,
+    large_scale_switch, static_fcfs_run, ClusterScenario, Figure10Sample, LargeScaleScenario,
 };

@@ -42,6 +42,22 @@ impl JsonObject {
         self
     }
 
+    /// Add a boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Add a finite float field unless `skip` is set (used to keep
+    /// wall-clock fields out of deterministic-mode artifacts).
+    pub fn number_unless(self, key: &str, value: f64, skip: bool) -> Self {
+        if skip {
+            self
+        } else {
+            self.number(key, value)
+        }
+    }
+
     /// Render the object as a pretty-printed JSON string.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n");
@@ -73,6 +89,17 @@ fn json_escape(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// True when the `CWCS_DETERMINISTIC` environment variable asks the bench
+/// binaries for byte-identical artifacts: the optimizer runs under a fixed
+/// search-node budget instead of a wall-clock timeout, and wall-clock fields
+/// are left out of the JSON.
+pub fn deterministic_mode() -> bool {
+    matches!(
+        std::env::var("CWCS_DETERMINISTIC").ok().as_deref(),
+        Some("1") | Some("true") | Some("yes")
+    )
 }
 
 /// Format one row of an aligned text table.

@@ -96,9 +96,15 @@ pub fn cluster_experiment_sized(seed: u64, nodes: u32, vjob_count: usize) -> Clu
 /// Run the Entropy control loop (FCFS dynamic consolidation + cluster-wide
 /// context switches) on a scenario and return the full report.
 pub fn entropy_run(scenario: &ClusterScenario, optimizer_timeout: Duration) -> RunReport {
+    entropy_run_with(scenario, PlanOptimizer::with_timeout(optimizer_timeout))
+}
+
+/// Same as [`entropy_run`] but with full control over the optimizer (mode,
+/// node budget, …).
+pub fn entropy_run_with(scenario: &ClusterScenario, optimizer: PlanOptimizer) -> RunReport {
     let config = ControlLoopConfig {
         period_secs: 30.0,
-        optimizer: PlanOptimizer::with_timeout(optimizer_timeout),
+        optimizer,
         max_iterations: 5_000,
         ..Default::default()
     };

@@ -27,7 +27,7 @@ use cwcs_solver::SearchStats;
 use cwcs_workload::VjobSpec;
 
 use crate::decision::DecisionModule;
-use crate::optimizer::{OptimizerError, PlanOptimizer};
+use crate::optimizer::{OptimizerError, PlanOptimizer, RepairStats};
 
 /// Control-loop tuning.
 #[derive(Debug, Clone)]
@@ -72,6 +72,9 @@ pub struct IterationReport {
     pub switch_duration_secs: f64,
     /// Statistics of the constraint search.
     pub search_stats: SearchStats,
+    /// Repair sub-problem statistics (`None` outside repair mode or when no
+    /// switch was performed).
+    pub repair_stats: Option<RepairStats>,
     /// Number of actions that failed (driver failures).
     pub failed_actions: usize,
     /// Timeline of the executed switch (per-action start/end times, exact
@@ -228,6 +231,7 @@ impl<D: DecisionModule> ControlLoop<D> {
         let mut plan_cost = None;
         let mut switch_duration = 0.0;
         let mut search_stats = SearchStats::default();
+        let mut repair_stats = None;
         let mut failed_actions = 0;
         let mut completed_now: Vec<VjobId> = Vec::new();
         let mut switch_timeline = None;
@@ -243,6 +247,7 @@ impl<D: DecisionModule> ControlLoop<D> {
             plan_cost = Some(outcome.cost.clone());
             switch_duration = report.duration_secs;
             search_stats = outcome.stats.clone();
+            repair_stats = outcome.repair.clone();
             failed_actions = report.failed_actions.len();
             for event in &report.completed_vjobs {
                 let ClusterEvent::VjobCompleted(id) = event;
@@ -281,6 +286,7 @@ impl<D: DecisionModule> ControlLoop<D> {
             plan_cost,
             switch_duration_secs: switch_duration,
             search_stats,
+            repair_stats,
             failed_actions,
             switch_timeline,
             completed_vjobs: completed_now,

@@ -33,4 +33,6 @@ pub use consolidation::FcfsConsolidation;
 pub use control_loop::{ControlLoop, ControlLoopConfig, IterationReport, RunReport};
 pub use decision::{Decision, DecisionError, DecisionModule};
 pub use ffd::FirstFitDecreasing;
-pub use optimizer::{OptimizedOutcome, OptimizerError, PlanOptimizer};
+pub use optimizer::{
+    OptimizedOutcome, OptimizerError, OptimizerMode, PlanOptimizer, RepairConfig, RepairStats,
+};

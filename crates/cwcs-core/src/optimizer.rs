@@ -23,8 +23,39 @@
 //! The First-Fit-Decreasing baseline ([`PlanOptimizer::ffd_outcome`]) stops
 //! at the first viable configuration, without any cost consideration: it is
 //! the comparison point of Figure 10.
+//!
+//! # Repair-based partial reconfiguration
+//!
+//! At cluster scale a full re-solve is hopeless: 500 nodes and thousands of
+//! VMs give the bin-packing model a search space no time budget survives.
+//! The paper's optimizer stays inside its timeout because it solves a
+//! *repair* problem instead: only the VMs that are misplaced (hosted on an
+//! overloaded node) or whose state must change for the decided vjob set are
+//! reconsidered; every other running VM keeps its host.  In
+//! [`OptimizerMode::Repair`] the optimizer
+//!
+//! 1. splits the VMs that must run into **pinned** (running on a healthy
+//!    node: they stay put) and **movable** (waiting, sleeping, or hosted on
+//!    an overloaded node);
+//! 2. builds the **candidate node set**: the nodes already involved (current
+//!    hosts and image locations of the movable VMs, overloaded nodes) plus a
+//!    configurable *halo* of extra destination nodes ranked by the capacity
+//!    left once the pinned VMs are accounted for;
+//! 3. solves the reduced placement model over movable VMs × candidate nodes,
+//!    with the node capacities debited by the pinned VMs, **seeding the
+//!    branch & bound with a greedy keep-current-host incumbent** (so "no
+//!    worse than today" is the first incumbent) and Luby restarts so the
+//!    anytime contract holds on large sub-problems;
+//! 4. **grafts** the sub-solution back onto the untouched configuration and
+//!    plans the switch.  If the candidate set turns out too small the halo
+//!    is doubled and the sub-problem re-solved; the final fallback is the
+//!    full First-Fit-Decreasing packing.
+//!
+//! By construction the repair outcome never costs more than the grafted
+//! incumbent: if planning the search's solution somehow exceeds the
+//! incumbent's plan cost, the incumbent target is returned instead.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -32,12 +63,72 @@ use cwcs_model::{Configuration, NodeId, Vjob, VjobId, VjobState, VmAssignment, V
 use cwcs_plan::{ActionCostModel, PlanCost, Planner, PlannerError, ReconfigurationPlan};
 use cwcs_solver::constraints::BinPacking;
 use cwcs_solver::search::{
-    ClosureObjective, Search, SearchConfig, SearchStats, ValueSelection, VariableSelection,
+    ClosureObjective, RestartPolicy, Search, SearchConfig, SearchStats, ValueSelection,
+    VariableSelection,
 };
 use cwcs_solver::{Model, VarId};
 
 use crate::decision::Decision;
 use crate::ffd::FirstFitDecreasing;
+
+/// How the optimizer scopes the placement problem.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OptimizerMode {
+    /// Re-place every VM that must run (the paper's Figure 10 setting).
+    #[default]
+    Full,
+    /// Repair-based partial reconfiguration: keep healthy running VMs where
+    /// they are and re-place only the VMs that must change, over a reduced
+    /// candidate node set (see the module docs).
+    Repair(RepairConfig),
+}
+
+impl OptimizerMode {
+    /// Repair mode with the default halo and restart settings.
+    pub fn repair() -> Self {
+        OptimizerMode::Repair(RepairConfig::default())
+    }
+}
+
+/// Tuning of [`OptimizerMode::Repair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairConfig {
+    /// Number of extra candidate destination nodes (beyond the nodes the
+    /// movable VMs already involve) admitted into the sub-problem, ranked by
+    /// free capacity after pinning.  Doubled on each widening round.
+    pub halo: usize,
+    /// Luby restart scale of the sub-problem search; `None` disables
+    /// restarts.
+    pub restart_scale: Option<u64>,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            halo: 16,
+            restart_scale: Some(256),
+        }
+    }
+}
+
+/// Statistics of one repair-mode optimization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// VMs re-placed by the sub-problem.
+    pub movable_vms: usize,
+    /// VMs pinned to their current host.
+    pub pinned_vms: usize,
+    /// Candidate destination nodes of the (last) sub-problem.
+    pub candidate_nodes: usize,
+    /// Halo-widening rounds performed (0 when the first candidate set
+    /// sufficed).
+    pub widenings: u32,
+    /// Plan cost of the grafted greedy incumbent, when one existed.
+    pub incumbent_cost: Option<u64>,
+    /// True when every candidate set failed and the optimizer fell back to
+    /// the full First-Fit-Decreasing packing.
+    pub fell_back_to_full: bool,
+}
 
 /// Result of an optimization: the chosen target configuration, its plan and
 /// the associated costs.
@@ -51,6 +142,8 @@ pub struct OptimizedOutcome {
     pub cost: PlanCost,
     /// Search statistics (empty for the FFD baseline).
     pub stats: SearchStats,
+    /// Sub-problem statistics, `None` outside repair mode.
+    pub repair: Option<RepairStats>,
 }
 
 /// Errors raised by the optimizer.
@@ -87,11 +180,35 @@ impl From<PlannerError> for OptimizerError {
     }
 }
 
+/// A reduced (or full) placement sub-problem: which VMs to place over which
+/// nodes, with what capacities.
+struct PlacementProblem {
+    /// VMs to place.
+    vms: Vec<VmId>,
+    /// Candidate nodes, in domain-value order.
+    nodes: Vec<NodeId>,
+    /// CPU capacity per candidate node (already debited by pinned VMs).
+    cpu_capacities: Vec<u64>,
+    /// Memory capacity per candidate node (already debited by pinned VMs).
+    mem_capacities: Vec<u64>,
+    /// Incumbent placement (indices into `nodes`), when one is known.
+    incumbent: Option<Vec<u32>>,
+    /// Luby restart policy of the search.
+    restarts: Option<RestartPolicy>,
+}
+
 /// The plan optimizer.
 #[derive(Debug, Clone)]
 pub struct PlanOptimizer {
     /// Time budget of the branch & bound search.
     pub timeout: Duration,
+    /// Optional deterministic budget: maximum number of search nodes per
+    /// solve.  Benchmarks set this (together with a generous timeout) when
+    /// byte-identical artifacts across runs matter more than wall-clock
+    /// fidelity.
+    pub node_limit: Option<u64>,
+    /// Scope of the placement problem (full re-solve or repair).
+    pub mode: OptimizerMode,
     /// Cost model used both for the search estimate and the final plan cost.
     pub cost_model: ActionCostModel,
     /// Planner used to sequence the chosen configuration.
@@ -102,6 +219,8 @@ impl Default for PlanOptimizer {
     fn default() -> Self {
         PlanOptimizer {
             timeout: Duration::from_secs(40),
+            node_limit: None,
+            mode: OptimizerMode::Full,
             cost_model: ActionCostModel::paper(),
             planner: Planner::new(),
         }
@@ -117,9 +236,34 @@ impl PlanOptimizer {
         }
     }
 
+    /// Select the optimizer mode.
+    pub fn with_mode(mut self, mode: OptimizerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set a deterministic search-node budget.
+    pub fn with_node_limit(mut self, node_limit: u64) -> Self {
+        self.node_limit = Some(node_limit);
+        self
+    }
+
     /// Optimize: find a cheap viable configuration implementing `decision`
     /// and the plan that reaches it from `current`.
     pub fn optimize(
+        &self,
+        current: &Configuration,
+        decision: &Decision,
+        vjobs: &[Vjob],
+    ) -> Result<OptimizedOutcome, OptimizerError> {
+        match self.mode {
+            OptimizerMode::Full => self.optimize_full(current, decision, vjobs),
+            OptimizerMode::Repair(config) => self.optimize_repair(current, decision, vjobs, config),
+        }
+    }
+
+    /// Full re-solve: every VM that must run is a variable over every node.
+    fn optimize_full(
         &self,
         current: &Configuration,
         decision: &Decision,
@@ -130,22 +274,6 @@ impl PlanOptimizer {
         if node_ids.is_empty() {
             return Err(OptimizerError::NoViablePlacement);
         }
-
-        // --- Build the CP model -----------------------------------------
-        let mut model = Model::new();
-        let mut vars: Vec<(VmId, VarId)> = Vec::with_capacity(must_run.len());
-        for &vm in &must_run {
-            let var = model.new_named_var(format!("host({vm})"), 0, node_ids.len() as u32 - 1);
-            vars.push((vm, var));
-        }
-
-        let mut cpu_sizes: Vec<u64> = Vec::with_capacity(must_run.len());
-        let mut mem_sizes: Vec<u64> = Vec::with_capacity(must_run.len());
-        for &vm in &must_run {
-            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
-            cpu_sizes.push(entry.cpu.raw() as u64);
-            mem_sizes.push(entry.memory.raw());
-        }
         let cpu_capacities: Vec<u64> = node_ids
             .iter()
             .map(|&n| current.node(n).unwrap().cpu.raw() as u64)
@@ -154,16 +282,72 @@ impl PlanOptimizer {
             .iter()
             .map(|&n| current.node(n).unwrap().memory.raw())
             .collect();
+        let problem = PlacementProblem {
+            vms: must_run.clone(),
+            nodes: node_ids,
+            cpu_capacities,
+            mem_capacities,
+            incumbent: None,
+            restarts: None,
+        };
+        let (solved, stats) = self.solve_placement(current, &problem)?;
+        let placement = match solved {
+            Some(placement) => placement,
+            None => {
+                // The CP search found nothing within its budget (or the
+                // problem is infeasible): fall back to First-Fit Decreasing.
+                FirstFitDecreasing::pack_all(current, &must_run)
+                    .ok_or(OptimizerError::NoViablePlacement)?
+            }
+        };
+        let target = Self::build_target(current, decision, vjobs, &placement)?;
+        let plan = self.planner.plan(current, &target, vjobs)?;
+        let cost = self.cost_model.plan_cost(&plan);
+        Ok(OptimizedOutcome {
+            target,
+            plan,
+            cost,
+            stats,
+            repair: None,
+        })
+    }
+
+    /// Build and solve the CP model of one placement (sub-)problem.
+    /// Returns the chosen placement (`None` when the search found nothing)
+    /// and the search statistics.
+    #[allow(clippy::type_complexity)]
+    fn solve_placement(
+        &self,
+        current: &Configuration,
+        problem: &PlacementProblem,
+    ) -> Result<(Option<BTreeMap<VmId, NodeId>>, SearchStats), OptimizerError> {
+        let node_ids = &problem.nodes;
+
+        // --- Build the CP model -----------------------------------------
+        let mut model = Model::new();
+        let mut vars: Vec<(VmId, VarId)> = Vec::with_capacity(problem.vms.len());
+        for &vm in &problem.vms {
+            let var = model.new_named_var(format!("host({vm})"), 0, node_ids.len() as u32 - 1);
+            vars.push((vm, var));
+        }
+
+        let mut cpu_sizes: Vec<u64> = Vec::with_capacity(problem.vms.len());
+        let mut mem_sizes: Vec<u64> = Vec::with_capacity(problem.vms.len());
+        for &vm in &problem.vms {
+            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            cpu_sizes.push(entry.cpu.raw() as u64);
+            mem_sizes.push(entry.memory.raw());
+        }
         let var_ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
         model.post(BinPacking::new(
             var_ids.clone(),
             cpu_sizes.clone(),
-            cpu_capacities,
+            problem.cpu_capacities.clone(),
         ));
         model.post(BinPacking::new(
             var_ids.clone(),
             mem_sizes.clone(),
-            mem_capacities,
+            problem.mem_capacities.clone(),
         ));
 
         // --- Heuristics ---------------------------------------------------
@@ -177,8 +361,8 @@ impl PlanOptimizer {
             .collect();
         let mut preferred: Vec<Option<u32>> = vec![None; model.var_count()];
         // Per-variable move cost table: cost of assigning VM i to node j.
-        let mut move_costs: Vec<Vec<u64>> = Vec::with_capacity(must_run.len());
-        for (i, &vm) in must_run.iter().enumerate() {
+        let mut move_costs: Vec<Vec<u64>> = Vec::with_capacity(problem.vms.len());
+        for (i, &vm) in problem.vms.iter().enumerate() {
             let assignment = current
                 .assignment(vm)
                 .map_err(|_| OptimizerError::UnknownVm(vm))?;
@@ -191,24 +375,7 @@ impl PlanOptimizer {
             preferred[vars[i].1 .0] = anchor.and_then(|n| node_index.get(&n).copied());
             let costs: Vec<u64> = node_ids
                 .iter()
-                .map(|&node| match assignment.state {
-                    VmState::Running => {
-                        if Some(node) == assignment.host {
-                            0
-                        } else {
-                            dm
-                        }
-                    }
-                    VmState::Sleeping => {
-                        if Some(node) == assignment.image {
-                            dm
-                        } else {
-                            self.cost_model.remote_resume_factor * dm
-                        }
-                    }
-                    // Waiting VMs boot wherever: constant (0) cost.
-                    _ => self.cost_model.run_cost,
-                })
+                .map(|&node| self.move_cost(&assignment, dm, node))
                 .collect();
             move_costs.push(costs);
         }
@@ -227,7 +394,9 @@ impl PlanOptimizer {
             },
             value_selection: ValueSelection::Preferred(preferred),
             timeout: Some(self.timeout),
-            node_limit: None,
+            node_limit: self.node_limit,
+            incumbent: problem.incumbent.clone(),
+            restarts: problem.restarts.clone(),
         };
 
         // --- Objective -----------------------------------------------------
@@ -265,29 +434,302 @@ impl PlanOptimizer {
 
         // --- Search ---------------------------------------------------------
         let outcome = Search::new(&model, config).minimize(&objective);
-
-        let placement: BTreeMap<VmId, NodeId> = match outcome.best {
-            Some(solution) => vars
-                .iter()
+        let placement = outcome.best.map(|solution| {
+            vars.iter()
                 .map(|&(vm, var)| (vm, node_ids[solution[var] as usize]))
-                .collect(),
-            None => {
-                // The CP search found nothing within its budget (or the
-                // problem is infeasible): fall back to First-Fit Decreasing.
-                FirstFitDecreasing::pack_all(current, &must_run)
-                    .ok_or(OptimizerError::NoViablePlacement)?
+                .collect()
+        });
+        Ok((placement, outcome.stats))
+    }
+
+    /// Cost of placing a VM (with memory demand `dm` and the given current
+    /// assignment) on `node`: the incremental plan-cost estimate of the
+    /// paper (migration = `Dm`, local resume = `Dm`, remote resume =
+    /// `2·Dm`, run = constant).
+    fn move_cost(&self, assignment: &VmAssignment, dm: u64, node: NodeId) -> u64 {
+        match assignment.state {
+            VmState::Running => {
+                if Some(node) == assignment.host {
+                    0
+                } else {
+                    dm
+                }
             }
+            VmState::Sleeping => {
+                if Some(node) == assignment.image {
+                    dm
+                } else {
+                    self.cost_model.remote_resume_factor * dm
+                }
+            }
+            // Waiting VMs boot wherever: constant (0) cost.
+            _ => self.cost_model.run_cost,
+        }
+    }
+
+    /// Repair-based partial reconfiguration (see the module docs): re-place
+    /// only the movable VMs over a reduced candidate node set, seed the
+    /// search with a keep-current-host incumbent, and graft the sub-solution
+    /// back onto the untouched configuration.
+    fn optimize_repair(
+        &self,
+        current: &Configuration,
+        decision: &Decision,
+        vjobs: &[Vjob],
+        config: RepairConfig,
+    ) -> Result<OptimizedOutcome, OptimizerError> {
+        let must_run = Self::vms_to_run(decision, vjobs);
+        let node_ids = current.node_ids();
+        if node_ids.is_empty() {
+            return Err(OptimizerError::NoViablePlacement);
+        }
+
+        // Overloaded nodes: their running VMs are misplaced by definition
+        // and must be reconsidered along with the state-changing VMs.
+        let overloaded: BTreeSet<NodeId> = current
+            .viability_violations()
+            .into_iter()
+            .map(|(node, _)| node)
+            .collect();
+
+        // Split the VMs that must run into pinned (healthy hosts, untouched)
+        // and movable (waiting, sleeping, or on an overloaded node).
+        let mut pinned: BTreeMap<VmId, NodeId> = BTreeMap::new();
+        let mut movable: Vec<VmId> = Vec::new();
+        for &vm in &must_run {
+            let assignment = current
+                .assignment(vm)
+                .map_err(|_| OptimizerError::UnknownVm(vm))?;
+            match (assignment.state, assignment.host) {
+                (VmState::Running, Some(host)) if !overloaded.contains(&host) => {
+                    pinned.insert(vm, host);
+                }
+                _ => movable.push(vm),
+            }
+        }
+
+        let mut repair = RepairStats {
+            movable_vms: movable.len(),
+            pinned_vms: pinned.len(),
+            ..Default::default()
         };
 
-        let target = Self::build_target(current, decision, vjobs, &placement)?;
+        // Nothing to re-place: the pinned placement is the whole solution.
+        if movable.is_empty() {
+            let target = Self::build_target(current, decision, vjobs, &pinned)?;
+            let plan = self.planner.plan(current, &target, vjobs)?;
+            let cost = self.cost_model.plan_cost(&plan);
+            repair.incumbent_cost = Some(cost.total);
+            return Ok(OptimizedOutcome {
+                target,
+                plan,
+                cost,
+                stats: SearchStats::default(),
+                repair: Some(repair),
+            });
+        }
+
+        // Capacity left on every node once the pinned VMs are accounted for.
+        let mut free_cpu: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut free_mem: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for &node in &node_ids {
+            let n = current.node(node).unwrap();
+            free_cpu.insert(node, n.cpu.raw() as u64);
+            free_mem.insert(node, n.memory.raw());
+        }
+        for (&vm, node) in &pinned {
+            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            let cpu = free_cpu.get_mut(node).expect("pinned host exists");
+            *cpu = cpu.saturating_sub(entry.cpu.raw() as u64);
+            let mem = free_mem.get_mut(node).expect("pinned host exists");
+            *mem = mem.saturating_sub(entry.memory.raw());
+        }
+
+        // Anchor nodes: everything the movable VMs already involve, plus the
+        // overloaded nodes themselves.
+        let mut anchors: BTreeSet<NodeId> = overloaded;
+        for &vm in &movable {
+            let assignment = current.assignment(vm).expect("checked above");
+            if let Some(host) = assignment.host {
+                anchors.insert(host);
+            }
+            if let Some(image) = assignment.image {
+                anchors.insert(image);
+            }
+        }
+
+        // Halo ranking: the remaining nodes by descending free capacity
+        // (the same memory-heavy score the first-fail weights use), ties by
+        // node id for determinism.
+        let mut ranked_rest: Vec<NodeId> = node_ids
+            .iter()
+            .copied()
+            .filter(|n| !anchors.contains(n))
+            .collect();
+        ranked_rest.sort_by_key(|n| (std::cmp::Reverse(free_mem[n] + free_cpu[n] * 10), n.0));
+
+        // The halo must at least be able to *hold* the movable VMs: extend
+        // the ranked list until the cumulative free capacity covers the
+        // movable demand, then add `halo` more nodes of slack.
+        let mut needed_cpu: u64 = 0;
+        let mut needed_mem: u64 = 0;
+        for &vm in &movable {
+            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            needed_cpu += entry.cpu.raw() as u64;
+            needed_mem += entry.memory.raw();
+        }
+        let mut acc_cpu: u64 = anchors.iter().map(|n| free_cpu[n]).sum();
+        let mut acc_mem: u64 = anchors.iter().map(|n| free_mem[n]).sum();
+        let mut base = 0usize;
+        while (acc_cpu < needed_cpu || acc_mem < needed_mem) && base < ranked_rest.len() {
+            acc_cpu += free_cpu[&ranked_rest[base]];
+            acc_mem += free_mem[&ranked_rest[base]];
+            base += 1;
+        }
+
+        let mut halo = config.halo.max(1);
+        let (placement, incumbent_indices, stats) = loop {
+            let mut candidates: Vec<NodeId> = anchors.iter().copied().collect();
+            candidates.extend(ranked_rest.iter().take(base + halo).copied());
+            candidates.sort_unstable_by_key(|n| n.0);
+            repair.candidate_nodes = candidates.len();
+
+            let incumbent =
+                self.greedy_incumbent(current, &movable, &candidates, &free_cpu, &free_mem);
+            let problem = PlacementProblem {
+                vms: movable.clone(),
+                nodes: candidates.clone(),
+                cpu_capacities: candidates.iter().map(|n| free_cpu[n]).collect(),
+                mem_capacities: candidates.iter().map(|n| free_mem[n]).collect(),
+                incumbent: incumbent.clone(),
+                restarts: config.restart_scale.map(RestartPolicy::luby),
+            };
+            let (solved, stats) = self.solve_placement(current, &problem)?;
+            if let Some(placement) = solved {
+                break (placement, incumbent.map(|ind| (candidates, ind)), stats);
+            }
+            if candidates.len() >= node_ids.len() {
+                // Even the whole cluster did not help: fall back to the full
+                // First-Fit-Decreasing packing (the decision module proved
+                // the states fit, so this normally succeeds).
+                repair.fell_back_to_full = true;
+                let placement = FirstFitDecreasing::pack_all(current, &must_run)
+                    .ok_or(OptimizerError::NoViablePlacement)?;
+                let target = Self::build_target(current, decision, vjobs, &placement)?;
+                let plan = self.planner.plan(current, &target, vjobs)?;
+                let cost = self.cost_model.plan_cost(&plan);
+                return Ok(OptimizedOutcome {
+                    target,
+                    plan,
+                    cost,
+                    stats,
+                    repair: Some(repair),
+                });
+            }
+            repair.widenings += 1;
+            halo = halo.saturating_mul(2);
+        };
+
+        // Graft the sub-solution back onto the untouched configuration.
+        let mut full_placement = pinned.clone();
+        full_placement.extend(placement.iter().map(|(&vm, &node)| (vm, node)));
+        let target = Self::build_target(current, decision, vjobs, &full_placement)?;
         let plan = self.planner.plan(current, &target, vjobs)?;
         let cost = self.cost_model.plan_cost(&plan);
+
+        // "No worse than the incumbent", guaranteed on *plan* costs: the
+        // search objective is only an estimate (bypass migrations and
+        // suspend fallbacks can re-price an action), so when an incumbent
+        // existed and priced better once planned, return it instead.
+        if let Some((candidates, indices)) = incumbent_indices {
+            let incumbent_placement: BTreeMap<VmId, NodeId> = movable
+                .iter()
+                .zip(&indices)
+                .map(|(&vm, &idx)| (vm, candidates[idx as usize]))
+                .collect();
+            if incumbent_placement == placement {
+                repair.incumbent_cost = Some(cost.total);
+            } else {
+                let mut grafted = pinned.clone();
+                grafted.extend(incumbent_placement);
+                let incumbent_target = Self::build_target(current, decision, vjobs, &grafted)?;
+                let incumbent_plan = self.planner.plan(current, &incumbent_target, vjobs)?;
+                let incumbent_cost = self.cost_model.plan_cost(&incumbent_plan);
+                repair.incumbent_cost = Some(incumbent_cost.total);
+                if incumbent_cost.total < cost.total {
+                    return Ok(OptimizedOutcome {
+                        target: incumbent_target,
+                        plan: incumbent_plan,
+                        cost: incumbent_cost,
+                        stats,
+                        repair: Some(repair),
+                    });
+                }
+            }
+        }
+
         Ok(OptimizedOutcome {
             target,
             plan,
             cost,
-            stats: outcome.stats,
+            stats,
+            repair: Some(repair),
         })
+    }
+
+    /// Greedy incumbent of the repair sub-problem: place each movable VM
+    /// (largest first) on its anchor node when it still fits, then on the
+    /// first candidate with room.  Returns domain indices into `candidates`,
+    /// or `None` when the greedy pass cannot place everything.
+    fn greedy_incumbent(
+        &self,
+        current: &Configuration,
+        movable: &[VmId],
+        candidates: &[NodeId],
+        free_cpu: &BTreeMap<NodeId, u64>,
+        free_mem: &BTreeMap<NodeId, u64>,
+    ) -> Option<Vec<u32>> {
+        let index: BTreeMap<NodeId, u32> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        let mut cpu_left: Vec<u64> = candidates.iter().map(|n| free_cpu[n]).collect();
+        let mut mem_left: Vec<u64> = candidates.iter().map(|n| free_mem[n]).collect();
+
+        // Largest VMs first, exactly like the FFD heuristic.
+        let mut order: Vec<usize> = (0..movable.len()).collect();
+        order.sort_by_key(|&i| {
+            let vm = current.vm(movable[i]).expect("vm exists");
+            (
+                std::cmp::Reverse((vm.memory.raw(), vm.cpu.raw())),
+                movable[i].0,
+            )
+        });
+
+        let mut chosen: Vec<Option<u32>> = vec![None; movable.len()];
+        for i in order {
+            let vm = current.vm(movable[i]).expect("vm exists");
+            let (cpu, mem) = (vm.cpu.raw() as u64, vm.memory.raw());
+            let assignment = current.assignment(movable[i]).expect("vm exists");
+            let anchor = match assignment.state {
+                VmState::Running => assignment.host,
+                VmState::Sleeping => assignment.image,
+                _ => None,
+            };
+            let fits = |slot: usize, cpu_left: &[u64], mem_left: &[u64]| {
+                cpu_left[slot] >= cpu && mem_left[slot] >= mem
+            };
+            let slot = anchor
+                .and_then(|n| index.get(&n).copied())
+                .map(|s| s as usize)
+                .filter(|&s| fits(s, &cpu_left, &mem_left))
+                .or_else(|| (0..candidates.len()).find(|&s| fits(s, &cpu_left, &mem_left)))?;
+            cpu_left[slot] -= cpu;
+            mem_left[slot] -= mem;
+            chosen[i] = Some(index[&candidates[slot]]);
+        }
+        chosen.into_iter().collect()
     }
 
     /// The First-Fit-Decreasing baseline: keep the first viable configuration
@@ -310,6 +752,7 @@ impl PlanOptimizer {
             plan,
             cost,
             stats: SearchStats::default(),
+            repair: None,
         })
     }
 
@@ -557,6 +1000,148 @@ mod tests {
         let err = optimizer.optimize(&c, &decision, &[vjob]).unwrap_err();
         assert_eq!(err, OptimizerError::UnknownVm(VmId(99)));
         assert!(err.to_string().contains("vm-99"));
+    }
+
+    #[test]
+    fn repair_pins_well_placed_vms_and_produces_an_empty_plan() {
+        let (c, vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let optimizer =
+            PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(OptimizerMode::repair());
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        assert_eq!(outcome.cost.total, 0, "nothing should move");
+        assert!(outcome.plan.is_empty());
+        let repair = outcome.repair.expect("repair stats in repair mode");
+        assert_eq!(repair.movable_vms, 0);
+        assert_eq!(repair.pinned_vms, 8);
+        assert!(!repair.fell_back_to_full);
+    }
+
+    #[test]
+    fn repair_boots_a_new_vjob_without_touching_the_rest() {
+        let (mut c, mut vjobs) = settled_cluster();
+        // A fifth node with room, and a waiting 2-VM vjob.
+        c.add_node(Node::new(
+            NodeId(4),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+        for i in 8..10 {
+            c.add_vm(Vm::new(
+                VmId(i),
+                MemoryMib::mib(1024),
+                CpuCapacity::cores(1),
+            ))
+            .unwrap();
+        }
+        vjobs.push(Vjob::new(VjobId(4), vec![VmId(8), VmId(9)], 4));
+        let decision = decide(&c, &vjobs);
+        assert_eq!(decision.vjob_states[&VjobId(4)], VjobState::Running);
+
+        let optimizer =
+            PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(OptimizerMode::repair());
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        let repair = outcome.repair.expect("repair stats");
+        assert_eq!(repair.movable_vms, 2, "only the new vjob is movable");
+        assert_eq!(repair.pinned_vms, 8);
+        assert_eq!(outcome.plan.stats().migrations, 0, "no one else moves");
+        assert_eq!(outcome.plan.stats().runs, 2);
+        assert!(outcome.target.is_viable());
+        outcome.plan.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn repair_prefers_local_resume_like_full_mode() {
+        let mut c = Configuration::new();
+        for i in 0..3 {
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
+        }
+        c.add_vm(Vm::new(
+            VmId(0),
+            MemoryMib::mib(1024),
+            CpuCapacity::cores(1),
+        ))
+        .unwrap();
+        c.set_assignment(VmId(0), VmAssignment::sleeping(NodeId(1)))
+            .unwrap();
+        let mut vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
+        vjob.transition_to(VjobState::Running).unwrap();
+        vjob.transition_to(VjobState::Sleeping).unwrap();
+        let vjobs = vec![vjob];
+        let decision = decide(&c, &vjobs);
+        let optimizer =
+            PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(OptimizerMode::repair());
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        assert_eq!(outcome.target.host(VmId(0)).unwrap(), Some(NodeId(1)));
+        assert_eq!(outcome.plan.stats().local_resumes, 1);
+        assert_eq!(outcome.cost.total, 1024);
+    }
+
+    #[test]
+    fn repair_evacuates_overloaded_nodes() {
+        // Two busy 1-core VMs crammed on a 1-core node, a free node next to
+        // it: the overloaded node's VMs are movable and one must migrate.
+        let mut c = Configuration::new();
+        for i in 0..2 {
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
+        }
+        for i in 0..2 {
+            c.add_vm(Vm::new(VmId(i), MemoryMib::mib(512), CpuCapacity::cores(1)))
+                .unwrap();
+            c.set_assignment(VmId(i), VmAssignment::running(NodeId(0)))
+                .unwrap();
+        }
+        assert!(!c.is_viable());
+        let mut vjob = Vjob::new(VjobId(0), vec![VmId(0), VmId(1)], 0);
+        vjob.transition_to(VjobState::Running).unwrap();
+        let vjobs = vec![vjob];
+        let decision = decide(&c, &vjobs);
+        let optimizer =
+            PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(OptimizerMode::repair());
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        let repair = outcome.repair.expect("repair stats");
+        assert_eq!(repair.movable_vms, 2, "both crammed VMs are movable");
+        assert!(outcome.target.is_viable());
+        assert_eq!(outcome.plan.stats().migrations, 1);
+    }
+
+    #[test]
+    fn repair_cost_never_exceeds_the_incumbent() {
+        let (c, vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let optimizer =
+            PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(OptimizerMode::repair());
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        let repair = outcome.repair.expect("repair stats");
+        if let Some(incumbent) = repair.incumbent_cost {
+            assert!(outcome.cost.total <= incumbent);
+        }
+    }
+
+    #[test]
+    fn repair_and_full_agree_on_a_small_overload() {
+        // The overload scenario of `overload_produces_suspends...`: both
+        // modes must produce a viable target implementing the same decision.
+        let (c, vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let full = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let repair =
+            PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(OptimizerMode::repair());
+        let a = full.optimize(&c, &decision, &vjobs).unwrap();
+        let b = repair.optimize(&c, &decision, &vjobs).unwrap();
+        assert_eq!(a.cost.total, b.cost.total, "both reach the optimum here");
+        assert_eq!(a.target, b.target);
     }
 
     #[test]

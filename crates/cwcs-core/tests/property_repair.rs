@@ -1,0 +1,275 @@
+//! Property-based tests of the repair-based partial reconfiguration
+//! ([`OptimizerMode::Repair`]): over seeded randomized small scenarios
+//! (≤ 20 VMs — the regime where the full solve is tractable enough to act
+//! as an oracle), the repair outcome must
+//!
+//! * implement exactly the decided vjob states (same per-VM state as the
+//!   full solve's target);
+//! * keep every healthy pinned VM on its current host (the "partial" in
+//!   partial reconfiguration);
+//! * never cost more than the grafted greedy incumbent — the "no worse
+//!   than today" contract;
+//! * produce a viable target and a valid plan.
+//!
+//! A lockstep control-loop test then drives the same scenario to completion
+//! under both modes and checks that the committed vjob states agree at every
+//! iteration.
+//!
+//! The container has no crates.io access, so `proptest` is replaced by a
+//! deterministic [`SmallRng`] driver — same seed, same cases, every run.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use cwcs_core::{
+    ControlLoop, ControlLoopConfig, DecisionModule, FcfsConsolidation, OptimizerMode, PlanOptimizer,
+};
+use cwcs_model::{
+    Configuration, CpuCapacity, MemoryMib, Node, NodeId, ResourceDemand, SmallRng, Vjob, VjobId,
+    VjobState, Vm, VmAssignment, VmId, VmState,
+};
+use cwcs_workload::{VjobSpec, VmWorkProfile, WorkPhase};
+
+const CASES: usize = 64;
+
+/// A deterministic optimizer: search-node budget instead of wall clock, so
+/// full and repair solves are reproducible oracles.
+fn optimizer(mode: OptimizerMode) -> PlanOptimizer {
+    PlanOptimizer::with_timeout(Duration::from_secs(3_600))
+        .with_node_limit(20_000)
+        .with_mode(mode)
+}
+
+/// One random scenario: 2–5 nodes, 1–5 vjobs of 1–4 VMs (≤ 20 VMs) in
+/// mixed waiting / running / sleeping states, placed viably.  Returns `None`
+/// when the draw does not fit (the caller redraws, mirroring proptest
+/// filtering).
+fn try_scenario(rng: &mut SmallRng) -> Option<(Configuration, Vec<Vjob>)> {
+    let node_count = rng.u64_in(2, 5) as u32;
+    let vjob_count = rng.u64_in(1, 5) as usize;
+    let mut config = Configuration::new();
+    for i in 0..node_count {
+        config
+            .add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
+    }
+    let memories = [
+        MemoryMib::mib(256),
+        MemoryMib::mib(512),
+        MemoryMib::mib(1024),
+    ];
+    let node_ids = config.node_ids();
+    let mut free: BTreeMap<NodeId, ResourceDemand> = node_ids
+        .iter()
+        .map(|&n| (n, config.node(n).unwrap().capacity()))
+        .collect();
+
+    let mut vjobs = Vec::new();
+    let mut next_vm = 0u32;
+    for j in 0..vjob_count {
+        let vm_count = rng.u64_in(1, 4) as u32;
+        let memory = memories[rng.index(memories.len())];
+        let state = rng.u32_in_inclusive(0, 2);
+        let vm_ids: Vec<VmId> = (0..vm_count)
+            .map(|_| {
+                let id = VmId(next_vm);
+                next_vm += 1;
+                id
+            })
+            .collect();
+        for &vm in &vm_ids {
+            config
+                .add_vm(Vm::new(vm, memory, CpuCapacity::cores(1)))
+                .unwrap();
+            match state {
+                // Waiting: stays off the nodes.
+                0 => {}
+                // Running: first-fit from a rotated offset.
+                1 => {
+                    let start = rng.index(node_ids.len());
+                    let demand = config.vm(vm).unwrap().demand();
+                    let mut placed = false;
+                    for k in 0..node_ids.len() {
+                        let node = node_ids[(start + k) % node_ids.len()];
+                        let available = free.get_mut(&node).unwrap();
+                        if demand.fits_in(available) {
+                            *available = available.saturating_sub(&demand);
+                            config
+                                .set_assignment(vm, VmAssignment::running(node))
+                                .unwrap();
+                            placed = true;
+                            break;
+                        }
+                    }
+                    if !placed {
+                        return None;
+                    }
+                }
+                // Sleeping: image parked on a random node.
+                _ => {
+                    let node = node_ids[rng.index(node_ids.len())];
+                    config
+                        .set_assignment(vm, VmAssignment::sleeping(node))
+                        .unwrap();
+                }
+            }
+        }
+        let mut vjob = Vjob::new(VjobId(j as u32), vm_ids, j as u64);
+        match state {
+            0 => {}
+            1 => vjob.transition_to(VjobState::Running).unwrap(),
+            _ => {
+                vjob.transition_to(VjobState::Running).unwrap();
+                vjob.transition_to(VjobState::Sleeping).unwrap();
+            }
+        }
+        vjobs.push(vjob);
+    }
+    Some((config, vjobs))
+}
+
+fn scenario(rng: &mut SmallRng) -> (Configuration, Vec<Vjob>) {
+    loop {
+        if let Some(s) = try_scenario(rng) {
+            return s;
+        }
+    }
+}
+
+#[test]
+fn repair_matches_full_states_and_honours_the_incumbent() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut checked = 0;
+    for _ in 0..CASES {
+        let (config, vjobs) = scenario(&mut rng);
+        assert!(config.vm_count() <= 20, "small-scenario regime");
+        let decision = FcfsConsolidation::new()
+            .decide(&config, &vjobs, &BTreeSet::new())
+            .unwrap();
+
+        let full = optimizer(OptimizerMode::Full)
+            .optimize(&config, &decision, &vjobs)
+            .unwrap();
+        let repair = optimizer(OptimizerMode::repair())
+            .optimize(&config, &decision, &vjobs)
+            .unwrap();
+
+        // Both targets implement the same decided vjob set: every VM ends up
+        // in the same state (hosts may legitimately differ).
+        for vm in config.vm_ids() {
+            assert_eq!(
+                full.target.state(vm).unwrap(),
+                repair.target.state(vm).unwrap(),
+                "VM {vm} state diverged between full and repair"
+            );
+        }
+
+        // The repair target is viable and its plan executes.
+        assert!(repair.target.is_viable());
+        repair.plan.validate(&config).unwrap();
+
+        // "No worse than today": the outcome never costs more than the
+        // grafted greedy incumbent.
+        let stats = repair.repair.as_ref().expect("repair stats");
+        if let Some(incumbent) = stats.incumbent_cost {
+            assert!(
+                repair.cost.total <= incumbent,
+                "repair cost {} exceeds its incumbent {}",
+                repair.cost.total,
+                incumbent
+            );
+        }
+
+        // Partial reconfiguration: a VM that must keep running and sits on a
+        // healthy (non-overloaded) node does not move.
+        let overloaded: BTreeSet<NodeId> = config
+            .viability_violations()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let running: Vec<VjobId> = decision
+            .vjob_states
+            .iter()
+            .filter(|(_, &s)| s == VjobState::Running)
+            .map(|(&id, _)| id)
+            .collect();
+        for vjob in vjobs.iter().filter(|j| running.contains(&j.id)) {
+            for &vm in &vjob.vms {
+                if config.state(vm).unwrap() == VmState::Running {
+                    let host = config.host(vm).unwrap().unwrap();
+                    if !overloaded.contains(&host) {
+                        assert_eq!(
+                            repair.target.host(vm).unwrap(),
+                            Some(host),
+                            "pinned VM {vm} moved"
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "the generator must produce pinned VMs");
+}
+
+/// Build the control-loop specs for a scenario: every VM computes for
+/// `work_secs` seconds.
+fn specs_for(config: &Configuration, vjobs: &[Vjob], work_secs: f64) -> Vec<VjobSpec> {
+    vjobs
+        .iter()
+        .map(|vjob| {
+            let vms: Vec<Vm> = vjob
+                .vms
+                .iter()
+                .map(|&vm| config.vm(vm).unwrap().clone())
+                .collect();
+            let profiles = vms
+                .iter()
+                .map(|_| VmWorkProfile::new(vec![WorkPhase::compute(work_secs)]))
+                .collect();
+            VjobSpec::new(vjob.clone(), vms, profiles)
+        })
+        .collect()
+}
+
+#[test]
+fn repair_and_full_loops_decide_identically_on_small_scenarios() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for _ in 0..6 {
+        let (config, vjobs) = scenario(&mut rng);
+        let specs = specs_for(&config, &vjobs, 90.0);
+        let build = |mode: OptimizerMode| {
+            let cluster = cwcs_sim::SimulatedCluster::new(config.clone());
+            let loop_config = ControlLoopConfig {
+                period_secs: 30.0,
+                optimizer: optimizer(mode),
+                max_iterations: 100,
+                ..Default::default()
+            };
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), loop_config)
+        };
+        let mut full = build(OptimizerMode::Full);
+        let mut repair = build(OptimizerMode::repair());
+        for iteration in 0..100 {
+            if full.all_terminated() && repair.all_terminated() {
+                break;
+            }
+            full.iterate().unwrap();
+            repair.iterate().unwrap();
+            let full_states: Vec<(VjobId, VjobState)> =
+                full.vjobs().iter().map(|j| (j.id, j.state)).collect();
+            let repair_states: Vec<(VjobId, VjobState)> =
+                repair.vjobs().iter().map(|j| (j.id, j.state)).collect();
+            assert_eq!(
+                full_states, repair_states,
+                "decided vjob states diverged at iteration {iteration}"
+            );
+        }
+        assert!(full.all_terminated(), "the full-mode loop completes");
+        assert!(repair.all_terminated(), "the repair-mode loop completes");
+    }
+}

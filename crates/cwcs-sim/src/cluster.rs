@@ -8,12 +8,56 @@
 //! demand accordingly, and reports the vjobs whose work completed — the
 //! signal the paper's applications send to Entropy so it can stop the vjob.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use cwcs_model::{Configuration, CpuCapacity, MemoryMib, NodeId, Vjob, VjobId, VmId, VmState};
 use cwcs_workload::{VjobSpec, VmWorkProfile};
 
 use crate::durations::{DurationModel, InterferenceModel};
+
+/// Incremental cache of the per-vjob completion horizons used by the
+/// event-driven executor.
+///
+/// The executor asks for the next vjob completion at *every* event of a
+/// switch; recomputing every vjob each time made the event engine's wall
+/// time grow with `events × vjobs` (~30× the barrier executor's on the
+/// 500-node scenario).  The cache stores the **absolute** virtual completion
+/// time of every completable vjob — a quantity that stays constant while the
+/// per-node decelerations do — together with a reverse node → vjobs index,
+/// and only recomputes the vjobs hosted on nodes whose interference actually
+/// changed (plus the vjobs explicitly dirtied by an executed action).
+#[derive(Debug, Default)]
+struct HorizonCache {
+    /// False forces a full rebuild on the next query.
+    valid: bool,
+    /// Absolute virtual completion time of each completable vjob.
+    completion_at: BTreeMap<VjobId, f64>,
+    /// Nodes each cached vjob currently depends on.
+    nodes_of: HashMap<VjobId, Vec<NodeId>>,
+    /// Reverse index: vjobs whose horizon depends on a node.
+    vjobs_on: HashMap<NodeId, BTreeSet<VjobId>>,
+    /// The decelerations the cache was computed under.
+    fingerprint: BTreeMap<NodeId, f64>,
+    /// Vjobs whose entry must be recomputed on the next query.
+    dirty: BTreeSet<VjobId>,
+}
+
+impl HorizonCache {
+    fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    fn forget(&mut self, vjob: VjobId) {
+        self.completion_at.remove(&vjob);
+        if let Some(nodes) = self.nodes_of.remove(&vjob) {
+            for node in nodes {
+                if let Some(set) = self.vjobs_on.get_mut(&node) {
+                    set.remove(&vjob);
+                }
+            }
+        }
+    }
+}
 
 /// Events reported by the cluster when the clock advances.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +91,9 @@ pub struct SimulatedCluster {
     vjobs: HashMap<VjobId, Vjob>,
     /// Vjobs already reported as completed.
     completed: Vec<VjobId>,
+    /// VM → vjob membership (for targeted horizon invalidation).
+    vm_vjob: HashMap<VmId, VjobId>,
+    horizon: HorizonCache,
     durations: DurationModel,
     interference: InterferenceModel,
 }
@@ -60,6 +107,8 @@ impl SimulatedCluster {
             progress: HashMap::new(),
             vjobs: HashMap::new(),
             completed: Vec::new(),
+            vm_vjob: HashMap::new(),
+            horizon: HorizonCache::default(),
             durations: DurationModel::paper(),
             interference: InterferenceModel::paper(),
         }
@@ -81,14 +130,20 @@ impl SimulatedCluster {
     pub fn register_vjob(&mut self, spec: &VjobSpec) {
         for (vm, profile) in spec.vjob.vms.iter().zip(&spec.profiles) {
             self.progress.insert(*vm, (profile.clone(), 0.0));
+            self.vm_vjob.insert(*vm, spec.vjob.id);
         }
         self.vjobs.insert(spec.vjob.id, spec.vjob.clone());
+        self.horizon.invalidate();
     }
 
     /// Update the stored state of a vjob (the control loop owns the life
     /// cycle; the cluster only needs membership for completion detection).
     pub fn update_vjob(&mut self, vjob: &Vjob) {
+        for vm in &vjob.vms {
+            self.vm_vjob.insert(*vm, vjob.id);
+        }
         self.vjobs.insert(vjob.id, vjob.clone());
+        self.horizon.invalidate();
     }
 
     /// The current configuration.
@@ -97,7 +152,22 @@ impl SimulatedCluster {
     }
 
     /// Mutable access to the configuration (used by the executor/drivers).
+    /// Arbitrary mutations can move any VM, so the whole horizon cache is
+    /// dropped; the executor's per-action path uses the crate-internal
+    /// `configuration_mut_for_vm` instead, which only dirties one vjob.
     pub fn configuration_mut(&mut self) -> &mut Configuration {
+        self.horizon.invalidate();
+        &mut self.configuration
+    }
+
+    /// Mutable configuration access scoped to an action on `vm`: only the
+    /// horizon of the vjob owning `vm` is invalidated, which is what lets
+    /// the event-driven executor keep the cache warm across thousands of
+    /// action events.
+    pub(crate) fn configuration_mut_for_vm(&mut self, vm: VmId) -> &mut Configuration {
+        if let Some(&vjob) = self.vm_vjob.get(&vm) {
+            self.horizon.dirty.insert(vjob);
+        }
         &mut self.configuration
     }
 
@@ -178,6 +248,20 @@ impl SimulatedCluster {
                 events.push(ClusterEvent::VjobCompleted(vjob));
             }
         }
+
+        // Horizon-cache maintenance: absolute completion times stay valid as
+        // long as the interval ran under the very decelerations the cache
+        // was computed with; completed vjobs simply drop out.
+        if self.horizon.valid {
+            if *decelerations == self.horizon.fingerprint {
+                for event in &events {
+                    let ClusterEvent::VjobCompleted(id) = event;
+                    self.horizon.forget(*id);
+                }
+            } else {
+                self.horizon.invalidate();
+            }
+        }
         events
     }
 
@@ -194,35 +278,143 @@ impl SimulatedCluster {
             if self.completed.contains(id) {
                 continue;
             }
-            // A vjob completes when its slowest member finishes its work.
-            let mut vjob_time: f64 = 0.0;
-            let mut can_complete = true;
-            for &vm in &vjob.vms {
-                let Some((profile, progress)) = self.progress.get(&vm) else {
-                    can_complete = false;
-                    break;
-                };
-                if profile.is_complete(*progress) {
-                    continue;
-                }
-                if !matches!(self.configuration.state(vm), Ok(VmState::Running)) {
-                    can_complete = false;
-                    break;
-                }
-                let host = self.configuration.host(vm).ok().flatten();
-                let factor = host
-                    .and_then(|h| decelerations.get(&h))
-                    .copied()
-                    .unwrap_or(1.0)
-                    .max(1.0);
-                let remaining = (profile.total_work_secs() - progress).max(0.0);
-                vjob_time = vjob_time.max(remaining * factor);
-            }
-            if can_complete {
+            if let Some((vjob_time, _)) = self.vjob_completion(vjob, decelerations) {
                 horizon = Some(horizon.map_or(vjob_time, |h| h.min(vjob_time)));
             }
         }
         horizon
+    }
+
+    /// Cached variant of [`SimulatedCluster::next_completion_horizon`], the
+    /// one the event-driven executor calls at every event: only the vjobs
+    /// hosted on nodes whose deceleration changed since the previous query
+    /// (plus the vjobs dirtied by executed actions) are recomputed.
+    pub fn next_completion_horizon_cached(
+        &mut self,
+        decelerations: &BTreeMap<NodeId, f64>,
+    ) -> Option<f64> {
+        if !self.horizon.valid {
+            self.rebuild_horizon(decelerations);
+        } else {
+            if *decelerations != self.horizon.fingerprint {
+                // Sync the fingerprint for every differing node — it must
+                // end up *equal* to `decelerations`, or the next `advance`
+                // with the same map would invalidate the whole cache — but
+                // only recompute the vjobs whose *effective* factor changed
+                // (a 1.0 entry appearing or vanishing decelerates nothing).
+                let mut to_sync: Vec<NodeId> = Vec::new();
+                for (&node, &factor) in decelerations {
+                    if self.horizon.fingerprint.get(&node) != Some(&factor) {
+                        to_sync.push(node);
+                    }
+                }
+                for &node in self.horizon.fingerprint.keys() {
+                    if !decelerations.contains_key(&node) {
+                        to_sync.push(node);
+                    }
+                }
+                for node in to_sync {
+                    let old = self.horizon.fingerprint.get(&node).copied().unwrap_or(1.0);
+                    let new = decelerations.get(&node).copied().unwrap_or(1.0);
+                    if old.max(1.0) != new.max(1.0) {
+                        if let Some(vjobs) = self.horizon.vjobs_on.get(&node) {
+                            self.horizon.dirty.extend(vjobs.iter().copied());
+                        }
+                    }
+                    // Apply only the delta: cloning the whole map at every
+                    // event is exactly the kind of per-event O(cluster) work
+                    // this cache exists to avoid.
+                    match decelerations.get(&node) {
+                        Some(&factor) => self.horizon.fingerprint.insert(node, factor),
+                        None => self.horizon.fingerprint.remove(&node),
+                    };
+                }
+            }
+            let dirty: Vec<VjobId> = std::mem::take(&mut self.horizon.dirty)
+                .into_iter()
+                .collect();
+            for vjob in dirty {
+                self.recompute_horizon_entry(vjob);
+            }
+        }
+        let clock = self.clock_secs;
+        self.horizon
+            .completion_at
+            .values()
+            .fold(None, |min: Option<f64>, &t| {
+                Some(min.map_or(t, |m| m.min(t)))
+            })
+            .map(|t| (t - clock).max(0.0))
+    }
+
+    /// Rebuild the horizon cache from scratch under `decelerations`.
+    fn rebuild_horizon(&mut self, decelerations: &BTreeMap<NodeId, f64>) {
+        self.horizon = HorizonCache {
+            valid: true,
+            fingerprint: decelerations.clone(),
+            ..Default::default()
+        };
+        let ids: Vec<VjobId> = self.vjobs.keys().copied().collect();
+        for id in ids {
+            self.recompute_horizon_entry(id);
+        }
+    }
+
+    /// Recompute the cache entry (completion time + node index) of one vjob.
+    fn recompute_horizon_entry(&mut self, id: VjobId) {
+        self.horizon.forget(id);
+        if self.completed.contains(&id) {
+            return;
+        }
+        let result = self
+            .vjobs
+            .get(&id)
+            .and_then(|vjob| self.vjob_completion(vjob, &self.horizon.fingerprint));
+        if let Some((relative, nodes)) = result {
+            self.horizon
+                .completion_at
+                .insert(id, self.clock_secs + relative);
+            for &node in &nodes {
+                self.horizon.vjobs_on.entry(node).or_default().insert(id);
+            }
+            self.horizon.nodes_of.insert(id, nodes);
+        }
+    }
+
+    /// Seconds until `vjob` completes under the given decelerations (its
+    /// slowest member's remaining work), together with the nodes the answer
+    /// depends on; `None` when the vjob cannot complete without a state
+    /// change (some incomplete member VM is not running).
+    fn vjob_completion(
+        &self,
+        vjob: &Vjob,
+        decelerations: &BTreeMap<NodeId, f64>,
+    ) -> Option<(f64, Vec<NodeId>)> {
+        let mut vjob_time: f64 = 0.0;
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for &vm in &vjob.vms {
+            let (profile, progress) = self.progress.get(&vm)?;
+            if profile.is_complete(*progress) {
+                continue;
+            }
+            if !matches!(self.configuration.state(vm), Ok(VmState::Running)) {
+                return None;
+            }
+            let host = self.configuration.host(vm).ok().flatten();
+            if let Some(h) = host {
+                if !nodes.contains(&h) {
+                    nodes.push(h);
+                }
+            }
+            let factor = host
+                .and_then(|h| decelerations.get(&h))
+                .copied()
+                .unwrap_or(1.0)
+                .max(1.0);
+            let remaining = (profile.total_work_secs() - progress).max(0.0);
+            vjob_time = vjob_time.max(remaining * factor);
+        }
+        Some((vjob_time, nodes))
     }
 
     /// Refresh the CPU demand of every VM with a profile from its current
@@ -446,6 +638,76 @@ mod tests {
                 .unwrap();
         }
         assert!((cluster.next_completion_horizon(&BTreeMap::new()).unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_horizon_matches_the_uncached_oracle() {
+        // Three vjobs on distinct nodes; interleave deceleration changes,
+        // clock advances and assignment changes, and check the cached
+        // horizon against the uncached reference at every step.
+        let specs = [
+            spec(0, &[0], 100.0),
+            spec(1, &[1, 2], 70.0),
+            spec(2, &[3], 40.0),
+        ];
+        let mut cluster = cluster_with(&specs);
+        for i in 0..4 {
+            cluster
+                .configuration_mut()
+                .set_assignment(VmId(i), VmAssignment::running(NodeId(i % 4)))
+                .unwrap();
+        }
+        let mut decels: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let check = |cluster: &mut SimulatedCluster, decels: &BTreeMap<NodeId, f64>| {
+            let oracle = cluster.next_completion_horizon(decels);
+            let cached = cluster.next_completion_horizon_cached(decels);
+            match (oracle, cached) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+                other => panic!("cached and oracle disagree: {other:?}"),
+            }
+        };
+
+        check(&mut cluster, &decels);
+        // A factor-1.0 entry (a run/stop window) decelerates nothing, but
+        // the fingerprint must still absorb it: the following advance with
+        // the same map must keep the cache warm, not invalidate it.
+        decels.insert(NodeId(0), 1.0);
+        check(&mut cluster, &decels);
+        cluster.advance(5.0, &decels);
+        check(&mut cluster, &decels);
+        decels.remove(&NodeId(0));
+        // Slow down node 1 (vjob 1): only that vjob's horizon changes.
+        decels.insert(NodeId(1), 1.5);
+        check(&mut cluster, &decels);
+        // Advance under the same decelerations: the cache stays warm.
+        cluster.advance(10.0, &decels);
+        check(&mut cluster, &decels);
+        // The deceleration clears.
+        decels.clear();
+        check(&mut cluster, &decels);
+        // A targeted action moves VM 3 (vjob 2) to another node.
+        cluster
+            .configuration_mut_for_vm(VmId(3))
+            .set_assignment(VmId(3), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        check(&mut cluster, &decels);
+        // A targeted action suspends VM 0: vjob 0 can no longer complete.
+        cluster
+            .configuration_mut_for_vm(VmId(0))
+            .set_assignment(VmId(0), VmAssignment::sleeping(NodeId(0)))
+            .unwrap();
+        check(&mut cluster, &decels);
+        // Run to the first completion and past it.
+        cluster.advance(30.0, &decels);
+        check(&mut cluster, &decels);
+        cluster.advance(100.0, &decels);
+        check(&mut cluster, &decels);
+        // Full advance with a decel map that differs from the fingerprint
+        // (the control-loop path): the cache must recover via rebuild.
+        decels.insert(NodeId(2), 2.0);
+        cluster.advance(5.0, &decels);
+        check(&mut cluster, &decels);
     }
 
     #[test]

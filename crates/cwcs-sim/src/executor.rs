@@ -181,12 +181,17 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
         // Actions currently occupying their time window: the nodes they touch
         // and the interference factor they impose.
         let mut in_flight: BTreeMap<usize, (Vec<NodeId>, f64)> = BTreeMap::new();
+        // The per-node deceleration implied by `in_flight`, maintained
+        // incrementally: per node, the multiset of in-flight factors and the
+        // current max.  Rebuilding this map from scratch at every event is
+        // what used to dominate the event engine's wall time at scale.
+        let mut node_factors: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
+        let mut decelerations: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut now = 0.0;
 
         while let Some(event) = queue.pop() {
             // The in-flight set is constant over [now, event.time): advance
             // the applications under the current per-node decelerations.
-            let decelerations = Self::current_decelerations(&in_flight);
             now = Self::advance_exact(
                 cluster,
                 now,
@@ -197,7 +202,14 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
 
             match event.kind {
                 EventKind::ActionEnd => {
-                    in_flight.remove(&event.index);
+                    if let Some((nodes, factor)) = in_flight.remove(&event.index) {
+                        Self::release_interference(
+                            &nodes,
+                            factor,
+                            &mut node_factors,
+                            &mut decelerations,
+                        );
+                    }
                     for &dependent in &dependents[event.index] {
                         pending[dependent] -= 1;
                         if pending[dependent] == 0 {
@@ -214,15 +226,18 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
                     let node = &dependencies.nodes()[event.index];
                     let action = node.action;
                     let predicted = durations.action_duration(&action);
-                    match self.driver.execute(&action, cluster.configuration_mut()) {
+                    let config = cluster.configuration_mut_for_vm(action.vm());
+                    match self.driver.execute(&action, config) {
                         Ok(duration) => {
-                            in_flight.insert(
-                                event.index,
-                                (
-                                    Self::touched_nodes(&action),
-                                    interference.factor_for(&action),
-                                ),
+                            let nodes = Self::touched_nodes(&action);
+                            let factor = interference.factor_for(&action);
+                            Self::apply_interference(
+                                &nodes,
+                                factor,
+                                &mut node_factors,
+                                &mut decelerations,
                             );
+                            in_flight.insert(event.index, (nodes, factor));
                             queue.push(Event {
                                 time_secs: now + duration,
                                 kind: EventKind::ActionEnd,
@@ -241,13 +256,15 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
                             // The failed operation still wasted its predicted
                             // window on its nodes: co-hosted VMs slow down and
                             // dependents wait for the window to clear.
-                            in_flight.insert(
-                                event.index,
-                                (
-                                    Self::touched_nodes(&action),
-                                    interference.factor_for(&action),
-                                ),
+                            let nodes = Self::touched_nodes(&action);
+                            let factor = interference.factor_for(&action);
+                            Self::apply_interference(
+                                &nodes,
+                                factor,
+                                &mut node_factors,
+                                &mut decelerations,
                             );
+                            in_flight.insert(event.index, (nodes, factor));
                             queue.push(Event {
                                 time_secs: now + predicted,
                                 kind: EventKind::ActionEnd,
@@ -415,7 +432,7 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
     ) -> f64 {
         while target - now > 1e-12 {
             let remaining = target - now;
-            let horizon = cluster.next_completion_horizon(decelerations);
+            let horizon = cluster.next_completion_horizon_cached(decelerations);
             match horizon {
                 Some(h) if h < remaining - 1e-12 => {
                     let step = h.max(0.0);
@@ -458,19 +475,54 @@ impl<D: HypervisorDriver> PlanExecutor<D> {
         now
     }
 
-    /// Per-node deceleration implied by the in-flight actions: the strongest
-    /// factor among the operations touching each node.
-    fn current_decelerations(
-        in_flight: &BTreeMap<usize, (Vec<NodeId>, f64)>,
-    ) -> BTreeMap<NodeId, f64> {
-        let mut decelerations: BTreeMap<NodeId, f64> = BTreeMap::new();
-        for (nodes, factor) in in_flight.values() {
-            for node in nodes {
-                let entry = decelerations.entry(*node).or_insert(1.0);
-                *entry = entry.max(*factor);
+    /// Record that an action imposing `factor` started on `nodes`, keeping
+    /// `decelerations` equal to the per-node max over in-flight factors.
+    /// Factors ≤ 1.0 (runs, stops) decelerate nothing and are not published
+    /// — a no-op entry would still churn the horizon cache's fingerprint.
+    fn apply_interference(
+        nodes: &[NodeId],
+        factor: f64,
+        node_factors: &mut BTreeMap<NodeId, Vec<f64>>,
+        decelerations: &mut BTreeMap<NodeId, f64>,
+    ) {
+        if factor <= 1.0 {
+            return;
+        }
+        for &node in nodes {
+            node_factors.entry(node).or_default().push(factor);
+            let entry = decelerations.entry(node).or_insert(1.0);
+            *entry = entry.max(factor);
+        }
+    }
+
+    /// Undo [`PlanExecutor::apply_interference`] when the action's window
+    /// ends: drop one occurrence of `factor` per node and lower the node's
+    /// deceleration to the max of what remains (removing the entry when no
+    /// in-flight action touches the node anymore).
+    fn release_interference(
+        nodes: &[NodeId],
+        factor: f64,
+        node_factors: &mut BTreeMap<NodeId, Vec<f64>>,
+        decelerations: &mut BTreeMap<NodeId, f64>,
+    ) {
+        if factor <= 1.0 {
+            return;
+        }
+        for &node in nodes {
+            let Some(factors) = node_factors.get_mut(&node) else {
+                continue;
+            };
+            if let Some(pos) = factors.iter().position(|f| *f == factor) {
+                factors.swap_remove(pos);
+            }
+            if factors.is_empty() {
+                node_factors.remove(&node);
+                decelerations.remove(&node);
+            } else {
+                let max = factors.iter().copied().fold(1.0f64, f64::max);
+                decelerations.insert(node, max);
             }
         }
-        decelerations
     }
 
     /// Group the timeline entries back into per-pool records.  The records

@@ -49,5 +49,5 @@ pub mod store;
 
 pub use domain::IntDomain;
 pub use propagator::{Inconsistency, Propagator};
-pub use search::{Objective, Search, SearchConfig, SearchStats, Solution};
+pub use search::{luby, Objective, RestartPolicy, Search, SearchConfig, SearchStats, Solution};
 pub use store::{DomainStore, Model, VarId};

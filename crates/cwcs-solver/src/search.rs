@@ -84,6 +84,48 @@ pub enum ValueSelection {
     Preferred(Vec<Option<u32>>),
 }
 
+/// Restart policy of the branch & bound search.
+///
+/// Large placement instances are vulnerable to *heavy-tailed* search: a DFS
+/// that commits to a bad prefix early can spend its whole budget in a
+/// worthless subtree.  The classic mitigation (Luby, Sinclair & Zuckerman,
+/// 1993) restarts the search from the root whenever the number of failures
+/// since the last restart exceeds a budget drawn from the Luby sequence
+/// (1, 1, 2, 1, 1, 2, 4, …) scaled by a constant.  Restarts keep the best
+/// incumbent — the anytime contract is preserved — and each run diversifies
+/// the value ordering deterministically, so successive runs explore
+/// genuinely different prefixes without any randomness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Failure budget of run `i` is `scale * luby(i)`.
+    pub scale: u64,
+}
+
+impl RestartPolicy {
+    /// A Luby restart policy with the given scale (failures allowed in the
+    /// first run).
+    pub fn luby(scale: u64) -> Self {
+        RestartPolicy {
+            scale: scale.max(1),
+        }
+    }
+}
+
+/// The Luby sequence, 1-indexed: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4,
+/// 8, …
+pub fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    if (1u64 << k) - 1 == i {
+        1u64 << (k - 1)
+    } else {
+        luby(i - ((1u64 << (k - 1)) - 1))
+    }
+}
+
 /// Objective for branch & bound minimisation.
 pub trait Objective {
     /// Exact cost of a complete assignment.
@@ -109,6 +151,14 @@ pub struct SearchConfig {
     pub timeout: Option<Duration>,
     /// Maximum number of explored search nodes; `None` means unlimited.
     pub node_limit: Option<u64>,
+    /// Incumbent seeding for [`Search::minimize`]: a complete assignment
+    /// (one value per variable, in variable order) installed as the first
+    /// incumbent before the tree search starts.  The placement model passes
+    /// the current configuration here so that "no worse than today" holds
+    /// from the very first node; an infeasible incumbent is ignored.
+    pub incumbent: Option<Vec<u32>>,
+    /// Luby-style restarts for [`Search::minimize`]; `None` disables them.
+    pub restarts: Option<RestartPolicy>,
 }
 
 impl SearchConfig {
@@ -131,6 +181,11 @@ pub struct SearchStats {
     pub failures: u64,
     /// Number of (improving) solutions found.
     pub solutions: u64,
+    /// Number of Luby restarts performed by `minimize`.
+    pub restarts: u64,
+    /// True when the returned solution is the seeded incumbent (no improving
+    /// solution was found by the tree search).
+    pub incumbent_kept: bool,
     /// True when the search space was exhausted within the limits, i.e. the
     /// last solution is proven optimal (for `minimize`) or the absence of
     /// further solutions is proven.
@@ -162,6 +217,14 @@ struct SearchState<'a> {
     deadline: Option<Instant>,
     stats: SearchStats,
     stopped: bool,
+    /// Failure count at which the current run must restart (`None`: never).
+    failure_budget: Option<u64>,
+    /// Set when the failure budget fired: the run is abandoned but the
+    /// search as a whole is not stopped.
+    restart_requested: bool,
+    /// Index of the current restart run (0 for the first run); used to
+    /// diversify the value ordering deterministically.
+    run: u64,
 }
 
 enum Outcome {
@@ -186,13 +249,7 @@ impl<'m> Search<'m> {
     /// Find the first solution and report statistics.
     pub fn solve_with_stats(&self) -> (Option<Solution>, SearchStats) {
         let start = Instant::now();
-        let mut state = SearchState {
-            propagators: self.model.propagators(),
-            config: &self.config,
-            deadline: self.config.timeout.map(|t| start + t),
-            stats: SearchStats::default(),
-            stopped: false,
-        };
+        let mut state = self.fresh_state(start);
         let mut first: Option<Solution> = None;
         let store = self.model.root_store();
         Self::dfs(&mut state, store, &mut |store, _state| {
@@ -207,13 +264,7 @@ impl<'m> Search<'m> {
     /// Enumerate up to `limit` solutions (useful in tests).
     pub fn solve_all(&self, limit: usize) -> Vec<Solution> {
         let start = Instant::now();
-        let mut state = SearchState {
-            propagators: self.model.propagators(),
-            config: &self.config,
-            deadline: self.config.timeout.map(|t| start + t),
-            stats: SearchStats::default(),
-            stopped: false,
-        };
+        let mut state = self.fresh_state(start);
         let mut solutions = Vec::new();
         let store = self.model.root_store();
         Self::dfs(&mut state, store, &mut |store, _state| {
@@ -231,19 +282,44 @@ impl<'m> Search<'m> {
     /// keep the best solution found, prune subtrees whose lower bound cannot
     /// improve it, and stop at the deadline.  The result is *anytime*: even
     /// when the deadline fires the best solution found so far is returned.
+    ///
+    /// When [`SearchConfig::incumbent`] carries a feasible assignment it is
+    /// installed as the first incumbent, so the outcome can never be worse
+    /// than the seed.  When [`SearchConfig::restarts`] is set the tree
+    /// search restarts on a Luby schedule, keeping the incumbent across
+    /// runs and rotating the value ordering of each run so that restarts
+    /// explore different prefixes.
     pub fn minimize<O: Objective>(&self, objective: &O) -> MinimizeOutcome {
         let start = Instant::now();
-        let mut state = SearchState {
-            propagators: self.model.propagators(),
-            config: &self.config,
-            deadline: self.config.timeout.map(|t| start + t),
-            stats: SearchStats::default(),
-            stopped: false,
-        };
+        let mut state = self.fresh_state(start);
         let mut best: Option<Solution> = None;
         let mut best_cost: Option<i64> = None;
-        let store = self.model.root_store();
-        Self::dfs_bnb(&mut state, store, objective, &mut best, &mut best_cost);
+
+        // Seed the incumbent, if the caller provided a feasible one.
+        if let Some(values) = &self.config.incumbent {
+            if let Some(store) = self.validate_incumbent(values) {
+                best_cost = Some(objective.evaluate(&store));
+                best = Some(Solution::from_store(&store));
+                state.stats.incumbent_kept = true;
+            }
+        }
+
+        loop {
+            state.restart_requested = false;
+            state.failure_budget = self
+                .config
+                .restarts
+                .as_ref()
+                .map(|p| state.stats.failures + p.scale * luby(state.run + 1));
+            let store = self.model.root_store();
+            Self::dfs_bnb(&mut state, store, objective, &mut best, &mut best_cost);
+            if !state.restart_requested || state.stopped {
+                break;
+            }
+            state.run += 1;
+            state.stats.restarts += 1;
+        }
+
         state.stats.completed = !state.stopped;
         state.stats.elapsed_ms = start.elapsed().as_millis() as u64;
         MinimizeOutcome {
@@ -251,6 +327,37 @@ impl<'m> Search<'m> {
             best_cost,
             stats: state.stats,
         }
+    }
+
+    fn fresh_state(&self, start: Instant) -> SearchState<'_> {
+        SearchState {
+            propagators: self.model.propagators(),
+            config: &self.config,
+            deadline: self.config.timeout.map(|t| start + t),
+            stats: SearchStats::default(),
+            stopped: false,
+            failure_budget: None,
+            restart_requested: false,
+            run: 0,
+        }
+    }
+
+    /// Check that an incumbent assignment is complete and consistent with
+    /// every propagator; returns the fully-assigned store when it is.
+    fn validate_incumbent(&self, values: &[u32]) -> Option<DomainStore> {
+        if values.len() != self.model.var_count() {
+            return None;
+        }
+        let mut store = self.model.root_store();
+        for (i, &value) in values.iter().enumerate() {
+            if store.assign(VarId(i), value).is_err() {
+                return None;
+            }
+        }
+        if propagate_to_fixpoint(self.model.propagators(), &mut store).is_err() {
+            return None;
+        }
+        store.all_fixed().then_some(store)
     }
 
     // ------------------------------------------------------------------
@@ -319,6 +426,12 @@ impl<'m> Search<'m> {
         if Self::limits_reached(state) {
             return Outcome::Stop;
         }
+        if let Some(budget) = state.failure_budget {
+            if state.stats.failures >= budget {
+                state.restart_requested = true;
+                return Outcome::Stop;
+            }
+        }
         state.stats.nodes += 1;
         if let Err(_e) = propagate_to_fixpoint(state.propagators, &mut store) {
             state.stats.failures += 1;
@@ -338,11 +451,13 @@ impl<'m> Search<'m> {
                 *best = Some(Solution::from_store(&store));
                 *best_cost = Some(cost);
                 state.stats.solutions += 1;
+                state.stats.incumbent_kept = false;
             }
             return Outcome::Continue;
         }
         let var = Self::select_variable(&state.config.variable_selection, &store);
-        let values = Self::order_values(&state.config.value_selection, var, &store);
+        let values =
+            Self::order_values_diversified(&state.config.value_selection, var, &store, state.run);
         for value in values {
             let mut child = store.clone();
             if child.assign(var, value).is_err() {
@@ -378,19 +493,40 @@ impl<'m> Search<'m> {
     }
 
     fn order_values(selection: &ValueSelection, var: VarId, store: &DomainStore) -> Vec<u32> {
+        Self::order_values_diversified(selection, var, store, 0)
+    }
+
+    /// Value ordering of restart run `run`: the preferred value (when any)
+    /// stays first, and the remaining values are rotated by the run index so
+    /// that successive Luby runs branch into different subtrees first.
+    fn order_values_diversified(
+        selection: &ValueSelection,
+        var: VarId,
+        store: &DomainStore,
+        run: u64,
+    ) -> Vec<u32> {
         let mut values = store.domain(var).values();
-        match selection {
-            ValueSelection::MinValue => values,
+        let fixed_prefix = match selection {
+            ValueSelection::MinValue => 0,
             ValueSelection::Preferred(preferred) => {
                 if let Some(Some(p)) = preferred.get(var.0) {
                     if let Some(pos) = values.iter().position(|v| v == p) {
                         values.remove(pos);
                         values.insert(0, *p);
+                        1
+                    } else {
+                        0
                     }
+                } else {
+                    0
                 }
-                values
             }
+        };
+        let tail = &mut values[fixed_prefix..];
+        if run > 0 && tail.len() > 1 {
+            tail.rotate_left((run % tail.len() as u64) as usize);
         }
+        values
     }
 }
 
@@ -598,6 +734,123 @@ mod tests {
             assert!(outcome.stats.elapsed_ms <= 5_000);
         }
         assert!(outcome.best.is_some());
+    }
+
+    #[test]
+    fn luby_sequence_matches_the_literature() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn incumbent_bounds_the_outcome_even_with_no_search_budget() {
+        // With a zero node budget the tree search explores nothing: the
+        // seeded incumbent must come back unchanged.
+        let mut m = Model::new();
+        let x = m.new_var(0, 9);
+        let objective =
+            ClosureObjective::new(move |store: &DomainStore| store.value(x) as i64, |_| 0);
+        let config = SearchConfig {
+            node_limit: Some(0),
+            incumbent: Some(vec![3]),
+            ..Default::default()
+        };
+        let outcome = Search::new(&m, config).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(3));
+        assert_eq!(outcome.best.unwrap()[x], 3);
+        assert!(outcome.stats.incumbent_kept);
+    }
+
+    #[test]
+    fn search_improves_on_the_incumbent_when_it_can() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 9);
+        let objective =
+            ClosureObjective::new(move |store: &DomainStore| store.value(x) as i64, |_| 0);
+        let config = SearchConfig {
+            incumbent: Some(vec![7]),
+            ..Default::default()
+        };
+        let outcome = Search::new(&m, config).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(0));
+        assert!(!outcome.stats.incumbent_kept);
+        assert!(outcome.stats.completed);
+    }
+
+    #[test]
+    fn infeasible_incumbents_are_ignored() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..2).map(|_| m.new_var(0, 1)).collect();
+        m.post(AllDifferent::new(vars.clone()));
+        let objective = ClosureObjective::new(
+            {
+                let vars = vars.clone();
+                move |store: &DomainStore| vars.iter().map(|&v| store.value(v) as i64).sum()
+            },
+            |_| 0,
+        );
+        let config = SearchConfig {
+            // Violates AllDifferent: must be discarded, not trusted.
+            incumbent: Some(vec![1, 1]),
+            ..Default::default()
+        };
+        let outcome = Search::new(&m, config).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(1), "0 + 1 in some order");
+        assert!(outcome.stats.completed);
+    }
+
+    #[test]
+    fn luby_restarts_preserve_optimality_and_are_counted() {
+        // A tight packing with real dead-ends: 6 items of size 3 on 3 bins
+        // of capacity 6, so any third item on a bin wipes out.  A scale-1
+        // Luby policy must restart, and the search must still terminate
+        // with the proven optimum because the budgets grow geometrically.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.new_var(0, 2)).collect();
+        m.post(BinPacking::new(vars.clone(), vec![3; 6], vec![6; 3]));
+        // Reward putting early items on high bins so that the min-value DFS
+        // explores (and prunes) a lot before the optimum; the lower bound
+        // over fixed variables makes the bound pruning register failures,
+        // which is what the Luby budget counts.
+        let weight = |i: usize, v: u32| (6 - i as i64) * (2 - v as i64);
+        let objective = ClosureObjective::new(
+            {
+                let vars = vars.clone();
+                move |store: &DomainStore| {
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, &v)| weight(i, store.value(v)))
+                        .sum()
+                }
+            },
+            {
+                let vars = vars.clone();
+                move |store: &DomainStore| {
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            store
+                                .domain(v)
+                                .iter()
+                                .map(|value| weight(i, value))
+                                .min()
+                                .unwrap_or(0)
+                        })
+                        .sum()
+                }
+            },
+        );
+        let config = SearchConfig {
+            restarts: Some(RestartPolicy::luby(1)),
+            ..Default::default()
+        };
+        let outcome = Search::new(&m, config).minimize(&objective);
+        assert!(outcome.stats.completed);
+        assert!(outcome.stats.restarts > 0, "scale-1 budgets must fire");
+        // Optimum: the two earliest items on bin 2, the next two on bin 1,
+        // the last two on bin 0 -> cost 0+0 + (4+3)*1 + (2+1)*2 = 13.
+        assert_eq!(outcome.best_cost, Some(13));
     }
 
     #[test]

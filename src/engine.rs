@@ -33,7 +33,7 @@ use std::time::Duration;
 use cwcs_core::control_loop::LoopError;
 use cwcs_core::{
     BaselineReport, ControlLoop, ControlLoopConfig, DecisionModule, FcfsConsolidation,
-    IterationReport, PlanOptimizer, RunReport, StaticFcfsBaseline,
+    IterationReport, OptimizerMode, PlanOptimizer, RunReport, StaticFcfsBaseline,
 };
 use cwcs_model::{Configuration, ModelError, Node, Vjob};
 use cwcs_sim::{DurationModel, ExecutionMode, SimulatedCluster};
@@ -73,6 +73,8 @@ pub struct EngineBuilder {
     specs: Vec<VjobSpec>,
     period_secs: f64,
     optimizer_timeout: Duration,
+    optimizer_mode: OptimizerMode,
+    optimizer_node_limit: Option<u64>,
     max_iterations: usize,
     durations: Option<DurationModel>,
     execution_mode: ExecutionMode,
@@ -85,6 +87,8 @@ impl Default for EngineBuilder {
             specs: Vec::new(),
             period_secs: 30.0,
             optimizer_timeout: Duration::from_millis(500),
+            optimizer_mode: OptimizerMode::Full,
+            optimizer_node_limit: None,
             max_iterations: 2_000,
             durations: None,
             execution_mode: ExecutionMode::default(),
@@ -126,6 +130,24 @@ impl EngineBuilder {
     /// Time budget of the constraint-programming optimizer per iteration.
     pub fn optimizer_timeout(mut self, timeout: Duration) -> Self {
         self.optimizer_timeout = timeout;
+        self
+    }
+
+    /// Scope of the placement problem: [`OptimizerMode::Full`] re-solves
+    /// every running VM (the default, matching the paper's Figure 10
+    /// experiment); [`OptimizerMode::Repair`] re-places only the misplaced
+    /// and state-changing VMs, which is what keeps the optimizer inside its
+    /// timeout at cluster scale.
+    pub fn optimizer_mode(mut self, mode: OptimizerMode) -> Self {
+        self.optimizer_mode = mode;
+        self
+    }
+
+    /// Deterministic search budget (maximum search nodes per solve) instead
+    /// of relying solely on the wall-clock timeout.  Benchmarks use this for
+    /// byte-identical artifacts across runs.
+    pub fn optimizer_node_limit(mut self, node_limit: u64) -> Self {
+        self.optimizer_node_limit = Some(node_limit);
         self
     }
 
@@ -183,9 +205,14 @@ impl EngineBuilder {
         if let Some(durations) = self.durations {
             cluster = cluster.with_durations(durations);
         }
+        let mut optimizer =
+            PlanOptimizer::with_timeout(self.optimizer_timeout).with_mode(self.optimizer_mode);
+        if let Some(node_limit) = self.optimizer_node_limit {
+            optimizer = optimizer.with_node_limit(node_limit);
+        }
         let config = ControlLoopConfig {
             period_secs: self.period_secs,
-            optimizer: PlanOptimizer::with_timeout(self.optimizer_timeout),
+            optimizer,
             max_iterations: self.max_iterations,
             execution_mode: self.execution_mode,
         };

@@ -125,6 +125,35 @@ fn control_loop_matches_baseline_semantics() {
 }
 
 #[test]
+fn repair_mode_completes_a_contended_scenario_like_full_mode() {
+    // 2 nodes / 3 vjobs of 2 busy VMs: overloaded, so the loop suspends and
+    // later resumes vjobs.  Repair mode must finish the same work as the
+    // full re-solve, through the public Engine facade.
+    let run = |mode: cluster_context_switch::OptimizerMode| {
+        let (nodes, specs) = scenario(2, 3, 2, 60.0);
+        let mut engine = Engine::builder()
+            .nodes(nodes)
+            .vjobs(specs)
+            .period_secs(30.0)
+            .optimizer_timeout(Duration::from_secs(60))
+            .optimizer_node_limit(20_000)
+            .optimizer_mode(mode)
+            .max_iterations(100)
+            .build()
+            .unwrap();
+        let report = engine.run().unwrap();
+        assert!(engine.all_terminated());
+        report.completion_time_secs.unwrap()
+    };
+    let full = run(cluster_context_switch::OptimizerMode::Full);
+    let repair = run(cluster_context_switch::OptimizerMode::repair());
+    assert!(
+        (full - repair).abs() < 1e-6,
+        "full {full} vs repair {repair}: same decisions, same completion"
+    );
+}
+
+#[test]
 fn contended_cluster_entropy_beats_static_fcfs() {
     // 1 node (2 units), 3 vjobs of 2 VMs each whose compute phases alternate
     // with idle phases: the static allocation serializes the vjobs while the
