@@ -5,15 +5,26 @@
 //! samples per point, gives the optimizer 40 seconds and reports an average
 //! cost reduction of ~95%.  The full sweep takes a long time; by default this
 //! binary runs a reduced sweep (fewer samples, shorter timeout) that shows
-//! the same shape.  Environment variables scale it up:
+//! the same shape.  Environment variables scale it up or down:
 //!
 //! * `CWCS_FIG10_SAMPLES` — samples per VM count (default 3, paper 30)
 //! * `CWCS_FIG10_TIMEOUT_MS` — optimizer budget in ms (default 2000, paper 40000)
 //! * `CWCS_FIG10_NODES` — node count (default 200, like the paper)
+//! * `CWCS_FIG10_MAX_VMS` — sweep upper bound (default 486, like the paper)
+//! * `CWCS_SOLVER_WORKERS` — portfolio workers per solve (default 1)
+//!
+//! The sweep is written to `BENCH_fig10.json` (override with
+//! `CWCS_FIG10_ARTIFACT`) and gated by `bench_check`.  With
+//! `CWCS_DETERMINISTIC=1` the optimizer runs under a fixed search-node
+//! budget instead of the wall-clock timeout, so the artifact is
+//! byte-identical across runs and machines.
 
 use std::time::Duration;
 
-use cwcs_bench::{figure_10_point, mean, percent_reduction};
+use cwcs_bench::{
+    deterministic_mode, figure_10_point_with, mean, percent_reduction, write_artifact, JsonObject,
+};
+use cwcs_core::PlanOptimizer;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -26,23 +37,53 @@ fn main() {
     let samples = env_usize("CWCS_FIG10_SAMPLES", 3);
     let timeout_ms = env_usize("CWCS_FIG10_TIMEOUT_MS", 2_000);
     let nodes = env_usize("CWCS_FIG10_NODES", 200) as u32;
-    let timeout = Duration::from_millis(timeout_ms as u64);
+    let max_vms = env_usize("CWCS_FIG10_MAX_VMS", 486);
+    let workers = env_usize("CWCS_SOLVER_WORKERS", 1).max(1);
+    let deterministic = deterministic_mode();
+
+    let optimizer = || {
+        if deterministic {
+            // A fixed node budget per worker replaces the wall clock: the
+            // sweep's costs become a pure function of the seeds.
+            PlanOptimizer::with_timeout(Duration::from_secs(3_600))
+                .with_solver_workers(workers)
+                .with_node_limit(2_000)
+        } else {
+            PlanOptimizer::with_timeout(Duration::from_millis(timeout_ms as u64))
+                .with_solver_workers(workers)
+        }
+    };
 
     println!(
-        "Figure 10: reconfiguration cost, {} nodes, {} samples per point, {} ms optimizer budget",
-        nodes, samples, timeout_ms
+        "Figure 10: reconfiguration cost, {} nodes, {} samples per point, {} ms optimizer \
+         budget, {} worker(s){}",
+        nodes,
+        samples,
+        timeout_ms,
+        workers,
+        if deterministic {
+            " (deterministic)"
+        } else {
+            ""
+        }
     );
     println!(
         "{:>8} {:>16} {:>16} {:>12}",
         "nb VMs", "FFD cost", "Entropy cost", "reduction"
     );
 
+    let mut json = JsonObject::new()
+        .string("benchmark", "fig10_cost_reduction")
+        .integer("nodes", nodes as u64)
+        .integer("samples", samples as u64)
+        .integer("optimizer_timeout_ms", timeout_ms as u64)
+        .integer("solver_workers", workers as u64);
     let mut reductions = Vec::new();
-    for vm_target in (54..=486).step_by(54) {
+    for vm_target in (54..=max_vms).step_by(54) {
         let mut ffd_costs = Vec::new();
         let mut entropy_costs = Vec::new();
         for sample in 0..samples as u64 {
-            if let Some(point) = figure_10_point(vm_target, sample, timeout, nodes) {
+            if let Some(point) = figure_10_point_with(vm_target, sample, optimizer(), nodes) {
                 ffd_costs.push(point.ffd_cost as f64);
                 entropy_costs.push(point.entropy_cost as f64);
             }
@@ -59,6 +100,10 @@ fn main() {
             "{:>8} {:>16.0} {:>16.0} {:>11.1}%",
             vm_target, ffd, entropy, reduction
         );
+        json = json
+            .number(&format!("vms_{vm_target}_ffd_cost"), ffd)
+            .number(&format!("vms_{vm_target}_entropy_cost"), entropy)
+            .number(&format!("vms_{vm_target}_reduction_percent"), reduction);
     }
 
     println!();
@@ -66,4 +111,10 @@ fn main() {
         "average cost reduction over the sweep: {:.1}% (the paper reports ~95% with a 40 s budget)",
         mean(&reductions)
     );
+
+    let json = json
+        .integer("sweep_points", reductions.len() as u64)
+        .number("avg_reduction_percent", mean(&reductions))
+        .render();
+    write_artifact("CWCS_FIG10_ARTIFACT", "BENCH_fig10.json", &json);
 }

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use cwcs_bench::{
     cluster_experiment, deterministic_mode, entropy_run_with, percent_reduction, static_fcfs_run,
-    JsonObject,
+    write_artifact, JsonObject,
 };
 use cwcs_core::PlanOptimizer;
 
@@ -91,8 +91,6 @@ fn main() {
 
     // Emit the machine-readable artifact so the perf trajectory of the repo
     // is recorded run over run.  Path overridable for CI artifact layouts.
-    let artifact_path =
-        std::env::var("CWCS_BENCH_ARTIFACT").unwrap_or_else(|_| "BENCH_headline.json".to_owned());
     let json = JsonObject::new()
         .string("benchmark", "headline_completion_time")
         .integer("nodes", scenario.configuration.node_count() as u64)
@@ -113,11 +111,5 @@ fn main() {
         .integer("local_resumes", local as u64)
         .integer("total_resumes", resumes as u64)
         .render();
-    match std::fs::write(&artifact_path, &json) {
-        Ok(()) => println!("wrote {artifact_path}"),
-        Err(e) => {
-            eprintln!("could not write {artifact_path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    write_artifact("CWCS_BENCH_ARTIFACT", "BENCH_headline.json", &json);
 }

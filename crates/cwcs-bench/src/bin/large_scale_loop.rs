@@ -12,16 +12,22 @@
 //! capacity-aware halo of candidate nodes, while the 3 800 healthy VMs stay
 //! pinned.
 //!
+//! Each placement solve is raced by a **portfolio** of diversified workers
+//! (`CWCS_SOLVER_WORKERS`, default 4) sharing the incumbent through an
+//! atomic bound — the anytime-gap lever of `cwcs_solver::portfolio`.
+//!
 //! The run asserts that every solve stays inside the 5 s budget and writes
 //! `BENCH_large_scale.json` with the solver statistics (sub-problem size,
-//! solve time, proven/anytime) plus the loop-level outcomes.  With
+//! solve time, proven/anytime) plus the loop-level outcomes, including the
+//! per-switch solver wall time and the winning worker of each race.  With
 //! `CWCS_DETERMINISTIC=1` the optimizer runs under a fixed search-node
-//! budget and the wall-clock fields are left out, so two runs produce
-//! byte-identical artifacts.
+//! budget per worker, the portfolio switches to its deterministic reduction
+//! mode ((cost, worker id) winner, no sharing) and the wall-clock fields are
+//! left out, so two runs produce byte-identical artifacts.
 
 use std::time::{Duration, Instant};
 
-use cwcs_bench::{deterministic_mode, large_scale_switch, JsonObject};
+use cwcs_bench::{deterministic_mode, large_scale_switch, write_artifact, JsonObject};
 use cwcs_core::{ControlLoop, ControlLoopConfig, FcfsConsolidation, OptimizerMode, PlanOptimizer};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -35,16 +41,18 @@ fn main() {
     let nodes = env_usize("CWCS_LS_NODES", 500) as u32;
     let drained = env_usize("CWCS_LS_DRAINED", 100) as u32;
     let timeout_ms = env_usize("CWCS_SOLVER_TIMEOUT_MS", 5_000) as u64;
+    let workers = env_usize("CWCS_SOLVER_WORKERS", 4).max(1);
     let deterministic = deterministic_mode();
 
     let scenario = large_scale_switch(nodes, drained);
     println!(
         "Large-scale control loop: {} nodes, {} VMs in {} vjobs, repair-mode \
-         optimizer with a {} ms solver budget{}",
+         optimizer with a {} ms solver budget and {} portfolio worker(s){}",
         scenario.source.node_count(),
         scenario.source.vm_count(),
         scenario.specs.len(),
         timeout_ms,
+        workers,
         if deterministic {
             " (deterministic)"
         } else {
@@ -53,14 +61,19 @@ fn main() {
     );
 
     let mut optimizer = PlanOptimizer::with_timeout(Duration::from_millis(timeout_ms))
-        .with_mode(OptimizerMode::repair());
+        .with_mode(OptimizerMode::repair())
+        .with_solver_workers(workers);
     if deterministic {
         // Fixed node budget + generous timeout: the search outcome no
         // longer depends on machine speed.  The budget is small — search
         // nodes of the ~600-variable rebalance sub-problem are expensive —
         // so the run stays near the timed profile (~5 s per anytime solve).
+        // The portfolio detects the node budget and races in its
+        // deterministic reduction mode (independent workers, (cost, worker
+        // id) winner), keeping the artifact byte-identical.
         optimizer = PlanOptimizer::with_timeout(Duration::from_secs(3_600))
             .with_mode(OptimizerMode::repair())
+            .with_solver_workers(workers)
             .with_node_limit(5_000);
     }
     let config = ControlLoopConfig {
@@ -141,6 +154,26 @@ fn main() {
     if !deterministic {
         println!("{:<44} {:>10.0}", "loop wall time (ms)", wall_ms);
     }
+    println!();
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "switch", "plan cost", "solve(ms)", "winner"
+    );
+    for (index, it) in switches.iter().enumerate() {
+        let winner = it
+            .portfolio_stats
+            .as_ref()
+            .and_then(|p| p.winner)
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>6} {:>12} {:>12} {:>8}",
+            index,
+            it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+            it.search_stats.elapsed_ms,
+            winner
+        );
+    }
 
     // The acceptance bar: the repair sub-problems keep every solve inside
     // the 5 s budget (the anytime search never runs past its deadline, so a
@@ -162,15 +195,19 @@ fn main() {
         "the boot decision runs every vjob"
     );
 
-    let artifact_path =
-        std::env::var("CWCS_LS_LOOP_ARTIFACT").unwrap_or_else(|_| "BENCH_large_scale.json".into());
-    let json = JsonObject::new()
+    let solver_wall_ms: u64 = report
+        .iterations
+        .iter()
+        .map(|it| it.search_stats.elapsed_ms)
+        .sum();
+    let mut json = JsonObject::new()
         .string("benchmark", "large_scale_loop")
         .string("optimizer_mode", "repair")
         .integer("nodes", scenario.source.node_count() as u64)
         .integer("vms", scenario.source.vm_count() as u64)
         .integer("vjobs", scenario.specs.len() as u64)
         .integer("solver_timeout_ms", timeout_ms)
+        .integer("solver_workers", workers as u64)
         .integer("iterations", report.iterations.len() as u64)
         .integer("context_switches", switches.len() as u64)
         .integer("plan_actions_total", total_actions as u64)
@@ -187,13 +224,29 @@ fn main() {
             deterministic,
         )
         .number_unless("max_solve_ms", max_solve_ms as f64, deterministic)
-        .number_unless("loop_wall_ms", wall_ms, deterministic)
-        .render();
-    match std::fs::write(&artifact_path, &json) {
-        Ok(()) => println!("wrote {artifact_path}"),
-        Err(e) => {
-            eprintln!("could not write {artifact_path}: {e}");
-            std::process::exit(1);
+        .number_unless("solver_wall_ms_total", solver_wall_ms as f64, deterministic)
+        .number_unless("loop_wall_ms", wall_ms, deterministic);
+    // Per-switch solver records, so the next change can quantify the
+    // anytime-gap reduction switch by switch: the plan cost the race
+    // settled on, its wall time (timed runs only) and the winning worker.
+    for (index, it) in switches.iter().enumerate() {
+        json = json
+            .integer(
+                &format!("switch{index}_plan_cost"),
+                it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+            )
+            .number_unless(
+                &format!("switch{index}_solve_ms"),
+                it.search_stats.elapsed_ms as f64,
+                deterministic,
+            );
+        if let Some(winner) = it.portfolio_stats.as_ref().and_then(|p| p.winner) {
+            json = json.integer(&format!("switch{index}_winner"), winner as u64);
         }
     }
+    write_artifact(
+        "CWCS_LS_LOOP_ARTIFACT",
+        "BENCH_large_scale.json",
+        &json.render(),
+    );
 }

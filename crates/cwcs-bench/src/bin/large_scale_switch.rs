@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use cwcs_bench::{deterministic_mode, large_scale_switch, JsonObject};
+use cwcs_bench::{deterministic_mode, large_scale_switch, write_artifact, JsonObject};
 use cwcs_model::Vjob;
 use cwcs_plan::Planner;
 use cwcs_sim::{ExecutionMode, PlanExecutor, SimulatedXenDriver};
@@ -102,8 +102,6 @@ fn main() {
     );
 
     let deterministic = deterministic_mode();
-    let artifact_path = std::env::var("CWCS_LS_ARTIFACT")
-        .unwrap_or_else(|_| "BENCH_large_scale_switch.json".to_owned());
     let json = JsonObject::new()
         .string("benchmark", "large_scale_switch")
         .integer("nodes", scenario.source.node_count() as u64)
@@ -119,11 +117,5 @@ fn main() {
             event_report.timeline.max_concurrency() as u64,
         )
         .render();
-    match std::fs::write(&artifact_path, &json) {
-        Ok(()) => println!("wrote {artifact_path}"),
-        Err(e) => {
-            eprintln!("could not write {artifact_path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    write_artifact("CWCS_LS_ARTIFACT", "BENCH_large_scale_switch.json", &json);
 }

@@ -224,6 +224,7 @@ static LARGE_SCALE_LOOP_RULES: &[KeyRule] = &[
     exact("vms"),
     exact("vjobs"),
     exact("solver_timeout_ms"),
+    exact("solver_workers"),
     exact("boot_subproblem_vms"),
     exact("boot_pinned_vms"),
     exact("boot_plan_actions"),
@@ -233,10 +234,40 @@ static LARGE_SCALE_LOOP_RULES: &[KeyRule] = &[
     growth("boot_switch_secs", 1.25, 5.0),
     growth("boot_solve_ms", 1.5, 250.0),
     growth("max_solve_ms", 1.5, 1_000.0),
+    growth("solver_wall_ms_total", 1.5, 2_000.0),
     growth("loop_wall_ms", 1.5, 4_000.0),
     info("boot_candidate_nodes"),
     info("iterations"),
     info("context_switches"),
+];
+
+static FIG10_RULES: &[KeyRule] = &[
+    exact("nodes"),
+    exact("samples"),
+    exact("optimizer_timeout_ms"),
+    exact("solver_workers"),
+    exact("sweep_points"),
+    // The headline quality of the sweep: the average FFD→Entropy cost
+    // reduction may not drop more than 2 points below the baseline (the
+    // per-point reductions are reported but ungated — individual generated
+    // instances are noisier than the average).
+    KeyRule {
+        key: "avg_reduction_percent",
+        rule: Rule::MinAbsoluteDrop(2.0),
+    },
+];
+
+static FIG11_RULES: &[KeyRule] = &[
+    exact("nodes"),
+    exact("vjobs"),
+    exact("vms"),
+    exact("optimizer_timeout_ms"),
+    exact("solver_workers"),
+    growth("completion_time_secs", 1.1, 120.0),
+    growth("mean_switch_duration_secs", 1.25, 10.0),
+    info("context_switches"),
+    info("local_resumes"),
+    info("total_resumes"),
 ];
 
 static LARGE_SCALE_SWITCH_RULES: &[KeyRule] = &[
@@ -260,6 +291,8 @@ pub fn artifact_rules(benchmark: &str) -> &'static [KeyRule] {
         "headline_completion_time" => HEADLINE_RULES,
         "large_scale_loop" => LARGE_SCALE_LOOP_RULES,
         "large_scale_switch" => LARGE_SCALE_SWITCH_RULES,
+        "fig10_cost_reduction" => FIG10_RULES,
+        "fig11_switch_durations" => FIG11_RULES,
         _ => &[],
     }
 }
@@ -518,6 +551,8 @@ mod tests {
             "headline_completion_time",
             "large_scale_loop",
             "large_scale_switch",
+            "fig10_cost_reduction",
+            "fig11_switch_durations",
         ] {
             assert!(!artifact_rules(name).is_empty(), "{name} must be gated");
         }

@@ -20,8 +20,11 @@ pub mod report;
 pub mod scenarios;
 
 pub use harness::BenchGroup;
-pub use report::{deterministic_mode, format_row, mean, percent_reduction, JsonObject};
+pub use report::{
+    deterministic_mode, format_row, mean, percent_reduction, write_artifact, JsonObject,
+};
 pub use scenarios::{
     cluster_experiment, cluster_experiment_sized, entropy_run, entropy_run_with, figure_10_point,
-    large_scale_switch, static_fcfs_run, ClusterScenario, Figure10Sample, LargeScaleScenario,
+    figure_10_point_with, large_scale_switch, static_fcfs_run, ClusterScenario, Figure10Sample,
+    LargeScaleScenario,
 };

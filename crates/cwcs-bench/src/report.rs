@@ -102,6 +102,21 @@ pub fn deterministic_mode() -> bool {
     )
 }
 
+/// Write a rendered benchmark artifact to the path named by `path_env`
+/// (falling back to `default_path`), printing the destination on success
+/// and exiting with status 1 when the write fails — the shared tail of
+/// every artifact-producing bench binary.
+pub fn write_artifact(path_env: &str, default_path: &str, json: &str) {
+    let path = std::env::var(path_env).unwrap_or_else(|_| default_path.to_owned());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Format one row of an aligned text table.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells

@@ -150,6 +150,22 @@ pub fn figure_10_point(
     timeout: Duration,
     node_count: u32,
 ) -> Option<Figure10Sample> {
+    figure_10_point_with(
+        vm_target,
+        sample,
+        PlanOptimizer::with_timeout(timeout),
+        node_count,
+    )
+}
+
+/// Same as [`figure_10_point`] but with full control over the optimizer
+/// (portfolio workers, deterministic node budget, …).
+pub fn figure_10_point_with(
+    vm_target: usize,
+    sample: u64,
+    optimizer: PlanOptimizer,
+    node_count: u32,
+) -> Option<Figure10Sample> {
     let params = GeneratorParams {
         node_count,
         ..GeneratorParams::figure_10(vm_target, sample)
@@ -163,7 +179,6 @@ pub fn figure_10_point(
             &Default::default(),
         )
         .ok()?;
-    let optimizer = PlanOptimizer::with_timeout(timeout);
     let ffd = optimizer
         .ffd_outcome(&generated.configuration, &decision, &generated.vjobs)
         .ok()?;

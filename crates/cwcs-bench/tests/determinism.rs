@@ -75,3 +75,46 @@ fn large_scale_loop_artifact_is_byte_identical_across_runs() {
         "loop",
     );
 }
+
+#[test]
+fn multi_worker_portfolio_artifact_is_byte_identical_across_runs() {
+    // The portfolio's deterministic reduction mode: 4 diversified workers
+    // race every solve independently under fixed node budgets and the
+    // winner is the (cost, worker id) minimum — thread scheduling must not
+    // leak into the artifact.
+    assert_deterministic(
+        env!("CARGO_BIN_EXE_large_scale_loop"),
+        &[
+            ("CWCS_LS_NODES", "60"),
+            ("CWCS_LS_DRAINED", "12"),
+            ("CWCS_SOLVER_WORKERS", "4"),
+        ],
+        "CWCS_LS_LOOP_ARTIFACT",
+        "loop_portfolio",
+    );
+}
+
+#[test]
+fn fig10_artifact_is_byte_identical_across_runs() {
+    assert_deterministic(
+        env!("CARGO_BIN_EXE_fig10_cost_reduction"),
+        &[
+            ("CWCS_FIG10_NODES", "40"),
+            ("CWCS_FIG10_SAMPLES", "1"),
+            ("CWCS_FIG10_MAX_VMS", "108"),
+            ("CWCS_SOLVER_WORKERS", "2"),
+        ],
+        "CWCS_FIG10_ARTIFACT",
+        "fig10",
+    );
+}
+
+#[test]
+fn fig11_artifact_is_byte_identical_across_runs() {
+    assert_deterministic(
+        env!("CARGO_BIN_EXE_fig11_switch_durations"),
+        &[],
+        "CWCS_FIG11_ARTIFACT",
+        "fig11",
+    );
+}

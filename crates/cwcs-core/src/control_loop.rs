@@ -23,7 +23,7 @@ use cwcs_sim::{
     ClusterEvent, ExecutionMode, ExecutionTimeline, MonitoringService, PlanExecutor,
     SimulatedCluster, SimulatedXenDriver, UtilizationSample,
 };
-use cwcs_solver::SearchStats;
+use cwcs_solver::{PortfolioStats, SearchStats};
 use cwcs_workload::VjobSpec;
 
 use crate::decision::DecisionModule;
@@ -70,8 +70,13 @@ pub struct IterationReport {
     pub plan_cost: Option<PlanCost>,
     /// Wall-clock duration of the switch, in seconds.
     pub switch_duration_secs: f64,
-    /// Statistics of the constraint search.
+    /// Statistics of the constraint search (the portfolio aggregate when
+    /// the optimizer races several workers).
     pub search_stats: SearchStats,
+    /// Portfolio race breakdown: per-worker [`SearchStats`] and the winning
+    /// worker (`None` for single-threaded solves or when no switch was
+    /// performed).
+    pub portfolio_stats: Option<PortfolioStats>,
     /// Repair sub-problem statistics (`None` outside repair mode or when no
     /// switch was performed).
     pub repair_stats: Option<RepairStats>,
@@ -231,6 +236,7 @@ impl<D: DecisionModule> ControlLoop<D> {
         let mut plan_cost = None;
         let mut switch_duration = 0.0;
         let mut search_stats = SearchStats::default();
+        let mut portfolio_stats = None;
         let mut repair_stats = None;
         let mut failed_actions = 0;
         let mut completed_now: Vec<VjobId> = Vec::new();
@@ -247,6 +253,7 @@ impl<D: DecisionModule> ControlLoop<D> {
             plan_cost = Some(outcome.cost.clone());
             switch_duration = report.duration_secs;
             search_stats = outcome.stats.clone();
+            portfolio_stats = outcome.portfolio.clone();
             repair_stats = outcome.repair.clone();
             failed_actions = report.failed_actions.len();
             for event in &report.completed_vjobs {
@@ -286,6 +293,7 @@ impl<D: DecisionModule> ControlLoop<D> {
             plan_cost,
             switch_duration_secs: switch_duration,
             search_stats,
+            portfolio_stats,
             repair_stats,
             failed_actions,
             switch_timeline,

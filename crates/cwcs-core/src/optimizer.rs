@@ -62,6 +62,7 @@ use std::time::Duration;
 use cwcs_model::{Configuration, NodeId, Vjob, VjobId, VjobState, VmAssignment, VmId, VmState};
 use cwcs_plan::{ActionCostModel, PlanCost, Planner, PlannerError, ReconfigurationPlan};
 use cwcs_solver::constraints::BinPacking;
+use cwcs_solver::portfolio::{PortfolioConfig, PortfolioSearch, PortfolioStats};
 use cwcs_solver::search::{
     ClosureObjective, RestartPolicy, Search, SearchConfig, SearchStats, ValueSelection,
     VariableSelection,
@@ -140,8 +141,13 @@ pub struct OptimizedOutcome {
     pub plan: ReconfigurationPlan,
     /// Cost breakdown of the plan (Table 1 model).
     pub cost: PlanCost,
-    /// Search statistics (empty for the FFD baseline).
+    /// Search statistics (empty for the FFD baseline).  For a portfolio
+    /// solve these are the aggregate over the workers (counts summed, the
+    /// race's wall-clock time).
     pub stats: SearchStats,
+    /// Portfolio race breakdown (per-worker statistics, winning worker),
+    /// `None` when the solve ran single-threaded.
+    pub portfolio: Option<PortfolioStats>,
     /// Sub-problem statistics, `None` outside repair mode.
     pub repair: Option<RepairStats>,
 }
@@ -205,8 +211,13 @@ pub struct PlanOptimizer {
     /// Optional deterministic budget: maximum number of search nodes per
     /// solve.  Benchmarks set this (together with a generous timeout) when
     /// byte-identical artifacts across runs matter more than wall-clock
-    /// fidelity.
+    /// fidelity.  With a portfolio the budget applies **per worker**, and
+    /// the race switches to the deterministic reduction mode (independent
+    /// workers, `(cost, worker id)` winner — see `cwcs_solver::portfolio`).
     pub node_limit: Option<u64>,
+    /// Number of portfolio workers racing each placement solve (1 = the
+    /// plain single-threaded search).
+    pub solver_workers: usize,
     /// Scope of the placement problem (full re-solve or repair).
     pub mode: OptimizerMode,
     /// Cost model used both for the search estimate and the final plan cost.
@@ -220,6 +231,7 @@ impl Default for PlanOptimizer {
         PlanOptimizer {
             timeout: Duration::from_secs(40),
             node_limit: None,
+            solver_workers: 1,
             mode: OptimizerMode::Full,
             cost_model: ActionCostModel::paper(),
             planner: Planner::new(),
@@ -245,6 +257,12 @@ impl PlanOptimizer {
     /// Set a deterministic search-node budget.
     pub fn with_node_limit(mut self, node_limit: u64) -> Self {
         self.node_limit = Some(node_limit);
+        self
+    }
+
+    /// Race `workers` diversified portfolio workers per placement solve.
+    pub fn with_solver_workers(mut self, workers: usize) -> Self {
+        self.solver_workers = workers.max(1);
         self
     }
 
@@ -290,7 +308,7 @@ impl PlanOptimizer {
             incumbent: None,
             restarts: None,
         };
-        let (solved, stats) = self.solve_placement(current, &problem)?;
+        let (solved, stats, portfolio) = self.solve_placement(current, &problem)?;
         let placement = match solved {
             Some(placement) => placement,
             None => {
@@ -308,19 +326,28 @@ impl PlanOptimizer {
             plan,
             cost,
             stats,
+            portfolio,
             repair: None,
         })
     }
 
     /// Build and solve the CP model of one placement (sub-)problem.
-    /// Returns the chosen placement (`None` when the search found nothing)
-    /// and the search statistics.
+    /// Returns the chosen placement (`None` when the search found nothing),
+    /// the search statistics (the portfolio aggregate when racing), and the
+    /// portfolio breakdown (`None` for a single-threaded solve).
     #[allow(clippy::type_complexity)]
     fn solve_placement(
         &self,
         current: &Configuration,
         problem: &PlacementProblem,
-    ) -> Result<(Option<BTreeMap<VmId, NodeId>>, SearchStats), OptimizerError> {
+    ) -> Result<
+        (
+            Option<BTreeMap<VmId, NodeId>>,
+            SearchStats,
+            Option<PortfolioStats>,
+        ),
+        OptimizerError,
+    > {
         let node_ids = &problem.nodes;
 
         // --- Build the CP model -----------------------------------------
@@ -397,6 +424,7 @@ impl PlanOptimizer {
             node_limit: self.node_limit,
             incumbent: problem.incumbent.clone(),
             restarts: problem.restarts.clone(),
+            ..Default::default()
         };
 
         // --- Objective -----------------------------------------------------
@@ -433,13 +461,26 @@ impl PlanOptimizer {
         let objective = ClosureObjective::new(evaluate, lower_bound);
 
         // --- Search ---------------------------------------------------------
-        let outcome = Search::new(&model, config).minimize(&objective);
-        let placement = outcome.best.map(|solution| {
+        // A single worker goes through the plain search; two or more race a
+        // portfolio, deterministic (independent workers, fixed node budgets)
+        // exactly when the caller pinned a node budget.
+        let (best, stats, portfolio) = if self.solver_workers <= 1 {
+            let outcome = Search::new(&model, config).minimize(&objective);
+            (outcome.best, outcome.stats, None)
+        } else {
+            let race = PortfolioConfig {
+                workers: self.solver_workers,
+                deterministic: self.node_limit.is_some(),
+            };
+            let outcome = PortfolioSearch::new(&model, config, race).minimize(&objective);
+            (outcome.best, outcome.stats, Some(outcome.portfolio))
+        };
+        let placement = best.map(|solution| {
             vars.iter()
                 .map(|&(vm, var)| (vm, node_ids[solution[var] as usize]))
                 .collect()
         });
-        Ok((placement, outcome.stats))
+        Ok((placement, stats, portfolio))
     }
 
     /// Cost of placing a VM (with memory demand `dm` and the given current
@@ -525,6 +566,7 @@ impl PlanOptimizer {
                 plan,
                 cost,
                 stats: SearchStats::default(),
+                portfolio: None,
                 repair: Some(repair),
             });
         }
@@ -558,19 +600,7 @@ impl PlanOptimizer {
             }
         }
 
-        // Halo ranking: the remaining nodes by descending free capacity
-        // (the same memory-heavy score the first-fail weights use), ties by
-        // node id for determinism.
-        let mut ranked_rest: Vec<NodeId> = node_ids
-            .iter()
-            .copied()
-            .filter(|n| !anchors.contains(n))
-            .collect();
-        ranked_rest.sort_by_key(|n| (std::cmp::Reverse(free_mem[n] + free_cpu[n] * 10), n.0));
-
-        // The halo must at least be able to *hold* the movable VMs: extend
-        // the ranked list until the cumulative free capacity covers the
-        // movable demand, then add `halo` more nodes of slack.
+        // Demand of the sub-problem, per resource dimension.
         let mut needed_cpu: u64 = 0;
         let mut needed_mem: u64 = 0;
         for &vm in &movable {
@@ -578,6 +608,44 @@ impl PlanOptimizer {
             needed_cpu += entry.cpu.raw() as u64;
             needed_mem += entry.memory.raw();
         }
+
+        // Multi-resource halo ranking: rank the candidate destinations by
+        // their free capacity in the sub-problem's **scarcest** dimension —
+        // the resource whose movable demand eats the largest fraction of
+        // what the cluster has free (cross-multiplied to stay in integers).
+        // A CPU-bound sub-problem thus pulls in CPU-rich nodes first instead
+        // of the memory-heavy picks a single blended score would make; the
+        // other dimension and the node id break ties deterministically.
+        let total_free_cpu: u64 = free_cpu.values().sum();
+        let total_free_mem: u64 = free_mem.values().sum();
+        let cpu_is_scarcest = (needed_cpu as u128) * (total_free_mem.max(1) as u128)
+            >= (needed_mem as u128) * (total_free_cpu.max(1) as u128);
+        let mut ranked_rest: Vec<NodeId> = node_ids
+            .iter()
+            .copied()
+            .filter(|n| !anchors.contains(n))
+            .collect();
+        if cpu_is_scarcest {
+            ranked_rest.sort_by_key(|n| {
+                (
+                    std::cmp::Reverse(free_cpu[n]),
+                    std::cmp::Reverse(free_mem[n]),
+                    n.0,
+                )
+            });
+        } else {
+            ranked_rest.sort_by_key(|n| {
+                (
+                    std::cmp::Reverse(free_mem[n]),
+                    std::cmp::Reverse(free_cpu[n]),
+                    n.0,
+                )
+            });
+        }
+
+        // The halo must at least be able to *hold* the movable VMs: extend
+        // the ranked list until the cumulative free capacity covers the
+        // movable demand, then add `halo` more nodes of slack.
         let mut acc_cpu: u64 = anchors.iter().map(|n| free_cpu[n]).sum();
         let mut acc_mem: u64 = anchors.iter().map(|n| free_mem[n]).sum();
         let mut base = 0usize;
@@ -588,7 +656,7 @@ impl PlanOptimizer {
         }
 
         let mut halo = config.halo.max(1);
-        let (placement, incumbent_indices, stats) = loop {
+        let (placement, incumbent_indices, stats, portfolio) = loop {
             let mut candidates: Vec<NodeId> = anchors.iter().copied().collect();
             candidates.extend(ranked_rest.iter().take(base + halo).copied());
             candidates.sort_unstable_by_key(|n| n.0);
@@ -604,9 +672,14 @@ impl PlanOptimizer {
                 incumbent: incumbent.clone(),
                 restarts: config.restart_scale.map(RestartPolicy::luby),
             };
-            let (solved, stats) = self.solve_placement(current, &problem)?;
+            let (solved, stats, portfolio) = self.solve_placement(current, &problem)?;
             if let Some(placement) = solved {
-                break (placement, incumbent.map(|ind| (candidates, ind)), stats);
+                break (
+                    placement,
+                    incumbent.map(|ind| (candidates, ind)),
+                    stats,
+                    portfolio,
+                );
             }
             if candidates.len() >= node_ids.len() {
                 // Even the whole cluster did not help: fall back to the full
@@ -623,6 +696,7 @@ impl PlanOptimizer {
                     plan,
                     cost,
                     stats,
+                    portfolio,
                     repair: Some(repair),
                 });
             }
@@ -662,6 +736,7 @@ impl PlanOptimizer {
                         plan: incumbent_plan,
                         cost: incumbent_cost,
                         stats,
+                        portfolio,
                         repair: Some(repair),
                     });
                 }
@@ -673,6 +748,7 @@ impl PlanOptimizer {
             plan,
             cost,
             stats,
+            portfolio,
             repair: Some(repair),
         })
     }
@@ -752,6 +828,7 @@ impl PlanOptimizer {
             plan,
             cost,
             stats: SearchStats::default(),
+            portfolio: None,
             repair: None,
         })
     }
@@ -1114,6 +1191,49 @@ mod tests {
         assert_eq!(repair.movable_vms, 2, "both crammed VMs are movable");
         assert!(outcome.target.is_viable());
         assert_eq!(outcome.plan.stats().migrations, 1);
+    }
+
+    #[test]
+    fn repair_halo_ranks_by_the_scarce_resource() {
+        // A CPU-skewed sub-problem: the movable VM needs 4 cores but almost
+        // no memory.  Four memory-rich / CPU-poor nodes surround one
+        // CPU-rich node.  The old blended `mem + 10·cpu` ranking pulled the
+        // memory-rich nodes into the halo first and had to widen twice
+        // before reaching the only node that can host the VM; ranking by the
+        // scarcest dimension (CPU here) must find it without any widening.
+        let mut c = Configuration::new();
+        for i in 0..4 {
+            c.add_node(Node::new(
+                NodeId(i),
+                CpuCapacity::cores(2),
+                MemoryMib::gib(64),
+            ))
+            .unwrap();
+        }
+        c.add_node(Node::new(
+            NodeId(4),
+            CpuCapacity::cores(8),
+            MemoryMib::gib(2),
+        ))
+        .unwrap();
+        c.add_vm(Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(4)))
+            .unwrap();
+        let vjobs = vec![Vjob::new(VjobId(0), vec![VmId(0)], 0)];
+        let decision = decide(&c, &vjobs);
+        assert_eq!(decision.vjob_states[&VjobId(0)], VjobState::Running);
+
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(
+            OptimizerMode::Repair(RepairConfig {
+                halo: 1,
+                restart_scale: Some(256),
+            }),
+        );
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        let repair = outcome.repair.expect("repair stats");
+        assert_eq!(repair.widenings, 0, "the CPU-rich node must rank first");
+        assert!(!repair.fell_back_to_full);
+        assert_eq!(outcome.target.host(VmId(0)).unwrap(), Some(NodeId(4)));
+        assert!(outcome.target.is_viable());
     }
 
     #[test]

@@ -7,6 +7,22 @@
 //! context-switch operation is decelerating their node), updates their CPU
 //! demand accordingly, and reports the vjobs whose work completed — the
 //! signal the paper's applications send to Entropy so it can stop the vjob.
+//!
+//! # Lazy per-VM progress
+//!
+//! The event-driven executor calls [`SimulatedCluster::advance`] once per
+//! event of a switch; on the 500-node scenario that used to touch every
+//! running VM (progress update + demand refresh + completion scan) at every
+//! one of thousands of events.  Progress is therefore stored **lazily**: per
+//! VM, the progress folded at its last *touch* plus the deceleration factor
+//! it has been progressing under since (`VmProgress`).  `advance` only
+//! touches the VMs whose rate actually changed — the VMs mutated by an
+//! executed action and the VMs hosted on nodes whose deceleration changed —
+//! and derives everything else on demand.  Demand changes and completions
+//! happen exclusively at phase boundaries, so the cluster keeps the absolute
+//! time of each progressing VM's next boundary in an ordered set and only
+//! processes the boundaries the clock actually crossed.  Event processing is
+//! thus O(changed VMs), not O(cluster).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -59,6 +75,49 @@ impl HorizonCache {
     }
 }
 
+/// Lazily-advanced progress of one VM's application (see the module docs).
+#[derive(Debug, Clone)]
+struct VmProgress {
+    /// The application the VM runs.
+    profile: VmWorkProfile,
+    /// Progress (full-speed seconds) folded up to `touched_at`.
+    base: f64,
+    /// Virtual time of the last fold.
+    touched_at: f64,
+    /// Deceleration factor the VM progresses under since `touched_at`
+    /// (`None` when the VM is not running: progress is frozen).
+    factor: Option<f64>,
+    /// Host the factor was derived from (kept for the reverse index).
+    host: Option<NodeId>,
+    /// Absolute virtual time of the VM's next phase boundary (demand change
+    /// or completion), when it is progressing toward one.
+    boundary_at: Option<f64>,
+    /// Progress value of that boundary (the cumulative phase edge); the
+    /// fold snaps onto it when the boundary fires, so floating-point drift
+    /// can never strand a VM just short of an edge.
+    boundary_edge: f64,
+}
+
+/// Ordered-set key for a boundary time: `f64::to_bits` is monotone over the
+/// non-negative times involved.
+fn time_key(t: f64) -> u64 {
+    debug_assert!(t >= 0.0, "virtual times are non-negative");
+    t.to_bits()
+}
+
+/// The first cumulative phase edge of `profile` strictly beyond `progress`
+/// (with the same 1e-9 tolerance completion detection uses), if any.
+fn next_phase_edge(profile: &VmWorkProfile, progress: f64) -> Option<f64> {
+    let mut edge = 0.0;
+    for phase in profile.phases() {
+        edge += phase.duration_secs;
+        if edge > progress + 1e-9 {
+            return Some(edge);
+        }
+    }
+    None
+}
+
 /// Events reported by the cluster when the clock advances.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterEvent {
@@ -85,8 +144,8 @@ pub struct UtilizationSample {
 pub struct SimulatedCluster {
     configuration: Configuration,
     clock_secs: f64,
-    /// Work profile and progress (in full-speed seconds) of each VM.
-    progress: HashMap<VmId, (VmWorkProfile, f64)>,
+    /// Lazily-folded work progress of each VM (see the module docs).
+    progress: HashMap<VmId, VmProgress>,
     /// Vjob membership used for completion detection.
     vjobs: HashMap<VjobId, Vjob>,
     /// Vjobs already reported as completed.
@@ -94,6 +153,20 @@ pub struct SimulatedCluster {
     /// VM → vjob membership (for targeted horizon invalidation).
     vm_vjob: HashMap<VmId, VjobId>,
     horizon: HorizonCache,
+    /// The per-node deceleration regime the current VM rates were derived
+    /// under.
+    rate_decels: BTreeMap<NodeId, f64>,
+    /// Running VMs (with a profile) per node, as of their last touch.
+    running_on: HashMap<NodeId, BTreeSet<VmId>>,
+    /// Upcoming phase boundaries, ordered by (time bits, vm).
+    boundaries: BTreeSet<(u64, VmId)>,
+    /// VMs whose state or host may have changed since their last touch.
+    dirty_vms: BTreeSet<VmId>,
+    /// Vjobs whose completion must be rechecked on the next advance.
+    dirty_completion: BTreeSet<VjobId>,
+    /// Set when an arbitrary configuration mutation may have moved any VM:
+    /// the next advance re-touches everything.
+    resync_all: bool,
     durations: DurationModel,
     interference: InterferenceModel,
 }
@@ -109,6 +182,12 @@ impl SimulatedCluster {
             completed: Vec::new(),
             vm_vjob: HashMap::new(),
             horizon: HorizonCache::default(),
+            rate_decels: BTreeMap::new(),
+            running_on: HashMap::new(),
+            boundaries: BTreeSet::new(),
+            dirty_vms: BTreeSet::new(),
+            dirty_completion: BTreeSet::new(),
+            resync_all: true,
             durations: DurationModel::paper(),
             interference: InterferenceModel::paper(),
         }
@@ -129,10 +208,23 @@ impl SimulatedCluster {
     /// Register a vjob spec: its VMs must already exist in the configuration.
     pub fn register_vjob(&mut self, spec: &VjobSpec) {
         for (vm, profile) in spec.vjob.vms.iter().zip(&spec.profiles) {
-            self.progress.insert(*vm, (profile.clone(), 0.0));
+            let fresh = VmProgress {
+                profile: profile.clone(),
+                base: 0.0,
+                touched_at: self.clock_secs,
+                factor: None,
+                host: None,
+                boundary_at: None,
+                boundary_edge: 0.0,
+            };
+            if let Some(old) = self.progress.insert(*vm, fresh) {
+                self.drop_tracking(*vm, &old);
+            }
             self.vm_vjob.insert(*vm, spec.vjob.id);
+            self.dirty_vms.insert(*vm);
         }
         self.vjobs.insert(spec.vjob.id, spec.vjob.clone());
+        self.dirty_completion.insert(spec.vjob.id);
         self.horizon.invalidate();
     }
 
@@ -141,9 +233,26 @@ impl SimulatedCluster {
     pub fn update_vjob(&mut self, vjob: &Vjob) {
         for vm in &vjob.vms {
             self.vm_vjob.insert(*vm, vjob.id);
+            self.dirty_vms.insert(*vm);
         }
         self.vjobs.insert(vjob.id, vjob.clone());
+        self.dirty_completion.insert(vjob.id);
         self.horizon.invalidate();
+    }
+
+    /// Remove a VM's boundary and reverse-index entries.
+    fn drop_tracking(&mut self, vm: VmId, vp: &VmProgress) {
+        if let Some(at) = vp.boundary_at {
+            self.boundaries.remove(&(time_key(at), vm));
+        }
+        if let Some(host) = vp.host {
+            if let Some(set) = self.running_on.get_mut(&host) {
+                set.remove(&vm);
+                if set.is_empty() {
+                    self.running_on.remove(&host);
+                }
+            }
+        }
     }
 
     /// The current configuration.
@@ -153,21 +262,24 @@ impl SimulatedCluster {
 
     /// Mutable access to the configuration (used by the executor/drivers).
     /// Arbitrary mutations can move any VM, so the whole horizon cache is
-    /// dropped; the executor's per-action path uses the crate-internal
-    /// `configuration_mut_for_vm` instead, which only dirties one vjob.
+    /// dropped and every VM's rate is re-derived on the next advance; the
+    /// executor's per-action path uses the crate-internal
+    /// `configuration_mut_for_vm` instead, which only dirties one VM.
     pub fn configuration_mut(&mut self) -> &mut Configuration {
         self.horizon.invalidate();
+        self.resync_all = true;
         &mut self.configuration
     }
 
     /// Mutable configuration access scoped to an action on `vm`: only the
-    /// horizon of the vjob owning `vm` is invalidated, which is what lets
-    /// the event-driven executor keep the cache warm across thousands of
-    /// action events.
+    /// horizon of the vjob owning `vm` is invalidated and only `vm`'s rate
+    /// is re-derived, which is what lets the event-driven executor keep its
+    /// caches warm across thousands of action events.
     pub(crate) fn configuration_mut_for_vm(&mut self, vm: VmId) -> &mut Configuration {
         if let Some(&vjob) = self.vm_vjob.get(&vm) {
             self.horizon.dirty.insert(vjob);
         }
+        self.dirty_vms.insert(vm);
         &mut self.configuration
     }
 
@@ -186,16 +298,24 @@ impl SimulatedCluster {
         &self.interference
     }
 
+    /// Effective progress of `vp` at the current clock.
+    fn effective_progress(&self, vp: &VmProgress) -> f64 {
+        match vp.factor {
+            Some(factor) => vp.base + (self.clock_secs - vp.touched_at) / factor,
+            None => vp.base,
+        }
+    }
+
     /// Progress (in full-speed seconds) of a VM's application.
     pub fn progress_of(&self, vm: VmId) -> Option<f64> {
-        self.progress.get(&vm).map(|(_, p)| *p)
+        self.progress.get(&vm).map(|vp| self.effective_progress(vp))
     }
 
     /// True when the VM has finished its work profile.
     pub fn is_vm_complete(&self, vm: VmId) -> bool {
         self.progress
             .get(&vm)
-            .map(|(profile, progress)| profile.is_complete(*progress))
+            .map(|vp| vp.profile.is_complete(self.effective_progress(vp)))
             .unwrap_or(false)
     }
 
@@ -216,38 +336,21 @@ impl SimulatedCluster {
     /// the slow-down factor their busy VMs experience during the interval
     /// (1.0 when absent).  Returns the vjobs that completed during the
     /// interval (each is reported once).
+    ///
+    /// Only the VMs whose rate changed — mutated VMs, VMs on nodes whose
+    /// deceleration differs from the previous interval's — and the VMs whose
+    /// phase boundary the clock crossed are touched; everything else
+    /// progresses implicitly (see the module docs).
     pub fn advance(
         &mut self,
         dt_secs: f64,
         decelerations: &BTreeMap<NodeId, f64>,
     ) -> Vec<ClusterEvent> {
         assert!(dt_secs >= 0.0, "time only moves forward");
-        // Progress running VMs.
-        let running: Vec<(VmId, NodeId)> = self
-            .configuration
-            .vms_in_state(VmState::Running)
-            .into_iter()
-            .filter_map(|vm| self.configuration.host(vm).unwrap().map(|h| (vm, h)))
-            .collect();
-        for (vm, host) in running {
-            if let Some((profile, progress)) = self.progress.get_mut(&vm) {
-                let factor = decelerations.get(&host).copied().unwrap_or(1.0).max(1.0);
-                *progress += dt_secs / factor;
-                let _ = profile;
-            }
-        }
+        self.sync_rates(decelerations);
         self.clock_secs += dt_secs;
-        self.refresh_demands();
-
-        // Report newly-completed vjobs.
-        let mut events = Vec::new();
-        let vjob_ids: Vec<VjobId> = self.vjobs.keys().copied().collect();
-        for vjob in vjob_ids {
-            if !self.completed.contains(&vjob) && self.is_vjob_complete(vjob) {
-                self.completed.push(vjob);
-                events.push(ClusterEvent::VjobCompleted(vjob));
-            }
-        }
+        self.fire_boundaries();
+        let events = self.collect_completions();
 
         // Horizon-cache maintenance: absolute completion times stay valid as
         // long as the interval ran under the very decelerations the cache
@@ -260,6 +363,134 @@ impl SimulatedCluster {
                 }
             } else {
                 self.horizon.invalidate();
+            }
+        }
+        events
+    }
+
+    /// Bring every affected VM's rate in line with `decelerations` at the
+    /// current clock: re-touch the mutated (dirty) VMs and the VMs hosted on
+    /// nodes whose effective factor changed since the previous interval.
+    fn sync_rates(&mut self, decelerations: &BTreeMap<NodeId, f64>) {
+        if self.resync_all {
+            self.resync_all = false;
+            self.dirty_vms.clear();
+            self.rate_decels = decelerations.clone();
+            let mut vms: Vec<VmId> = self.progress.keys().copied().collect();
+            vms.sort_unstable();
+            for vm in vms {
+                self.touch_vm(vm, None);
+            }
+            return;
+        }
+        let mut to_touch = std::mem::take(&mut self.dirty_vms);
+        if *decelerations != self.rate_decels {
+            let mut changed: Vec<NodeId> = Vec::new();
+            for (&node, &factor) in decelerations {
+                let old = self.rate_decels.get(&node).copied().unwrap_or(1.0);
+                if old.max(1.0) != factor.max(1.0) {
+                    changed.push(node);
+                }
+            }
+            for (&node, &factor) in &self.rate_decels {
+                if !decelerations.contains_key(&node) && factor.max(1.0) != 1.0 {
+                    changed.push(node);
+                }
+            }
+            for node in changed {
+                if let Some(vms) = self.running_on.get(&node) {
+                    to_touch.extend(vms.iter().copied());
+                }
+            }
+            self.rate_decels = decelerations.clone();
+        }
+        for vm in to_touch {
+            self.touch_vm(vm, None);
+        }
+    }
+
+    /// Fold a VM's progress up to the current clock and re-derive its rate,
+    /// demand, reverse-index entry and next boundary from the current
+    /// configuration and deceleration regime.  `snap_to` (a phase edge the
+    /// VM provably reached) clamps the fold against floating-point drift
+    /// when a boundary fires.
+    fn touch_vm(&mut self, vm: VmId, snap_to: Option<f64>) {
+        let Some(mut vp) = self.progress.remove(&vm) else {
+            return;
+        };
+        let mut progress = self.effective_progress(&vp);
+        if let Some(edge) = snap_to {
+            progress = progress.max(edge);
+        }
+        self.drop_tracking(vm, &vp);
+        vp.base = progress;
+        vp.touched_at = self.clock_secs;
+        vp.factor = None;
+        vp.host = None;
+        vp.boundary_at = None;
+
+        let running = matches!(self.configuration.state(vm), Ok(VmState::Running));
+        let host = if running {
+            self.configuration.host(vm).ok().flatten()
+        } else {
+            None
+        };
+        if let Some(host) = host {
+            let factor = self.rate_decels.get(&host).copied().unwrap_or(1.0).max(1.0);
+            vp.factor = Some(factor);
+            vp.host = Some(host);
+            self.running_on.entry(host).or_default().insert(vm);
+            if let Some(edge) = next_phase_edge(&vp.profile, progress) {
+                let at = self.clock_secs + (edge - progress).max(0.0) * factor;
+                vp.boundary_at = Some(at);
+                vp.boundary_edge = edge;
+                self.boundaries.insert((time_key(at), vm));
+            }
+        }
+
+        // Demand follows the profile for running VMs, a waiting VM reports
+        // nothing, sleeping / terminated keep the last observation — the
+        // same rules as `refresh_demands`.
+        let state = self.configuration.state(vm);
+        if let Ok(entry) = self.configuration.vm_mut(vm) {
+            match state {
+                Ok(VmState::Running) => entry.cpu = vp.profile.demand_at(progress),
+                Ok(VmState::Waiting) => entry.cpu = CpuCapacity::ZERO,
+                _ => {}
+            }
+        }
+        self.progress.insert(vm, vp);
+        if let Some(&vjob) = self.vm_vjob.get(&vm) {
+            self.dirty_completion.insert(vjob);
+        }
+    }
+
+    /// Process every phase boundary the clock has crossed (with the same
+    /// 1e-9 tolerance completion detection uses): the VM's progress snaps
+    /// onto the edge, its demand takes the next phase's value, and the next
+    /// boundary is scheduled.  Each firing consumes at least one edge of a
+    /// finite profile, so this terminates.
+    fn fire_boundaries(&mut self) {
+        while let Some(&(key, vm)) = self.boundaries.iter().next() {
+            if f64::from_bits(key) > self.clock_secs + 1e-9 {
+                break;
+            }
+            self.boundaries.remove(&(key, vm));
+            let Some(edge) = self.progress.get(&vm).map(|vp| vp.boundary_edge) else {
+                continue;
+            };
+            self.touch_vm(vm, Some(edge));
+        }
+    }
+
+    /// Report the not-yet-reported completions among the vjobs whose state
+    /// may have changed, in vjob order.
+    fn collect_completions(&mut self) -> Vec<ClusterEvent> {
+        let mut events = Vec::new();
+        for vjob in std::mem::take(&mut self.dirty_completion) {
+            if !self.completed.contains(&vjob) && self.is_vjob_complete(vjob) {
+                self.completed.push(vjob);
+                events.push(ClusterEvent::VjobCompleted(vjob));
             }
         }
         events
@@ -393,8 +624,9 @@ impl SimulatedCluster {
         let mut vjob_time: f64 = 0.0;
         let mut nodes: Vec<NodeId> = Vec::new();
         for &vm in &vjob.vms {
-            let (profile, progress) = self.progress.get(&vm)?;
-            if profile.is_complete(*progress) {
+            let vp = self.progress.get(&vm)?;
+            let progress = self.effective_progress(vp);
+            if vp.profile.is_complete(progress) {
                 continue;
             }
             if !matches!(self.configuration.state(vm), Ok(VmState::Running)) {
@@ -411,7 +643,7 @@ impl SimulatedCluster {
                 .copied()
                 .unwrap_or(1.0)
                 .max(1.0);
-            let remaining = (profile.total_work_secs() - progress).max(0.0);
+            let remaining = (vp.profile.total_work_secs() - progress).max(0.0);
             vjob_time = vjob_time.max(remaining * factor);
         }
         Some((vjob_time, nodes))
@@ -429,7 +661,7 @@ impl SimulatedCluster {
         let updates: Vec<(VmId, CpuCapacity)> = self
             .progress
             .iter()
-            .map(|(&vm, (profile, progress))| (vm, profile.demand_at(*progress)))
+            .map(|(&vm, vp)| (vm, vp.profile.demand_at(self.effective_progress(vp))))
             .collect();
         for (vm, cpu) in updates {
             let state = self.configuration.state(vm);
@@ -583,6 +815,82 @@ mod tests {
         assert_eq!(
             cluster.configuration().vm(VmId(0)).unwrap().cpu,
             CpuCapacity::ZERO
+        );
+    }
+
+    #[test]
+    fn demand_changes_fire_at_phase_boundaries_without_refresh() {
+        // A two-phase profile (10 s compute, then 30 s idle): advancing past
+        // the first edge must flip the observed demand to the idle phase
+        // *inside* `advance` (the lazy boundary machinery), not only via an
+        // explicit `refresh_demands` call.
+        let vms = vec![Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1))];
+        let vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
+        let profiles = vec![VmWorkProfile::new(vec![
+            WorkPhase::compute(10.0),
+            WorkPhase::idle(30.0),
+        ])];
+        let spec = VjobSpec::new(vjob, vms, profiles);
+        let mut cluster = cluster_with(std::slice::from_ref(&spec));
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        cluster.advance(5.0, &BTreeMap::new());
+        assert_eq!(
+            cluster.configuration().vm(VmId(0)).unwrap().cpu,
+            CpuCapacity::cores(1)
+        );
+        cluster.advance(10.0, &BTreeMap::new());
+        assert_eq!(
+            cluster.configuration().vm(VmId(0)).unwrap().cpu,
+            CpuCapacity::percent(10),
+            "the compute→idle edge at t=10 must have fired"
+        );
+        // The second edge completes the vjob.
+        let events = cluster.advance(30.0, &BTreeMap::new());
+        assert_eq!(events, vec![ClusterEvent::VjobCompleted(VjobId(0))]);
+        assert_eq!(
+            cluster.configuration().vm(VmId(0)).unwrap().cpu,
+            CpuCapacity::ZERO
+        );
+    }
+
+    #[test]
+    fn lazy_progress_matches_the_eager_sum_across_regime_changes() {
+        // Interleave deceleration changes, targeted moves and idle advances:
+        // the folded progress must equal the eager per-interval sum.
+        let spec = spec(0, &[0], 1000.0);
+        let mut cluster = cluster_with(&[spec]);
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let mut expected = 0.0;
+        let mut decels: BTreeMap<NodeId, f64> = BTreeMap::new();
+        // 10 s at full speed.
+        cluster.advance(10.0, &decels);
+        expected += 10.0;
+        // 30 s at 1.5× deceleration.
+        decels.insert(NodeId(0), 1.5);
+        cluster.advance(30.0, &decels);
+        expected += 30.0 / 1.5;
+        // 12 s under a 2× regime entered without an intermediate advance.
+        decels.insert(NodeId(0), 2.0);
+        cluster.advance(12.0, &decels);
+        expected += 12.0 / 2.0;
+        // Move the VM (a targeted action) to an undecelerated node; the old
+        // regime held up to the move, the new one after it.
+        cluster
+            .configuration_mut_for_vm(VmId(0))
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        cluster.advance(7.0, &decels);
+        expected += 7.0;
+        assert!(
+            (cluster.progress_of(VmId(0)).unwrap() - expected).abs() < 1e-9,
+            "lazy fold diverged: {} vs {expected}",
+            cluster.progress_of(VmId(0)).unwrap()
         );
     }
 

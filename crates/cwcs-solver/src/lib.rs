@@ -17,7 +17,10 @@
 //!   value ordering, **branch & bound** minimisation, a solve **timeout** and
 //!   anytime behaviour (the best solution found so far is kept, exactly like
 //!   Entropy keeps improving the plan until it proves optimality or hits its
-//!   time limit) ([`search`]).
+//!   time limit) ([`search`]),
+//! * a parallel **portfolio** that races diversified copies of that search,
+//!   sharing the incumbent through an atomic bound and cancelling the losers
+//!   once one run proves optimality ([`portfolio`]).
 //!
 //! The solver is deliberately small and deterministic: domains are bitsets,
 //! propagation runs to fixpoint after every decision, and search state is
@@ -43,11 +46,15 @@
 
 pub mod constraints;
 pub mod domain;
+pub mod portfolio;
 pub mod propagator;
 pub mod search;
 pub mod store;
 
 pub use domain::IntDomain;
+pub use portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSearch, PortfolioStats};
 pub use propagator::{Inconsistency, Propagator};
-pub use search::{luby, Objective, RestartPolicy, Search, SearchConfig, SearchStats, Solution};
+pub use search::{
+    luby, Objective, RestartPolicy, Search, SearchConfig, SearchStats, SharedBound, Solution,
+};
 pub use store::{DomainStore, Model, VarId};

@@ -1,0 +1,366 @@
+//! Parallel portfolio search: race diversified branch & bound runs under
+//! one anytime budget.
+//!
+//! The placement solves of the paper are *anytime*: whatever the search can
+//! prove inside its 5 s window is what the control loop executes.  Luby
+//! restart runs are embarrassingly parallel, so the classic way to shrink
+//! that anytime gap is a **portfolio**: `N` workers race the same model,
+//! each diversified so they explore different prefixes, and the best
+//! solution found by *any* worker wins.
+//!
+//! # Diversification
+//!
+//! Worker `k` runs [`Search::minimize`] with
+//! [`SearchConfig::diversify`]` = k`:
+//!
+//! * its value ordering is rotated by `k` (the preferred value — a VM's
+//!   current host — stays first, so the cheap "keep everything in place"
+//!   prefix is still tried by every worker);
+//! * its Luby restart schedule starts at position `k`, so workers restart
+//!   at different failure counts and re-diversify on different boundaries.
+//!
+//! Worker 0 is the canonical ordering: a 1-worker portfolio explores
+//! exactly the tree the plain [`Search`] explores.
+//!
+//! # Shared-bound / cancellation protocol
+//!
+//! In the default (timed) mode every worker shares a [`SharedBound`]:
+//!
+//! * each improving solution's cost is **published** (`fetch_min`), and
+//!   every worker prunes against the minimum of its local incumbent and the
+//!   published bound — so all workers prune against the best solution found
+//!   by any of them;
+//! * the bound only decreases, so pruning against a stale read is sound: a
+//!   subtree whose lower bound reached an older (larger) bound cannot hold
+//!   anything cheaper than the final bound either;
+//! * a worker that **completes** (exhausts its tree within the limits) has
+//!   proven that no solution beats the published bound: it raises the
+//!   cancellation flag and every other worker stops at its next node;
+//! * the wall-clock budget needs no flag: every worker carries the same
+//!   deadline and stops on its own.
+//!
+//! A worker that completes proves *global* optimality even though it pruned
+//! against other workers' solutions: the pruned subtrees contain no
+//! solution cheaper than the final bound, and the explored remainder
+//! produced none either.
+//!
+//! # Deterministic reduction mode
+//!
+//! Sharing makes the explored tree depend on thread timing, which is
+//! incompatible with the byte-identical artifacts the bench gate and the
+//! determinism suite require.  With [`PortfolioConfig::deterministic`] the
+//! workers run **independently** (no shared bound, no cancellation), each
+//! under the same fixed node budget, and the winner is chosen by the
+//! `(cost, worker id)` tie-break — the outcome is a pure function of the
+//! model and the configuration, whatever the machine or scheduling.
+
+use std::thread;
+use std::time::Instant;
+
+use crate::search::{MinimizeOutcome, Objective, Search, SearchConfig, SearchStats, SharedBound};
+use crate::store::Model;
+use crate::Solution;
+
+/// Tuning of a [`PortfolioSearch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Number of racing workers (clamped to at least 1).
+    pub workers: usize,
+    /// Deterministic reduction mode: workers run independently under fixed
+    /// node budgets and the winner is the `(cost, worker id)` minimum; no
+    /// shared bound, no cancellation (see the module docs).
+    pub deterministic: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            workers: 1,
+            deterministic: false,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// A timed portfolio with the given worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        PortfolioConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// What one worker of the race did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index (also its diversification offset).
+    pub worker: usize,
+    /// Statistics of the worker's own search.
+    pub stats: SearchStats,
+    /// Best cost the worker found locally, if any.
+    pub best_cost: Option<i64>,
+}
+
+/// Statistics of one portfolio race.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortfolioStats {
+    /// Per-worker reports, in worker order.
+    pub workers: Vec<WorkerReport>,
+    /// Index of the winning worker (`None` when no worker found a
+    /// solution).  Ties are broken by the smallest worker index.
+    pub winner: Option<usize>,
+    /// Wall-clock time of the whole race, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl PortfolioStats {
+    /// The winning worker's report, if any worker found a solution.
+    pub fn winning_worker(&self) -> Option<&WorkerReport> {
+        self.winner.map(|w| &self.workers[w])
+    }
+}
+
+/// Result of a portfolio minimisation.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Best solution found by any worker.
+    pub best: Option<Solution>,
+    /// Cost of the best solution.
+    pub best_cost: Option<i64>,
+    /// Aggregate statistics: node/failure/solution/restart counts summed
+    /// over the workers, `completed` when any worker proved optimality,
+    /// `incumbent_kept` from the winning worker, `elapsed_ms` the race's
+    /// wall-clock time.
+    pub stats: SearchStats,
+    /// The race breakdown: per-worker statistics and the winner.
+    pub portfolio: PortfolioStats,
+}
+
+/// A parallel portfolio of diversified branch & bound searches over one
+/// [`Model`] (see the module docs for the protocol).
+pub struct PortfolioSearch<'m> {
+    model: &'m Model,
+    base: SearchConfig,
+    config: PortfolioConfig,
+}
+
+impl<'m> PortfolioSearch<'m> {
+    /// Build a portfolio over `model`.  `base` carries the heuristics and
+    /// limits every worker shares (timeout, node budget, incumbent,
+    /// restarts); worker `k` derives its own configuration by offsetting
+    /// [`SearchConfig::diversify`] by `k`.
+    pub fn new(model: &'m Model, base: SearchConfig, config: PortfolioConfig) -> Self {
+        PortfolioSearch {
+            model,
+            base,
+            config,
+        }
+    }
+
+    /// Race the workers and reduce: the best solution found by any worker,
+    /// with ties broken by the smallest worker index.
+    pub fn minimize<O: Objective + Sync>(&self, objective: &O) -> PortfolioOutcome {
+        let start = Instant::now();
+        let workers = self.config.workers.max(1);
+        let shared = (!self.config.deterministic).then(SharedBound::new);
+
+        let outcomes: Vec<MinimizeOutcome> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let mut config = self.base.clone();
+                    config.diversify = self.base.diversify + worker as u64;
+                    config.shared = shared.clone();
+                    let model = self.model;
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        let outcome = Search::new(model, config).minimize(objective);
+                        // Optimality proven by any worker is global (module
+                        // docs): stop the rest of the race.
+                        if outcome.stats.completed {
+                            if let Some(shared) = &shared {
+                                shared.cancel();
+                            }
+                        }
+                        outcome
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("portfolio worker panicked"))
+                .collect()
+        });
+
+        let winner = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(worker, outcome)| outcome.best_cost.map(|cost| (cost, worker)))
+            .min()
+            .map(|(_, worker)| worker);
+
+        let mut stats = SearchStats {
+            elapsed_ms: start.elapsed().as_millis() as u64,
+            ..Default::default()
+        };
+        let mut reports = Vec::with_capacity(outcomes.len());
+        for (worker, outcome) in outcomes.iter().enumerate() {
+            stats.nodes += outcome.stats.nodes;
+            stats.failures += outcome.stats.failures;
+            stats.solutions += outcome.stats.solutions;
+            stats.restarts += outcome.stats.restarts;
+            stats.completed |= outcome.stats.completed;
+            reports.push(WorkerReport {
+                worker,
+                stats: outcome.stats.clone(),
+                best_cost: outcome.best_cost,
+            });
+        }
+        if let Some(winner) = winner {
+            stats.incumbent_kept = outcomes[winner].stats.incumbent_kept;
+        }
+
+        let (best, best_cost) = match winner {
+            Some(winner) => (outcomes[winner].best.clone(), outcomes[winner].best_cost),
+            None => (None, None),
+        };
+        PortfolioOutcome {
+            best,
+            best_cost,
+            stats,
+            portfolio: PortfolioStats {
+                workers: reports,
+                winner,
+                elapsed_ms: start.elapsed().as_millis() as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{AllDifferent, BinPacking};
+    use crate::search::{ClosureObjective, RestartPolicy};
+    use crate::DomainStore;
+
+    /// A tight packing with a non-trivial optimum (the Luby-restart test
+    /// model of `search.rs`): 6 items of size 3 over 3 bins of capacity 6.
+    fn packing_model() -> (Model, Vec<crate::VarId>) {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.new_var(0, 2)).collect();
+        m.post(BinPacking::new(vars.clone(), vec![3; 6], vec![6; 3]));
+        (m, vars)
+    }
+
+    fn packing_objective(vars: Vec<crate::VarId>) -> impl Objective + Sync {
+        let weight = |i: usize, v: u32| (6 - i as i64) * (2 - v as i64);
+        ClosureObjective::new(
+            {
+                let vars = vars.clone();
+                move |store: &DomainStore| {
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, &v)| weight(i, store.value(v)))
+                        .sum()
+                }
+            },
+            {
+                let vars = vars.clone();
+                move |store: &DomainStore| {
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            store
+                                .domain(v)
+                                .iter()
+                                .map(|value| weight(i, value))
+                                .min()
+                                .unwrap_or(0)
+                        })
+                        .sum()
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn portfolio_finds_the_proven_optimum() {
+        let (m, vars) = packing_model();
+        let objective = packing_objective(vars);
+        let config = SearchConfig {
+            restarts: Some(RestartPolicy::luby(1)),
+            ..Default::default()
+        };
+        let outcome =
+            PortfolioSearch::new(&m, config, PortfolioConfig::with_workers(4)).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(13));
+        assert!(outcome.stats.completed);
+        assert_eq!(outcome.portfolio.workers.len(), 4);
+        let winner = outcome.portfolio.winning_worker().expect("has a winner");
+        assert_eq!(winner.best_cost, Some(13));
+    }
+
+    #[test]
+    fn deterministic_reduction_is_reproducible() {
+        let (m, vars) = packing_model();
+        let objective = packing_objective(vars);
+        let run = || {
+            let config = SearchConfig {
+                node_limit: Some(40),
+                restarts: Some(RestartPolicy::luby(1)),
+                ..Default::default()
+            };
+            let portfolio = PortfolioConfig {
+                workers: 3,
+                deterministic: true,
+            };
+            PortfolioSearch::new(&m, config, portfolio).minimize(&objective)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.portfolio.winner, b.portfolio.winner);
+        for (wa, wb) in a.portfolio.workers.iter().zip(&b.portfolio.workers) {
+            assert_eq!(wa.stats.nodes, wb.stats.nodes);
+            assert_eq!(wa.stats.failures, wb.stats.failures);
+            assert_eq!(wa.best_cost, wb.best_cost);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_models_yield_no_winner() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..3).map(|_| m.new_var(0, 1)).collect();
+        m.post(AllDifferent::new(vars.clone()));
+        let objective = ClosureObjective::new(|_| 0, |_| 0);
+        let outcome = PortfolioSearch::new(
+            &m,
+            SearchConfig::default(),
+            PortfolioConfig::with_workers(2),
+        )
+        .minimize(&objective);
+        assert!(outcome.best.is_none());
+        assert_eq!(outcome.portfolio.winner, None);
+        assert!(outcome.stats.completed, "infeasibility is proven");
+    }
+
+    #[test]
+    fn cancellation_stops_losing_workers() {
+        // A model any worker proves instantly: every worker either completes
+        // on its own or is cancelled; the race must terminate promptly and
+        // still report the optimum.
+        let mut m = Model::new();
+        let x = m.new_var(0, 9);
+        let objective =
+            ClosureObjective::new(move |store: &DomainStore| store.value(x) as i64, |_| 0);
+        let outcome = PortfolioSearch::new(
+            &m,
+            SearchConfig::default(),
+            PortfolioConfig::with_workers(8),
+        )
+        .minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(0));
+        assert!(outcome.stats.completed);
+    }
+}

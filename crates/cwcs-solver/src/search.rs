@@ -12,11 +12,66 @@
 //! placement model uses to try a VM's current node first so that solutions
 //! with few migrations are found early.
 
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::propagator::{propagate_to_fixpoint, Propagator};
 use crate::store::{DomainStore, Model, VarId};
+
+/// State shared by the racing runs of a portfolio search (see
+/// [`crate::portfolio`]): the best cost found by *any* run, used as an extra
+/// branch & bound pruning bound, and a cooperative cancellation flag raised
+/// once some run proves optimality.
+///
+/// The bound only ever decreases (`publish` is a `fetch_min`), so pruning
+/// against a stale read is always sound: a subtree pruned because its lower
+/// bound reached an *older, larger* bound can contain no solution cheaper
+/// than the final one either.
+#[derive(Debug, Clone)]
+pub struct SharedBound {
+    /// Best cost published so far; `i64::MAX` encodes "none yet".
+    bound: Arc<AtomicI64>,
+    /// Raised to stop every run sharing this bound.
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        SharedBound::new()
+    }
+}
+
+impl SharedBound {
+    /// A fresh bound with no published incumbent.
+    pub fn new() -> Self {
+        SharedBound {
+            bound: Arc::new(AtomicI64::new(i64::MAX)),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The best cost published by any run, if any.
+    pub fn best_cost(&self) -> Option<i64> {
+        let bound = self.bound.load(Ordering::Relaxed);
+        (bound != i64::MAX).then_some(bound)
+    }
+
+    /// Publish a cost; keeps the minimum of all published costs.
+    pub fn publish(&self, cost: i64) {
+        self.bound.fetch_min(cost, Ordering::Relaxed);
+    }
+
+    /// Ask every run sharing this bound to stop.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`SharedBound::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
 
 /// A complete assignment: one value per variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,6 +214,15 @@ pub struct SearchConfig {
     pub incumbent: Option<Vec<u32>>,
     /// Luby-style restarts for [`Search::minimize`]; `None` disables them.
     pub restarts: Option<RestartPolicy>,
+    /// Diversification index of this search (0 = the canonical ordering).
+    /// The first run rotates its value ordering by this index and the Luby
+    /// restart schedule starts at this position, so portfolio workers with
+    /// distinct indices explore genuinely different prefixes.
+    pub diversify: u64,
+    /// Portfolio state shared with concurrent runs: an extra pruning bound
+    /// fed by every run's improving solutions and a cancellation flag; see
+    /// [`crate::portfolio`].  `None` outside portfolio races.
+    pub shared: Option<SharedBound>,
 }
 
 impl SearchConfig {
@@ -298,9 +362,13 @@ impl<'m> Search<'m> {
         // Seed the incumbent, if the caller provided a feasible one.
         if let Some(values) = &self.config.incumbent {
             if let Some(store) = self.validate_incumbent(values) {
-                best_cost = Some(objective.evaluate(&store));
+                let cost = objective.evaluate(&store);
+                best_cost = Some(cost);
                 best = Some(Solution::from_store(&store));
                 state.stats.incumbent_kept = true;
+                if let Some(shared) = &self.config.shared {
+                    shared.publish(cost);
+                }
             }
         }
 
@@ -338,7 +406,7 @@ impl<'m> Search<'m> {
             stopped: false,
             failure_budget: None,
             restart_requested: false,
-            run: 0,
+            run: self.config.diversify,
         }
     }
 
@@ -367,6 +435,12 @@ impl<'m> Search<'m> {
     fn limits_reached(state: &mut SearchState) -> bool {
         if state.stopped {
             return true;
+        }
+        if let Some(shared) = &state.config.shared {
+            if shared.is_cancelled() {
+                state.stopped = true;
+                return true;
+            }
         }
         if let Some(deadline) = state.deadline {
             if Instant::now() >= deadline {
@@ -437,8 +511,18 @@ impl<'m> Search<'m> {
             state.stats.failures += 1;
             return Outcome::Continue;
         }
-        // Bound: prune when the partial assignment cannot beat the incumbent.
-        if let Some(current_best) = *best_cost {
+        // Bound: prune when the partial assignment cannot beat the incumbent
+        // — the local one, or the best published by any portfolio worker.
+        let shared_best = state
+            .config
+            .shared
+            .as_ref()
+            .and_then(|shared| shared.best_cost());
+        let prune_bound = match (*best_cost, shared_best) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (bound, None) | (None, bound) => bound,
+        };
+        if let Some(current_best) = prune_bound {
             if objective.lower_bound(&store) >= current_best {
                 state.stats.failures += 1;
                 return Outcome::Continue;
@@ -452,6 +536,9 @@ impl<'m> Search<'m> {
                 *best_cost = Some(cost);
                 state.stats.solutions += 1;
                 state.stats.incumbent_kept = false;
+                if let Some(shared) = &state.config.shared {
+                    shared.publish(cost);
+                }
             }
             return Outcome::Continue;
         }

@@ -1,0 +1,142 @@
+//! Property-based tests of the parallel portfolio search (seeded random
+//! instances, like `property_solver.rs`):
+//!
+//! * a portfolio never returns a worse cost than the single-threaded search
+//!   given the same per-run budget (worker 0 *is* that search, and the
+//!   reduction takes the minimum);
+//! * a 1-worker portfolio is bit-identical to the plain search in
+//!   deterministic mode — same solution, same cost, same statistics.
+
+use cwcs_model::SmallRng;
+use cwcs_solver::constraints::BinPacking;
+use cwcs_solver::portfolio::{PortfolioConfig, PortfolioSearch};
+use cwcs_solver::search::{ClosureObjective, RestartPolicy, Search, SearchConfig, ValueSelection};
+use cwcs_solver::{DomainStore, Model, Objective, VarId};
+
+const CASES: usize = 32;
+
+/// A random placement-like instance: items packed into bins under a
+/// capacity constraint, minimising a random per-(item, bin) cost table —
+/// the same shape as the optimizer's move-cost objective.
+struct Instance {
+    model: Model,
+    vars: Vec<VarId>,
+    costs: Vec<Vec<i64>>,
+}
+
+fn random_instance(rng: &mut SmallRng) -> Instance {
+    let items = rng.u64_in(3, 7) as usize;
+    let bins = rng.u64_in(2, 4) as usize;
+    let sizes: Vec<u64> = (0..items).map(|_| rng.u64_in(1, 4)).collect();
+    // Capacities sized so the instance is usually feasible but not loose.
+    let total: u64 = sizes.iter().sum();
+    let capacities: Vec<u64> = (0..bins)
+        .map(|_| rng.u64_in(total / bins as u64 + 1, total))
+        .collect();
+    let mut model = Model::new();
+    let vars: Vec<VarId> = (0..items)
+        .map(|_| model.new_var(0, bins as u32 - 1))
+        .collect();
+    model.post(BinPacking::new(vars.clone(), sizes, capacities));
+    let costs: Vec<Vec<i64>> = (0..items)
+        .map(|_| (0..bins).map(|_| rng.u64_in(0, 50) as i64).collect())
+        .collect();
+    Instance { model, vars, costs }
+}
+
+fn objective(instance: &Instance) -> impl Objective + Sync + '_ {
+    let vars = instance.vars.clone();
+    let costs = &instance.costs;
+    ClosureObjective::new(
+        move |store: &DomainStore| {
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| costs[i][store.value(v) as usize])
+                .sum()
+        },
+        |_| 0,
+    )
+}
+
+fn budgeted_config(node_limit: u64) -> SearchConfig {
+    SearchConfig {
+        node_limit: Some(node_limit),
+        restarts: Some(RestartPolicy::luby(4)),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn portfolio_never_costs_more_than_the_serial_search() {
+    let mut rng = SmallRng::seed_from_u64(0xF0);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng);
+        let objective = objective(&instance);
+        let node_limit = rng.u64_in(5, 60);
+        let serial = Search::new(&instance.model, budgeted_config(node_limit)).minimize(&objective);
+        for workers in [2usize, 4] {
+            let race = PortfolioConfig {
+                workers,
+                deterministic: true,
+            };
+            let portfolio =
+                PortfolioSearch::new(&instance.model, budgeted_config(node_limit), race)
+                    .minimize(&objective);
+            match (serial.best_cost, portfolio.best_cost) {
+                (Some(s), Some(p)) => assert!(
+                    p <= s,
+                    "case {case}: {workers}-worker portfolio cost {p} beats serial {s}?"
+                ),
+                (Some(s), None) => {
+                    panic!("case {case}: portfolio lost the serial solution of cost {s}")
+                }
+                // Serial found nothing within the budget: any portfolio
+                // outcome (including none) is at least as good.
+                (None, _) => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn one_worker_portfolio_is_bit_identical_to_the_plain_search() {
+    let mut rng = SmallRng::seed_from_u64(0xF1);
+    for case in 0..CASES {
+        let instance = random_instance(&mut rng);
+        let objective = objective(&instance);
+        // A preferred-value ordering and a tight budget, like the optimizer.
+        let preferred: Vec<Option<u32>> = instance
+            .vars
+            .iter()
+            .map(|_| Some(rng.u64_in(0, 1) as u32))
+            .collect();
+        let config = SearchConfig {
+            value_selection: ValueSelection::Preferred(preferred),
+            node_limit: Some(rng.u64_in(5, 40)),
+            restarts: Some(RestartPolicy::luby(2)),
+            ..Default::default()
+        };
+        let serial = Search::new(&instance.model, config.clone()).minimize(&objective);
+        let race = PortfolioConfig {
+            workers: 1,
+            deterministic: true,
+        };
+        let portfolio = PortfolioSearch::new(&instance.model, config, race).minimize(&objective);
+        assert_eq!(serial.best_cost, portfolio.best_cost, "case {case}");
+        assert_eq!(
+            serial.best.as_ref().map(|s| s.values().to_vec()),
+            portfolio.best.as_ref().map(|s| s.values().to_vec()),
+            "case {case}: the explored tree must be identical"
+        );
+        let worker = &portfolio.portfolio.workers[0].stats;
+        assert_eq!(serial.stats.nodes, worker.nodes, "case {case}");
+        assert_eq!(serial.stats.failures, worker.failures, "case {case}");
+        assert_eq!(serial.stats.solutions, worker.solutions, "case {case}");
+        assert_eq!(serial.stats.restarts, worker.restarts, "case {case}");
+        assert_eq!(serial.stats.completed, worker.completed, "case {case}");
+        assert_eq!(
+            serial.stats.incumbent_kept, worker.incumbent_kept,
+            "case {case}"
+        );
+    }
+}

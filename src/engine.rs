@@ -75,6 +75,7 @@ pub struct EngineBuilder {
     optimizer_timeout: Duration,
     optimizer_mode: OptimizerMode,
     optimizer_node_limit: Option<u64>,
+    solver_workers: usize,
     max_iterations: usize,
     durations: Option<DurationModel>,
     execution_mode: ExecutionMode,
@@ -89,6 +90,7 @@ impl Default for EngineBuilder {
             optimizer_timeout: Duration::from_millis(500),
             optimizer_mode: OptimizerMode::Full,
             optimizer_node_limit: None,
+            solver_workers: 1,
             max_iterations: 2_000,
             durations: None,
             execution_mode: ExecutionMode::default(),
@@ -151,6 +153,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Number of portfolio workers racing each placement solve (1, the
+    /// default, is the plain single-threaded search).  Workers share the
+    /// best incumbent through an atomic bound and stop as soon as one of
+    /// them proves optimality; with
+    /// [`optimizer_node_limit`](EngineBuilder::optimizer_node_limit) set the
+    /// race runs in its deterministic reduction mode instead (independent
+    /// fixed-budget workers, `(cost, worker id)` winner) so artifacts stay
+    /// byte-identical across runs.  See `cwcs_solver::portfolio`.
+    pub fn solver_workers(mut self, workers: usize) -> Self {
+        self.solver_workers = workers.max(1);
+        self
+    }
+
     /// Safety bound on the number of iterations of [`Engine::run`].
     pub fn max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
@@ -205,8 +220,9 @@ impl EngineBuilder {
         if let Some(durations) = self.durations {
             cluster = cluster.with_durations(durations);
         }
-        let mut optimizer =
-            PlanOptimizer::with_timeout(self.optimizer_timeout).with_mode(self.optimizer_mode);
+        let mut optimizer = PlanOptimizer::with_timeout(self.optimizer_timeout)
+            .with_mode(self.optimizer_mode)
+            .with_solver_workers(self.solver_workers);
         if let Some(node_limit) = self.optimizer_node_limit {
             optimizer = optimizer.with_node_limit(node_limit);
         }
@@ -374,6 +390,28 @@ mod tests {
         assert!(first.performed_switch, "first iteration starts the vjob");
         let second = engine.step().expect("second iteration");
         assert_eq!(second.iteration, 1);
+    }
+
+    #[test]
+    fn solver_workers_race_and_report_the_portfolio() {
+        let mut engine = Engine::builder()
+            .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
+            .vjob(spec(0, 0, 2, 60.0))
+            .vjob(spec(1, 2, 2, 60.0))
+            .optimizer_timeout(Duration::from_millis(200))
+            .solver_workers(3)
+            .build()
+            .unwrap();
+        let first = engine.step().expect("first iteration");
+        assert!(first.performed_switch);
+        let portfolio = first
+            .portfolio_stats
+            .as_ref()
+            .expect("multi-worker solves report the race");
+        assert_eq!(portfolio.workers.len(), 3);
+        assert!(portfolio.winner.is_some());
+        let report = engine.run().expect("completes");
+        assert!(report.completion_time_secs.is_some());
     }
 
     #[test]
