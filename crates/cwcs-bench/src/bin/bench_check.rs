@@ -24,6 +24,7 @@ const ARTIFACTS: &[&str] = &[
     "BENCH_headline.json",
     "BENCH_large_scale.json",
     "BENCH_large_scale_switch.json",
+    "BENCH_netbound.json",
     "BENCH_fig10.json",
     "BENCH_fig11.json",
 ];

@@ -241,6 +241,40 @@ static LARGE_SCALE_LOOP_RULES: &[KeyRule] = &[
     info("context_switches"),
 ];
 
+static NETBOUND_RULES: &[KeyRule] = &[
+    exact("optimizer_mode"),
+    exact("nodes"),
+    exact("vms"),
+    exact("vjobs"),
+    exact("transfer_vjobs"),
+    exact("nic_mbps_per_node"),
+    exact("solver_timeout_ms"),
+    exact("solver_workers"),
+    exact("boot_subproblem_vms"),
+    exact("boot_pinned_vms"),
+    exact("boot_plan_actions"),
+    exact("boot_solve_proven"),
+    // The FFD baseline is deterministic (no solver involved): its cost must
+    // not drift at all.
+    exact("ffd_boot_cost"),
+    // The headline quality of the scenario: the repair pipeline's plan-cost
+    // reduction over FFD on the network-scarce boot may not drop more than
+    // 2 points below the committed baseline.
+    KeyRule {
+        key: "net_cost_reduction_percent",
+        rule: Rule::MinAbsoluteDrop(2.0),
+    },
+    growth("entropy_boot_cost", 1.1, 1_000.0),
+    growth("completion_time_secs", 1.15, 60.0),
+    growth("plan_actions_total", 1.25, 100.0),
+    growth("max_solve_ms", 1.5, 1_000.0),
+    growth("loop_wall_ms", 1.5, 4_000.0),
+    info("boot_candidate_nodes"),
+    info("iterations"),
+    info("context_switches"),
+    info("peak_net_percent"),
+];
+
 static FIG10_RULES: &[KeyRule] = &[
     exact("nodes"),
     exact("samples"),
@@ -290,6 +324,7 @@ pub fn artifact_rules(benchmark: &str) -> &'static [KeyRule] {
     match benchmark {
         "headline_completion_time" => HEADLINE_RULES,
         "large_scale_loop" => LARGE_SCALE_LOOP_RULES,
+        "large_scale_netbound" => NETBOUND_RULES,
         "large_scale_switch" => LARGE_SCALE_SWITCH_RULES,
         "fig10_cost_reduction" => FIG10_RULES,
         "fig11_switch_durations" => FIG11_RULES,
@@ -550,6 +585,7 @@ mod tests {
         for name in [
             "headline_completion_time",
             "large_scale_loop",
+            "large_scale_netbound",
             "large_scale_switch",
             "fig10_cost_reduction",
             "fig11_switch_durations",

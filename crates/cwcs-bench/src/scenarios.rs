@@ -7,7 +7,7 @@ use cwcs_core::decision::DecisionModule;
 use cwcs_core::{
     ControlLoop, ControlLoopConfig, FcfsConsolidation, PlanOptimizer, RunReport, StaticFcfsBaseline,
 };
-use cwcs_model::{Configuration, CpuCapacity, MemoryMib, Node, NodeId};
+use cwcs_model::{Configuration, CpuCapacity, MemoryMib, NetBandwidth, Node, NodeId};
 use cwcs_sim::SimulatedCluster;
 use cwcs_workload::{
     GeneratorParams, NasGridClass, NasGridKind, NasGridTemplate, TraceGenerator, VjobSpec,
@@ -80,6 +80,7 @@ pub fn cluster_experiment_sized(seed: u64, nodes: u32, vjob_count: usize) -> Clu
             class: classes[j % classes.len()],
             vm_count: 9,
             memory_per_vm: memories[j % memories.len()],
+            net_per_vm: NetBandwidth::ZERO,
         };
         let spec = factory.instantiate(&template);
         for vm in &spec.vms {
@@ -377,6 +378,122 @@ pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScen
     }
 }
 
+/// Build the network-bound 500-node scenario: memory and CPU are plentiful
+/// everywhere, the per-node NIC is the scarce dimension.
+///
+/// * Every node has 10 processing units, 64 GiB of memory and a 1 Gbps NIC.
+/// * Every node runs a 4-VM **service** vjob (1 unit, 2 GiB, 150 Mbps per
+///   VM): 600 Mbps of the NIC is taken, 6 units and 56 GiB stay free.
+/// * `transfer_vjobs` **transfer** vjobs of 10 VMs each wait in the queue.
+///   A transfer VM is tiny on CPU and memory (a tenth of a unit, 1 GiB) but
+///   pushes 200 Mbps for its whole life: only **two** fit into a node's
+///   remaining 400 Mbps, while CPU and memory would admit dozens.  Packing
+///   by the network dimension is the only way to boot them viably.
+///
+/// With the defaults of the `large_scale_netbound` binary (500 nodes, 66
+/// transfer vjobs) the boot sub-problem re-places 660 VMs over the NIC
+/// headroom of the whole cluster — the network mirror of the
+/// `large_scale_loop` boot.
+pub fn large_scale_netbound(node_count: u32, transfer_vjobs: u32) -> ClusterScenario {
+    const SERVICE_VMS: u32 = 4;
+    const TRANSFER_VMS: u32 = 10;
+    let service_net = NetBandwidth::mbps(150);
+    let transfer_net = NetBandwidth::mbps(200);
+    // Two transfer VMs per node: 600 + 2×200 = 1000 Mbps exactly.
+    assert!(
+        TRANSFER_VMS * transfer_vjobs <= 2 * node_count,
+        "the cluster NIC headroom cannot absorb the transfer vjobs"
+    );
+
+    let mut configuration = Configuration::new();
+    for i in 0..node_count {
+        configuration
+            .add_node(
+                Node::new(NodeId(i), CpuCapacity::cores(10), MemoryMib::gib(64))
+                    .with_net(NetBandwidth::gbps(1)),
+            )
+            .expect("unique node ids");
+    }
+
+    let mut specs: Vec<VjobSpec> = Vec::new();
+    let mut next_vm = 0u32;
+
+    // One running service vjob per node.
+    for i in 0..node_count {
+        let vjob_id = specs.len() as u32;
+        let vm_ids: Vec<cwcs_model::VmId> = (0..SERVICE_VMS)
+            .map(|_| {
+                let id = cwcs_model::VmId(next_vm);
+                next_vm += 1;
+                id
+            })
+            .collect();
+        let vms: Vec<cwcs_model::Vm> = vm_ids
+            .iter()
+            .map(|&id| {
+                cwcs_model::Vm::new(id, MemoryMib::gib(2), CpuCapacity::cores(1))
+                    .with_net(service_net)
+            })
+            .collect();
+        for vm in &vms {
+            configuration.add_vm(vm.clone()).expect("unique vm ids");
+            configuration
+                .set_assignment(vm.id, cwcs_model::VmAssignment::running(NodeId(i)))
+                .expect("service placement is viable");
+        }
+        let mut vjob = cwcs_model::Vjob::new(cwcs_model::VjobId(vjob_id), vm_ids, vjob_id as u64);
+        vjob.transition_to(cwcs_model::VjobState::Running)
+            .expect("waiting -> running");
+        let profiles = vms
+            .iter()
+            .map(|_| {
+                cwcs_workload::VmWorkProfile::new(vec![
+                    cwcs_workload::WorkPhase::compute(1800.0).with_net(service_net)
+                ])
+            })
+            .collect();
+        specs.push(VjobSpec::new(vjob, vms, profiles));
+    }
+
+    // Waiting transfer vjobs: the 660-VM network-bound boot sub-problem.
+    for _ in 0..transfer_vjobs {
+        let vjob_id = specs.len() as u32;
+        let vm_ids: Vec<cwcs_model::VmId> = (0..TRANSFER_VMS)
+            .map(|_| {
+                let id = cwcs_model::VmId(next_vm);
+                next_vm += 1;
+                id
+            })
+            .collect();
+        let vms: Vec<cwcs_model::Vm> = vm_ids
+            .iter()
+            .map(|&id| {
+                cwcs_model::Vm::new(id, MemoryMib::gib(1), CpuCapacity::percent(10))
+                    .with_net(transfer_net)
+            })
+            .collect();
+        for vm in &vms {
+            configuration.add_vm(vm.clone()).expect("unique vm ids");
+        }
+        let vjob = cwcs_model::Vjob::new(cwcs_model::VjobId(vjob_id), vm_ids, vjob_id as u64);
+        let profiles = vms
+            .iter()
+            .map(|_| {
+                cwcs_workload::VmWorkProfile::new(vec![cwcs_workload::WorkPhase::transfer(
+                    1800.0,
+                    transfer_net,
+                )])
+            })
+            .collect();
+        specs.push(VjobSpec::new(vjob, vms, profiles));
+    }
+
+    ClusterScenario {
+        configuration,
+        specs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +558,26 @@ mod tests {
             event_cluster.configuration(),
             barrier_cluster.configuration()
         );
+    }
+
+    #[test]
+    fn netbound_scenario_is_nic_constrained() {
+        let scenario = large_scale_netbound(20, 4);
+        assert_eq!(scenario.configuration.node_count(), 20);
+        // 20 service vjobs of 4 VMs + 4 waiting transfer vjobs of 10 VMs.
+        assert_eq!(scenario.configuration.vm_count(), 120);
+        assert_eq!(scenario.specs.len(), 24);
+        assert!(scenario.configuration.is_viable());
+        // The NIC is the scarce dimension: 400 Mbps free per node (two
+        // transfer VMs), while CPU and memory stay wide open.
+        let free = scenario.configuration.free(NodeId(0)).unwrap();
+        assert_eq!(free.net, NetBandwidth::mbps(400));
+        assert!(free.cpu >= CpuCapacity::cores(6));
+        assert!(free.memory >= MemoryMib::gib(56));
+        // Transfer VMs reserve their bandwidth, so a boot is only admitted
+        // where the NIC can hold it.
+        let transfer_vm = &scenario.specs[20].vms[0];
+        assert_eq!(transfer_vm.reserved_demand().net, NetBandwidth::mbps(200));
     }
 
     #[test]

@@ -95,6 +95,22 @@ fn multi_worker_portfolio_artifact_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn netbound_artifact_is_byte_identical_across_runs() {
+    // The network-bound loop: NIC-constrained boot placement, reserved
+    // packing and the per-dimension solver model must all be deterministic.
+    assert_deterministic(
+        env!("CARGO_BIN_EXE_large_scale_netbound"),
+        &[
+            ("CWCS_NB_NODES", "60"),
+            ("CWCS_NB_TRANSFER", "8"),
+            ("CWCS_SOLVER_WORKERS", "4"),
+        ],
+        "CWCS_NB_ARTIFACT",
+        "netbound",
+    );
+}
+
+#[test]
 fn fig10_artifact_is_byte_identical_across_runs() {
     assert_deterministic(
         env!("CARGO_BIN_EXE_fig10_cost_reduction"),

@@ -17,18 +17,28 @@ use std::collections::{BTreeMap, BTreeSet};
 use cwcs_model::{Configuration, NodeId, ResourceDemand, Vjob, VjobId, VjobState, VmAssignment};
 
 use crate::decision::{Decision, DecisionError, DecisionModule};
-use crate::ffd::FirstFitDecreasing;
+use crate::ffd::{FirstFitDecreasing, PackingPolicy};
 
 /// The FCFS dynamic-consolidation policy.
 #[derive(Debug, Clone, Default)]
 pub struct FcfsConsolidation {
-    _private: (),
+    /// How waiting VMs are budgeted by the RJSP packing (see
+    /// [`PackingPolicy`]); defaults to [`PackingPolicy::Reserved`] so a boot
+    /// is only admitted when the cluster can hold the demand it is about to
+    /// develop.
+    packing: PackingPolicy,
 }
 
 impl FcfsConsolidation {
-    /// Build the policy.
+    /// Build the policy with the default (reserved-demand) packing.
     pub fn new() -> Self {
         FcfsConsolidation::default()
+    }
+
+    /// Select the packing policy for waiting VMs.
+    pub fn with_packing_policy(mut self, packing: PackingPolicy) -> Self {
+        self.packing = packing;
+        self
     }
 }
 
@@ -94,7 +104,12 @@ impl DecisionModule for FcfsConsolidation {
             }
 
             // Try to pack the vjob on top of the already-accepted ones.
-            match FirstFitDecreasing::place_with_free(&proof, &vjob.vms, &mut free) {
+            match FirstFitDecreasing::place_with_free_policy(
+                &proof,
+                &vjob.vms,
+                &mut free,
+                self.packing,
+            ) {
                 Some(placement) => {
                     states.insert(vjob.id, VjobState::Running);
                     for (&vm, &node) in &placement {

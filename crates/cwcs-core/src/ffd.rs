@@ -1,8 +1,10 @@
-//! First-Fit Decreasing packing.
+//! First-Fit Decreasing packing and the packing-demand policy.
 //!
 //! "This heuristic sorts the VMs in a decreasing order regarding to their
 //! memory and their CPU demands and try to assign each VM on the first node
-//! with a sufficient amount of free resources." (Section 3.2)
+//! with a sufficient amount of free resources." (Section 3.2)  Demands are
+//! [`ResourceDemand`] vectors, so every resource dimension (CPU, memory,
+//! network) participates in the fit check.
 //!
 //! The heuristic is used in two places:
 //! * by the sample decision module to test whether one more vjob fits on the
@@ -10,10 +12,48 @@
 //! * as the baseline configuration planner of Figure 10: the first complete
 //!   viable configuration it produces is kept as-is, without any attempt at
 //!   reducing the reconfiguration cost.
+//!
+//! # Packing policy for booting VMs
+//!
+//! A waiting VM observably demands nothing — its application has not booted
+//! yet — so packing boots by *observed* demand can cram them onto nodes that
+//! have no room for the demand that appears one iteration later, overloading
+//! those nodes until a repair rebalance fixes it.  [`PackingPolicy`] selects
+//! the demand a packer budgets per VM: [`PackingPolicy::Reserved`] (the
+//! default) sizes waiting VMs by [`cwcs_model::Vm::reserved_demand`] — the
+//! component-wise max of the observed demand and the creation-time
+//! reservation — trading a little peak utilization for placement stability;
+//! [`PackingPolicy::Observed`] keeps the historical observed-demand packing.
+//! VMs in any other state are always packed by observed demand (that is the
+//! dynamic-consolidation premise of the paper).
 
 use std::collections::BTreeMap;
 
 use cwcs_model::{Configuration, NodeId, ResourceDemand, VmId, VmState};
+
+/// Which demand a packer budgets for a VM (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackingPolicy {
+    /// Pack every VM by its currently observed demand, including waiting
+    /// VMs (which observe zero CPU/network): the historical behavior.
+    Observed,
+    /// Pack waiting VMs by their reservation (`max(observed, created)`), so
+    /// a boot never lands on a node that cannot hold the demand it is about
+    /// to develop.  Running and sleeping VMs still pack by observed demand.
+    #[default]
+    Reserved,
+}
+
+impl PackingPolicy {
+    /// The demand this policy budgets for `vm` in `config`.
+    pub fn packing_demand(self, config: &Configuration, vm: VmId) -> ResourceDemand {
+        let v = config.vm(vm).expect("vm exists");
+        match (self, config.state(vm)) {
+            (PackingPolicy::Reserved, Ok(VmState::Waiting)) => v.reserved_demand(),
+            _ => v.demand(),
+        }
+    }
+}
 
 /// The First-Fit Decreasing packer.
 #[derive(Debug, Clone, Copy, Default)]
@@ -42,25 +82,40 @@ impl FirstFitDecreasing {
     /// Same as [`FirstFitDecreasing::place`], but against an explicit
     /// free-resource vector which is updated in place when the placement
     /// succeeds (so successive calls can pack several vjobs one after the
-    /// other, as the RJSP loop does).
+    /// other, as the RJSP loop does).  Packs by observed demand.
     pub fn place_with_free(
         config: &Configuration,
         vms: &[VmId],
         free: &mut Vec<(NodeId, ResourceDemand)>,
     ) -> Option<BTreeMap<VmId, NodeId>> {
-        // Sort the VMs by decreasing memory then CPU demand; ties are broken
-        // by ascending id so that identical VMs keep a stable, intuitive
-        // order (and an already-packed cluster maps onto itself).
+        Self::place_with_free_policy(config, vms, free, PackingPolicy::Observed)
+    }
+
+    /// The policy-aware core of the packer: like
+    /// [`FirstFitDecreasing::place_with_free`], with the per-VM demand
+    /// chosen by `policy` (see [`PackingPolicy`]).
+    pub fn place_with_free_policy(
+        config: &Configuration,
+        vms: &[VmId],
+        free: &mut Vec<(NodeId, ResourceDemand)>,
+        policy: PackingPolicy,
+    ) -> Option<BTreeMap<VmId, NodeId>> {
+        // Sort the VMs by decreasing memory, CPU then network demand; ties
+        // are broken by ascending id so that identical VMs keep a stable,
+        // intuitive order (and an already-packed cluster maps onto itself).
         let mut ordered: Vec<VmId> = vms.to_vec();
         ordered.sort_by_key(|&vm| {
-            let v = config.vm(vm).expect("vm exists");
-            (std::cmp::Reverse((v.memory.raw(), v.cpu.raw())), vm.0)
+            let d = policy.packing_demand(config, vm);
+            (
+                std::cmp::Reverse((d.memory.raw(), d.cpu.raw(), d.net.raw())),
+                vm.0,
+            )
         });
 
         let mut tentative = free.clone();
         let mut placement = BTreeMap::new();
         for vm in ordered {
-            let demand = config.vm(vm).expect("vm exists").demand();
+            let demand = policy.packing_demand(config, vm);
             let slot = tentative
                 .iter_mut()
                 .find(|(_, available)| demand.fits_in(available));
@@ -78,16 +133,26 @@ impl FirstFitDecreasing {
 
     /// Compute a complete viable placement for every VM that must run: the
     /// "first completed viable configuration" baseline of Figure 10.
+    /// Packs by observed demand.
     ///
     /// `must_run` lists the VMs that must be in the Running state; every
     /// other VM is ignored (it consumes nothing).  Returns `None` when the
     /// cluster cannot host them all.
     pub fn pack_all(config: &Configuration, must_run: &[VmId]) -> Option<BTreeMap<VmId, NodeId>> {
+        Self::pack_all_policy(config, must_run, PackingPolicy::Observed)
+    }
+
+    /// Policy-aware variant of [`FirstFitDecreasing::pack_all`].
+    pub fn pack_all_policy(
+        config: &Configuration,
+        must_run: &[VmId],
+        policy: PackingPolicy,
+    ) -> Option<BTreeMap<VmId, NodeId>> {
         // Packing starts from empty nodes: the running VMs of the current
         // configuration are re-placed too (they are part of `must_run`).
         let mut free: Vec<(NodeId, ResourceDemand)> =
             config.nodes().map(|n| (n.id, n.capacity())).collect();
-        Self::place_with_free(config, must_run, &mut free)
+        Self::place_with_free_policy(config, must_run, &mut free, policy)
     }
 
     /// Convenience used by tests and the optimizer: all VMs currently in the
@@ -212,6 +277,70 @@ mod tests {
         let before = free.clone();
         assert!(FirstFitDecreasing::place_with_free(&c, &[VmId(0), VmId(1)], &mut free).is_none());
         assert_eq!(free, before, "a failed packing must not leak reservations");
+    }
+
+    #[test]
+    fn net_dimension_binds_the_packing() {
+        use cwcs_model::NetBandwidth;
+        // Two nodes with a 1 Gbps NIC; three running VMs pushing 600 Mbps
+        // each: memory and CPU have room for all three on one node, the NIC
+        // does not — the third VM cannot be placed at all.
+        let mut c = Configuration::new();
+        for i in 0..2 {
+            c.add_node(
+                Node::new(NodeId(i), CpuCapacity::cores(8), MemoryMib::gib(64))
+                    .with_net(NetBandwidth::gbps(1)),
+            )
+            .unwrap();
+        }
+        for i in 0..3 {
+            c.add_vm(
+                Vm::new(VmId(i), MemoryMib::mib(512), CpuCapacity::percent(10))
+                    .with_net(NetBandwidth::mbps(600)),
+            )
+            .unwrap();
+        }
+        assert!(FirstFitDecreasing::place(&c, &[VmId(0), VmId(1), VmId(2)]).is_none());
+        let placement = FirstFitDecreasing::place(&c, &[VmId(0), VmId(1)]).unwrap();
+        let nodes: std::collections::BTreeSet<NodeId> = placement.values().copied().collect();
+        assert_eq!(nodes.len(), 2, "one 600 Mbps VM per 1 Gbps NIC");
+    }
+
+    #[test]
+    fn reserved_policy_budgets_boots_by_their_reservation() {
+        // A waiting VM created busy (reservation: 1 core) whose observed
+        // demand was zeroed by the monitor.  Observed packing crams it onto
+        // the full node; reserved packing refuses.
+        let mut c = cluster(1, 1, 4);
+        add_vm(&mut c, 0, 512, 100);
+        c.set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        c.add_vm(Vm::new(VmId(1), MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .unwrap();
+        c.vm_mut(VmId(1)).unwrap().cpu = CpuCapacity::ZERO; // monitor observes an idle boot
+        assert!(
+            FirstFitDecreasing::place(&c, &[VmId(1)]).is_some(),
+            "observed packing sees a zero-demand VM"
+        );
+        let mut free = FirstFitDecreasing::free_resources(&c);
+        assert!(
+            FirstFitDecreasing::place_with_free_policy(
+                &c,
+                &[VmId(1)],
+                &mut free,
+                PackingPolicy::Reserved
+            )
+            .is_none(),
+            "reserved packing budgets the full core the boot will demand"
+        );
+        // Once the VM runs, the policy reverts to observed demand: an idle
+        // running VM packs at zero again.
+        c.set_assignment(VmId(1), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        assert_eq!(
+            PackingPolicy::Reserved.packing_demand(&c, VmId(1)),
+            c.vm(VmId(1)).unwrap().demand()
+        );
     }
 
     #[test]

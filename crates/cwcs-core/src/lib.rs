@@ -32,7 +32,7 @@ pub use baseline::{BaselineReport, StaticFcfsBaseline, VjobSchedule};
 pub use consolidation::FcfsConsolidation;
 pub use control_loop::{ControlLoop, ControlLoopConfig, IterationReport, RunReport};
 pub use decision::{Decision, DecisionError, DecisionModule};
-pub use ffd::FirstFitDecreasing;
+pub use ffd::{FirstFitDecreasing, PackingPolicy};
 pub use optimizer::{
     OptimizedOutcome, OptimizerError, OptimizerMode, PlanOptimizer, RepairConfig, RepairStats,
 };

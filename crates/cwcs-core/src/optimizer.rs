@@ -7,8 +7,9 @@
 //! a CP model over the placement of the VMs that must run:
 //!
 //! * one assignment variable per running VM whose domain is the set of nodes;
-//! * one bin-packing constraint per resource dimension (CPU and memory), the
-//!   multi-knapsack constraint of the paper;
+//! * one bin-packing constraint per resource dimension (CPU, memory and —
+//!   when some VM demands it — network bandwidth), the multi-knapsack
+//!   constraint of the paper generalized over [`Dimension::ALL`];
 //! * a branch & bound objective that estimates the cost of the induced plan
 //!   from the VMs already assigned (migration = `Dm`, local resume = `Dm`,
 //!   remote resume = `2·Dm`, run/stop = 0), exactly the incremental estimate
@@ -40,7 +41,8 @@
 //! 2. builds the **candidate node set**: the nodes already involved (current
 //!    hosts and image locations of the movable VMs, overloaded nodes) plus a
 //!    configurable *halo* of extra destination nodes ranked by the capacity
-//!    left once the pinned VMs are accounted for;
+//!    left — in the sub-problem's scarcest resource dimension — once the
+//!    pinned VMs are accounted for;
 //! 3. solves the reduced placement model over movable VMs × candidate nodes,
 //!    with the node capacities debited by the pinned VMs, **seeding the
 //!    branch & bound with a greedy keep-current-host incumbent** (so "no
@@ -59,9 +61,12 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Duration;
 
-use cwcs_model::{Configuration, NodeId, Vjob, VjobId, VjobState, VmAssignment, VmId, VmState};
+use cwcs_model::{
+    Configuration, Dimension, NodeId, ResourceDemand, Vjob, VjobId, VjobState, VmAssignment, VmId,
+    VmState, NUM_RESOURCE_DIMENSIONS,
+};
 use cwcs_plan::{ActionCostModel, PlanCost, Planner, PlannerError, ReconfigurationPlan};
-use cwcs_solver::constraints::BinPacking;
+use cwcs_solver::constraints::MultiDimPacking;
 use cwcs_solver::portfolio::{PortfolioConfig, PortfolioSearch, PortfolioStats};
 use cwcs_solver::search::{
     ClosureObjective, RestartPolicy, Search, SearchConfig, SearchStats, ValueSelection,
@@ -70,7 +75,20 @@ use cwcs_solver::search::{
 use cwcs_solver::{Model, VarId};
 
 use crate::decision::Decision;
-use crate::ffd::FirstFitDecreasing;
+use crate::ffd::{FirstFitDecreasing, PackingPolicy};
+
+/// Number of leading dimensions whose packing constraint is posted even when
+/// every size is zero: the paper's (CPU, memory) pair, derived from
+/// [`Dimension::is_legacy`] so there is a single source of truth.  See
+/// [`MultiDimPacking::post`] — this is what keeps the 2-dimensional search
+/// bit-identical to the historical pair-based model.
+const LEGACY_DIMS: usize = {
+    let mut n = 0;
+    while n < NUM_RESOURCE_DIMENSIONS && Dimension::ALL[n].is_legacy() {
+        n += 1;
+    }
+    n
+};
 
 /// How the optimizer scopes the placement problem.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -193,10 +211,9 @@ struct PlacementProblem {
     vms: Vec<VmId>,
     /// Candidate nodes, in domain-value order.
     nodes: Vec<NodeId>,
-    /// CPU capacity per candidate node (already debited by pinned VMs).
-    cpu_capacities: Vec<u64>,
-    /// Memory capacity per candidate node (already debited by pinned VMs).
-    mem_capacities: Vec<u64>,
+    /// Per-node capacity vector, one entry per candidate node (already
+    /// debited by pinned VMs in repair mode).
+    capacities: Vec<ResourceDemand>,
     /// Incumbent placement (indices into `nodes`), when one is known.
     incumbent: Option<Vec<u32>>,
     /// Luby restart policy of the search.
@@ -220,6 +237,10 @@ pub struct PlanOptimizer {
     pub solver_workers: usize,
     /// Scope of the placement problem (full re-solve or repair).
     pub mode: OptimizerMode,
+    /// How booting (waiting) VMs are budgeted when packing: by reservation
+    /// (the default, so a boot never transiently overloads its node) or by
+    /// observed demand (the historical behavior).  See [`PackingPolicy`].
+    pub packing: PackingPolicy,
     /// Cost model used both for the search estimate and the final plan cost.
     pub cost_model: ActionCostModel,
     /// Planner used to sequence the chosen configuration.
@@ -233,6 +254,7 @@ impl Default for PlanOptimizer {
             node_limit: None,
             solver_workers: 1,
             mode: OptimizerMode::Full,
+            packing: PackingPolicy::default(),
             cost_model: ActionCostModel::paper(),
             planner: Planner::new(),
         }
@@ -266,6 +288,12 @@ impl PlanOptimizer {
         self
     }
 
+    /// Select how booting VMs are budgeted when packing.
+    pub fn with_packing_policy(mut self, packing: PackingPolicy) -> Self {
+        self.packing = packing;
+        self
+    }
+
     /// Optimize: find a cheap viable configuration implementing `decision`
     /// and the plan that reaches it from `current`.
     pub fn optimize(
@@ -292,19 +320,14 @@ impl PlanOptimizer {
         if node_ids.is_empty() {
             return Err(OptimizerError::NoViablePlacement);
         }
-        let cpu_capacities: Vec<u64> = node_ids
+        let capacities: Vec<ResourceDemand> = node_ids
             .iter()
-            .map(|&n| current.node(n).unwrap().cpu.raw() as u64)
-            .collect();
-        let mem_capacities: Vec<u64> = node_ids
-            .iter()
-            .map(|&n| current.node(n).unwrap().memory.raw())
+            .map(|&n| current.node(n).unwrap().capacity())
             .collect();
         let problem = PlacementProblem {
             vms: must_run.clone(),
             nodes: node_ids,
-            cpu_capacities,
-            mem_capacities,
+            capacities,
             incumbent: None,
             restarts: None,
         };
@@ -314,7 +337,7 @@ impl PlanOptimizer {
             None => {
                 // The CP search found nothing within its budget (or the
                 // problem is infeasible): fall back to First-Fit Decreasing.
-                FirstFitDecreasing::pack_all(current, &must_run)
+                FirstFitDecreasing::pack_all_policy(current, &must_run, self.packing)
                     .ok_or(OptimizerError::NoViablePlacement)?
             }
         };
@@ -358,24 +381,30 @@ impl PlanOptimizer {
             vars.push((vm, var));
         }
 
-        let mut cpu_sizes: Vec<u64> = Vec::with_capacity(problem.vms.len());
-        let mut mem_sizes: Vec<u64> = Vec::with_capacity(problem.vms.len());
+        // Per-VM packing demand, chosen by the packing policy (a booting VM
+        // is budgeted by its reservation under `PackingPolicy::Reserved`).
+        let mut demands: Vec<ResourceDemand> = Vec::with_capacity(problem.vms.len());
         for &vm in &problem.vms {
-            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
-            cpu_sizes.push(entry.cpu.raw() as u64);
-            mem_sizes.push(entry.memory.raw());
+            current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            demands.push(self.packing.packing_demand(current, vm));
         }
         let var_ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
-        model.post(BinPacking::new(
-            var_ids.clone(),
-            cpu_sizes.clone(),
-            problem.cpu_capacities.clone(),
-        ));
-        model.post(BinPacking::new(
-            var_ids.clone(),
-            mem_sizes.clone(),
-            problem.mem_capacities.clone(),
-        ));
+
+        // One packing constraint per resource dimension, the paper's
+        // multi-knapsack formulation generalized to N dimensions.  The
+        // legacy (CPU, memory) constraints are posted unconditionally;
+        // further dimensions only when some VM actually demands them, so a
+        // model whose extra dimensions are inert is bit-identical to the
+        // historical 2-dimensional one.
+        let sizes: Vec<Vec<u64>> = Dimension::ALL
+            .iter()
+            .map(|&d| demands.iter().map(|dem| dem.get(d)).collect())
+            .collect();
+        let capacities: Vec<Vec<u64>> = Dimension::ALL
+            .iter()
+            .map(|&d| problem.capacities.iter().map(|c| c.get(d)).collect())
+            .collect();
+        MultiDimPacking::post(&mut model, &var_ids, &sizes, &capacities, LEGACY_DIMS);
 
         // --- Heuristics ---------------------------------------------------
         // Preferred value: the VM's current node (running) or the node
@@ -393,7 +422,7 @@ impl PlanOptimizer {
             let assignment = current
                 .assignment(vm)
                 .map_err(|_| OptimizerError::UnknownVm(vm))?;
-            let dm = mem_sizes[i];
+            let dm = demands[i].memory.raw();
             let anchor = match assignment.state {
                 VmState::Running => assignment.host,
                 VmState::Sleeping => assignment.image,
@@ -407,10 +436,13 @@ impl PlanOptimizer {
             move_costs.push(costs);
         }
         let weights: Vec<u64> = {
-            // Weight used by first-fail tie-breaking: bigger VMs first.
+            // Weight used by first-fail tie-breaking: bigger VMs first.  The
+            // network term is additive like the memory one, so it is inert
+            // (zero) on legacy 2-dimensional models.
             let mut w = vec![0u64; model.var_count()];
             for (i, (_, var)) in vars.iter().enumerate() {
-                w[var.0] = mem_sizes[i] + cpu_sizes[i] * 10;
+                let d = &demands[i];
+                w[var.0] = d.memory.raw() + d.cpu.raw() as u64 * 10 + d.net.raw();
             }
             w
         };
@@ -572,19 +604,15 @@ impl PlanOptimizer {
         }
 
         // Capacity left on every node once the pinned VMs are accounted for.
-        let mut free_cpu: BTreeMap<NodeId, u64> = BTreeMap::new();
-        let mut free_mem: BTreeMap<NodeId, u64> = BTreeMap::new();
-        for &node in &node_ids {
-            let n = current.node(node).unwrap();
-            free_cpu.insert(node, n.cpu.raw() as u64);
-            free_mem.insert(node, n.memory.raw());
-        }
+        let mut free: BTreeMap<NodeId, ResourceDemand> = node_ids
+            .iter()
+            .map(|&node| (node, current.node(node).unwrap().capacity()))
+            .collect();
         for (&vm, node) in &pinned {
-            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
-            let cpu = free_cpu.get_mut(node).expect("pinned host exists");
-            *cpu = cpu.saturating_sub(entry.cpu.raw() as u64);
-            let mem = free_mem.get_mut(node).expect("pinned host exists");
-            *mem = mem.saturating_sub(entry.memory.raw());
+            current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            let demand = self.packing.packing_demand(current, vm);
+            let left = free.get_mut(node).expect("pinned host exists");
+            *left = left.saturating_sub(&demand);
         }
 
         // Anchor nodes: everything the movable VMs already involve, plus the
@@ -600,58 +628,69 @@ impl PlanOptimizer {
             }
         }
 
-        // Demand of the sub-problem, per resource dimension.
-        let mut needed_cpu: u64 = 0;
-        let mut needed_mem: u64 = 0;
+        // Demand of the sub-problem, summed per resource dimension.
+        let mut needed = ResourceDemand::ZERO;
         for &vm in &movable {
-            let entry = current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
-            needed_cpu += entry.cpu.raw() as u64;
-            needed_mem += entry.memory.raw();
+            current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
+            needed += self.packing.packing_demand(current, vm);
         }
 
         // Multi-resource halo ranking: rank the candidate destinations by
         // their free capacity in the sub-problem's **scarcest** dimension —
         // the resource whose movable demand eats the largest fraction of
-        // what the cluster has free (cross-multiplied to stay in integers).
-        // A CPU-bound sub-problem thus pulls in CPU-rich nodes first instead
-        // of the memory-heavy picks a single blended score would make; the
-        // other dimension and the node id break ties deterministically.
-        let total_free_cpu: u64 = free_cpu.values().sum();
-        let total_free_mem: u64 = free_mem.values().sum();
-        let cpu_is_scarcest = (needed_cpu as u128) * (total_free_mem.max(1) as u128)
-            >= (needed_mem as u128) * (total_free_cpu.max(1) as u128);
+        // what the cluster has free.  The per-dimension pressures
+        // `needed[d] / total_free[d]` are compared cross-multiplied to stay
+        // in integers; the first dimension wins ties, so a CPU/memory
+        // sub-problem ranks exactly as the historical pair-based code did.
+        // A network-bound sub-problem thus pulls in NIC-rich nodes first
+        // instead of the memory-heavy picks a blended score would make; the
+        // remaining dimensions and the node id break ties deterministically.
+        let mut total_free = [0u64; NUM_RESOURCE_DIMENSIONS];
+        for v in free.values() {
+            for d in Dimension::ALL {
+                total_free[d.index()] += v.get(d);
+            }
+        }
+        let mut scarcest = Dimension::ALL[0];
+        for &d in &Dimension::ALL[1..] {
+            let challenger =
+                (needed.get(d) as u128) * (total_free[scarcest.index()].max(1) as u128);
+            let incumbent = (needed.get(scarcest) as u128) * (total_free[d.index()].max(1) as u128);
+            if challenger > incumbent {
+                scarcest = d;
+            }
+        }
         let mut ranked_rest: Vec<NodeId> = node_ids
             .iter()
             .copied()
             .filter(|n| !anchors.contains(n))
             .collect();
-        if cpu_is_scarcest {
-            ranked_rest.sort_by_key(|n| {
-                (
-                    std::cmp::Reverse(free_cpu[n]),
-                    std::cmp::Reverse(free_mem[n]),
-                    n.0,
-                )
-            });
-        } else {
-            ranked_rest.sort_by_key(|n| {
-                (
-                    std::cmp::Reverse(free_mem[n]),
-                    std::cmp::Reverse(free_cpu[n]),
-                    n.0,
-                )
-            });
-        }
+        ranked_rest.sort_by(|a, b| {
+            let (fa, fb) = (&free[a], &free[b]);
+            fb.get(scarcest)
+                .cmp(&fa.get(scarcest))
+                .then_with(|| {
+                    for d in Dimension::ALL {
+                        if d != scarcest {
+                            let ordering = fb.get(d).cmp(&fa.get(d));
+                            if ordering != std::cmp::Ordering::Equal {
+                                return ordering;
+                            }
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                })
+                .then(a.0.cmp(&b.0))
+        });
 
         // The halo must at least be able to *hold* the movable VMs: extend
         // the ranked list until the cumulative free capacity covers the
-        // movable demand, then add `halo` more nodes of slack.
-        let mut acc_cpu: u64 = anchors.iter().map(|n| free_cpu[n]).sum();
-        let mut acc_mem: u64 = anchors.iter().map(|n| free_mem[n]).sum();
+        // movable demand on every dimension, then add `halo` more nodes of
+        // slack.
+        let mut acc: ResourceDemand = anchors.iter().map(|n| free[n]).sum();
         let mut base = 0usize;
-        while (acc_cpu < needed_cpu || acc_mem < needed_mem) && base < ranked_rest.len() {
-            acc_cpu += free_cpu[&ranked_rest[base]];
-            acc_mem += free_mem[&ranked_rest[base]];
+        while !needed.fits_in(&acc) && base < ranked_rest.len() {
+            acc += free[&ranked_rest[base]];
             base += 1;
         }
 
@@ -662,13 +701,11 @@ impl PlanOptimizer {
             candidates.sort_unstable_by_key(|n| n.0);
             repair.candidate_nodes = candidates.len();
 
-            let incumbent =
-                self.greedy_incumbent(current, &movable, &candidates, &free_cpu, &free_mem);
+            let incumbent = self.greedy_incumbent(current, &movable, &candidates, &free);
             let problem = PlacementProblem {
                 vms: movable.clone(),
                 nodes: candidates.clone(),
-                cpu_capacities: candidates.iter().map(|n| free_cpu[n]).collect(),
-                mem_capacities: candidates.iter().map(|n| free_mem[n]).collect(),
+                capacities: candidates.iter().map(|n| free[n]).collect(),
                 incumbent: incumbent.clone(),
                 restarts: config.restart_scale.map(RestartPolicy::luby),
             };
@@ -686,8 +723,9 @@ impl PlanOptimizer {
                 // First-Fit-Decreasing packing (the decision module proved
                 // the states fit, so this normally succeeds).
                 repair.fell_back_to_full = true;
-                let placement = FirstFitDecreasing::pack_all(current, &must_run)
-                    .ok_or(OptimizerError::NoViablePlacement)?;
+                let placement =
+                    FirstFitDecreasing::pack_all_policy(current, &must_run, self.packing)
+                        .ok_or(OptimizerError::NoViablePlacement)?;
                 let target = Self::build_target(current, decision, vjobs, &placement)?;
                 let plan = self.planner.plan(current, &target, vjobs)?;
                 let cost = self.cost_model.plan_cost(&plan);
@@ -762,47 +800,40 @@ impl PlanOptimizer {
         current: &Configuration,
         movable: &[VmId],
         candidates: &[NodeId],
-        free_cpu: &BTreeMap<NodeId, u64>,
-        free_mem: &BTreeMap<NodeId, u64>,
+        free: &BTreeMap<NodeId, ResourceDemand>,
     ) -> Option<Vec<u32>> {
         let index: BTreeMap<NodeId, u32> = candidates
             .iter()
             .enumerate()
             .map(|(i, &n)| (n, i as u32))
             .collect();
-        let mut cpu_left: Vec<u64> = candidates.iter().map(|n| free_cpu[n]).collect();
-        let mut mem_left: Vec<u64> = candidates.iter().map(|n| free_mem[n]).collect();
+        let mut left: Vec<ResourceDemand> = candidates.iter().map(|n| free[n]).collect();
 
         // Largest VMs first, exactly like the FFD heuristic.
         let mut order: Vec<usize> = (0..movable.len()).collect();
         order.sort_by_key(|&i| {
-            let vm = current.vm(movable[i]).expect("vm exists");
+            let d = self.packing.packing_demand(current, movable[i]);
             (
-                std::cmp::Reverse((vm.memory.raw(), vm.cpu.raw())),
+                std::cmp::Reverse((d.memory.raw(), d.cpu.raw(), d.net.raw())),
                 movable[i].0,
             )
         });
 
         let mut chosen: Vec<Option<u32>> = vec![None; movable.len()];
         for i in order {
-            let vm = current.vm(movable[i]).expect("vm exists");
-            let (cpu, mem) = (vm.cpu.raw() as u64, vm.memory.raw());
+            let demand = self.packing.packing_demand(current, movable[i]);
             let assignment = current.assignment(movable[i]).expect("vm exists");
             let anchor = match assignment.state {
                 VmState::Running => assignment.host,
                 VmState::Sleeping => assignment.image,
                 _ => None,
             };
-            let fits = |slot: usize, cpu_left: &[u64], mem_left: &[u64]| {
-                cpu_left[slot] >= cpu && mem_left[slot] >= mem
-            };
             let slot = anchor
                 .and_then(|n| index.get(&n).copied())
                 .map(|s| s as usize)
-                .filter(|&s| fits(s, &cpu_left, &mem_left))
-                .or_else(|| (0..candidates.len()).find(|&s| fits(s, &cpu_left, &mem_left)))?;
-            cpu_left[slot] -= cpu;
-            mem_left[slot] -= mem;
+                .filter(|&s| demand.fits_in(&left[s]))
+                .or_else(|| (0..candidates.len()).find(|&s| demand.fits_in(&left[s])))?;
+            left[slot] = left[slot].saturating_sub(&demand);
             chosen[i] = Some(index[&candidates[slot]]);
         }
         chosen.into_iter().collect()
@@ -818,7 +849,7 @@ impl PlanOptimizer {
         vjobs: &[Vjob],
     ) -> Result<OptimizedOutcome, OptimizerError> {
         let must_run = Self::vms_to_run(decision, vjobs);
-        let placement = FirstFitDecreasing::pack_all(current, &must_run)
+        let placement = FirstFitDecreasing::pack_all_policy(current, &must_run, self.packing)
             .ok_or(OptimizerError::NoViablePlacement)?;
         let target = Self::build_target(current, decision, vjobs, &placement)?;
         let plan = self.planner.plan(current, &target, vjobs)?;
@@ -1231,6 +1262,53 @@ mod tests {
         let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
         let repair = outcome.repair.expect("repair stats");
         assert_eq!(repair.widenings, 0, "the CPU-rich node must rank first");
+        assert!(!repair.fell_back_to_full);
+        assert_eq!(outcome.target.host(VmId(0)).unwrap(), Some(NodeId(4)));
+        assert!(outcome.target.is_viable());
+    }
+
+    #[test]
+    fn repair_halo_ranks_by_network_when_net_scarce() {
+        // The network mirror of `repair_halo_ranks_by_the_scarce_resource`:
+        // a net-skewed sub-problem — the movable VM pushes 800 Mbps but
+        // needs almost no CPU or memory.  Four memory-rich nodes with a
+        // saturated-looking 100 Mbps of NIC headroom surround one NIC-rich
+        // node.  A memory (or blended) ranking pulls the memory-rich nodes
+        // into the halo first and has to widen before reaching the only
+        // node with bandwidth; ranking by the scarcest dimension (network
+        // here) must find it without any widening.
+        use cwcs_model::NetBandwidth;
+        let mut c = Configuration::new();
+        for i in 0..4 {
+            c.add_node(
+                Node::new(NodeId(i), CpuCapacity::cores(8), MemoryMib::gib(64))
+                    .with_net(NetBandwidth::mbps(100)),
+            )
+            .unwrap();
+        }
+        c.add_node(
+            Node::new(NodeId(4), CpuCapacity::cores(2), MemoryMib::gib(2))
+                .with_net(NetBandwidth::gbps(1)),
+        )
+        .unwrap();
+        c.add_vm(
+            Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::percent(10))
+                .with_net(NetBandwidth::mbps(800)),
+        )
+        .unwrap();
+        let vjobs = vec![Vjob::new(VjobId(0), vec![VmId(0)], 0)];
+        let decision = decide(&c, &vjobs);
+        assert_eq!(decision.vjob_states[&VjobId(0)], VjobState::Running);
+
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5)).with_mode(
+            OptimizerMode::Repair(RepairConfig {
+                halo: 1,
+                restart_scale: Some(256),
+            }),
+        );
+        let outcome = optimizer.optimize(&c, &decision, &vjobs).unwrap();
+        let repair = outcome.repair.expect("repair stats");
+        assert_eq!(repair.widenings, 0, "the NIC-rich node must rank first");
         assert!(!repair.fell_back_to_full);
         assert_eq!(outcome.target.host(VmId(0)).unwrap(), Some(NodeId(4)));
         assert!(outcome.target.is_viable());

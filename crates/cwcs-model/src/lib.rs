@@ -1,17 +1,19 @@
 //! # cwcs-model — data model for cluster-wide context switches
 //!
 //! This crate defines the vocabulary shared by every other crate of the
-//! workspace: physical **nodes** with CPU and memory capacities, **virtual
-//! machines** with CPU and memory demands, **virtualized jobs** (vjobs) that
-//! group VMs and follow the life cycle of Figure 2 of the paper
-//! (Waiting → Running ⇄ Sleeping → Terminated), and **configurations** that
-//! map every VM to a state and, for running VMs, a hosting node.
+//! workspace: physical **nodes** with per-dimension capacities (CPU, memory,
+//! NIC bandwidth), **virtual machines** with the matching demands,
+//! **virtualized jobs** (vjobs) that group VMs and follow the life cycle of
+//! Figure 2 of the paper (Waiting → Running ⇄ Sleeping → Terminated), and
+//! **configurations** that map every VM to a state and, for running VMs, a
+//! hosting node.  Capacities and demands are [`ResourceVector`]s — see
+//! [`resources`] for the dimension model and how to extend it.
 //!
-//! A configuration is *viable* when every node can satisfy the CPU and memory
-//! demands of the running VMs it hosts.  Viability is the invariant that the
-//! reconfiguration planner (`cwcs-plan`) maintains at every intermediate step
-//! of a cluster-wide context switch and that the optimizer (`cwcs-core`)
-//! enforces on the target configuration.
+//! A configuration is *viable* when every node can satisfy, on every
+//! resource dimension, the demands of the running VMs it hosts.  Viability
+//! is the invariant that the reconfiguration planner (`cwcs-plan`) maintains
+//! at every intermediate step of a cluster-wide context switch and that the
+//! optimizer (`cwcs-core`) enforces on the target configuration.
 //!
 //! The types here are deliberately plain data: they carry no behaviour tied
 //! to a particular hypervisor, monitoring system or scheduler, so that the
@@ -28,7 +30,10 @@ pub mod vm;
 pub use configuration::{Configuration, ConfigurationDelta, VmAssignment};
 pub use error::ModelError;
 pub use node::{Node, NodeId};
-pub use resources::{CpuCapacity, MemoryMib, ResourceDemand, ResourceUsage};
+pub use resources::{
+    CpuCapacity, Dimension, MemoryMib, NetBandwidth, ResourceDemand, ResourceUsage, ResourceVector,
+    CPU_UNIT, NUM_RESOURCE_DIMENSIONS,
+};
 pub use rng::SmallRng;
 pub use vjob::{Vjob, VjobId, VjobState};
 pub use vm::{Vm, VmId, VmState};

@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use crate::resources::{CpuCapacity, MemoryMib, ResourceDemand};
+use crate::resources::{CpuCapacity, MemoryMib, NetBandwidth, ResourceDemand};
 
 /// Identifier of a working node, unique across the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -18,10 +18,13 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// A working node: a name and CPU/memory capacities.
+/// A working node: a name and per-dimension capacities.
 ///
-/// The capacities are the quantities the paper calls `Cc(ni)` (processing
-/// units) and `Cm(ni)` (memory) for a node `ni`.
+/// The CPU and memory capacities are the quantities the paper calls `Cc(ni)`
+/// (processing units) and `Cm(ni)` (memory) for a node `ni`; the network
+/// capacity (`Cn`) is the usable NIC bandwidth, zero by default so that the
+/// paper's 2-dimensional scenarios are unaffected (every VM demands zero
+/// bandwidth there too).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// Unique identifier.
@@ -34,17 +37,22 @@ pub struct Node {
     /// (512 MiB) before exposing the capacity; generators in `cwcs-workload`
     /// do the same.
     pub memory: MemoryMib,
+    /// NIC bandwidth capacity (`Cn`).  Zero unless the scenario models the
+    /// network dimension.
+    pub net: NetBandwidth,
 }
 
 impl Node {
-    /// Build a node with the given identifier and capacities.  The name
-    /// defaults to `node-<id>`.
+    /// Build a node with the given identifier and legacy (CPU, memory)
+    /// capacities; the NIC capacity is zero.  The name defaults to
+    /// `node-<id>`.
     pub fn new(id: NodeId, cpu: CpuCapacity, memory: MemoryMib) -> Self {
         Node {
             id,
             name: format!("node-{}", id.0),
             cpu,
             memory,
+            net: NetBandwidth::ZERO,
         }
     }
 
@@ -54,9 +62,15 @@ impl Node {
         self
     }
 
-    /// The node capacity as a 2-dimensional resource vector.
+    /// Set the NIC bandwidth capacity.
+    pub fn with_net(mut self, net: NetBandwidth) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// The node capacity as an N-dimensional resource vector.
     pub fn capacity(&self) -> ResourceDemand {
-        ResourceDemand::new(self.cpu, self.memory)
+        ResourceDemand::new(self.cpu, self.memory).with_net(self.net)
     }
 
     /// The homogeneous node used throughout the paper's simulated
@@ -82,6 +96,14 @@ mod tests {
         let n = Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4));
         assert_eq!(n.capacity().cpu, CpuCapacity::cores(2));
         assert_eq!(n.capacity().memory, MemoryMib::gib(4));
+        assert_eq!(n.capacity().net, NetBandwidth::ZERO);
+    }
+
+    #[test]
+    fn node_net_capacity_flows_into_the_vector() {
+        let n = Node::new(NodeId(0), CpuCapacity::cores(2), MemoryMib::gib(4))
+            .with_net(NetBandwidth::gbps(1));
+        assert_eq!(n.capacity().net, NetBandwidth::mbps(1000));
     }
 
     #[test]

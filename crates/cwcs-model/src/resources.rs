@@ -1,14 +1,43 @@
-//! Resource quantities: processing units and memory.
+//! Resource quantities and the generalized N-dimensional resource vector.
 //!
 //! The paper models two resource dimensions (Section 3.2): the **capacity of
 //! processing units** of a node and its **memory capacity**, against the CPU
-//! and memory **demands** of the VMs it hosts.  Finding a viable
-//! configuration is a 2-dimensional bin-packing / multiple-knapsack problem
-//! over these two dimensions.
+//! and memory **demands** of the VMs it hosts.  Real virtualized clusters are
+//! frequently network- or disk-bound as well, so this module generalizes the
+//! pair to a fixed small-N [`ResourceVector`] — currently CPU, memory and
+//! **network bandwidth** — indexed by [`Dimension`].  Finding a viable
+//! configuration is then an N-dimensional bin-packing / multiple-knapsack
+//! problem: one capacity constraint per dimension.
 //!
-//! CPU is counted in *processing units* scaled by [`CPU_UNIT`], so that a VM
-//! may demand a fraction of a core (an idle NAS-Grid VM demands close to
-//! zero, a computing VM demands one full unit).  Memory is counted in MiB.
+//! Units per dimension:
+//!
+//! * **CPU** is counted in *processing units* scaled by [`CPU_UNIT`], so that
+//!   a VM may demand a fraction of a core (an idle NAS-Grid VM demands close
+//!   to zero, a computing VM demands one full unit).
+//! * **Memory** is counted in MiB.
+//! * **Network** is counted in Mbit/s of NIC bandwidth ([`NetBandwidth`]).
+//!
+//! # Adding a dimension
+//!
+//! The stack is generic over [`Dimension::ALL`]: viability checks
+//! ([`ResourceVector::fits_in`]), the First-Fit-Decreasing packer, the
+//! solver's per-dimension packing constraints and the repair halo's
+//! scarcest-dimension ranking all iterate the dimensions instead of naming
+//! them.  To add a dimension (e.g. disk I/O):
+//!
+//! 1. add a typed quantity (like [`NetBandwidth`]) and a field on
+//!    [`ResourceVector`];
+//! 2. add the [`Dimension`] variant and extend [`Dimension::ALL`],
+//!    [`ResourceVector::dims`], [`ResourceVector::from_dims`] and
+//!    [`ResourceVector::get`];
+//! 3. give nodes a capacity and VMs a demand for it (see [`crate::Node`] and
+//!    [`crate::Vm`]).
+//!
+//! Everything downstream — packing, halo ranking, overload accounting —
+//! picks the new dimension up without further changes.  A dimension whose
+//! demands are all zero is inert: the vector behaves bit-identically to the
+//! legacy (CPU, memory) pair, which is what keeps the paper's 2-dimensional
+//! experiments unchanged.
 
 use std::fmt;
 use std::iter::Sum;
@@ -17,6 +46,53 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// Scale factor of one processing unit: a full core is `CPU_UNIT` capacity
 /// points, so demands can be expressed with 1% granularity.
 pub const CPU_UNIT: u32 = 100;
+
+/// Number of resource dimensions of a [`ResourceVector`].
+pub const NUM_RESOURCE_DIMENSIONS: usize = 3;
+
+/// One resource dimension of the packing model.
+///
+/// The first two dimensions are the paper's original (CPU, memory) pair; the
+/// third is the per-node NIC bandwidth.  Algorithms iterate
+/// [`Dimension::ALL`] so that adding a dimension does not require touching
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dimension {
+    /// Processing units, in hundredths of a unit (`Cc` / `Dc`).
+    Cpu,
+    /// Memory, in MiB (`Cm` / `Dm`).
+    Memory,
+    /// Network bandwidth, in Mbit/s.
+    Network,
+}
+
+impl Dimension {
+    /// Every dimension, in packing order (the legacy pair first).
+    pub const ALL: [Dimension; NUM_RESOURCE_DIMENSIONS] =
+        [Dimension::Cpu, Dimension::Memory, Dimension::Network];
+
+    /// Index of this dimension inside [`ResourceVector::dims`].
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// True for the paper's original (CPU, memory) pair.  The solver posts a
+    /// packing constraint for legacy dimensions unconditionally, and for the
+    /// others only when some demand is nonzero, so the N=2 search is
+    /// bit-identical to the historical model.
+    pub const fn is_legacy(self) -> bool {
+        matches!(self, Dimension::Cpu | Dimension::Memory)
+    }
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Dimension::Cpu => "cpu",
+            Dimension::Memory => "mem",
+            Dimension::Network => "net",
+        }
+    }
+}
 
 /// CPU capacity or demand, in hundredths of a processing unit.
 ///
@@ -178,73 +254,219 @@ impl fmt::Display for MemoryMib {
     }
 }
 
-/// A two-dimensional resource demand (CPU, memory), the quantity the paper
-/// calls `Dc(vj)` and `Dm(vj)` for a VM `vj`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct ResourceDemand {
-    /// CPU demand in hundredths of a processing unit.
-    pub cpu: CpuCapacity,
-    /// Memory demand in MiB.
-    pub memory: MemoryMib,
-}
+/// Network bandwidth capacity or demand, in Mbit/s.
+///
+/// For a node this is the usable NIC bandwidth (`Cn`); for a VM it is the
+/// sustained bandwidth its application currently pushes (`Dn`), e.g. during
+/// the transfer phases of a NAS-Grid data-flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NetBandwidth(pub u64);
 
-impl ResourceDemand {
-    /// No demand at all.
-    pub const ZERO: ResourceDemand = ResourceDemand {
-        cpu: CpuCapacity::ZERO,
-        memory: MemoryMib::ZERO,
-    };
+impl NetBandwidth {
+    /// Zero network demand.
+    pub const ZERO: NetBandwidth = NetBandwidth(0);
 
-    /// Build a demand from a CPU and a memory quantity.
-    pub const fn new(cpu: CpuCapacity, memory: MemoryMib) -> Self {
-        ResourceDemand { cpu, memory }
+    /// Bandwidth expressed in Mbit/s.
+    pub const fn mbps(n: u64) -> Self {
+        NetBandwidth(n)
     }
 
-    /// True when both dimensions of this demand fit in `capacity`.
-    pub fn fits_in(&self, capacity: &ResourceDemand) -> bool {
-        self.cpu.fits_in(capacity.cpu) && self.memory.fits_in(capacity.memory)
+    /// Bandwidth expressed in Gbit/s.
+    pub const fn gbps(n: u64) -> Self {
+        NetBandwidth(n * 1000)
+    }
+
+    /// Raw value in Mbit/s.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction, useful when computing remaining capacity.
+    pub fn saturating_sub(self, other: NetBandwidth) -> NetBandwidth {
+        NetBandwidth(self.0.saturating_sub(other.0))
+    }
+
+    /// True when this demand fits in `capacity`.
+    pub fn fits_in(self, capacity: NetBandwidth) -> bool {
+        self.0 <= capacity.0
+    }
+}
+
+impl Add for NetBandwidth {
+    type Output = NetBandwidth;
+    fn add(self, rhs: NetBandwidth) -> NetBandwidth {
+        NetBandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for NetBandwidth {
+    fn add_assign(&mut self, rhs: NetBandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for NetBandwidth {
+    type Output = NetBandwidth;
+    fn sub(self, rhs: NetBandwidth) -> NetBandwidth {
+        NetBandwidth(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for NetBandwidth {
+    fn sub_assign(&mut self, rhs: NetBandwidth) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for NetBandwidth {
+    fn sum<I: Iterator<Item = NetBandwidth>>(iter: I) -> NetBandwidth {
+        iter.fold(NetBandwidth::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for NetBandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000 && self.0 % 1000 == 0 {
+            write!(f, "{}Gbps", self.0 / 1000)
+        } else {
+            write!(f, "{}Mbps", self.0)
+        }
+    }
+}
+
+/// An N-dimensional resource quantity: the generalized form of the paper's
+/// `(Dc, Dm)` demand pair, extended with network bandwidth.
+///
+/// The typed fields give ergonomic access to the individual dimensions;
+/// [`ResourceVector::dims`], [`ResourceVector::from_dims`] and
+/// [`ResourceVector::get`] expose the same data as a fixed small-N array so
+/// that packing algorithms can iterate [`Dimension::ALL`] instead of naming
+/// dimensions.  All algebra (`fits_in`, addition, saturating subtraction,
+/// component-wise max) is implemented over the array view, so it extends
+/// automatically with the dimension count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceVector {
+    /// CPU, in hundredths of a processing unit (`Dc` / `Cc`).
+    pub cpu: CpuCapacity,
+    /// Memory, in MiB (`Dm` / `Cm`).
+    pub memory: MemoryMib,
+    /// Network bandwidth, in Mbit/s (`Dn` / `Cn`).
+    pub net: NetBandwidth,
+}
+
+/// The historical name of the 2-dimensional demand vector; every layer now
+/// works on the generalized [`ResourceVector`].
+pub type ResourceDemand = ResourceVector;
+
+impl ResourceVector {
+    /// No demand at all.
+    pub const ZERO: ResourceVector = ResourceVector {
+        cpu: CpuCapacity::ZERO,
+        memory: MemoryMib::ZERO,
+        net: NetBandwidth::ZERO,
+    };
+
+    /// Build a vector from the legacy (CPU, memory) pair; the network
+    /// dimension is zero.
+    pub const fn new(cpu: CpuCapacity, memory: MemoryMib) -> Self {
+        ResourceVector {
+            cpu,
+            memory,
+            net: NetBandwidth::ZERO,
+        }
+    }
+
+    /// Replace the network dimension.
+    pub const fn with_net(mut self, net: NetBandwidth) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// The vector as a fixed array, indexed by [`Dimension::index`].
+    pub const fn dims(&self) -> [u64; NUM_RESOURCE_DIMENSIONS] {
+        [self.cpu.0 as u64, self.memory.0, self.net.0]
+    }
+
+    /// Rebuild a vector from its array form.
+    ///
+    /// The CPU dimension is stored in 32 bits; a larger value saturates
+    /// (real capacities are far below `u32::MAX` hundredths of a unit).
+    pub fn from_dims(dims: [u64; NUM_RESOURCE_DIMENSIONS]) -> Self {
+        ResourceVector {
+            cpu: CpuCapacity(u32::try_from(dims[Dimension::Cpu.index()]).unwrap_or(u32::MAX)),
+            memory: MemoryMib(dims[Dimension::Memory.index()]),
+            net: NetBandwidth(dims[Dimension::Network.index()]),
+        }
+    }
+
+    /// Raw value of one dimension.
+    pub const fn get(&self, dim: Dimension) -> u64 {
+        self.dims()[dim.index()]
+    }
+
+    /// True when every dimension of this demand fits in `capacity`.
+    pub fn fits_in(&self, capacity: &ResourceVector) -> bool {
+        let (a, b) = (self.dims(), capacity.dims());
+        Dimension::ALL.iter().all(|d| a[d.index()] <= b[d.index()])
     }
 
     /// Component-wise saturating subtraction.
-    pub fn saturating_sub(&self, other: &ResourceDemand) -> ResourceDemand {
-        ResourceDemand {
-            cpu: self.cpu.saturating_sub(other.cpu),
-            memory: self.memory.saturating_sub(other.memory),
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        let (mut a, b) = (self.dims(), other.dims());
+        for d in Dimension::ALL {
+            a[d.index()] = a[d.index()].saturating_sub(b[d.index()]);
         }
+        ResourceVector::from_dims(a)
     }
 
-    /// True when both dimensions are zero.
+    /// Component-wise maximum (used to combine observed demands with
+    /// reservations).
+    pub fn component_max(&self, other: &ResourceVector) -> ResourceVector {
+        let (mut a, b) = (self.dims(), other.dims());
+        for d in Dimension::ALL {
+            a[d.index()] = a[d.index()].max(b[d.index()]);
+        }
+        ResourceVector::from_dims(a)
+    }
+
+    /// True when every dimension is zero.
     pub fn is_zero(&self) -> bool {
-        self.cpu == CpuCapacity::ZERO && self.memory == MemoryMib::ZERO
+        self.dims().iter().all(|&v| v == 0)
     }
 }
 
-impl Add for ResourceDemand {
-    type Output = ResourceDemand;
-    fn add(self, rhs: ResourceDemand) -> ResourceDemand {
-        ResourceDemand {
-            cpu: self.cpu + rhs.cpu,
-            memory: self.memory + rhs.memory,
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        let (mut a, b) = (self.dims(), rhs.dims());
+        for d in Dimension::ALL {
+            a[d.index()] += b[d.index()];
         }
+        ResourceVector::from_dims(a)
     }
 }
 
-impl AddAssign for ResourceDemand {
-    fn add_assign(&mut self, rhs: ResourceDemand) {
-        self.cpu += rhs.cpu;
-        self.memory += rhs.memory;
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
     }
 }
 
-impl Sum for ResourceDemand {
-    fn sum<I: Iterator<Item = ResourceDemand>>(iter: I) -> ResourceDemand {
-        iter.fold(ResourceDemand::ZERO, |acc, x| acc + x)
+impl Sum for ResourceVector {
+    fn sum<I: Iterator<Item = ResourceVector>>(iter: I) -> ResourceVector {
+        iter.fold(ResourceVector::ZERO, |acc, x| acc + x)
     }
 }
 
-impl fmt::Display for ResourceDemand {
+impl fmt::Display for ResourceVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {})", self.cpu, self.memory)
+        // The network dimension only prints when it carries something, so the
+        // legacy 2-dimensional output is unchanged.
+        if self.net == NetBandwidth::ZERO {
+            write!(f, "({}, {})", self.cpu, self.memory)
+        } else {
+            write!(f, "({}, {}, {})", self.cpu, self.memory, self.net)
+        }
     }
 }
 
@@ -253,63 +475,71 @@ impl fmt::Display for ResourceDemand {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ResourceUsage {
     /// Total demand of the hosted running VMs.
-    pub used: ResourceDemand,
+    pub used: ResourceVector,
     /// Capacity of the node.
-    pub capacity: ResourceDemand,
+    pub capacity: ResourceVector,
 }
 
 impl ResourceUsage {
     /// Build a usage report for a node of the given capacity with nothing on
     /// it yet.
-    pub fn empty(capacity: ResourceDemand) -> Self {
+    pub fn empty(capacity: ResourceVector) -> Self {
         ResourceUsage {
-            used: ResourceDemand::ZERO,
+            used: ResourceVector::ZERO,
             capacity,
         }
     }
 
     /// Remaining free resources (component-wise, saturating at zero).
-    pub fn free(&self) -> ResourceDemand {
+    pub fn free(&self) -> ResourceVector {
         self.capacity.saturating_sub(&self.used)
     }
 
-    /// True when the used amount does not exceed the capacity on either
+    /// True when the used amount does not exceed the capacity on any
     /// dimension.
     pub fn is_within_capacity(&self) -> bool {
         self.used.fits_in(&self.capacity)
     }
 
     /// True when `demand` can be added without exceeding the capacity.
-    pub fn can_host(&self, demand: &ResourceDemand) -> bool {
+    pub fn can_host(&self, demand: &ResourceVector) -> bool {
         (self.used + *demand).fits_in(&self.capacity)
     }
 
     /// Account for an extra hosted demand.
-    pub fn add(&mut self, demand: &ResourceDemand) {
+    pub fn add(&mut self, demand: &ResourceVector) {
         self.used += *demand;
     }
 
     /// Remove a previously hosted demand (saturating).
-    pub fn remove(&mut self, demand: &ResourceDemand) {
+    pub fn remove(&mut self, demand: &ResourceVector) {
         self.used = self.used.saturating_sub(demand);
+    }
+
+    /// Utilization ratio of one dimension in `[0, +inf)`, 1.0 meaning fully
+    /// used (a zero-capacity dimension reports 0).
+    pub fn ratio(&self, dim: Dimension) -> f64 {
+        let capacity = self.capacity.get(dim);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.used.get(dim) as f64 / capacity as f64
+        }
     }
 
     /// CPU utilization ratio in `[0, +inf)`, 1.0 meaning fully used.
     pub fn cpu_ratio(&self) -> f64 {
-        if self.capacity.cpu.raw() == 0 {
-            0.0
-        } else {
-            self.used.cpu.raw() as f64 / self.capacity.cpu.raw() as f64
-        }
+        self.ratio(Dimension::Cpu)
     }
 
     /// Memory utilization ratio in `[0, +inf)`, 1.0 meaning fully used.
     pub fn memory_ratio(&self) -> f64 {
-        if self.capacity.memory.raw() == 0 {
-            0.0
-        } else {
-            self.used.memory.raw() as f64 / self.capacity.memory.raw() as f64
-        }
+        self.ratio(Dimension::Memory)
+    }
+
+    /// Network utilization ratio in `[0, +inf)`, 1.0 meaning fully used.
+    pub fn net_ratio(&self) -> f64 {
+        self.ratio(Dimension::Network)
     }
 }
 
@@ -348,11 +578,50 @@ mod tests {
     }
 
     #[test]
+    fn net_arithmetic() {
+        let a = NetBandwidth::gbps(1);
+        let b = NetBandwidth::mbps(250);
+        assert_eq!((a + b).raw(), 1250);
+        assert_eq!((a - b).raw(), 750);
+        assert_eq!(b.saturating_sub(a), NetBandwidth::ZERO);
+        assert!(b.fits_in(a));
+        assert!(!a.fits_in(b));
+        let total: NetBandwidth = [b, b].into_iter().sum();
+        assert_eq!(total.raw(), 500);
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(CpuCapacity::cores(2).to_string(), "2pu");
         assert_eq!(CpuCapacity::percent(50).to_string(), "0.50pu");
         assert_eq!(MemoryMib::gib(2).to_string(), "2GiB");
         assert_eq!(MemoryMib::mib(512).to_string(), "512MiB");
+        assert_eq!(NetBandwidth::gbps(1).to_string(), "1Gbps");
+        assert_eq!(NetBandwidth::mbps(150).to_string(), "150Mbps");
+    }
+
+    #[test]
+    fn vector_display_hides_a_zero_net_dimension() {
+        let legacy = ResourceVector::new(CpuCapacity::cores(2), MemoryMib::gib(4));
+        assert_eq!(legacy.to_string(), "(2pu, 4GiB)");
+        let netful = legacy.with_net(NetBandwidth::mbps(500));
+        assert_eq!(netful.to_string(), "(2pu, 4GiB, 500Mbps)");
+    }
+
+    #[test]
+    fn dimension_round_trip() {
+        let v = ResourceVector::new(CpuCapacity::percent(150), MemoryMib::mib(768))
+            .with_net(NetBandwidth::mbps(200));
+        assert_eq!(v.get(Dimension::Cpu), 150);
+        assert_eq!(v.get(Dimension::Memory), 768);
+        assert_eq!(v.get(Dimension::Network), 200);
+        assert_eq!(ResourceVector::from_dims(v.dims()), v);
+        for (i, d) in Dimension::ALL.into_iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+        assert!(Dimension::Cpu.is_legacy());
+        assert!(Dimension::Memory.is_legacy());
+        assert!(!Dimension::Network.is_legacy());
     }
 
     #[test]
@@ -365,12 +634,27 @@ mod tests {
     }
 
     #[test]
-    fn demand_fits_requires_both_dimensions() {
-        let node = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(1));
+    fn demand_fits_requires_every_dimension() {
+        let node = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(1))
+            .with_net(NetBandwidth::mbps(100));
         let cpu_heavy = ResourceDemand::new(CpuCapacity::cores(3), MemoryMib::mib(128));
         let mem_heavy = ResourceDemand::new(CpuCapacity::percent(10), MemoryMib::gib(2));
+        let net_heavy = ResourceDemand::new(CpuCapacity::percent(10), MemoryMib::mib(128))
+            .with_net(NetBandwidth::mbps(200));
         assert!(!cpu_heavy.fits_in(&node));
         assert!(!mem_heavy.fits_in(&node));
+        assert!(!net_heavy.fits_in(&node));
+    }
+
+    #[test]
+    fn component_max_combines_dimensions() {
+        let observed = ResourceVector::new(CpuCapacity::percent(10), MemoryMib::gib(1));
+        let reserved = ResourceVector::new(CpuCapacity::cores(1), MemoryMib::mib(512))
+            .with_net(NetBandwidth::mbps(50));
+        let combined = observed.component_max(&reserved);
+        assert_eq!(combined.cpu, CpuCapacity::cores(1));
+        assert_eq!(combined.memory, MemoryMib::gib(1));
+        assert_eq!(combined.net, NetBandwidth::mbps(50));
     }
 
     #[test]
@@ -390,6 +674,22 @@ mod tests {
     }
 
     #[test]
+    fn usage_tracks_the_net_dimension() {
+        let cap = ResourceDemand::new(CpuCapacity::cores(8), MemoryMib::gib(64))
+            .with_net(NetBandwidth::gbps(1));
+        let mut usage = ResourceUsage::empty(cap);
+        let vm = ResourceDemand::new(CpuCapacity::cores(1), MemoryMib::gib(1))
+            .with_net(NetBandwidth::mbps(600));
+        usage.add(&vm);
+        assert!(usage.is_within_capacity());
+        assert!(
+            !usage.can_host(&vm),
+            "the NIC is the binding dimension: CPU and memory have room"
+        );
+        assert!((usage.net_ratio() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
     fn usage_ratios() {
         let cap = ResourceDemand::new(CpuCapacity::cores(2), MemoryMib::gib(4));
         let mut usage = ResourceUsage::empty(cap);
@@ -406,5 +706,6 @@ mod tests {
         let usage = ResourceUsage::empty(ResourceDemand::ZERO);
         assert_eq!(usage.cpu_ratio(), 0.0);
         assert_eq!(usage.memory_ratio(), 0.0);
+        assert_eq!(usage.net_ratio(), 0.0);
     }
 }

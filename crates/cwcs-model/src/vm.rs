@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use crate::resources::{CpuCapacity, MemoryMib, ResourceDemand};
+use crate::resources::{CpuCapacity, MemoryMib, NetBandwidth, ResourceDemand};
 
 /// Identifier of a virtual machine, unique across the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,12 +90,21 @@ impl fmt::Display for VmState {
     }
 }
 
-/// A virtual machine: a name, a memory demand and a CPU demand.
+/// A virtual machine: a name and its per-dimension demands.
 ///
 /// The memory demand `Dm` drives the cost of migrations, suspends and
 /// resumes (Table 1 of the paper).  The CPU demand `Dc` is a full processing
 /// unit while the embedded application computes and (close to) zero when it
-/// idles; the monitoring service of `cwcs-sim` updates it over time.
+/// idles; the network demand `Dn` is the NIC bandwidth the application
+/// currently pushes.  The monitoring service of `cwcs-sim` updates the CPU
+/// and network demands over time.
+///
+/// The demands the VM was *created* with are kept as its **reservation**
+/// ([`Vm::reserved`]): a waiting VM observably demands nothing (it is not
+/// running yet), so packing it by observed demand overloads nodes for one
+/// iteration once the application starts.  Reserved-demand packing
+/// (`PackingPolicy::Reserved` in `cwcs-core`) sizes booting VMs by
+/// [`Vm::reserved_demand`] instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vm {
     /// Unique identifier.
@@ -108,17 +117,26 @@ pub struct Vm {
     /// Current CPU demand, in hundredths of a processing unit.  This is
     /// `Dc(vj)` in the paper.
     pub cpu: CpuCapacity,
+    /// Current network demand, in Mbit/s (`Dn`).  Zero unless the workload
+    /// models the network dimension.
+    pub net: NetBandwidth,
+    /// The demand vector the VM was created with — what a boot is expected
+    /// to consume once its application starts.
+    pub reserved: ResourceDemand,
 }
 
 impl Vm {
     /// Build a VM with the given identifier, memory allocation and CPU
-    /// demand.  The name defaults to `vm-<id>`.
+    /// demand (network demand zero).  The creation-time demands double as
+    /// the VM's reservation.  The name defaults to `vm-<id>`.
     pub fn new(id: VmId, memory: MemoryMib, cpu: CpuCapacity) -> Self {
         Vm {
             id,
             name: format!("vm-{}", id.0),
             memory,
             cpu,
+            net: NetBandwidth::ZERO,
+            reserved: ResourceDemand::new(cpu, memory),
         }
     }
 
@@ -128,9 +146,26 @@ impl Vm {
         self
     }
 
-    /// The 2-dimensional demand of this VM, used by viability checks.
+    /// Set the network demand (and the network reservation, since the
+    /// creation-time demand is the reservation).
+    pub fn with_net(mut self, net: NetBandwidth) -> Self {
+        self.net = net;
+        self.reserved.net = net;
+        self
+    }
+
+    /// The N-dimensional observed demand of this VM, used by viability
+    /// checks.
     pub fn demand(&self) -> ResourceDemand {
-        ResourceDemand::new(self.cpu, self.memory)
+        ResourceDemand::new(self.cpu, self.memory).with_net(self.net)
+    }
+
+    /// The demand a packer should budget for this VM when it boots: the
+    /// component-wise maximum of the observed demand and the creation-time
+    /// reservation.  For a VM whose observed demand never dropped below its
+    /// reservation this equals [`Vm::demand`].
+    pub fn reserved_demand(&self) -> ResourceDemand {
+        self.demand().component_max(&self.reserved)
     }
 
     /// True when the VM currently needs a full processing unit (it is
@@ -190,10 +225,29 @@ mod tests {
     }
 
     #[test]
-    fn vm_demand_combines_both_dimensions() {
+    fn vm_demand_combines_all_dimensions() {
         let v = vm(1024, 100);
         assert_eq!(v.demand().memory, MemoryMib::mib(1024));
         assert_eq!(v.demand().cpu, CpuCapacity::cores(1));
+        assert_eq!(v.demand().net, NetBandwidth::ZERO);
+        let v = v.with_net(NetBandwidth::mbps(200));
+        assert_eq!(v.demand().net, NetBandwidth::mbps(200));
+    }
+
+    #[test]
+    fn reservation_remembers_the_creation_demand() {
+        let mut v = vm(1024, 100).with_net(NetBandwidth::mbps(200));
+        // The monitor observes the VM idle (it has not booted yet): the
+        // observed demand drops, the reservation does not.
+        v.cpu = CpuCapacity::ZERO;
+        v.net = NetBandwidth::ZERO;
+        assert_eq!(v.demand().cpu, CpuCapacity::ZERO);
+        assert_eq!(v.reserved_demand().cpu, CpuCapacity::cores(1));
+        assert_eq!(v.reserved_demand().net, NetBandwidth::mbps(200));
+        assert_eq!(v.reserved_demand().memory, MemoryMib::mib(1024));
+        // A demand observed *above* the reservation wins.
+        v.cpu = CpuCapacity::percent(150);
+        assert_eq!(v.reserved_demand().cpu, CpuCapacity::percent(150));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Property-based tests of the generalized N-dimensional resource stack:
+//! the per-dimension semantics of `fits_in`, the algebra laws of the vector
+//! operations, and the guarantee that a vector whose network dimension is
+//! zero behaves exactly like the legacy (CPU, memory) pair.
+//!
+//! Exercised over seeded randomized vectors (the container has no crates.io
+//! access, so `proptest` is replaced by a deterministic [`SmallRng`] driver —
+//! same seed, same cases, every run).
+
+use cwcs_model::{
+    CpuCapacity, Dimension, MemoryMib, NetBandwidth, ResourceVector, SmallRng,
+    NUM_RESOURCE_DIMENSIONS,
+};
+
+const CASES: usize = 64;
+
+fn arbitrary_vector(rng: &mut SmallRng) -> ResourceVector {
+    ResourceVector::new(
+        CpuCapacity::percent(rng.u64_in(0, 1600) as u32),
+        MemoryMib::mib(rng.u64_in(0, 65536)),
+    )
+    .with_net(NetBandwidth::mbps(rng.u64_in(0, 10_000)))
+}
+
+/// A 2-dimensional vector: the legacy pair, with the net dimension zero.
+fn arbitrary_legacy(rng: &mut SmallRng) -> ResourceVector {
+    ResourceVector::new(
+        CpuCapacity::percent(rng.u64_in(0, 1600) as u32),
+        MemoryMib::mib(rng.u64_in(0, 65536)),
+    )
+}
+
+#[test]
+fn fits_in_iff_every_dimension_fits() {
+    let mut rng = SmallRng::seed_from_u64(0x00D1_F175);
+    for _ in 0..CASES {
+        let demand = arbitrary_vector(&mut rng);
+        let capacity = arbitrary_vector(&mut rng);
+        let per_dimension = Dimension::ALL
+            .iter()
+            .all(|&d| demand.get(d) <= capacity.get(d));
+        assert_eq!(
+            demand.fits_in(&capacity),
+            per_dimension,
+            "fits_in must be the conjunction of the per-dimension fits: \
+             {demand} vs {capacity}"
+        );
+    }
+}
+
+#[test]
+fn addition_is_commutative_associative_with_zero_identity() {
+    let mut rng = SmallRng::seed_from_u64(0x0A16_EB2A);
+    for _ in 0..CASES {
+        let a = arbitrary_vector(&mut rng);
+        let b = arbitrary_vector(&mut rng);
+        let c = arbitrary_vector(&mut rng);
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a + ResourceVector::ZERO, a);
+        // AddAssign agrees with Add.
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, a + b);
+        // Sum folds with Add from ZERO.
+        let summed: ResourceVector = [a, b, c].into_iter().sum();
+        assert_eq!(summed, a + b + c);
+        // Addition acts per dimension.
+        for d in Dimension::ALL {
+            assert_eq!((a + b).get(d), a.get(d) + b.get(d));
+        }
+    }
+}
+
+#[test]
+fn saturating_sub_laws() {
+    let mut rng = SmallRng::seed_from_u64(0x05AB_05AB);
+    for _ in 0..CASES {
+        let a = arbitrary_vector(&mut rng);
+        let b = arbitrary_vector(&mut rng);
+        let diff = a.saturating_sub(&b);
+        for d in Dimension::ALL {
+            assert_eq!(diff.get(d), a.get(d).saturating_sub(b.get(d)));
+        }
+        // (a + b) - b = a (no saturation can trigger).
+        assert_eq!((a + b).saturating_sub(&b), a);
+        // a - a = 0, and subtracting something bigger floors at zero.
+        assert_eq!(a.saturating_sub(&a), ResourceVector::ZERO);
+        assert!(a.saturating_sub(&(a + b)).fits_in(&ResourceVector::ZERO));
+        // The difference always fits back into the minuend.
+        assert!(diff.fits_in(&a));
+    }
+}
+
+#[test]
+fn component_max_is_the_per_dimension_maximum() {
+    let mut rng = SmallRng::seed_from_u64(0x00C0_77A1);
+    for _ in 0..CASES {
+        let a = arbitrary_vector(&mut rng);
+        let b = arbitrary_vector(&mut rng);
+        let m = a.component_max(&b);
+        for d in Dimension::ALL {
+            assert_eq!(m.get(d), a.get(d).max(b.get(d)));
+        }
+        assert!(a.fits_in(&m) && b.fits_in(&m));
+        assert_eq!(a.component_max(&a), a);
+    }
+}
+
+#[test]
+fn dims_round_trip_and_zero_detection() {
+    let mut rng = SmallRng::seed_from_u64(0x20DD);
+    for _ in 0..CASES {
+        let a = arbitrary_vector(&mut rng);
+        assert_eq!(ResourceVector::from_dims(a.dims()), a);
+        assert_eq!(a.is_zero(), a.dims() == [0; NUM_RESOURCE_DIMENSIONS]);
+    }
+    assert!(ResourceVector::ZERO.is_zero());
+}
+
+/// The guard of the whole refactor: with the net dimension zeroed, every
+/// vector operation must agree with the legacy hand-written 2-dimensional
+/// pair semantics (`cpu` and `memory` compared / added / subtracted
+/// independently, nothing else).
+#[test]
+fn net_zero_vectors_behave_like_the_legacy_pair() {
+    let mut rng = SmallRng::seed_from_u64(0x001E_6AC7);
+    for case in 0..CASES {
+        let a = arbitrary_legacy(&mut rng);
+        let b = arbitrary_legacy(&mut rng);
+
+        // Legacy 2-dimensional reference semantics.
+        let legacy_fits = a.cpu.raw() <= b.cpu.raw() && a.memory.raw() <= b.memory.raw();
+        assert_eq!(a.fits_in(&b), legacy_fits, "case {case}: fits_in drifted");
+
+        let sum = a + b;
+        assert_eq!(sum.cpu, a.cpu + b.cpu);
+        assert_eq!(sum.memory, a.memory + b.memory);
+        assert_eq!(sum.net, NetBandwidth::ZERO, "net stays inert");
+
+        let diff = a.saturating_sub(&b);
+        assert_eq!(diff.cpu, a.cpu.saturating_sub(b.cpu));
+        assert_eq!(diff.memory, a.memory.saturating_sub(b.memory));
+        assert_eq!(diff.net, NetBandwidth::ZERO);
+
+        assert_eq!(
+            a.is_zero(),
+            a.cpu == CpuCapacity::ZERO && a.memory == MemoryMib::ZERO
+        );
+
+        // The display of a legacy vector never mentions the net dimension.
+        assert!(
+            !a.to_string().contains("bps"),
+            "legacy display drifted: {a}"
+        );
+    }
+}

@@ -26,7 +26,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use cwcs_model::{Configuration, CpuCapacity, MemoryMib, NodeId, Vjob, VjobId, VmId, VmState};
+use cwcs_model::{
+    Configuration, CpuCapacity, MemoryMib, NetBandwidth, NodeId, Vjob, VjobId, VmId, VmState,
+};
 use cwcs_workload::{VjobSpec, VmWorkProfile};
 
 use crate::durations::{DurationModel, InterferenceModel};
@@ -136,6 +138,9 @@ pub struct UtilizationSample {
     /// capacity (can exceed 100% on an overloaded cluster, as in Figure
     /// 13(b)).
     pub cpu_percent: f64,
+    /// Network demand of running VMs as a percentage of the total cluster
+    /// NIC capacity (0 when the cluster models no network capacity).
+    pub net_percent: f64,
     /// Number of VMs in the Running state.
     pub running_vms: usize,
 }
@@ -454,8 +459,14 @@ impl SimulatedCluster {
         let state = self.configuration.state(vm);
         if let Ok(entry) = self.configuration.vm_mut(vm) {
             match state {
-                Ok(VmState::Running) => entry.cpu = vp.profile.demand_at(progress),
-                Ok(VmState::Waiting) => entry.cpu = CpuCapacity::ZERO,
+                Ok(VmState::Running) => {
+                    entry.cpu = vp.profile.demand_at(progress);
+                    entry.net = vp.profile.net_demand_at(progress);
+                }
+                Ok(VmState::Waiting) => {
+                    entry.cpu = CpuCapacity::ZERO;
+                    entry.net = NetBandwidth::ZERO;
+                }
                 _ => {}
             }
         }
@@ -658,17 +669,30 @@ impl SimulatedCluster {
     /// Sleeping VMs keep their last observed demand, which is what the
     /// decision module uses to decide whether they can be resumed.
     pub fn refresh_demands(&mut self) {
-        let updates: Vec<(VmId, CpuCapacity)> = self
+        let updates: Vec<(VmId, CpuCapacity, NetBandwidth)> = self
             .progress
             .iter()
-            .map(|(&vm, vp)| (vm, vp.profile.demand_at(self.effective_progress(vp))))
+            .map(|(&vm, vp)| {
+                let progress = self.effective_progress(vp);
+                (
+                    vm,
+                    vp.profile.demand_at(progress),
+                    vp.profile.net_demand_at(progress),
+                )
+            })
             .collect();
-        for (vm, cpu) in updates {
+        for (vm, cpu, net) in updates {
             let state = self.configuration.state(vm);
             if let Ok(entry) = self.configuration.vm_mut(vm) {
                 match state {
-                    Ok(VmState::Running) => entry.cpu = cpu,
-                    Ok(VmState::Waiting) => entry.cpu = CpuCapacity::ZERO,
+                    Ok(VmState::Running) => {
+                        entry.cpu = cpu;
+                        entry.net = net;
+                    }
+                    Ok(VmState::Waiting) => {
+                        entry.cpu = CpuCapacity::ZERO;
+                        entry.net = NetBandwidth::ZERO;
+                    }
                     // Sleeping / Terminated: keep the last observation.
                     _ => {}
                 }
@@ -680,23 +704,28 @@ impl SimulatedCluster {
     pub fn utilization(&self) -> UtilizationSample {
         let mut memory = MemoryMib::ZERO;
         let mut cpu: u64 = 0;
+        let mut net: u64 = 0;
         let mut running = 0;
         for vm in self.configuration.vms_in_state(VmState::Running) {
             let v = self.configuration.vm(vm).unwrap();
             memory += v.memory;
             cpu += v.cpu.raw() as u64;
+            net += v.net.raw();
             running += 1;
         }
         let capacity = self.configuration.total_capacity();
-        let cpu_percent = if capacity.cpu.raw() == 0 {
-            0.0
-        } else {
-            100.0 * cpu as f64 / capacity.cpu.raw() as f64
+        let percent_of = |used: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * used as f64 / total as f64
+            }
         };
         UtilizationSample {
             time_secs: self.clock_secs,
             memory_gib: memory.raw() as f64 / 1024.0,
-            cpu_percent,
+            cpu_percent: percent_of(cpu, capacity.cpu.raw() as u64),
+            net_percent: percent_of(net, capacity.net.raw()),
             running_vms: running,
         }
     }

@@ -23,7 +23,7 @@
 
 use cwcs_model::SmallRng;
 
-use cwcs_model::{CpuCapacity, MemoryMib, Vjob, VjobId, Vm, VmId};
+use cwcs_model::{CpuCapacity, MemoryMib, NetBandwidth, Vjob, VjobId, Vm, VmId, CPU_UNIT};
 
 use crate::profile::{VjobSpec, VmWorkProfile, WorkPhase};
 
@@ -96,7 +96,7 @@ impl NasGridClass {
 }
 
 /// A template describing one vjob to instantiate: graph kind, class, number
-/// of VMs and per-VM memory.
+/// of VMs, per-VM memory and (optionally) per-VM transfer bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NasGridTemplate {
     /// Data-flow graph.
@@ -107,6 +107,14 @@ pub struct NasGridTemplate {
     pub vm_count: usize,
     /// Memory allocated to each VM.
     pub memory_per_vm: MemoryMib,
+    /// NIC bandwidth each VM pushes during its transfer phases — the
+    /// communication (idle) phases that follow a computation, i.e. the
+    /// stage handoffs of the data-flow graph.  Leading waits (a chain VM
+    /// idling before its slot) push nothing; compute phases push a
+    /// twentieth of it (near-zero).  Zero — the default of the paper's
+    /// CPU/memory-bound templates — leaves every profile without network
+    /// demand.
+    pub net_per_vm: NetBandwidth,
 }
 
 impl NasGridTemplate {
@@ -130,6 +138,7 @@ impl NasGridTemplate {
                     class,
                     vm_count: 9,
                     memory_per_vm: memories[mem_index % memories.len()],
+                    net_per_vm: NetBandwidth::ZERO,
                 });
                 mem_index += 1;
             }
@@ -141,11 +150,19 @@ impl NasGridTemplate {
                     class,
                     vm_count: 18,
                     memory_per_vm: memories[mem_index % memories.len()],
+                    net_per_vm: NetBandwidth::ZERO,
                 });
                 mem_index += 1;
             }
         }
         templates
+    }
+
+    /// The same template with per-VM transfer bandwidth: the network-bound
+    /// variant of the data-flow graph.
+    pub fn with_network(mut self, net_per_vm: NetBandwidth) -> Self {
+        self.net_per_vm = net_per_vm;
+        self
     }
 
     /// Human-readable name, e.g. `ED.A.9`.
@@ -200,12 +217,9 @@ impl VjobTemplate {
             .iter()
             .enumerate()
             .map(|(i, &id)| {
-                Vm::new(id, template.memory_per_vm, CpuCapacity::ZERO).with_name(format!(
-                    "{}-{}-vm{}",
-                    template.name(),
-                    vjob_id.0,
-                    i
-                ))
+                Vm::new(id, template.memory_per_vm, CpuCapacity::ZERO)
+                    .with_net(template.net_per_vm)
+                    .with_name(format!("{}-{}-vm{}", template.name(), vjob_id.0, i))
             })
             .collect();
 
@@ -232,6 +246,44 @@ impl VjobTemplate {
     }
 
     fn profiles_for(&mut self, template: &NasGridTemplate) -> Vec<VmWorkProfile> {
+        let profiles = self.shape_profiles(template);
+        if template.net_per_vm == NetBandwidth::ZERO {
+            return profiles;
+        }
+        // Network-bound variant: the idle phases that *follow* a computation
+        // are the stage handoffs (the VM pushes its stage output downstream)
+        // and carry the full transfer bandwidth; the leading idles of a
+        // chain/pipeline graph are pure waits — the VM has produced nothing
+        // yet and transfers nothing.  Compute phases barely touch the NIC (a
+        // twentieth of the transfer bandwidth).
+        let compute_net = NetBandwidth::mbps(template.net_per_vm.raw() / 20);
+        profiles
+            .into_iter()
+            .map(|profile| {
+                let mut produced_output = false;
+                VmWorkProfile::new(
+                    profile
+                        .phases()
+                        .iter()
+                        .map(|phase| {
+                            let net = if phase.cpu_demand.raw() >= CPU_UNIT {
+                                produced_output = true;
+                                compute_net
+                            } else if produced_output {
+                                template.net_per_vm
+                            } else {
+                                NetBandwidth::ZERO
+                            };
+                            phase.with_net(net)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The CPU shape of the data-flow graph, without network demands.
+    fn shape_profiles(&mut self, template: &NasGridTemplate) -> Vec<VmWorkProfile> {
         let n = template.vm_count;
         let task = template.class.task_duration_secs();
         match template.kind {
@@ -335,6 +387,7 @@ mod tests {
             class: NasGridClass::W,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: NetBandwidth::ZERO,
         });
         for p in &spec.profiles {
             assert_eq!(p.demand_at(1.0), CpuCapacity::cores(1));
@@ -349,6 +402,7 @@ mod tests {
             class: NasGridClass::W,
             vm_count: 4,
             memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: NetBandwidth::ZERO,
         });
         // At t=1 only VM 0 computes; the others idle.
         let busy: usize = spec
@@ -359,6 +413,57 @@ mod tests {
         assert_eq!(busy, 1);
         // Later VMs carry more total "work" (their idle wait plus their task).
         assert!(spec.profiles[3].total_work_secs() > spec.profiles[0].total_work_secs());
+    }
+
+    #[test]
+    fn network_variant_marks_handoffs_not_leading_waits() {
+        // A 4-VM helical chain with 200 Mbps transfers: VM 3 idles through
+        // three slots before computing.  Those leading waits transfer
+        // nothing — only phases at or after the first computation carry
+        // network demand.
+        let template = NasGridTemplate {
+            kind: NasGridKind::Hc,
+            class: NasGridClass::W,
+            vm_count: 4,
+            memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: NetBandwidth::ZERO,
+        }
+        .with_network(NetBandwidth::mbps(200));
+        let spec = VjobTemplate::new(1).instantiate(&template);
+        let last = &spec.profiles[3];
+        assert_eq!(
+            last.net_demand_at(1.0),
+            NetBandwidth::ZERO,
+            "a chain VM waiting for its slot transfers nothing"
+        );
+        // A mixed-bag VM with compute / idle / compute phases: the middle
+        // idle follows a computation, so it is a handoff at full bandwidth,
+        // and the computes push the near-zero fraction.
+        let mb = NasGridTemplate {
+            kind: NasGridKind::Mb,
+            class: NasGridClass::W,
+            vm_count: 2,
+            memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: NetBandwidth::ZERO,
+        }
+        .with_network(NetBandwidth::mbps(200));
+        let spec = VjobTemplate::new(1).instantiate(&mb);
+        let phases = spec.profiles[1].phases();
+        assert_eq!(phases.len(), 3, "short task / idle / short task");
+        assert_eq!(phases[0].net_demand, NetBandwidth::mbps(10));
+        assert_eq!(phases[1].net_demand, NetBandwidth::mbps(200));
+        assert_eq!(phases[2].net_demand, NetBandwidth::mbps(10));
+        // The CPU shape is untouched by the network variant.
+        let cpu_only = VjobTemplate::new(1).instantiate(&NasGridTemplate {
+            net_per_vm: NetBandwidth::ZERO,
+            ..mb
+        });
+        for (netful, plain) in spec.profiles.iter().zip(&cpu_only.profiles) {
+            for (a, b) in netful.phases().iter().zip(plain.phases()) {
+                assert_eq!(a.cpu_demand, b.cpu_demand);
+                assert_eq!(a.duration_secs, b.duration_secs);
+            }
+        }
     }
 
     #[test]
@@ -374,6 +479,7 @@ mod tests {
             class: NasGridClass::A,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(1024),
+            net_per_vm: NetBandwidth::ZERO,
         };
         let a = VjobTemplate::new(7).instantiate(&template);
         let b = VjobTemplate::new(7).instantiate(&template);
@@ -389,6 +495,7 @@ mod tests {
             class: NasGridClass::B,
             vm_count: 18,
             memory_per_vm: MemoryMib::mib(256),
+            net_per_vm: NetBandwidth::ZERO,
         };
         assert_eq!(t.name(), "VP.B.18");
     }

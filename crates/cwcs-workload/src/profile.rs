@@ -3,20 +3,25 @@
 //! A profile is a sequence of [`WorkPhase`]s.  During a *compute* phase the
 //! VM demands a full processing unit ("an entire processing unit if it is
 //! supposed to execute a computation", Section 5.1); during a communication
-//! or idle phase it demands only a small fraction.  The simulator advances
-//! the profile while the VM is in the Running state; when every phase of
-//! every VM of a vjob has completed, the vjob signals its termination to the
+//! or idle phase it demands only a small fraction.  A phase may additionally
+//! carry a **network demand** — the NIC bandwidth the application pushes
+//! during that phase (a NAS-Grid transfer phase moves data between stages,
+//! a compute phase barely touches the network).  The simulator advances the
+//! profile while the VM is in the Running state; when every phase of every
+//! VM of a vjob has completed, the vjob signals its termination to the
 //! control loop, exactly like the NAS Grid applications of the paper signal
 //! Entropy to stop their vjob.
 
-use cwcs_model::{CpuCapacity, MemoryMib, Vjob, Vm, VmId};
+use cwcs_model::{CpuCapacity, MemoryMib, NetBandwidth, Vjob, Vm, VmId};
 
-/// One phase of work: a CPU demand held for a given amount of (full-speed)
-/// execution time.
+/// One phase of work: a CPU (and optionally network) demand held for a given
+/// amount of (full-speed) execution time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkPhase {
     /// CPU demand during the phase.
     pub cpu_demand: CpuCapacity,
+    /// Network demand during the phase (zero for CPU-only workloads).
+    pub net_demand: NetBandwidth,
     /// Amount of work in the phase, expressed as seconds of execution at
     /// full speed (a decelerated VM progresses proportionally slower).
     pub duration_secs: f64,
@@ -27,6 +32,7 @@ impl WorkPhase {
     pub fn compute(duration_secs: f64) -> Self {
         WorkPhase {
             cpu_demand: CpuCapacity::cores(1),
+            net_demand: NetBandwidth::ZERO,
             duration_secs,
         }
     }
@@ -35,8 +41,21 @@ impl WorkPhase {
     pub fn idle(duration_secs: f64) -> Self {
         WorkPhase {
             cpu_demand: CpuCapacity::percent(10),
+            net_demand: NetBandwidth::ZERO,
             duration_secs,
         }
+    }
+
+    /// A data-transfer phase: a small CPU demand plus a sustained network
+    /// demand for `duration_secs` (the shape of a NAS-Grid stage handoff).
+    pub fn transfer(duration_secs: f64, net: NetBandwidth) -> Self {
+        WorkPhase::idle(duration_secs).with_net(net)
+    }
+
+    /// Attach a network demand to this phase.
+    pub fn with_net(mut self, net: NetBandwidth) -> Self {
+        self.net_demand = net;
+        self
     }
 }
 
@@ -70,14 +89,30 @@ impl VmWorkProfile {
     /// CPU demand after `progress_secs` seconds of full-speed execution.
     /// Once the profile is exhausted the VM idles (zero demand).
     pub fn demand_at(&self, progress_secs: f64) -> CpuCapacity {
+        self.phase_at(progress_secs)
+            .map(|p| p.cpu_demand)
+            .unwrap_or(CpuCapacity::ZERO)
+    }
+
+    /// Network demand after `progress_secs` seconds of full-speed execution.
+    /// Once the profile is exhausted the VM pushes nothing.
+    pub fn net_demand_at(&self, progress_secs: f64) -> NetBandwidth {
+        self.phase_at(progress_secs)
+            .map(|p| p.net_demand)
+            .unwrap_or(NetBandwidth::ZERO)
+    }
+
+    /// The phase active after `progress_secs` seconds of full-speed
+    /// execution, if the profile is not exhausted yet.
+    fn phase_at(&self, progress_secs: f64) -> Option<&WorkPhase> {
         let mut elapsed = 0.0;
         for phase in &self.phases {
             elapsed += phase.duration_secs;
             if progress_secs < elapsed {
-                return phase.cpu_demand;
+                return Some(phase);
             }
         }
-        CpuCapacity::ZERO
+        None
     }
 
     /// True once `progress_secs` covers the whole profile.
@@ -184,6 +219,26 @@ mod tests {
         let p = VmWorkProfile::single_compute(60.0);
         assert_eq!(p.phases().len(), 1);
         assert!((p.total_work_secs() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_phases_carry_a_net_demand() {
+        use cwcs_model::NetBandwidth;
+        let p = VmWorkProfile::new(vec![
+            WorkPhase::compute(10.0),
+            WorkPhase::transfer(5.0, NetBandwidth::mbps(400)),
+        ]);
+        assert_eq!(p.net_demand_at(1.0), NetBandwidth::ZERO);
+        assert_eq!(p.net_demand_at(12.0), NetBandwidth::mbps(400));
+        assert_eq!(p.demand_at(12.0), CpuCapacity::percent(10));
+        assert_eq!(
+            p.net_demand_at(16.0),
+            NetBandwidth::ZERO,
+            "exhausted profile pushes nothing"
+        );
+        let busy_transfer = WorkPhase::compute(3.0).with_net(NetBandwidth::mbps(50));
+        assert_eq!(busy_transfer.net_demand, NetBandwidth::mbps(50));
+        assert_eq!(busy_transfer.cpu_demand, CpuCapacity::cores(1));
     }
 
     #[test]

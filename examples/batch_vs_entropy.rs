@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use cluster_context_switch::model::{MemoryMib, Node, NodeId};
+use cluster_context_switch::model::{MemoryMib, NetBandwidth, Node, NodeId};
 use cluster_context_switch::workload::{NasGridClass, NasGridKind, NasGridTemplate, VjobTemplate};
 use cluster_context_switch::Engine;
 
@@ -19,24 +19,28 @@ fn main() {
             class: NasGridClass::W,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: NetBandwidth::ZERO,
         },
         NasGridTemplate {
             kind: NasGridKind::Hc,
             class: NasGridClass::W,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(1024),
+            net_per_vm: NetBandwidth::ZERO,
         },
         NasGridTemplate {
             kind: NasGridKind::Mb,
             class: NasGridClass::W,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: NetBandwidth::ZERO,
         },
         NasGridTemplate {
             kind: NasGridKind::Vp,
             class: NasGridClass::W,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(1024),
+            net_per_vm: NetBandwidth::ZERO,
         },
     ];
     let mut factory = VjobTemplate::new(11);

@@ -33,7 +33,7 @@ use std::time::Duration;
 use cwcs_core::control_loop::LoopError;
 use cwcs_core::{
     BaselineReport, ControlLoop, ControlLoopConfig, DecisionModule, FcfsConsolidation,
-    IterationReport, OptimizerMode, PlanOptimizer, RunReport, StaticFcfsBaseline,
+    IterationReport, OptimizerMode, PackingPolicy, PlanOptimizer, RunReport, StaticFcfsBaseline,
 };
 use cwcs_model::{Configuration, ModelError, Node, Vjob};
 use cwcs_sim::{DurationModel, ExecutionMode, SimulatedCluster};
@@ -76,6 +76,7 @@ pub struct EngineBuilder {
     optimizer_mode: OptimizerMode,
     optimizer_node_limit: Option<u64>,
     solver_workers: usize,
+    packing_policy: PackingPolicy,
     max_iterations: usize,
     durations: Option<DurationModel>,
     execution_mode: ExecutionMode,
@@ -91,6 +92,7 @@ impl Default for EngineBuilder {
             optimizer_mode: OptimizerMode::Full,
             optimizer_node_limit: None,
             solver_workers: 1,
+            packing_policy: PackingPolicy::default(),
             max_iterations: 2_000,
             durations: None,
             execution_mode: ExecutionMode::default(),
@@ -166,6 +168,25 @@ impl EngineBuilder {
         self
     }
 
+    /// How booting (waiting) VMs are budgeted when packing:
+    /// [`PackingPolicy::Reserved`] (the default) sizes a boot by its
+    /// creation-time reservation so it never transiently overloads its
+    /// node; [`PackingPolicy::Observed`] keeps the historical
+    /// observed-demand packing.
+    ///
+    /// The policy always configures the optimizer.  The decision module is
+    /// configured too when the engine is assembled with
+    /// [`build`](EngineBuilder::build) (the default FCFS module); a custom
+    /// module passed to
+    /// [`build_with_decision`](EngineBuilder::build_with_decision) owns its
+    /// own packing configuration — pair it with
+    /// `FcfsConsolidation::with_packing_policy` (or your module's
+    /// equivalent) to keep admission and placement budgeting consistent.
+    pub fn packing_policy(mut self, policy: PackingPolicy) -> Self {
+        self.packing_policy = policy;
+        self
+    }
+
     /// Safety bound on the number of iterations of [`Engine::run`].
     pub fn max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
@@ -207,7 +228,8 @@ impl EngineBuilder {
     /// Build an engine driven by the paper's sample FCFS dynamic-consolidation
     /// decision module.
     pub fn build(self) -> Result<Engine<FcfsConsolidation>, EngineError> {
-        self.build_with_decision(FcfsConsolidation::new())
+        let decision = FcfsConsolidation::new().with_packing_policy(self.packing_policy);
+        self.build_with_decision(decision)
     }
 
     /// Build an engine driven by a custom decision module.
@@ -222,7 +244,8 @@ impl EngineBuilder {
         }
         let mut optimizer = PlanOptimizer::with_timeout(self.optimizer_timeout)
             .with_mode(self.optimizer_mode)
-            .with_solver_workers(self.solver_workers);
+            .with_solver_workers(self.solver_workers)
+            .with_packing_policy(self.packing_policy);
         if let Some(node_limit) = self.optimizer_node_limit {
             optimizer = optimizer.with_node_limit(node_limit);
         }

@@ -27,5 +27,5 @@ pub use cwcs_sim as sim;
 pub use cwcs_solver as solver;
 pub use cwcs_workload as workload;
 
-pub use cwcs_core::{OptimizerMode, RepairConfig, RepairStats};
+pub use cwcs_core::{OptimizerMode, PackingPolicy, RepairConfig, RepairStats};
 pub use engine::{Engine, EngineBuilder, EngineError};

@@ -186,6 +186,7 @@ fn contended_cluster_entropy_beats_static_fcfs() {
                     // the processing units, like the gray-free VMs of Fig. 6.
                     WorkPhase {
                         cpu_demand: CpuCapacity::ZERO,
+                        net_demand: cluster_context_switch::model::NetBandwidth::ZERO,
                         duration_secs: 600.0,
                     },
                 ])
@@ -254,12 +255,14 @@ fn nasgrid_vjobs_run_to_completion_under_the_control_loop() {
             class: NasGridClass::W,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: cluster_context_switch::model::NetBandwidth::ZERO,
         },
         NasGridTemplate {
             kind: NasGridKind::Hc,
             class: NasGridClass::W,
             vm_count: 9,
             memory_per_vm: MemoryMib::mib(512),
+            net_per_vm: cluster_context_switch::model::NetBandwidth::ZERO,
         },
     ];
     let specs: Vec<VjobSpec> = templates.iter().map(|t| factory.instantiate(t)).collect();
