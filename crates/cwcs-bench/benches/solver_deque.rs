@@ -1,0 +1,101 @@
+//! Micro-bench of the solver's Chase–Lev work-stealing deque: push/pop and
+//! steal throughput, the per-task overhead every stolen subtree pays in the
+//! partitioned portfolio.
+//!
+//! The payload is a `SubtreeCheckpoint` of realistic depth (a dozen
+//! decisions), not a bare integer, so the numbers include the clone the
+//! arena hands out on every pop/steal.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use cwcs_bench::BenchGroup;
+use cwcs_solver::{work_deque, Steal, SubtreeCheckpoint, VarId};
+
+/// A checkpoint of the depth a mid-search donation typically has.
+fn checkpoint(depth: usize) -> SubtreeCheckpoint {
+    let mut trail = SubtreeCheckpoint::root();
+    for i in 0..depth {
+        trail = trail.child(VarId(i), (i % 7) as u32);
+    }
+    trail
+}
+
+fn main() {
+    let mut group = BenchGroup::new("solver_deque");
+    group.sample_size(30);
+
+    const TASKS: usize = 10_000;
+    let template = checkpoint(12);
+
+    // Owner-only LIFO churn: the depth-first fast path (no thieves).
+    group.bench("push_pop_10k", || {
+        let (worker, _stealer) = work_deque::<SubtreeCheckpoint>(1 << 10, TASKS);
+        let mut taken = 0usize;
+        for _ in 0..TASKS {
+            worker
+                .push(template.clone())
+                .unwrap_or_else(|_| panic!("capacity sized for the run"));
+            if let Some(t) = worker.pop() {
+                taken += t.depth();
+            }
+        }
+        taken
+    });
+
+    // Steal-only drain: the thief-side FIFO path, uncontended.
+    group.bench("steal_10k", || {
+        let (worker, stealer) = work_deque::<SubtreeCheckpoint>(1 << 14, TASKS);
+        for _ in 0..TASKS {
+            worker
+                .push(template.clone())
+                .unwrap_or_else(|_| panic!("capacity sized for the run"));
+        }
+        let mut taken = 0usize;
+        while let Steal::Success(t) = stealer.steal() {
+            taken += t.depth();
+        }
+        assert_eq!(taken, TASKS * 12);
+        taken
+    });
+
+    // Contended: the owner churns push/pop while two thieves drain — the
+    // shape of a worker donating siblings during a race.
+    group.bench("contended_push_pop_2_stealers_10k", || {
+        let (worker, stealer) = work_deque::<SubtreeCheckpoint>(1 << 10, TASKS);
+        let done = AtomicBool::new(false);
+        let mut owner_taken = 0usize;
+        thread::scope(|scope| {
+            for _ in 0..2 {
+                let stealer = stealer.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut taken = 0usize;
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(t) => taken += t.depth(),
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                    taken
+                });
+            }
+            for _ in 0..TASKS {
+                if worker.push(template.clone()).is_err() {
+                    owner_taken += worker.pop().map(|t| t.depth()).unwrap_or(0);
+                }
+                if let Some(t) = worker.pop() {
+                    owner_taken += t.depth();
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        owner_taken
+    });
+}

@@ -7,28 +7,47 @@
 //! **complete observe → decide → solve → plan → execute loop** on the same
 //! 500-node / 4 460-VM cluster.  Full re-solving is hopeless at this size —
 //! the placement model would carry 4 460 variables — so the optimizer runs
-//! in [`OptimizerMode::Repair`]: only the VMs whose state must change (the
-//! 660 backfill VMs booting on the drained nodes) are re-placed, over a
-//! capacity-aware halo of candidate nodes, while the 3 800 healthy VMs stay
-//! pinned.
+//! in [`OptimizerMode::Repair`]: only the VMs whose state must change are
+//! re-placed, over a capacity-aware halo of candidate nodes, while the
+//! healthy VMs stay pinned.
 //!
-//! Each placement solve is raced by a **portfolio** of diversified workers
-//! (`CWCS_SOLVER_WORKERS`, default 4) sharing the incumbent through an
-//! atomic bound — the anytime-gap lever of `cwcs_solver::portfolio`.
+//! The scenario is the **surge variant** of the drain-and-backfill cluster
+//! ([`large_scale_switch_surge`]): the loop boots the 660 backfill VMs at
+//! iteration 0 (switch 0), then every sixth receiver vjob ramps part of its
+//! VMs past one processing unit for ten virtual minutes, overloading ~67
+//! nodes at once — the **rebalance switch** (switch 1) that re-places
+//! hundreds of running VMs inside the anytime budget.
+//!
+//! Each placement solve is raced by a **portfolio** of workers
+//! (`CWCS_SOLVER_WORKERS`, default 4).  The race is *partitioned*: the root
+//! decision's value choices are dealt across the workers (disjoint
+//! frontiers) and idle workers steal frozen subtrees from busy ones over a
+//! lock-free deque, all pruning against the shared incumbent bound — see
+//! `cwcs_solver::portfolio`.  To quantify the win over the historical
+//! duplicated race (every worker re-exploring the full tree), the binary
+//! runs the loop a **second** time with [`RaceStrategy::Duplicated`] and
+//! records the rebalance plan cost of both: the partitioned race must never
+//! settle on a worse plan, which the artifact asserts in-binary and the
+//! bench gate enforces against the committed baseline.
 //!
 //! The run asserts that every solve stays inside the 5 s budget and writes
 //! `BENCH_large_scale.json` with the solver statistics (sub-problem size,
-//! solve time, proven/anytime) plus the loop-level outcomes, including the
-//! per-switch solver wall time and the winning worker of each race.  With
-//! `CWCS_DETERMINISTIC=1` the optimizer runs under a fixed search-node
+//! solve time, proven/anytime, steal counts) plus the loop-level outcomes.
+//! With `CWCS_DETERMINISTIC=1` the optimizer runs under a fixed search-node
 //! budget per worker, the portfolio switches to its deterministic reduction
-//! mode ((cost, worker id) winner, no sharing) and the wall-clock fields are
-//! left out, so two runs produce byte-identical artifacts.
+//! mode (static partition, stealing disabled, (cost, worker id) winner) and
+//! the wall-clock fields are left out, so two runs produce byte-identical
+//! artifacts.
 
 use std::time::{Duration, Instant};
 
-use cwcs_bench::{deterministic_mode, large_scale_switch, write_artifact, JsonObject};
-use cwcs_core::{ControlLoop, ControlLoopConfig, FcfsConsolidation, OptimizerMode, PlanOptimizer};
+use cwcs_bench::{
+    deterministic_mode, large_scale_switch_surge, write_artifact, JsonObject, LargeScaleScenario,
+};
+use cwcs_core::{
+    ControlLoop, ControlLoopConfig, FcfsConsolidation, IterationReport, OptimizerMode,
+    PlanOptimizer, RaceStrategy, RunReport,
+};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -37,45 +56,46 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn main() {
-    let nodes = env_usize("CWCS_LS_NODES", 500) as u32;
-    let drained = env_usize("CWCS_LS_DRAINED", 100) as u32;
-    let timeout_ms = env_usize("CWCS_SOLVER_TIMEOUT_MS", 5_000) as u64;
-    let workers = env_usize("CWCS_SOLVER_WORKERS", 4).max(1);
-    let deterministic = deterministic_mode();
+fn race_label(race: RaceStrategy) -> &'static str {
+    match race {
+        RaceStrategy::Duplicated => "duplicated",
+        RaceStrategy::Partitioned { steal: true } => "partitioned+steal",
+        RaceStrategy::Partitioned { steal: false } => "partitioned",
+    }
+}
 
-    let scenario = large_scale_switch(nodes, drained);
-    println!(
-        "Large-scale control loop: {} nodes, {} VMs in {} vjobs, repair-mode \
-         optimizer with a {} ms solver budget and {} portfolio worker(s){}",
-        scenario.source.node_count(),
-        scenario.source.vm_count(),
-        scenario.specs.len(),
-        timeout_ms,
-        workers,
-        if deterministic {
-            " (deterministic)"
-        } else {
-            ""
-        }
-    );
-
-    let mut optimizer = PlanOptimizer::with_timeout(Duration::from_millis(timeout_ms))
-        .with_mode(OptimizerMode::repair())
-        .with_solver_workers(workers);
+fn build_optimizer(
+    timeout_ms: u64,
+    workers: usize,
+    deterministic: bool,
+    race: RaceStrategy,
+) -> PlanOptimizer {
     if deterministic {
         // Fixed node budget + generous timeout: the search outcome no
         // longer depends on machine speed.  The budget is small — search
         // nodes of the ~600-variable rebalance sub-problem are expensive —
         // so the run stays near the timed profile (~5 s per anytime solve).
         // The portfolio detects the node budget and races in its
-        // deterministic reduction mode (independent workers, (cost, worker
-        // id) winner), keeping the artifact byte-identical.
-        optimizer = PlanOptimizer::with_timeout(Duration::from_secs(3_600))
+        // deterministic reduction mode (static partition, stealing
+        // disabled, (cost, worker id) winner), keeping the artifact
+        // byte-identical.
+        let node_limit = env_usize("CWCS_SOLVER_NODE_LIMIT", 5_000) as u64;
+        PlanOptimizer::with_timeout(Duration::from_secs(3_600))
             .with_mode(OptimizerMode::repair())
             .with_solver_workers(workers)
-            .with_node_limit(5_000);
+            .with_race_strategy(race)
+            .with_node_limit(node_limit)
+    } else {
+        PlanOptimizer::with_timeout(Duration::from_millis(timeout_ms))
+            .with_mode(OptimizerMode::repair())
+            .with_solver_workers(workers)
+            .with_race_strategy(race)
     }
+}
+
+/// Run the control loop once over a fresh cluster; returns the report and
+/// the wall time in milliseconds.
+fn run_loop(scenario: &LargeScaleScenario, optimizer: PlanOptimizer) -> (RunReport, f64) {
     let config = ControlLoopConfig {
         period_secs: 30.0,
         optimizer,
@@ -88,22 +108,81 @@ fn main() {
         FcfsConsolidation::new(),
         config,
     );
-
     let wall = Instant::now();
     let report = control
         .run_until_complete()
         .expect("the large-scale loop completes");
-    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    (report, wall.elapsed().as_secs_f64() * 1e3)
+}
+
+fn switches(report: &RunReport) -> Vec<&IterationReport> {
+    report
+        .iterations
+        .iter()
+        .filter(|it| it.performed_switch)
+        .collect()
+}
+
+fn switch_cost(switches: &[&IterationReport], index: usize) -> u64 {
+    switches
+        .get(index)
+        .and_then(|it| it.plan_cost.as_ref())
+        .map(|c| c.total)
+        .unwrap_or(0)
+}
+
+fn switch_proven(switches: &[&IterationReport], index: usize) -> bool {
+    switches
+        .get(index)
+        .map(|it| it.search_stats.completed)
+        .unwrap_or(false)
+}
+
+fn switch_nodes(switches: &[&IterationReport], index: usize) -> u64 {
+    switches
+        .get(index)
+        .map(|it| it.search_stats.nodes)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let nodes = env_usize("CWCS_LS_NODES", 500) as u32;
+    let drained = env_usize("CWCS_LS_DRAINED", 100) as u32;
+    let timeout_ms = env_usize("CWCS_SOLVER_TIMEOUT_MS", 5_000) as u64;
+    let workers = env_usize("CWCS_SOLVER_WORKERS", 4).max(1);
+    let deterministic = deterministic_mode();
+    let race = RaceStrategy::default();
+
+    let scenario = large_scale_switch_surge(nodes, drained);
+    println!(
+        "Large-scale control loop: {} nodes, {} VMs in {} vjobs, repair-mode \
+         optimizer with a {} ms solver budget and {} portfolio worker(s), \
+         {} race{}",
+        scenario.source.node_count(),
+        scenario.source.vm_count(),
+        scenario.specs.len(),
+        timeout_ms,
+        workers,
+        race_label(race),
+        if deterministic {
+            " (deterministic)"
+        } else {
+            ""
+        }
+    );
+
+    let (report, wall_ms) = run_loop(
+        &scenario,
+        build_optimizer(timeout_ms, workers, deterministic, race),
+    );
 
     let completion = report
         .completion_time_secs
         .expect("every vjob terminates within the iteration bound");
-    let switches: Vec<_> = report
-        .iterations
-        .iter()
-        .filter(|it| it.performed_switch)
-        .collect();
-    let boot = switches.first().expect("the first iteration boots the VMs");
+    let switches_main = switches(&report);
+    let boot = switches_main
+        .first()
+        .expect("the first iteration boots the VMs");
     let boot_repair = boot
         .repair_stats
         .clone()
@@ -119,11 +198,23 @@ fn main() {
         .iter()
         .map(|it| it.plan_stats.total_actions())
         .sum();
+    let steals_total: u64 = report
+        .iterations
+        .iter()
+        .filter_map(|it| it.portfolio_stats.as_ref())
+        .map(|p| p.steals_total)
+        .sum();
+    let partition_workers = switches_main
+        .iter()
+        .filter_map(|it| it.portfolio_stats.as_ref())
+        .map(|p| p.partition_workers)
+        .max()
+        .unwrap_or(0);
 
     println!();
     println!("{:<44} {:>10}", "metric", "value");
     println!("{:<44} {:>10}", "iterations", report.iterations.len());
-    println!("{:<44} {:>10}", "context switches", switches.len());
+    println!("{:<44} {:>10}", "context switches", switches_main.len());
     println!("{:<44} {:>10}", "plan actions (total)", total_actions);
     println!(
         "{:<44} {:>10.1}",
@@ -151,15 +242,20 @@ fn main() {
         "boot solve time (ms)", boot.search_stats.elapsed_ms
     );
     println!("{:<44} {:>10}", "max solve time (ms)", max_solve_ms);
+    println!("{:<44} {:>10}", "portfolio steals (total)", steals_total);
+    println!(
+        "{:<44} {:>10}",
+        "portfolio partition workers", partition_workers
+    );
     if !deterministic {
         println!("{:<44} {:>10.0}", "loop wall time (ms)", wall_ms);
     }
     println!();
     println!(
-        "{:>6} {:>12} {:>12} {:>8}",
-        "switch", "plan cost", "solve(ms)", "winner"
+        "{:>6} {:>12} {:>12} {:>8} {:>10} {:>8}",
+        "switch", "plan cost", "solve(ms)", "winner", "improved", "proven"
     );
-    for (index, it) in switches.iter().enumerate() {
+    for (index, it) in switches_main.iter().enumerate() {
         let winner = it
             .portfolio_stats
             .as_ref()
@@ -167,11 +263,13 @@ fn main() {
             .map(|w| w.to_string())
             .unwrap_or_else(|| "-".into());
         println!(
-            "{:>6} {:>12} {:>12} {:>8}",
+            "{:>6} {:>12} {:>12} {:>8} {:>10} {:>8}",
             index,
             it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
             it.search_stats.elapsed_ms,
-            winner
+            winner,
+            !it.search_stats.incumbent_kept,
+            it.search_stats.completed
         );
     }
 
@@ -194,6 +292,79 @@ fn main() {
         scenario.source.vm_count(),
         "the boot decision runs every vjob"
     );
+    // The surge must produce a real rebalance: a second switch whose plan
+    // migrates running VMs off the overloaded nodes at a non-zero cost.
+    let rebalance_cost = switch_cost(&switches_main, 1);
+    assert!(
+        switches_main.len() >= 2 && rebalance_cost > 0,
+        "the surge must force a costed rebalance switch"
+    );
+
+    // --- A/B: the same loop under the historical duplicated race ---------
+    // Every worker re-explores the full tree with a rotated value ordering
+    // (the protocol this PR replaces).  Same budgets, same scenario: the
+    // partitioned race must never settle on a worse rebalance plan.
+    let (duplicated_report, _) = run_loop(
+        &scenario,
+        build_optimizer(timeout_ms, workers, deterministic, RaceStrategy::Duplicated),
+    );
+    let switches_dup = switches(&duplicated_report);
+    let duplicated_rebalance_cost = switch_cost(&switches_dup, 1);
+    let rebalance_proven = switch_proven(&switches_main, 1);
+    let rebalance_nodes = switch_nodes(&switches_main, 1);
+    let duplicated_rebalance_proven = switch_proven(&switches_dup, 1);
+    let duplicated_rebalance_nodes = switch_nodes(&switches_dup, 1);
+    println!();
+    println!(
+        "rebalance plan cost: {} ({}) vs {} (duplicated)",
+        rebalance_cost,
+        race_label(race),
+        duplicated_rebalance_cost
+    );
+    println!(
+        "rebalance proven optimal: {} in {} nodes ({}) vs {} in {} nodes (duplicated)",
+        rebalance_proven,
+        rebalance_nodes,
+        race_label(race),
+        duplicated_rebalance_proven,
+        duplicated_rebalance_nodes
+    );
+    // Per-worker breakdown of the two rebalance races, so the diversity of
+    // the portfolio is inspectable from the benchmark output.
+    for (label, sw) in [
+        (race_label(race), &switches_main),
+        ("duplicated", &switches_dup),
+    ] {
+        if let Some(stats) = sw.get(1).and_then(|it| it.portfolio_stats.as_ref()) {
+            for w in &stats.workers {
+                println!(
+                    "  rebalance worker {} [{label}] role={:<12} best={:?} nodes={} \
+                     fails={} restarts={} root_values={} subtrees={} steals={} donated={}",
+                    w.worker,
+                    w.role.label(),
+                    w.best_cost,
+                    w.stats.nodes,
+                    w.stats.failures,
+                    w.stats.restarts,
+                    w.root_values,
+                    w.subtrees,
+                    w.steals,
+                    w.donated
+                );
+            }
+        }
+    }
+    // Thread-timing noise can wiggle the timed race either way, so the
+    // in-binary assertion gates the deterministic reduction, where both
+    // races explore machine-independent trees.  The bench gate then pins
+    // the deterministic artifact against the committed baseline.
+    if deterministic {
+        assert!(
+            rebalance_cost <= duplicated_rebalance_cost,
+            "the partitioned race settled on a worse rebalance plan \
+             ({rebalance_cost} > {duplicated_rebalance_cost})"
+        );
+    }
 
     let solver_wall_ms: u64 = report
         .iterations
@@ -203,13 +374,14 @@ fn main() {
     let mut json = JsonObject::new()
         .string("benchmark", "large_scale_loop")
         .string("optimizer_mode", "repair")
+        .string("race_strategy", race_label(race))
         .integer("nodes", scenario.source.node_count() as u64)
         .integer("vms", scenario.source.vm_count() as u64)
         .integer("vjobs", scenario.specs.len() as u64)
         .integer("solver_timeout_ms", timeout_ms)
         .integer("solver_workers", workers as u64)
         .integer("iterations", report.iterations.len() as u64)
-        .integer("context_switches", switches.len() as u64)
+        .integer("context_switches", switches_main.len() as u64)
         .integer("plan_actions_total", total_actions as u64)
         .number("completion_time_secs", completion)
         .integer("boot_subproblem_vms", boot_repair.movable_vms as u64)
@@ -218,6 +390,14 @@ fn main() {
         .boolean("boot_solve_proven", boot.search_stats.completed)
         .integer("boot_plan_actions", boot.plan_stats.total_actions() as u64)
         .number("boot_switch_secs", boot.switch_duration_secs)
+        .integer("portfolio_steals_total", steals_total)
+        .integer("portfolio_partition_workers", partition_workers as u64)
+        .integer("duplicated_switch1_plan_cost", duplicated_rebalance_cost)
+        .boolean(
+            "duplicated_switch1_solve_proven",
+            duplicated_rebalance_proven,
+        )
+        .integer("duplicated_switch1_solve_nodes", duplicated_rebalance_nodes)
         .number_unless(
             "boot_solve_ms",
             boot.search_stats.elapsed_ms as f64,
@@ -226,15 +406,20 @@ fn main() {
         .number_unless("max_solve_ms", max_solve_ms as f64, deterministic)
         .number_unless("solver_wall_ms_total", solver_wall_ms as f64, deterministic)
         .number_unless("loop_wall_ms", wall_ms, deterministic);
-    // Per-switch solver records, so the next change can quantify the
-    // anytime-gap reduction switch by switch: the plan cost the race
-    // settled on, its wall time (timed runs only) and the winning worker.
-    for (index, it) in switches.iter().enumerate() {
+    // Per-switch solver records, so the anytime-gap reduction is
+    // quantifiable switch by switch: the plan cost the race settled on,
+    // its wall time (timed runs only) and the winning worker.
+    for (index, it) in switches_main.iter().enumerate() {
         json = json
             .integer(
                 &format!("switch{index}_plan_cost"),
                 it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
             )
+            .boolean(
+                &format!("switch{index}_solve_proven"),
+                it.search_stats.completed,
+            )
+            .integer(&format!("switch{index}_solve_nodes"), it.search_stats.nodes)
             .number_unless(
                 &format!("switch{index}_solve_ms"),
                 it.search_stats.elapsed_ms as f64,

@@ -220,6 +220,7 @@ static HEADLINE_RULES: &[KeyRule] = &[
 
 static LARGE_SCALE_LOOP_RULES: &[KeyRule] = &[
     exact("optimizer_mode"),
+    exact("race_strategy"),
     exact("nodes"),
     exact("vms"),
     exact("vjobs"),
@@ -229,6 +230,40 @@ static LARGE_SCALE_LOOP_RULES: &[KeyRule] = &[
     exact("boot_pinned_vms"),
     exact("boot_plan_actions"),
     exact("boot_solve_proven"),
+    // Shape of the partitioned race.  The deterministic CI artifact must
+    // report zero steals: stealing in deterministic mode would make the
+    // artifact depend on thread timing, which is exactly the regression
+    // this key is here to catch.
+    exact("portfolio_partition_workers"),
+    exact("portfolio_steals_total"),
+    // The headline anytime-gap gate: the plan cost the race settles on per
+    // switch may never grow past the committed baseline (ratio 1.0, floor
+    // 0) — the partitioned portfolio must keep beating the duplicated-race
+    // numbers the baseline was re-anchored from.  switch1 is the costed
+    // rebalance; the others pin the zero-cost switches at zero.
+    growth("switch0_plan_cost", 1.0, 0.0),
+    growth("switch1_plan_cost", 1.0, 0.0),
+    growth("switch2_plan_cost", 1.0, 0.0),
+    growth("switch3_plan_cost", 1.0, 0.0),
+    // Per-switch solver wall time (timed runs only — the deterministic
+    // artifact omits these, and `compare` skips keys absent on both
+    // sides): a regression past 1.5× the baseline fails the gate.
+    growth("switch0_solve_ms", 1.5, 1_000.0),
+    growth("switch1_solve_ms", 1.5, 1_000.0),
+    growth("switch2_solve_ms", 1.5, 1_000.0),
+    growth("switch3_solve_ms", 1.5, 1_000.0),
+    // Proof status per switch is a quality claim: a solve the baseline
+    // proved optimal may not silently become anytime-only.
+    exact("switch0_solve_proven"),
+    exact("switch1_solve_proven"),
+    exact("switch2_solve_proven"),
+    exact("switch3_solve_proven"),
+    // Node spend per switch: deterministic budgets make these stable; a
+    // >25% growth means a budget or partition regression.
+    growth("switch0_solve_nodes", 1.25, 1_000.0),
+    growth("switch1_solve_nodes", 1.25, 1_000.0),
+    growth("switch2_solve_nodes", 1.25, 1_000.0),
+    growth("switch3_solve_nodes", 1.25, 1_000.0),
     growth("completion_time_secs", 1.15, 60.0),
     growth("plan_actions_total", 1.25, 100.0),
     growth("boot_switch_secs", 1.25, 5.0),
@@ -236,6 +271,9 @@ static LARGE_SCALE_LOOP_RULES: &[KeyRule] = &[
     growth("max_solve_ms", 1.5, 1_000.0),
     growth("solver_wall_ms_total", 1.5, 2_000.0),
     growth("loop_wall_ms", 1.5, 4_000.0),
+    info("duplicated_switch1_plan_cost"),
+    info("duplicated_switch1_solve_proven"),
+    info("duplicated_switch1_solve_nodes"),
     info("boot_candidate_nodes"),
     info("iterations"),
     info("context_switches"),

@@ -245,9 +245,60 @@ impl LargeScaleScenario {
 /// With the defaults of the `large_scale_switch` binary (500 nodes, 100
 /// drained) this is a 4 460-VM cluster and a ~1 660-action plan.
 pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScenario {
+    build_large_scale_switch(node_count, drained_nodes, false)
+}
+
+/// The [`large_scale_switch`] cluster with a mid-run **CPU surge**: every
+/// sixth receiver vjob ramps its VMs past one processing unit for ten
+/// virtual minutes (progress 60 s → 660 s), overloading its node even
+/// before any backfill VM lands there.
+///
+/// The surge is shaped so that the cheapest eviction is a genuine search
+/// decision rather than a greedy pick.  Each surge vjob has one **hot** VM
+/// (3 processing units, 2 GiB) and six **warm** VMs (1.5 units, 1.5 GiB
+/// each); the node overload is such that evicting the hot VM alone (2 GiB
+/// of migrated memory) resolves it, while any warm-only eviction needs two
+/// VMs (3 GiB).  A migration-averse heuristic that keeps the biggest VMs in
+/// place — the repair optimizer's greedy incumbent, and equally the
+/// preferred-value descent of every search worker — anchors the hot VM
+/// first and pays the expensive warm evictions; finding the cheap plan
+/// requires branching the hot VM *away* from its host at the top of the
+/// tree, which is exactly the root decision the partitioned portfolio deals
+/// across its workers (see `cwcs_solver::portfolio`).
+///
+/// This is the scenario behind the `large_scale_loop` benchmark's
+/// **rebalance switch**: the control loop boots the backfill vjobs at
+/// iteration 0, observes the surge a couple of periods later, and must
+/// re-place running VMs off ~⌈receivers/6⌉ overloaded nodes inside the
+/// anytime budget — the 500-node rebalance of the portfolio headline.
+pub fn large_scale_switch_surge(node_count: u32, drained_nodes: u32) -> LargeScaleScenario {
+    build_large_scale_switch(node_count, drained_nodes, true)
+}
+
+fn build_large_scale_switch(
+    node_count: u32,
+    drained_nodes: u32,
+    surge: bool,
+) -> LargeScaleScenario {
     const UNITS_PER_NODE: u32 = 10;
     const RECEIVER_LOAD: u32 = 7;
     const RECEIVER_FREE: u32 = UNITS_PER_NODE - RECEIVER_LOAD;
+    /// Every vjob performs one hour of full-speed work.
+    const WORK_SECS: f64 = 3600.0;
+    /// Every sixth receiver vjob surges.
+    const SURGE_EVERY: u32 = 6;
+    /// The surge window in progress seconds: starts after two control-loop
+    /// periods, lasts ten minutes.
+    const SURGE_START_SECS: f64 = 60.0;
+    const SURGE_SECS: f64 = 600.0;
+    /// Per-VM surge CPU (percent of a processing unit) and memory class:
+    /// one hot VM (3 units, 2 GiB) and six warm VMs (1.5 units, 1.5 GiB).
+    /// The node then demands 12 units of 10; evicting the hot VM alone
+    /// (2 GiB migrated) resolves the overload, while keeping it anchored
+    /// forces two warm evictions (3 GiB) — the greedy-vs-search gap the
+    /// rebalance benchmark measures.
+    const SURGE_CPU_PERCENT: [u32; 7] = [300, 150, 150, 150, 150, 150, 150];
+    const SURGE_MEMORY_MIB: [u64; 7] = [2048, 1536, 1536, 1536, 1536, 1536, 1536];
     let receivers = node_count
         .checked_sub(drained_nodes)
         .expect("drained_nodes <= node_count");
@@ -272,15 +323,45 @@ pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScen
             .expect("unique node ids");
     }
 
+    // A vjob is built from one (memory, work profile) pair per VM.
+    let uniform_vjob = |vm_count: u32, memory: MemoryMib| {
+        (0..vm_count)
+            .map(|_| {
+                (
+                    memory,
+                    cwcs_workload::VmWorkProfile::new(vec![cwcs_workload::WorkPhase::compute(
+                        WORK_SECS,
+                    )]),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let surge_vjob = || {
+        (0..RECEIVER_LOAD as usize)
+            .map(|p| {
+                let percent = SURGE_CPU_PERCENT[p];
+                let profile = cwcs_workload::VmWorkProfile::new(vec![
+                    cwcs_workload::WorkPhase::compute(SURGE_START_SECS),
+                    cwcs_workload::WorkPhase {
+                        cpu_demand: CpuCapacity::percent(percent),
+                        net_demand: NetBandwidth::ZERO,
+                        duration_secs: SURGE_SECS,
+                    },
+                    cwcs_workload::WorkPhase::compute(WORK_SECS - SURGE_START_SECS - SURGE_SECS),
+                ]);
+                (MemoryMib::mib(SURGE_MEMORY_MIB[p]), profile)
+            })
+            .collect::<Vec<_>>()
+    };
+
     let mut specs: Vec<VjobSpec> = Vec::new();
     let mut next_vm = 0u32;
     let mut add_vjob = |source: &mut Configuration,
                         specs: &mut Vec<VjobSpec>,
-                        vm_count: u32,
-                        memory: MemoryMib,
+                        vm_specs: Vec<(MemoryMib, cwcs_workload::VmWorkProfile)>,
                         host: Option<NodeId>| {
         let vjob_id = specs.len() as u32;
-        let vm_ids: Vec<cwcs_model::VmId> = (0..vm_count)
+        let vm_ids: Vec<cwcs_model::VmId> = (0..vm_specs.len())
             .map(|_| {
                 let id = cwcs_model::VmId(next_vm);
                 next_vm += 1;
@@ -289,7 +370,8 @@ pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScen
             .collect();
         let vms: Vec<cwcs_model::Vm> = vm_ids
             .iter()
-            .map(|&id| cwcs_model::Vm::new(id, memory, CpuCapacity::cores(1)))
+            .zip(&vm_specs)
+            .map(|(&id, (memory, _))| cwcs_model::Vm::new(id, *memory, CpuCapacity::cores(1)))
             .collect();
         for vm in &vms {
             source.add_vm(vm.clone()).expect("unique vm ids");
@@ -304,12 +386,7 @@ pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScen
             vjob.transition_to(cwcs_model::VjobState::Running)
                 .expect("waiting -> running");
         }
-        let profiles = vms
-            .iter()
-            .map(|_| {
-                cwcs_workload::VmWorkProfile::new(vec![cwcs_workload::WorkPhase::compute(3600.0)])
-            })
-            .collect();
+        let profiles = vm_specs.into_iter().map(|(_, profile)| profile).collect();
         specs.push(VjobSpec::new(vjob, vms, profiles));
     };
 
@@ -319,20 +396,20 @@ pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScen
         add_vjob(
             &mut source,
             &mut specs,
-            UNITS_PER_NODE,
-            memory,
+            uniform_vjob(UNITS_PER_NODE, memory),
             Some(NodeId(i)),
         );
     }
-    // Receiver nodes: a 7-VM vjob each, 3 units spare.
+    // Receiver nodes: a 7-VM vjob each, 3 units spare.  In the surge
+    // variant every sixth receiver vjob carries the hot-plus-warm surge
+    // profile.
     for i in drained_nodes..node_count {
-        add_vjob(
-            &mut source,
-            &mut specs,
-            RECEIVER_LOAD,
-            MemoryMib::gib(1),
-            Some(NodeId(i)),
-        );
+        let vm_specs = if surge && (i - drained_nodes) % SURGE_EVERY == 0 {
+            surge_vjob()
+        } else {
+            uniform_vjob(RECEIVER_LOAD, MemoryMib::gib(1))
+        };
+        add_vjob(&mut source, &mut specs, vm_specs, Some(NodeId(i)));
     }
     // One waiting backfill vjob per small-memory drained node.
     let backfilled: Vec<NodeId> = (0..drained_nodes)
@@ -344,8 +421,7 @@ pub fn large_scale_switch(node_count: u32, drained_nodes: u32) -> LargeScaleScen
         add_vjob(
             &mut source,
             &mut specs,
-            UNITS_PER_NODE,
-            MemoryMib::gib(1),
+            uniform_vjob(UNITS_PER_NODE, MemoryMib::gib(1)),
             None,
         );
     }
@@ -558,6 +634,53 @@ mod tests {
             event_cluster.configuration(),
             barrier_cluster.configuration()
         );
+    }
+
+    #[test]
+    fn surge_variant_only_changes_receiver_profiles() {
+        let plain = large_scale_switch(40, 8);
+        let surge = large_scale_switch_surge(40, 8);
+        // Same shape: the surge only swaps profiles and memory classes.
+        assert_eq!(surge.source.node_count(), plain.source.node_count());
+        assert_eq!(surge.source.vm_count(), plain.source.vm_count());
+        assert_eq!(surge.specs.len(), plain.specs.len());
+        // Receiver vjobs start at spec index 8 (after the drained vjobs);
+        // every sixth surges.  Its node demand at progress 300 s exceeds
+        // the 10-unit capacity: 3.0 + 6×1.5 = 12 units.
+        let surging = &surge.specs[8];
+        let total: u32 = surging
+            .profiles
+            .iter()
+            .map(|p| p.demand_at(300.0).raw())
+            .sum();
+        assert!(
+            total > CpuCapacity::cores(10).raw(),
+            "a surge vjob alone overloads its node: {total}"
+        );
+        // The hot VM (position 0) carries 3 units and 2 GiB; the warm VMs
+        // carry 1.5 units and 1.5 GiB — the shape that makes the cheapest
+        // eviction (the hot VM alone) the one a migration-averse greedy
+        // refuses to consider.
+        assert_eq!(surging.profiles[0].demand_at(300.0), CpuCapacity::cores(3));
+        assert_eq!(surging.vms[0].memory, MemoryMib::mib(2048));
+        for p in 1..7 {
+            assert_eq!(
+                surging.profiles[p].demand_at(300.0),
+                CpuCapacity::percent(150)
+            );
+            assert_eq!(surging.vms[p].memory, MemoryMib::mib(1536));
+        }
+        // Before and after the surge window the vjob is back to one unit
+        // per VM, and the total work is unchanged (one hour per VM).
+        for profile in &surging.profiles {
+            assert_eq!(profile.demand_at(30.0), CpuCapacity::cores(1));
+            assert_eq!(profile.demand_at(1000.0), CpuCapacity::cores(1));
+            assert!((profile.total_work_secs() - 3600.0).abs() < 1e-9);
+        }
+        // A non-surge receiver vjob is untouched.
+        let calm = &surge.specs[9];
+        assert_eq!(calm.profiles[0].demand_at(300.0), CpuCapacity::cores(1));
+        assert_eq!(calm.vms[0].memory, MemoryMib::gib(1));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod optimizer;
 pub use baseline::{BaselineReport, StaticFcfsBaseline, VjobSchedule};
 pub use consolidation::FcfsConsolidation;
 pub use control_loop::{ControlLoop, ControlLoopConfig, IterationReport, RunReport};
+pub use cwcs_solver::RaceStrategy;
 pub use decision::{Decision, DecisionError, DecisionModule};
 pub use ffd::{FirstFitDecreasing, PackingPolicy};
 pub use optimizer::{

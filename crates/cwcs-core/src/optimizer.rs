@@ -67,7 +67,7 @@ use cwcs_model::{
 };
 use cwcs_plan::{ActionCostModel, PlanCost, Planner, PlannerError, ReconfigurationPlan};
 use cwcs_solver::constraints::MultiDimPacking;
-use cwcs_solver::portfolio::{PortfolioConfig, PortfolioSearch, PortfolioStats};
+use cwcs_solver::portfolio::{PortfolioConfig, PortfolioSearch, PortfolioStats, RaceStrategy};
 use cwcs_solver::search::{
     ClosureObjective, RestartPolicy, Search, SearchConfig, SearchStats, ValueSelection,
     VariableSelection,
@@ -235,6 +235,10 @@ pub struct PlanOptimizer {
     /// Number of portfolio workers racing each placement solve (1 = the
     /// plain single-threaded search).
     pub solver_workers: usize,
+    /// How a multi-worker portfolio divides the search space: the default
+    /// partitioned+stealing race, or the historical duplicated race kept
+    /// for A/B benchmarking (see `cwcs_solver::portfolio::RaceStrategy`).
+    pub race: RaceStrategy,
     /// Scope of the placement problem (full re-solve or repair).
     pub mode: OptimizerMode,
     /// How booting (waiting) VMs are budgeted when packing: by reservation
@@ -253,6 +257,7 @@ impl Default for PlanOptimizer {
             timeout: Duration::from_secs(40),
             node_limit: None,
             solver_workers: 1,
+            race: RaceStrategy::default(),
             mode: OptimizerMode::Full,
             packing: PackingPolicy::default(),
             cost_model: ActionCostModel::paper(),
@@ -285,6 +290,12 @@ impl PlanOptimizer {
     /// Race `workers` diversified portfolio workers per placement solve.
     pub fn with_solver_workers(mut self, workers: usize) -> Self {
         self.solver_workers = workers.max(1);
+        self
+    }
+
+    /// Select how a multi-worker portfolio divides the search space.
+    pub fn with_race_strategy(mut self, race: RaceStrategy) -> Self {
+        self.race = race;
         self
     }
 
@@ -494,8 +505,13 @@ impl PlanOptimizer {
 
         // --- Search ---------------------------------------------------------
         // A single worker goes through the plain search; two or more race a
-        // portfolio, deterministic (independent workers, fixed node budgets)
-        // exactly when the caller pinned a node budget.
+        // portfolio, deterministic (static partition, no stealing, fixed node
+        // budgets) exactly when the caller pinned a node budget.  The race is
+        // seeded with a first-fit-decreasing packing as a second incumbent:
+        // where the keep-current-host incumbent is migration-averse, the FFD
+        // seed is migration-heavy but almost always feasible, so the FFD
+        // rider worker starts the race with a proper upper bound even when
+        // the current placement is badly overloaded.
         let (best, stats, portfolio) = if self.solver_workers <= 1 {
             let outcome = Search::new(&model, config).minimize(&objective);
             (outcome.best, outcome.stats, None)
@@ -503,6 +519,9 @@ impl PlanOptimizer {
             let race = PortfolioConfig {
                 workers: self.solver_workers,
                 deterministic: self.node_limit.is_some(),
+                strategy: self.race,
+                ffd_incumbent: Self::ffd_seed(&demands, &problem.capacities),
+                ..Default::default()
             };
             let outcome = PortfolioSearch::new(&model, config, race).minimize(&objective);
             (outcome.best, outcome.stats, Some(outcome.portfolio))
@@ -513,6 +532,41 @@ impl PlanOptimizer {
                 .collect()
         });
         Ok((placement, stats, portfolio))
+    }
+
+    /// First-fit-decreasing packing of the placement sub-problem, as a seed
+    /// for the portfolio's FFD rider worker: VMs sorted largest first by
+    /// (memory, cpu, net), each placed on the first candidate node with
+    /// spare capacity on every dimension.  Returns node *indices* in the
+    /// sub-problem's candidate order, or `None` when FFD fails to pack —
+    /// the race then simply runs without the extra incumbent.
+    fn ffd_seed(demands: &[ResourceDemand], capacities: &[ResourceDemand]) -> Option<Vec<u32>> {
+        let mut order: Vec<usize> = (0..demands.len()).collect();
+        order.sort_by_key(|&i| {
+            let d = &demands[i];
+            (
+                std::cmp::Reverse(d.memory.raw()),
+                std::cmp::Reverse(d.cpu.raw()),
+                std::cmp::Reverse(d.net.raw()),
+                i,
+            )
+        });
+        let mut spare: Vec<Vec<u64>> = capacities
+            .iter()
+            .map(|c| Dimension::ALL.iter().map(|&d| c.get(d)).collect())
+            .collect();
+        let mut placement = vec![0u32; demands.len()];
+        for &vm in &order {
+            let need: Vec<u64> = Dimension::ALL.iter().map(|&d| demands[vm].get(d)).collect();
+            let node = spare
+                .iter()
+                .position(|s| s.iter().zip(&need).all(|(have, want)| have >= want))?;
+            for (have, want) in spare[node].iter_mut().zip(&need) {
+                *have -= want;
+            }
+            placement[vm] = node as u32;
+        }
+        Some(placement)
     }
 
     /// Cost of placing a VM (with memory demand `dm` and the given current

@@ -1,0 +1,324 @@
+//! A lock-free Chase–Lev work-stealing deque for frozen search subtrees.
+//!
+//! The partitioned portfolio (see [`crate::portfolio`]) gives every worker
+//! one of these deques.  The **owner** pushes and pops frozen frontier
+//! subtrees on the *bottom* (LIFO, so its own traversal stays depth-first);
+//! idle **stealers** take from the *top* (FIFO, so they steal the oldest —
+//! shallowest, largest — subtree) with a single compare-and-swap, exactly
+//! the protocol of Chase & Lev, "Dynamic circular work-stealing deque"
+//! (SPAA 2005).
+//!
+//! # A Chase–Lev deque without `unsafe`
+//!
+//! The classic implementation stores the payloads themselves in the ring
+//! buffer, which forces racy reads of possibly-overwritten slots and
+//! therefore `unsafe` code.  This workspace denies `unsafe`, so the ring
+//! here stores only **arena indices** (plain atomic integers — a stale read
+//! is just a stale integer, never undefined behaviour), and the payloads
+//! live in a fixed write-once arena of [`OnceLock`] cells:
+//!
+//! * the owner claims the next arena cell, writes the task into it
+//!   (`OnceLock::set`, exactly once), and only then publishes the cell
+//!   index into the ring with a `Release` store;
+//! * a stealer that wins the `top` CAS reads the index with `Acquire` and
+//!   clones the task out of the arena — the `Release`/`Acquire` pair on the
+//!   ring slot makes the arena write visible;
+//! * ABA on the ring slot is impossible to *observe*: the owner can only
+//!   overwrite slot `t % capacity` after `bottom` has advanced past
+//!   `t + capacity`, which (because `bottom - top` never exceeds the
+//!   capacity) implies `top` moved past `t` first — and then the stealer's
+//!   CAS on `top` fails and the stale index is discarded.
+//!
+//! The arena bounds the number of pushes over the deque's lifetime; a full
+//! arena (or a full ring) makes [`DequeWorker::push`] return the task to
+//! the caller, which simply keeps exploring the subtree inline instead of
+//! donating it.  Correctness never depends on a push succeeding.
+//!
+//! Seeded multi-thread stress tests (in `tests/deque_stress.rs`) stand in
+//! for a `loom`-style model checker: every pushed item must be popped or
+//! stolen exactly once, across many schedules.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Result of a [`DequeStealer::steal`] attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another stealer; retrying may succeed.
+    Retry,
+    /// Stole the oldest task.
+    Success(T),
+}
+
+struct Inner<T> {
+    /// Next slot stealers take from (grows monotonically).
+    top: AtomicI64,
+    /// Next slot the owner pushes to (owner-written; stealers read it).
+    bottom: AtomicI64,
+    /// Ring of arena indices (`-1` = never written, for debuggability).
+    ring: Vec<AtomicI64>,
+    /// Write-once task cells, claimed in `next_cell` order by the owner.
+    arena: Vec<OnceLock<T>>,
+    /// Next free arena cell.
+    next_cell: AtomicUsize,
+}
+
+impl<T> Inner<T> {
+    fn slot(&self, index: i64) -> &AtomicI64 {
+        &self.ring[index as usize % self.ring.len()]
+    }
+}
+
+/// Owner handle of a work-stealing deque: push and pop on the bottom.
+///
+/// `Send` but deliberately not `Sync` — there is exactly one owner.
+pub struct DequeWorker<T> {
+    inner: Arc<Inner<T>>,
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+/// Stealer handle: clone freely and hand one to every other worker.
+pub struct DequeStealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for DequeStealer<T> {
+    fn clone(&self) -> Self {
+        DequeStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Build a deque with the given ring capacity and arena capacity (total
+/// pushes allowed over the deque's lifetime).  Returns the unique owner
+/// handle and a cloneable stealer handle.
+pub fn work_deque<T: Clone>(ring: usize, arena: usize) -> (DequeWorker<T>, DequeStealer<T>) {
+    let ring = ring.max(1);
+    let inner = Arc::new(Inner {
+        top: AtomicI64::new(0),
+        bottom: AtomicI64::new(0),
+        ring: (0..ring).map(|_| AtomicI64::new(-1)).collect(),
+        arena: (0..arena).map(|_| OnceLock::new()).collect(),
+        next_cell: AtomicUsize::new(0),
+    });
+    (
+        DequeWorker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        DequeStealer { inner },
+    )
+}
+
+impl<T: Clone> DequeWorker<T> {
+    /// Push a task on the bottom.  Returns the task back when the ring is
+    /// full or the arena is exhausted — the caller keeps the work inline.
+    pub fn push(&self, task: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        if b - t >= inner.ring.len() as i64 {
+            return Err(task); // ring full
+        }
+        let cell = inner.next_cell.fetch_add(1, Ordering::Relaxed);
+        if cell >= inner.arena.len() {
+            return Err(task); // arena exhausted for good
+        }
+        inner.arena[cell]
+            .set(task)
+            .unwrap_or_else(|_| panic!("arena cell {cell} claimed twice"));
+        // Publish the cell index, then the new bottom: both Release so a
+        // stealer that observes the new bottom also observes the index and
+        // the arena write before it.
+        inner.slot(b).store(cell as i64, Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pop the most recently pushed task, if any (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        inner.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let cell = inner.slot(b).load(Ordering::Relaxed);
+        if t == b {
+            // Last task: race the stealers for it on `top`.
+            let won = inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then(|| self.take(cell));
+        }
+        Some(self.take(cell))
+    }
+
+    /// Number of tasks currently in the deque (approximate under races).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when the deque is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining arena capacity: pushes that can still succeed.
+    pub fn spare_capacity(&self) -> usize {
+        self.inner
+            .arena
+            .len()
+            .saturating_sub(self.inner.next_cell.load(Ordering::Relaxed))
+    }
+
+    fn take(&self, cell: i64) -> T {
+        self.inner.arena[cell as usize]
+            .get()
+            .expect("arena cell initialised before publication")
+            .clone()
+    }
+}
+
+impl<T: Clone> DequeStealer<T> {
+    /// Try to steal the oldest task (FIFO side).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let cell = inner.slot(t).load(Ordering::Acquire);
+        if inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // The CAS succeeded, so slot `t` was not overwritten before it (see
+        // the module docs on ABA) and `cell` is the index published for it.
+        Steal::Success(
+            inner.arena[cell as usize]
+                .get()
+                .expect("arena cell initialised before publication")
+                .clone(),
+        )
+    }
+
+    /// Number of tasks currently observable in the deque.
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when the deque is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_push_pop_is_lifo() {
+        let (worker, _stealer) = work_deque::<u32>(8, 64);
+        for v in 0..5 {
+            worker.push(v).unwrap();
+        }
+        assert_eq!(worker.len(), 5);
+        for v in (0..5).rev() {
+            assert_eq!(worker.pop(), Some(v));
+        }
+        assert_eq!(worker.pop(), None);
+        assert!(worker.is_empty());
+    }
+
+    #[test]
+    fn stealer_takes_the_oldest() {
+        let (worker, stealer) = work_deque::<u32>(8, 64);
+        for v in 0..4 {
+            worker.push(v).unwrap();
+        }
+        assert_eq!(stealer.steal(), Steal::Success(0));
+        assert_eq!(stealer.steal(), Steal::Success(1));
+        assert_eq!(worker.pop(), Some(3), "owner still pops the newest");
+        assert_eq!(stealer.steal(), Steal::Success(2));
+        assert_eq!(stealer.steal(), Steal::Empty);
+        assert_eq!(worker.pop(), None);
+    }
+
+    #[test]
+    fn ring_full_returns_the_task() {
+        let (worker, _stealer) = work_deque::<u32>(2, 64);
+        worker.push(1).unwrap();
+        worker.push(2).unwrap();
+        assert_eq!(worker.push(3), Err(3));
+        assert_eq!(worker.pop(), Some(2));
+        worker.push(4).unwrap();
+        assert_eq!(worker.len(), 2);
+    }
+
+    #[test]
+    fn arena_exhaustion_returns_the_task() {
+        let (worker, stealer) = work_deque::<u32>(8, 3);
+        worker.push(1).unwrap();
+        worker.push(2).unwrap();
+        assert_eq!(worker.pop(), Some(2));
+        worker.push(3).unwrap();
+        // Three lifetime pushes used up the arena, whatever was popped.
+        assert_eq!(worker.push(4), Err(4));
+        assert_eq!(worker.spare_capacity(), 0);
+        assert_eq!(stealer.steal(), Steal::Success(1));
+        assert_eq!(worker.pop(), Some(3));
+    }
+
+    #[test]
+    fn ring_wraps_after_interleaved_pop_and_push() {
+        let (worker, stealer) = work_deque::<u32>(4, 1024);
+        let mut seen = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..50 {
+            while worker.push(next).is_ok() {
+                next += 1;
+            }
+            seen.extend(worker.pop());
+            if let Steal::Success(v) = stealer.steal() {
+                seen.push(v);
+            }
+        }
+        while let Some(v) = worker.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        let expected: Vec<u32> = (0..next).collect();
+        assert_eq!(seen, expected, "every push popped-or-stolen exactly once");
+    }
+
+    #[test]
+    fn stealers_clone_and_share() {
+        let (worker, stealer) = work_deque::<String>(8, 8);
+        worker.push("a".to_string()).unwrap();
+        let other = stealer.clone();
+        assert_eq!(other.steal(), Steal::Success("a".to_string()));
+        assert_eq!(stealer.steal(), Steal::Empty);
+    }
+}

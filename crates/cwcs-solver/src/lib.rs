@@ -18,9 +18,11 @@
 //!   anytime behaviour (the best solution found so far is kept, exactly like
 //!   Entropy keeps improving the plan until it proves optimality or hits its
 //!   time limit) ([`search`]),
-//! * a parallel **portfolio** that races diversified copies of that search,
-//!   sharing the incumbent through an atomic bound and cancelling the losers
-//!   once one run proves optimality ([`portfolio`]).
+//! * a parallel **portfolio** that partitions the root decision across
+//!   workers (disjoint frontiers), lets idle workers steal frozen subtrees
+//!   over a lock-free Chase–Lev deque ([`deque`]), shares the incumbent
+//!   through an atomic bound and proves optimality when the global pending
+//!   counter drains ([`portfolio`]).
 //!
 //! The solver is deliberately small and deterministic: domains are bitsets,
 //! propagation runs to fixpoint after every decision, and search state is
@@ -45,16 +47,22 @@
 //! ```
 
 pub mod constraints;
+pub mod deque;
 pub mod domain;
 pub mod portfolio;
 pub mod propagator;
 pub mod search;
 pub mod store;
 
+pub use deque::{work_deque, DequeStealer, DequeWorker, Steal};
 pub use domain::IntDomain;
-pub use portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSearch, PortfolioStats};
+pub use portfolio::{
+    partition_root, PortfolioConfig, PortfolioOutcome, PortfolioSearch, PortfolioStats,
+    RaceStrategy, RootPartition, WorkerReport, WorkerRole,
+};
 pub use propagator::{Inconsistency, Propagator};
 pub use search::{
     luby, Objective, RestartPolicy, Search, SearchConfig, SearchStats, SharedBound, Solution,
+    SubtreeCheckpoint,
 };
 pub use store::{DomainStore, Model, VarId};

@@ -1,75 +1,138 @@
-//! Parallel portfolio search: race diversified branch & bound runs under
-//! one anytime budget.
+//! Parallel portfolio search: a cooperative, partitioned branch & bound
+//! under one anytime budget.
 //!
 //! The placement solves of the paper are *anytime*: whatever the search can
-//! prove inside its 5 s window is what the control loop executes.  Luby
-//! restart runs are embarrassingly parallel, so the classic way to shrink
-//! that anytime gap is a **portfolio**: `N` workers race the same model,
-//! each diversified so they explore different prefixes, and the best
-//! solution found by *any* worker wins.
+//! prove inside its 5 s window is what the control loop executes.  The
+//! first portfolio (PR 4) raced `N` *duplicated* trees — cheap to build,
+//! but the workers mostly re-explored each other's space.  The portfolio is
+//! now **partitioned**: the value choices of the *root* decision are dealt
+//! round-robin across the workers, so the initial frontiers are disjoint
+//! and the union of the workers' trees is exactly the serial tree, explored
+//! once instead of `N` times.
+//!
+//! # Partition / steal protocol
+//!
+//! * [`partition_root`] propagates the root store once, picks the canonical
+//!   branching variable with the configured heuristics and deals its value
+//!   choices round-robin by worker id — a deterministic **exact cover** of
+//!   the root domain (no value lost, none duplicated).
+//! * Each worker owns a Chase–Lev deque ([`crate::deque`]) seeded with its
+//!   slice, one [`SubtreeCheckpoint`] per root value.  It pops from the
+//!   bottom (LIFO — its own traversal stays depth-first) and, when its
+//!   deque runs low, **donates** the untried siblings of the node it is
+//!   expanding as frozen checkpoints, so thieves can pick them up.
+//! * An idle worker first drains its own deque, then **steals** the oldest
+//!   (shallowest, largest) checkpoint from a busy victim and reconstructs
+//!   the subtree by replaying the decision trail against the shared root
+//!   store.
+//! * A shared `pending` counter tracks checkpoints published but not yet
+//!   fully explored.  The search space is globally exhausted — optimality
+//!   is **proven** — exactly when `pending` reaches zero and no worker
+//!   stopped early.  This replaces the duplicated-race rule "any completed
+//!   worker proves the optimum", which is *unsound* under partitioning: one
+//!   worker finishing its own slice proves nothing about the others'.
+//!
+//! # Why the shared bound stays sound
+//!
+//! All timed workers still prune against the PR-4 [`SharedBound`]: every
+//! improving cost is published with a `fetch_min`, and each worker prunes
+//! against the minimum of its local incumbent and the published bound.  The
+//! bound only ever decreases, so pruning against a stale (larger) read is
+//! sound — the pruned subtree cannot contain anything cheaper than the
+//! final bound either.  That argument never depended on the workers'
+//! trees being identical, so it survives partitioning unchanged; only the
+//! *completion* rule had to change (see above).
 //!
 //! # Diversification
 //!
-//! Worker `k` runs [`Search::minimize`] with
-//! [`SearchConfig::diversify`]` = k`:
+//! Disjoint frontiers already diversify the race, and two rider roles
+//! widen it further (with `N ≥ 2` workers):
 //!
-//! * its value ordering is rotated by `k` (the preferred value — a VM's
-//!   current host — stays first, so the cheap "keep everything in place"
-//!   prefix is still tried by every worker);
-//! * its Luby restart schedule starts at position `k`, so workers restart
-//!   at different failure counts and re-diversify on different boundaries.
-//!
-//! Worker 0 is the canonical ordering: a 1-worker portfolio explores
-//! exactly the tree the plain [`Search`] explores.
-//!
-//! # Shared-bound / cancellation protocol
-//!
-//! In the default (timed) mode every worker shares a [`SharedBound`]:
-//!
-//! * each improving solution's cost is **published** (`fetch_min`), and
-//!   every worker prunes against the minimum of its local incumbent and the
-//!   published bound — so all workers prune against the best solution found
-//!   by any of them;
-//! * the bound only decreases, so pruning against a stale read is sound: a
-//!   subtree whose lower bound reached an older (larger) bound cannot hold
-//!   anything cheaper than the final bound either;
-//! * a worker that **completes** (exhausts its tree within the limits) has
-//!   proven that no solution beats the published bound: it raises the
-//!   cancellation flag and every other worker stops at its next node;
-//! * the wall-clock budget needs no flag: every worker carries the same
-//!   deadline and stops on its own.
-//!
-//! A worker that completes proves *global* optimality even though it pruned
-//! against other workers' solutions: the pruned subtrees contain no
-//! solution cheaper than the final bound, and the explored remainder
-//! produced none either.
+//! * worker 1 is **FFD-seeded**: the optimizer hands it a first-fit
+//!   decreasing packing ([`PortfolioConfig::ffd_incumbent`]) as a second
+//!   incumbent, so a migration-heavy but usually-feasible solution bounds
+//!   the race from the start even when the "keep everything in place"
+//!   incumbent is poor;
+//! * the last worker (with `N ≥ 3`) is **randomized**: it orders the
+//!   non-preferred values of every branching with a per-worker-seeded
+//!   xorshift shuffle ([`PortfolioConfig::seed`]), the classic
+//!   heavy-tail hedge;
+//! * every worker keeps the Luby schedule of [`SearchConfig::restarts`],
+//!   reinterpreted as **freeze-restarts**: when the failure budget fires,
+//!   the worker abandons its dive, re-publishes the *root* of the current
+//!   subtree as a single frozen checkpoint and jumps to the oldest
+//!   checkpoint it owns.  The abandoned subtree is re-explored in full
+//!   later under the next (larger) Luby budget with a rotated value
+//!   ordering — the same partial-progress price a serial Luby restart
+//!   pays, but scoped to one root slice instead of the whole tree.
 //!
 //! # Deterministic reduction mode
 //!
-//! Sharing makes the explored tree depend on thread timing, which is
+//! Stealing makes the explored tree depend on thread timing, which is
 //! incompatible with the byte-identical artifacts the bench gate and the
 //! determinism suite require.  With [`PortfolioConfig::deterministic`] the
-//! workers run **independently** (no shared bound, no cancellation), each
-//! under the same fixed node budget, and the winner is chosen by the
-//! `(cost, worker id)` tie-break — the outcome is a pure function of the
-//! model and the configuration, whatever the machine or scheduling.
+//! partition is static: each worker explores exactly its slice under a
+//! fixed node budget with stealing and the shared bound disabled, and the
+//! winner is the `(cost, worker id)` minimum.  The outcome is a pure
+//! function of the model and the configuration, whatever the machine or
+//! the scheduling.  A 1-worker portfolio short-circuits to the plain
+//! [`Search`] and is bit-identical to it, statistics included.
+//!
+//! The duplicated race of PR 4 is kept as [`RaceStrategy::Duplicated`] so
+//! benchmarks can A/B the two protocols in one binary.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread;
 use std::time::Instant;
 
-use crate::search::{MinimizeOutcome, Objective, Search, SearchConfig, SearchStats, SharedBound};
-use crate::store::Model;
-use crate::Solution;
+use crate::deque::{work_deque, DequeStealer, DequeWorker, Steal};
+use crate::propagator::{propagate_to_fixpoint, Propagator};
+use crate::search::{
+    luby, MinimizeOutcome, Objective, Search, SearchConfig, SearchStats, SharedBound, Solution,
+    SubtreeCheckpoint, ValueSelection,
+};
+use crate::store::{DomainStore, Model, VarId};
+use std::sync::Arc;
+
+/// How the workers divide the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceStrategy {
+    /// Every worker races the full tree with a rotated value ordering (the
+    /// PR-4 protocol).  Kept for A/B comparison; one completed worker
+    /// proves global optimality here, because every tree is the whole
+    /// space.
+    Duplicated,
+    /// Root values are partitioned across workers (disjoint frontiers);
+    /// with `steal` set, idle workers steal frozen subtrees from busy
+    /// ones.  Stealing is always disabled in deterministic mode.
+    Partitioned {
+        /// Enable work stealing between the partitions.
+        steal: bool,
+    },
+}
+
+impl Default for RaceStrategy {
+    fn default() -> Self {
+        RaceStrategy::Partitioned { steal: true }
+    }
+}
 
 /// Tuning of a [`PortfolioSearch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortfolioConfig {
     /// Number of racing workers (clamped to at least 1).
     pub workers: usize,
-    /// Deterministic reduction mode: workers run independently under fixed
-    /// node budgets and the winner is the `(cost, worker id)` minimum; no
-    /// shared bound, no cancellation (see the module docs).
+    /// Deterministic reduction mode: static partition, no stealing, no
+    /// shared bound, fixed per-worker node budgets, `(cost, worker id)`
+    /// winner (see the module docs).
     pub deterministic: bool,
+    /// How the workers divide the space.
+    pub strategy: RaceStrategy,
+    /// Optional second incumbent (a complete assignment, e.g. a first-fit
+    /// decreasing packing) seeded into the FFD rider worker.
+    pub ffd_incumbent: Option<Vec<u32>>,
+    /// Seed of the randomized rider worker's value-ordering shuffle.
+    pub seed: u64,
 }
 
 impl Default for PortfolioConfig {
@@ -77,16 +140,47 @@ impl Default for PortfolioConfig {
         PortfolioConfig {
             workers: 1,
             deterministic: false,
+            strategy: RaceStrategy::default(),
+            ffd_incumbent: None,
+            seed: 0x9E37_79B9_7F4A_7C15,
         }
     }
 }
 
 impl PortfolioConfig {
-    /// A timed portfolio with the given worker count.
+    /// A timed partitioned+stealing portfolio with the given worker count.
     pub fn with_workers(workers: usize) -> Self {
         PortfolioConfig {
             workers,
             ..Default::default()
+        }
+    }
+}
+
+/// The diversification role a worker plays in a partitioned race.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WorkerRole {
+    /// Canonical heuristics (worker 0, and every worker of a duplicated
+    /// race).
+    #[default]
+    Canonical,
+    /// Canonical heuristics with the value ordering rotated by the worker
+    /// id.
+    Rotated,
+    /// Rotated, plus the FFD incumbent seeded as a second starting bound.
+    FfdSeeded,
+    /// Non-preferred values shuffled by a per-worker-seeded xorshift.
+    Randomized,
+}
+
+impl WorkerRole {
+    /// Short lowercase label for logs and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkerRole::Canonical => "canonical",
+            WorkerRole::Rotated => "rotated",
+            WorkerRole::FfdSeeded => "ffd",
+            WorkerRole::Randomized => "random",
         }
     }
 }
@@ -96,10 +190,22 @@ impl PortfolioConfig {
 pub struct WorkerReport {
     /// Worker index (also its diversification offset).
     pub worker: usize,
+    /// The worker's diversification role.
+    pub role: WorkerRole,
     /// Statistics of the worker's own search.
     pub stats: SearchStats,
     /// Best cost the worker found locally, if any.
     pub best_cost: Option<i64>,
+    /// Root values initially assigned to this worker (0 in a duplicated
+    /// race, where every worker owns the whole root domain).
+    pub root_values: usize,
+    /// Subtree checkpoints this worker explored (slice + own + stolen).
+    pub subtrees: u64,
+    /// Checkpoints stolen from other workers' deques.
+    pub steals: u64,
+    /// Checkpoints this worker froze and published (donations plus
+    /// freeze-restarts).
+    pub donated: u64,
 }
 
 /// Statistics of one portfolio race.
@@ -110,6 +216,12 @@ pub struct PortfolioStats {
     /// Index of the winning worker (`None` when no worker found a
     /// solution).  Ties are broken by the smallest worker index.
     pub winner: Option<usize>,
+    /// Workers sharing the root partition (0 for a duplicated race).
+    pub partition_workers: usize,
+    /// Total checkpoints stolen across the race.
+    pub steals_total: u64,
+    /// Total checkpoints frozen and published across the race.
+    pub donated_total: u64,
     /// Wall-clock time of the whole race, in milliseconds.
     pub elapsed_ms: u64,
 }
@@ -129,15 +241,83 @@ pub struct PortfolioOutcome {
     /// Cost of the best solution.
     pub best_cost: Option<i64>,
     /// Aggregate statistics: node/failure/solution/restart counts summed
-    /// over the workers, `completed` when any worker proved optimality,
-    /// `incumbent_kept` from the winning worker, `elapsed_ms` the race's
-    /// wall-clock time.
+    /// over the workers, `completed` when the race proved optimality (see
+    /// the module docs for what that means per strategy), `incumbent_kept`
+    /// from the winning worker, `elapsed_ms` the race's wall-clock time.
     pub stats: SearchStats,
     /// The race breakdown: per-worker statistics and the winner.
     pub portfolio: PortfolioStats,
 }
 
-/// A parallel portfolio of diversified branch & bound searches over one
+/// The deterministic root partition of a model: the canonical branching
+/// variable and one slice of its value choices per worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootPartition {
+    /// The root branching variable (canonical heuristics).
+    pub var: VarId,
+    /// Value slices, one per worker: slice `k` holds the canonical values
+    /// at positions `k, k + workers, k + 2·workers, …` — together an exact
+    /// cover of the propagated root domain.
+    pub slices: Vec<Vec<u32>>,
+}
+
+/// Compute the root partition a partitioned portfolio would use: propagate
+/// the root store once, pick the branching variable with the configured
+/// heuristics, order its values canonically and deal them round-robin.
+///
+/// Returns `None` when the root is infeasible or already fully assigned
+/// (degenerate races with no tree to partition).
+pub fn partition_root(
+    model: &Model,
+    config: &SearchConfig,
+    workers: usize,
+) -> Option<RootPartition> {
+    let mut store = model.root_store();
+    if propagate_to_fixpoint(model.propagators(), &mut store).is_err() || store.all_fixed() {
+        return None;
+    }
+    Some(plan_partition(config, &store, workers.max(1)))
+}
+
+fn plan_partition(config: &SearchConfig, root: &DomainStore, workers: usize) -> RootPartition {
+    let var = Search::select_variable(&config.variable_selection, root);
+    let values =
+        Search::order_values_diversified(&config.value_selection, var, root, config.diversify);
+    let mut slices = vec![Vec::new(); workers];
+    for (i, value) in values.into_iter().enumerate() {
+        slices[i % workers].push(value);
+    }
+    RootPartition { var, slices }
+}
+
+/// A tiny deterministic xorshift64* generator for the randomized rider —
+/// the solver crate stays dependency-free.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle(&mut self, values: &mut [u32]) {
+        for i in (1..values.len()).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            values.swap(i, j);
+        }
+    }
+}
+
+/// A parallel portfolio of cooperating branch & bound workers over one
 /// [`Model`] (see the module docs for the protocol).
 pub struct PortfolioSearch<'m> {
     model: &'m Model,
@@ -145,11 +325,369 @@ pub struct PortfolioSearch<'m> {
     config: PortfolioConfig,
 }
 
+/// Donate untried siblings when the own deque gets this shallow.
+const DONATE_LOW_WATER: usize = 2;
+/// Never donate subtrees deeper than this (bounds the thief's replay cost);
+/// freeze-restarts are exempt, they mostly come back to the same worker.
+const MAX_DONATE_DEPTH: usize = 96;
+/// Ring capacity of each worker deque.
+const RING_CAPACITY: usize = 512;
+/// Lifetime checkpoint budget of each worker deque.
+const ARENA_CAPACITY: usize = 8192;
+
+/// Worker-indexed handles shared by the race.
+struct SharedRace<'a> {
+    model: &'a Model,
+    root: &'a DomainStore,
+    pending: &'a AtomicU64,
+    early_stop: &'a AtomicBool,
+}
+
+/// Control flow of the partitioned worker's depth-first dive.
+enum Flow {
+    /// Subtree done (explored, pruned or failed): continue with siblings.
+    Continue,
+    /// A limit fired: unwind and stop the worker.
+    Stop,
+    /// The freeze budget fired: untried work was checkpointed, unwind to
+    /// the task loop.
+    Freeze,
+}
+
+struct Worker<'a, O: Objective> {
+    id: usize,
+    role: WorkerRole,
+    config: &'a SearchConfig,
+    objective: &'a O,
+    race: &'a SharedRace<'a>,
+    propagators: &'a [Arc<dyn Propagator>],
+    own: DequeWorker<SubtreeCheckpoint>,
+    own_top: DequeStealer<SubtreeCheckpoint>,
+    victims: Vec<DequeStealer<SubtreeCheckpoint>>,
+    steal_enabled: bool,
+    deadline: Option<Instant>,
+    rng: Option<XorShift>,
+    /// Current rotation of the value ordering (serial `run` equivalent).
+    run: u64,
+    /// Failure count at which the next freeze-restart fires.
+    failure_budget: Option<u64>,
+    /// Root checkpoint of the subtree currently being explored — what a
+    /// freeze-restart re-publishes.
+    subtree_root: Option<SubtreeCheckpoint>,
+    freeze_fired: bool,
+    /// Take the oldest own checkpoint next (set after a freeze-restart).
+    jump: bool,
+    next_victim: usize,
+    stopped: bool,
+    stats: SearchStats,
+    best: Option<Solution>,
+    best_cost: Option<i64>,
+    subtrees: u64,
+    steals: u64,
+    donated: u64,
+}
+
+impl<'a, O: Objective> Worker<'a, O> {
+    fn limits_reached(&mut self) -> bool {
+        if self.stopped {
+            return true;
+        }
+        if let Some(shared) = &self.config.shared {
+            if shared.is_cancelled() {
+                self.stopped = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.stopped = true;
+                return true;
+            }
+        }
+        if let Some(limit) = self.config.node_limit {
+            if self.stats.nodes >= limit {
+                self.stopped = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn recompute_failure_budget(&mut self) {
+        self.failure_budget = self
+            .config
+            .restarts
+            .as_ref()
+            .map(|p| self.stats.failures + p.scale * luby(self.run + 1));
+    }
+
+    /// Publish a checkpoint to the own deque, bumping `pending` first so no
+    /// thief can complete it before it is counted.  Returns false (and
+    /// restores `pending`) when the deque is full.
+    fn publish(&mut self, checkpoint: SubtreeCheckpoint) -> bool {
+        self.race.pending.fetch_add(1, Ordering::Relaxed);
+        match self.own.push(checkpoint) {
+            Ok(()) => {
+                self.donated += 1;
+                true
+            }
+            Err(_) => {
+                self.race.pending.fetch_sub(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Value ordering of this worker at the current rotation.
+    fn order_values(&mut self, var: VarId, store: &DomainStore) -> Vec<u32> {
+        let mut values =
+            Search::order_values_diversified(&self.config.value_selection, var, store, self.run);
+        if let Some(rng) = &mut self.rng {
+            // Keep a preferred value pinned first, shuffle the rest.
+            let pinned = match &self.config.value_selection {
+                ValueSelection::Preferred(preferred) => matches!(
+                    (preferred.get(var.0), values.first()),
+                    (Some(Some(p)), Some(first)) if p == first
+                ),
+                ValueSelection::MinValue => false,
+            } as usize;
+            rng.shuffle(&mut values[pinned..]);
+        }
+        values
+    }
+
+    fn prune_bound(&self) -> Option<i64> {
+        let shared_best = self
+            .config
+            .shared
+            .as_ref()
+            .and_then(|shared| shared.best_cost());
+        match (self.best_cost, shared_best) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (bound, None) | (None, bound) => bound,
+        }
+    }
+
+    /// One search node: `store` carries the last decision of `trail`, not
+    /// yet propagated (mirrors the serial `dfs_bnb` accounting).
+    fn bnb(&mut self, mut store: DomainStore, trail: &mut Vec<(VarId, u32)>) -> Flow {
+        if self.limits_reached() {
+            return Flow::Stop;
+        }
+        if let Some(budget) = self.failure_budget {
+            if self.stats.failures >= budget && !trail.is_empty() {
+                // Freeze-restart: abandon the dive and re-publish the
+                // *root* of the current subtree as one checkpoint.  The
+                // subtree is re-explored in full later, under the next
+                // (larger) Luby budget and a rotated value ordering, so
+                // nothing is lost — only the partial progress of this run,
+                // exactly the price a serial Luby restart pays.  Publishing
+                // per-sibling checkpoints instead would flood the ring on a
+                // deep unwind and silently cancel restarts.  A full deque
+                // still cancels restarts for good — correctness never
+                // depends on freezing.
+                let root = self
+                    .subtree_root
+                    .clone()
+                    .expect("bnb only runs inside run_subtree");
+                if self.publish(root) {
+                    self.freeze_fired = true;
+                    return Flow::Freeze;
+                }
+                self.failure_budget = None;
+            }
+        }
+        self.stats.nodes += 1;
+        if propagate_to_fixpoint(self.propagators, &mut store).is_err() {
+            self.stats.failures += 1;
+            return Flow::Continue;
+        }
+        if let Some(current_best) = self.prune_bound() {
+            if self.objective.lower_bound(&store) >= current_best {
+                self.stats.failures += 1;
+                return Flow::Continue;
+            }
+        }
+        if store.all_fixed() {
+            let cost = self.objective.evaluate(&store);
+            let improves = self.best_cost.map(|b| cost < b).unwrap_or(true);
+            if improves {
+                self.best = Some(Solution::from_store(&store));
+                self.best_cost = Some(cost);
+                self.stats.solutions += 1;
+                self.stats.incumbent_kept = false;
+                if let Some(shared) = &self.config.shared {
+                    shared.publish(cost);
+                }
+            }
+            return Flow::Continue;
+        }
+        let var = Search::select_variable(&self.config.variable_selection, &store);
+        let values = self.order_values(var, &store);
+
+        // Donation: when the own deque runs low, publish every untried
+        // sibling and dive only into the first value.
+        let mut inline = values;
+        if self.steal_enabled
+            && inline.len() > 1
+            && trail.len() < MAX_DONATE_DEPTH
+            && self.own.len() < DONATE_LOW_WATER
+        {
+            let mut kept = vec![inline[0]];
+            // Push in reverse so thieves (and the own pop) see the
+            // canonical order.
+            let mut fallback = Vec::new();
+            for &value in inline[1..].iter().rev() {
+                trail.push((var, value));
+                let checkpoint = SubtreeCheckpoint {
+                    trail: trail.clone(),
+                };
+                trail.pop();
+                if !self.publish(checkpoint) {
+                    fallback.push(value);
+                }
+            }
+            fallback.reverse();
+            kept.extend(fallback);
+            inline = kept;
+        }
+
+        let mut index = 0;
+        while index < inline.len() {
+            let value = inline[index];
+            index += 1;
+            let mut child = store.clone();
+            if child.assign(var, value).is_err() {
+                self.stats.failures += 1;
+                continue;
+            }
+            trail.push((var, value));
+            let flow = self.bnb(child, trail);
+            trail.pop();
+            match flow {
+                Flow::Continue => {}
+                Flow::Stop => return Flow::Stop,
+                // The subtree root was re-published; the untried siblings
+                // are part of it and come back with the re-exploration.
+                Flow::Freeze => return Flow::Freeze,
+            }
+        }
+        Flow::Continue
+    }
+
+    /// Explore one checkpoint: replay its trail against the shared root
+    /// and dive.  The final decision of the trail is the subtree's root
+    /// node; the prefix is reconstruction, not search, and counts no nodes.
+    fn run_subtree(&mut self, checkpoint: SubtreeCheckpoint) {
+        self.subtrees += 1;
+        self.subtree_root = Some(checkpoint.clone());
+        let (last, prefix) = checkpoint
+            .trail
+            .split_last()
+            .expect("checkpoints always carry at least the root decision");
+        let prefix = SubtreeCheckpoint {
+            trail: prefix.to_vec(),
+        };
+        let Ok(mut store) = prefix.replay(self.race.root, self.propagators) else {
+            // Unreachable by determinism (the prefix was consistent when
+            // frozen); count it as a failure rather than crash the race.
+            self.stats.failures += 1;
+            return;
+        };
+        if store.assign(last.0, last.1).is_err() {
+            self.stats.failures += 1;
+            return;
+        }
+        let mut trail = checkpoint.trail.clone();
+        let _ = self.bnb(store, &mut trail);
+    }
+
+    /// Take the next checkpoint: own bottom first (depth-first), then the
+    /// oldest own checkpoint after a freeze-restart, then steal; spin while
+    /// work is still in flight elsewhere.
+    fn acquire(&mut self) -> Option<SubtreeCheckpoint> {
+        loop {
+            if self.limits_reached() {
+                return None;
+            }
+            if self.jump {
+                self.jump = false;
+                if let Steal::Success(checkpoint) = self.own_top.steal() {
+                    return Some(checkpoint);
+                }
+            }
+            if let Some(checkpoint) = self.own.pop() {
+                return Some(checkpoint);
+            }
+            if !self.steal_enabled {
+                return None;
+            }
+            let mut saw_retry = false;
+            for offset in 0..self.victims.len() {
+                let victim = (self.next_victim + offset) % self.victims.len();
+                match self.victims[victim].steal() {
+                    Steal::Success(checkpoint) => {
+                        self.next_victim = victim;
+                        self.steals += 1;
+                        return Some(checkpoint);
+                    }
+                    Steal::Retry => saw_retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !saw_retry && self.race.pending.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            thread::yield_now();
+        }
+    }
+
+    fn run(mut self) -> WorkerOutcome {
+        let start = Instant::now();
+        self.recompute_failure_budget();
+        while let Some(checkpoint) = self.acquire() {
+            self.run_subtree(checkpoint);
+            self.race.pending.fetch_sub(1, Ordering::AcqRel);
+            if self.freeze_fired {
+                self.freeze_fired = false;
+                self.stats.restarts += 1;
+                self.run += 1;
+                self.recompute_failure_budget();
+                self.jump = true;
+            }
+        }
+        if self.stopped {
+            self.race.early_stop.store(true, Ordering::Relaxed);
+        }
+        self.stats.completed = !self.stopped;
+        self.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        WorkerOutcome {
+            report: WorkerReport {
+                worker: self.id,
+                role: self.role,
+                stats: self.stats,
+                best_cost: self.best_cost,
+                root_values: 0, // filled by the reducer
+                subtrees: self.subtrees,
+                steals: self.steals,
+                donated: self.donated,
+            },
+            best: self.best,
+        }
+    }
+}
+
+/// What one partitioned worker hands back to the reducer.
+struct WorkerOutcome {
+    report: WorkerReport,
+    best: Option<Solution>,
+}
+
 impl<'m> PortfolioSearch<'m> {
     /// Build a portfolio over `model`.  `base` carries the heuristics and
     /// limits every worker shares (timeout, node budget, incumbent,
-    /// restarts); worker `k` derives its own configuration by offsetting
-    /// [`SearchConfig::diversify`] by `k`.
+    /// restarts); the portfolio configuration picks the strategy and the
+    /// rider seeds.
     pub fn new(model: &'m Model, base: SearchConfig, config: PortfolioConfig) -> Self {
         PortfolioSearch {
             model,
@@ -161,8 +699,61 @@ impl<'m> PortfolioSearch<'m> {
     /// Race the workers and reduce: the best solution found by any worker,
     /// with ties broken by the smallest worker index.
     pub fn minimize<O: Objective + Sync>(&self, objective: &O) -> PortfolioOutcome {
-        let start = Instant::now();
         let workers = self.config.workers.max(1);
+        if workers == 1 {
+            return self.run_serial(objective);
+        }
+        match self.config.strategy {
+            RaceStrategy::Duplicated => self.race_duplicated(objective, workers),
+            RaceStrategy::Partitioned { steal } => {
+                let steal = steal && !self.config.deterministic;
+                self.race_partitioned(objective, workers, steal)
+            }
+        }
+    }
+
+    /// 1-worker portfolio: exactly the plain search, bit-identical.
+    fn run_serial<O: Objective + Sync>(&self, objective: &O) -> PortfolioOutcome {
+        let start = Instant::now();
+        let outcome = Search::new(self.model, self.base.clone()).minimize(objective);
+        let winner = outcome.best_cost.is_some().then_some(0);
+        let report = WorkerReport {
+            worker: 0,
+            role: WorkerRole::Canonical,
+            stats: outcome.stats.clone(),
+            best_cost: outcome.best_cost,
+            root_values: 0,
+            subtrees: 0,
+            steals: 0,
+            donated: 0,
+        };
+        PortfolioOutcome {
+            best: outcome.best,
+            best_cost: outcome.best_cost,
+            stats: outcome.stats,
+            portfolio: PortfolioStats {
+                workers: vec![report],
+                winner,
+                partition_workers: match self.config.strategy {
+                    RaceStrategy::Duplicated => 0,
+                    RaceStrategy::Partitioned { .. } => 1,
+                },
+                steals_total: 0,
+                donated_total: 0,
+                elapsed_ms: start.elapsed().as_millis() as u64,
+            },
+        }
+    }
+
+    /// The PR-4 protocol: race duplicated, diversified copies of the serial
+    /// search.  Any completed worker proves global optimality (its tree is
+    /// the full space) and cancels the rest.
+    fn race_duplicated<O: Objective + Sync>(
+        &self,
+        objective: &O,
+        workers: usize,
+    ) -> PortfolioOutcome {
+        let start = Instant::now();
         let shared = (!self.config.deterministic).then(SharedBound::new);
 
         let outcomes: Vec<MinimizeOutcome> = thread::scope(|scope| {
@@ -175,8 +766,6 @@ impl<'m> PortfolioSearch<'m> {
                     let shared = shared.clone();
                     scope.spawn(move || {
                         let outcome = Search::new(model, config).minimize(objective);
-                        // Optimality proven by any worker is global (module
-                        // docs): stop the rest of the race.
                         if outcome.stats.completed {
                             if let Some(shared) = &shared {
                                 shared.cancel();
@@ -212,8 +801,17 @@ impl<'m> PortfolioSearch<'m> {
             stats.completed |= outcome.stats.completed;
             reports.push(WorkerReport {
                 worker,
+                role: if worker == 0 {
+                    WorkerRole::Canonical
+                } else {
+                    WorkerRole::Rotated
+                },
                 stats: outcome.stats.clone(),
                 best_cost: outcome.best_cost,
+                root_values: 0,
+                subtrees: 0,
+                steals: 0,
+                donated: 0,
             });
         }
         if let Some(winner) = winner {
@@ -231,6 +829,295 @@ impl<'m> PortfolioSearch<'m> {
             portfolio: PortfolioStats {
                 workers: reports,
                 winner,
+                partition_workers: 0,
+                steals_total: 0,
+                donated_total: 0,
+                elapsed_ms: start.elapsed().as_millis() as u64,
+            },
+        }
+    }
+
+    /// The partitioned race (see the module docs).
+    fn race_partitioned<O: Objective + Sync>(
+        &self,
+        objective: &O,
+        workers: usize,
+        steal: bool,
+    ) -> PortfolioOutcome {
+        let start = Instant::now();
+        let shared = (!self.config.deterministic).then(SharedBound::new);
+
+        // Validate the incumbents once: propagation is deterministic, so
+        // doing it N times in the workers would only burn wall-clock.
+        let probe = Search::new(self.model, self.base.clone());
+        let seed = self
+            .base
+            .incumbent
+            .as_ref()
+            .and_then(|values| probe.validate_incumbent(values))
+            .map(|store| (Solution::from_store(&store), objective.evaluate(&store)));
+        let ffd = self
+            .config
+            .ffd_incumbent
+            .as_ref()
+            .and_then(|values| probe.validate_incumbent(values))
+            .map(|store| (Solution::from_store(&store), objective.evaluate(&store)));
+        if let Some(shared) = &shared {
+            if let Some((_, cost)) = &seed {
+                shared.publish(*cost);
+            }
+            if let Some((_, cost)) = &ffd {
+                shared.publish(*cost);
+            }
+        }
+
+        // Propagate the root once; handle the degenerate races inline.
+        let mut root = self.model.root_store();
+        let mut prep_stats = SearchStats {
+            nodes: 1,
+            ..Default::default()
+        };
+        if propagate_to_fixpoint(self.model.propagators(), &mut root).is_err() {
+            prep_stats.failures = 1;
+            return self.degenerate_outcome(start, workers, seed, prep_stats);
+        }
+        if root.all_fixed() {
+            let cost = objective.evaluate(&root);
+            let improves = seed.as_ref().map(|(_, s)| cost < *s).unwrap_or(true);
+            let best = if improves {
+                prep_stats.solutions = 1;
+                Some((Solution::from_store(&root), cost))
+            } else {
+                prep_stats.incumbent_kept = true;
+                seed
+            };
+            return self.degenerate_outcome(start, workers, best, prep_stats);
+        }
+
+        let partition = plan_partition(&self.base, &root, workers);
+        let root_var = partition.var;
+
+        // One deque per worker, seeded with its slice (reversed, so the
+        // owner pops the canonical order; thieves and the freeze-jump
+        // steal from the opposite end, the furthest untouched value).
+        let pending = AtomicU64::new(0);
+        let early_stop = AtomicBool::new(false);
+        let mut owners = Vec::with_capacity(workers);
+        let mut stealers = Vec::with_capacity(workers);
+        for slice in &partition.slices {
+            let (owner, stealer) = work_deque::<SubtreeCheckpoint>(
+                RING_CAPACITY.max(slice.len() + 1),
+                ARENA_CAPACITY.max(slice.len() + 1),
+            );
+            for &value in slice.iter().rev() {
+                pending.fetch_add(1, Ordering::Relaxed);
+                owner
+                    .push(SubtreeCheckpoint {
+                        trail: vec![(root_var, value)],
+                    })
+                    .unwrap_or_else(|_| unreachable!("seed slice fits the ring"));
+            }
+            owners.push(owner);
+            stealers.push(stealer);
+        }
+
+        let race = SharedRace {
+            model: self.model,
+            root: &root,
+            pending: &pending,
+            early_stop: &early_stop,
+        };
+        let deadline = self.base.timeout.map(|t| start + t);
+
+        let mut outcomes: Vec<WorkerOutcome> = thread::scope(|scope| {
+            let handles: Vec<_> = owners
+                .into_iter()
+                .enumerate()
+                .map(|(id, own)| {
+                    let role = self.role_of(id, workers);
+                    let mut config = self.base.clone();
+                    config.shared = shared.clone();
+                    let own_top = stealers[id].clone();
+                    let victims: Vec<_> = (0..workers)
+                        .filter(|&v| v != id)
+                        .map(|v| stealers[v].clone())
+                        .collect();
+                    let race = &race;
+                    let seed = &seed;
+                    let ffd = &ffd;
+                    scope.spawn(move || {
+                        let mut worker = Worker {
+                            id,
+                            role,
+                            config: &config,
+                            objective,
+                            race,
+                            propagators: race.model.propagators(),
+                            own,
+                            own_top,
+                            victims,
+                            steal_enabled: steal,
+                            deadline,
+                            rng: matches!(role, WorkerRole::Randomized)
+                                .then(|| XorShift::new(self.config.seed ^ (id as u64) << 32)),
+                            run: match role {
+                                WorkerRole::Randomized => 0,
+                                _ => id as u64,
+                            },
+                            failure_budget: None,
+                            subtree_root: None,
+                            freeze_fired: false,
+                            jump: false,
+                            next_victim: (id + 1) % workers,
+                            stopped: false,
+                            stats: SearchStats::default(),
+                            best: None,
+                            best_cost: None,
+                            subtrees: 0,
+                            steals: 0,
+                            donated: 0,
+                        };
+                        // Seed the incumbents: every worker starts from the
+                        // caller's incumbent; the FFD rider also considers
+                        // the FFD packing.
+                        if let Some((solution, cost)) = seed {
+                            worker.best = Some(solution.clone());
+                            worker.best_cost = Some(*cost);
+                            worker.stats.incumbent_kept = true;
+                        }
+                        if matches!(role, WorkerRole::FfdSeeded) {
+                            if let Some((solution, cost)) = ffd {
+                                let improves = worker.best_cost.map(|b| *cost < b).unwrap_or(true);
+                                if improves {
+                                    worker.best = Some(solution.clone());
+                                    worker.best_cost = Some(*cost);
+                                    worker.stats.incumbent_kept = false;
+                                    worker.stats.solutions += 1;
+                                }
+                            }
+                        }
+                        worker.run()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("portfolio worker panicked"))
+                .collect()
+        });
+
+        // The race is globally complete only when every checkpoint was
+        // fully explored and nobody stopped early.
+        let exhausted = !early_stop.load(Ordering::Relaxed) && pending.load(Ordering::Relaxed) == 0;
+
+        for (outcome, slice) in outcomes.iter_mut().zip(&partition.slices) {
+            outcome.report.root_values = slice.len();
+        }
+        // The root preparation work (one propagation) is accounted to
+        // worker 0 so node totals stay comparable with the serial search.
+        outcomes[0].report.stats.nodes += prep_stats.nodes;
+
+        let winner = outcomes
+            .iter()
+            .filter_map(|o| o.report.best_cost.map(|cost| (cost, o.report.worker)))
+            .min()
+            .map(|(_, worker)| worker);
+        let (best, best_cost) = match winner {
+            Some(winner) => (
+                outcomes[winner].best.clone(),
+                outcomes[winner].report.best_cost,
+            ),
+            None => (None, None),
+        };
+        let reports = outcomes.into_iter().map(|o| o.report).collect();
+        self.reduce_partitioned(start, workers, reports, exhausted, best, best_cost, winner)
+    }
+
+    fn role_of(&self, worker: usize, workers: usize) -> WorkerRole {
+        if worker == 0 {
+            WorkerRole::Canonical
+        } else if worker == workers - 1 && workers >= 3 {
+            WorkerRole::Randomized
+        } else if worker == 1 && self.config.ffd_incumbent.is_some() {
+            WorkerRole::FfdSeeded
+        } else {
+            WorkerRole::Rotated
+        }
+    }
+
+    /// Outcome of a race that never spawned workers (infeasible or fully
+    /// fixed root): worker 0 carries the preparation statistics and, when
+    /// a solution exists, the result.
+    fn degenerate_outcome(
+        &self,
+        start: Instant,
+        workers: usize,
+        best: Option<(Solution, i64)>,
+        prep_stats: SearchStats,
+    ) -> PortfolioOutcome {
+        let mut reports: Vec<WorkerReport> = (0..workers)
+            .map(|worker| WorkerReport {
+                worker,
+                role: self.role_of(worker, workers),
+                stats: SearchStats {
+                    completed: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            })
+            .collect();
+        reports[0].stats = SearchStats {
+            completed: true,
+            ..prep_stats
+        };
+        let (best, best_cost) = match best {
+            Some((solution, cost)) => (Some(solution), Some(cost)),
+            None => (None, None),
+        };
+        let winner = best_cost.map(|_| 0);
+        reports[0].best_cost = best_cost;
+        self.reduce_partitioned(start, workers, reports, true, best, best_cost, winner)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn reduce_partitioned(
+        &self,
+        start: Instant,
+        workers: usize,
+        reports: Vec<WorkerReport>,
+        exhausted: bool,
+        best: Option<Solution>,
+        best_cost: Option<i64>,
+        winner: Option<usize>,
+    ) -> PortfolioOutcome {
+        let mut stats = SearchStats {
+            elapsed_ms: start.elapsed().as_millis() as u64,
+            completed: exhausted,
+            ..Default::default()
+        };
+        let mut steals_total = 0;
+        let mut donated_total = 0;
+        for report in &reports {
+            stats.nodes += report.stats.nodes;
+            stats.failures += report.stats.failures;
+            stats.solutions += report.stats.solutions;
+            stats.restarts += report.stats.restarts;
+            steals_total += report.steals;
+            donated_total += report.donated;
+        }
+        if let Some(winner) = winner {
+            stats.incumbent_kept = reports[winner].stats.incumbent_kept;
+        }
+        PortfolioOutcome {
+            best,
+            best_cost,
+            stats,
+            portfolio: PortfolioStats {
+                workers: reports,
+                winner,
+                partition_workers: workers,
+                steals_total,
+                donated_total,
                 elapsed_ms: start.elapsed().as_millis() as u64,
             },
         }
@@ -285,7 +1172,7 @@ mod tests {
     }
 
     #[test]
-    fn portfolio_finds_the_proven_optimum() {
+    fn partitioned_portfolio_finds_the_proven_optimum() {
         let (m, vars) = packing_model();
         let objective = packing_objective(vars);
         let config = SearchConfig {
@@ -295,10 +1182,38 @@ mod tests {
         let outcome =
             PortfolioSearch::new(&m, config, PortfolioConfig::with_workers(4)).minimize(&objective);
         assert_eq!(outcome.best_cost, Some(13));
-        assert!(outcome.stats.completed);
+        assert!(outcome.stats.completed, "exhaustion proves optimality");
         assert_eq!(outcome.portfolio.workers.len(), 4);
+        assert_eq!(outcome.portfolio.partition_workers, 4);
         let winner = outcome.portfolio.winning_worker().expect("has a winner");
         assert_eq!(winner.best_cost, Some(13));
+        let covered: usize = outcome
+            .portfolio
+            .workers
+            .iter()
+            .map(|w| w.root_values)
+            .sum();
+        assert_eq!(covered, 3, "the root domain is fully dealt out");
+    }
+
+    #[test]
+    fn duplicated_race_still_finds_the_proven_optimum() {
+        let (m, vars) = packing_model();
+        let objective = packing_objective(vars);
+        let config = SearchConfig {
+            restarts: Some(RestartPolicy::luby(1)),
+            ..Default::default()
+        };
+        let portfolio = PortfolioConfig {
+            workers: 4,
+            strategy: RaceStrategy::Duplicated,
+            ..Default::default()
+        };
+        let outcome = PortfolioSearch::new(&m, config, portfolio).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(13));
+        assert!(outcome.stats.completed);
+        assert_eq!(outcome.portfolio.partition_workers, 0);
+        assert_eq!(outcome.portfolio.steals_total, 0);
     }
 
     #[test]
@@ -314,6 +1229,7 @@ mod tests {
             let portfolio = PortfolioConfig {
                 workers: 3,
                 deterministic: true,
+                ..Default::default()
             };
             PortfolioSearch::new(&m, config, portfolio).minimize(&objective)
         };
@@ -321,10 +1237,13 @@ mod tests {
         let b = run();
         assert_eq!(a.best_cost, b.best_cost);
         assert_eq!(a.portfolio.winner, b.portfolio.winner);
+        assert_eq!(a.portfolio.steals_total, 0, "stealing is off in det mode");
         for (wa, wb) in a.portfolio.workers.iter().zip(&b.portfolio.workers) {
             assert_eq!(wa.stats.nodes, wb.stats.nodes);
             assert_eq!(wa.stats.failures, wb.stats.failures);
             assert_eq!(wa.best_cost, wb.best_cost);
+            assert_eq!(wa.donated, wb.donated);
+            assert_eq!(wa.subtrees, wb.subtrees);
         }
     }
 
@@ -346,10 +1265,9 @@ mod tests {
     }
 
     #[test]
-    fn cancellation_stops_losing_workers() {
-        // A model any worker proves instantly: every worker either completes
-        // on its own or is cancelled; the race must terminate promptly and
-        // still report the optimum.
+    fn exhaustion_terminates_even_with_many_idle_workers() {
+        // More workers than root values: the extra workers spin on steals
+        // until the pending counter drains, then every worker exits.
         let mut m = Model::new();
         let x = m.new_var(0, 9);
         let objective =
@@ -362,5 +1280,57 @@ mod tests {
         .minimize(&objective);
         assert_eq!(outcome.best_cost, Some(0));
         assert!(outcome.stats.completed);
+    }
+
+    #[test]
+    fn partition_root_is_an_exact_cover() {
+        let (m, _) = packing_model();
+        let partition = partition_root(&m, &SearchConfig::default(), 4).expect("partitionable");
+        let mut all: Vec<u32> = partition.slices.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "no value lost, none duplicated");
+        assert_eq!(partition.slices.len(), 4);
+    }
+
+    #[test]
+    fn ffd_incumbent_bounds_the_race_from_the_start() {
+        // Zero search budget: nothing is explored, so the FFD seed is the
+        // only way the race can know this packing.
+        let (m, vars) = packing_model();
+        let objective = packing_objective(vars);
+        let config = SearchConfig {
+            node_limit: Some(0),
+            ..Default::default()
+        };
+        let portfolio = PortfolioConfig {
+            workers: 4,
+            deterministic: true,
+            // 0,0 -> bin 2; 1,1 -> bin 1; 2,2 -> bin 0: the known optimum.
+            ffd_incumbent: Some(vec![2, 2, 1, 1, 0, 0]),
+            ..Default::default()
+        };
+        let outcome = PortfolioSearch::new(&m, config, portfolio).minimize(&objective);
+        assert_eq!(outcome.best_cost, Some(13));
+        let ffd_worker = &outcome.portfolio.workers[1];
+        assert_eq!(ffd_worker.role, WorkerRole::FfdSeeded);
+        assert_eq!(ffd_worker.best_cost, Some(13));
+        assert!(!outcome.stats.completed, "a zero budget proves nothing");
+    }
+
+    #[test]
+    fn partitioned_race_matches_the_serial_optimum_with_stealing() {
+        let (m, vars) = packing_model();
+        let objective = packing_objective(vars);
+        let serial = Search::new(&m, SearchConfig::default()).minimize(&objective);
+        for workers in [2usize, 3, 5] {
+            let outcome = PortfolioSearch::new(
+                &m,
+                SearchConfig::default(),
+                PortfolioConfig::with_workers(workers),
+            )
+            .minimize(&objective);
+            assert_eq!(outcome.best_cost, serial.best_cost, "{workers} workers");
+            assert!(outcome.stats.completed);
+        }
     }
 }

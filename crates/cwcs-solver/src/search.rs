@@ -16,8 +16,63 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::propagator::{propagate_to_fixpoint, Propagator};
+use crate::propagator::{propagate_to_fixpoint, Inconsistency, Propagator};
 use crate::store::{DomainStore, Model, VarId};
+
+/// A compact, replayable checkpoint of a search frontier: the `(var, value)`
+/// decisions leading from the root to one unexplored subtree.
+///
+/// This is the unit of work the partitioned portfolio donates and steals
+/// (see [`crate::portfolio`] and [`crate::deque`]): instead of shipping a
+/// whole domain store between workers, a frozen subtree is just its decision
+/// trail, and the thief reconstructs the store by replaying the trail —
+/// assign, propagate to fixpoint, repeat — against a fresh copy of the root.
+/// Propagation is deterministic, so the replayed store is identical to the
+/// one the donor abandoned.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubtreeCheckpoint {
+    /// Decisions from the root, in the order they were taken.
+    pub trail: Vec<(VarId, u32)>,
+}
+
+impl SubtreeCheckpoint {
+    /// The checkpoint of the root itself (empty trail).
+    pub fn root() -> Self {
+        SubtreeCheckpoint::default()
+    }
+
+    /// The checkpoint one decision deeper.
+    pub fn child(&self, var: VarId, value: u32) -> Self {
+        let mut trail = Vec::with_capacity(self.trail.len() + 1);
+        trail.extend_from_slice(&self.trail);
+        trail.push((var, value));
+        SubtreeCheckpoint { trail }
+    }
+
+    /// Depth of the subtree root (number of decisions).
+    pub fn depth(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Replay the trail against a copy of `base`: assign each decision and
+    /// propagate to fixpoint after each.  Only the *last* decision can fail
+    /// (everything above it was consistent when the checkpoint was frozen,
+    /// and replaying from the same root is deterministic) — a failure means
+    /// the subtree was empty all along and counts as one failure for the
+    /// replaying worker.
+    pub fn replay(
+        &self,
+        base: &DomainStore,
+        propagators: &[Arc<dyn Propagator>],
+    ) -> Result<DomainStore, Inconsistency> {
+        let mut store = base.clone();
+        for &(var, value) in &self.trail {
+            store.assign(var, value)?;
+            propagate_to_fixpoint(propagators, &mut store)?;
+        }
+        Ok(store)
+    }
+}
 
 /// State shared by the racing runs of a portfolio search (see
 /// [`crate::portfolio`]): the best cost found by *any* run, used as an extra
@@ -80,7 +135,7 @@ pub struct Solution {
 }
 
 impl Solution {
-    fn from_store(store: &DomainStore) -> Self {
+    pub(crate) fn from_store(store: &DomainStore) -> Self {
         Solution {
             values: (0..store.var_count())
                 .map(|i| store.value(VarId(i)))
@@ -412,7 +467,7 @@ impl<'m> Search<'m> {
 
     /// Check that an incumbent assignment is complete and consistent with
     /// every propagator; returns the fully-assigned store when it is.
-    fn validate_incumbent(&self, values: &[u32]) -> Option<DomainStore> {
+    pub(crate) fn validate_incumbent(&self, values: &[u32]) -> Option<DomainStore> {
         if values.len() != self.model.var_count() {
             return None;
         }
@@ -559,7 +614,7 @@ impl<'m> Search<'m> {
         Outcome::Continue
     }
 
-    fn select_variable(selection: &VariableSelection, store: &DomainStore) -> VarId {
+    pub(crate) fn select_variable(selection: &VariableSelection, store: &DomainStore) -> VarId {
         let unfixed = store.unfixed_vars();
         debug_assert!(!unfixed.is_empty());
         match selection {
@@ -586,7 +641,7 @@ impl<'m> Search<'m> {
     /// Value ordering of restart run `run`: the preferred value (when any)
     /// stays first, and the remaining values are rotated by the run index so
     /// that successive Luby runs branch into different subtrees first.
-    fn order_values_diversified(
+    pub(crate) fn order_values_diversified(
         selection: &ValueSelection,
         var: VarId,
         store: &DomainStore,

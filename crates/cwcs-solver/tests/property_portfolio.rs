@@ -78,6 +78,7 @@ fn portfolio_never_costs_more_than_the_serial_search() {
             let race = PortfolioConfig {
                 workers,
                 deterministic: true,
+                ..Default::default()
             };
             let portfolio =
                 PortfolioSearch::new(&instance.model, budgeted_config(node_limit), race)
@@ -120,6 +121,7 @@ fn one_worker_portfolio_is_bit_identical_to_the_plain_search() {
         let race = PortfolioConfig {
             workers: 1,
             deterministic: true,
+            ..Default::default()
         };
         let portfolio = PortfolioSearch::new(&instance.model, config, race).minimize(&objective);
         assert_eq!(serial.best_cost, portfolio.best_cost, "case {case}");
