@@ -6,10 +6,10 @@
 //! decisions), not a bare integer, so the numbers include the clone the
 //! arena hands out on every pop/steal.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
 
 use cwcs_bench::BenchGroup;
+use cwcs_solver::sync::{AtomicBool, Ordering};
 use cwcs_solver::{work_deque, Steal, SubtreeCheckpoint, VarId};
 
 /// A checkpoint of the depth a mid-search donation typically has.

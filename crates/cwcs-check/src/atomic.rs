@@ -1,0 +1,330 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` types.
+//!
+//! Inside a [`crate::Checker`] execution every operation routes through the
+//! model-checker runtime (`exec.rs`): it becomes a scheduling point, and its
+//! effect on the modelled store history follows the declared
+//! [`Ordering`].  Outside a model execution the same types transparently
+//! fall back to the real `std` atomic they wrap, so instrumented code keeps
+//! working in ordinary unit tests and binaries even when compiled with
+//! `--cfg cwcs_check`.
+//!
+//! A location is registered with the active execution lazily, on the first
+//! operation that touches it inside that execution (or eagerly at
+//! construction when the constructor itself runs on a modelled thread).
+//! The registration is tagged with the execution's id, so a long-lived
+//! atomic reused across the thousands of executions of one `check()` call
+//! re-registers cleanly each time.
+//!
+//! Modelling notes: values are carried as `i64` bit patterns (`u64`/`usize`
+//! round-trip losslessly through `as` casts); `compare_exchange_weak` is
+//! modelled as the strong variant — spurious failure is *permitted* by the
+//! standard, never required, so verifying the strong variant is sound for
+//! retry loops.
+
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{with_ctx, Exec};
+
+pub use std::sync::atomic::Ordering;
+
+/// Per-atomic registration cache: which location this atomic is, in which
+/// execution.  Modelled threads are token-serialized, so the mutex is never
+/// contended; outside a model run it is not touched at all.
+struct LocSlot(Mutex<Option<(u64, usize)>>);
+
+impl LocSlot {
+    fn new() -> Self {
+        LocSlot(Mutex::new(None))
+    }
+
+    fn loc(&self, exec: &Arc<Exec>, tid: usize, init: impl FnOnce() -> i64) -> usize {
+        let mut slot = self.0.lock().expect("location slot poisoned");
+        match *slot {
+            Some((gen, loc)) if gen == exec.id() => loc,
+            _ => {
+                let loc = exec.register_location(tid, init());
+                *slot = Some((exec.id(), loc));
+                loc
+            }
+        }
+    }
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $real:ty, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            real: $real,
+            slot: LocSlot,
+        }
+
+        impl $name {
+            /// A new instrumented atomic holding `v`.
+            pub fn new(v: $ty) -> Self {
+                let this = $name {
+                    real: <$real>::new(v),
+                    slot: LocSlot::new(),
+                };
+                // Register eagerly when constructed on a modelled thread so
+                // the initial store carries the creator's clock.
+                with_ctx(|exec, tid| {
+                    this.slot.loc(exec, tid, || v as i64);
+                });
+                this
+            }
+
+            fn loc(&self, exec: &Arc<Exec>, tid: usize) -> usize {
+                self.slot
+                    .loc(exec, tid, || self.real.load(Ordering::Relaxed) as i64)
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::load`].
+            pub fn load(&self, ord: Ordering) -> $ty {
+                match with_ctx(|exec, tid| exec.atomic_load(tid, self.loc(exec, tid), ord)) {
+                    Some(v) => v as $ty,
+                    None => self.real.load(ord),
+                }
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::store`].
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                match with_ctx(|exec, tid| {
+                    exec.atomic_store(tid, self.loc(exec, tid), v as i64, ord)
+                }) {
+                    Some(()) => {}
+                    None => self.real.store(v, ord),
+                }
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::swap`].
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                match with_ctx(|exec, tid| {
+                    exec.atomic_rmw(tid, self.loc(exec, tid), ord, ord, "swap", |_| {
+                        Some(v as i64)
+                    })
+                    .0
+                }) {
+                    Some(old) => old as $ty,
+                    None => self.real.swap(v, ord),
+                }
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::compare_exchange`].
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match with_ctx(|exec, tid| {
+                    exec.atomic_rmw(tid, self.loc(exec, tid), success, failure, "cas", |v| {
+                        (v == current as i64).then_some(new as i64)
+                    })
+                }) {
+                    Some((read, true)) => Ok(read as $ty),
+                    Some((read, false)) => Err(read as $ty),
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::compare_exchange_weak`]
+            /// (modelled as the strong variant — see the module docs).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::fetch_add`] (wrapping).
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                match with_ctx(|exec, tid| {
+                    exec.atomic_rmw(tid, self.loc(exec, tid), ord, ord, "fetch_add", |old| {
+                        Some((old as $ty).wrapping_add(v) as i64)
+                    })
+                    .0
+                }) {
+                    Some(old) => old as $ty,
+                    None => self.real.fetch_add(v, ord),
+                }
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::fetch_sub`] (wrapping).
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                match with_ctx(|exec, tid| {
+                    exec.atomic_rmw(tid, self.loc(exec, tid), ord, ord, "fetch_sub", |old| {
+                        Some((old as $ty).wrapping_sub(v) as i64)
+                    })
+                    .0
+                }) {
+                    Some(old) => old as $ty,
+                    None => self.real.fetch_sub(v, ord),
+                }
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::fetch_min`].
+            pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                match with_ctx(|exec, tid| {
+                    exec.atomic_rmw(tid, self.loc(exec, tid), ord, ord, "fetch_min", |old| {
+                        Some((old as $ty).min(v) as i64)
+                    })
+                    .0
+                }) {
+                    Some(old) => old as $ty,
+                    None => self.real.fetch_min(v, ord),
+                }
+            }
+
+            /// As [`std::sync::atomic::AtomicI64::fetch_max`].
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                match with_ctx(|exec, tid| {
+                    exec.atomic_rmw(tid, self.loc(exec, tid), ord, ord, "fetch_max", |old| {
+                        Some((old as $ty).max(v) as i64)
+                    })
+                    .0
+                }) {
+                    Some(old) => old as $ty,
+                    None => self.real.fetch_max(v, ord),
+                }
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Non-semantic peek at the fallback cell; inside a model run
+                // the modelled value may differ, but Debug must not become a
+                // scheduling point.
+                f.debug_tuple(stringify!($name))
+                    .field(&self.real.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicI64`].
+    AtomicI64,
+    std::sync::atomic::AtomicI64,
+    i64
+);
+int_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+int_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// Instrumented [`std::sync::atomic::AtomicBool`] (carried as 0/1).
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+    slot: LocSlot,
+}
+
+impl AtomicBool {
+    /// A new instrumented atomic holding `v`.
+    pub fn new(v: bool) -> Self {
+        let this = AtomicBool {
+            real: std::sync::atomic::AtomicBool::new(v),
+            slot: LocSlot::new(),
+        };
+        with_ctx(|exec, tid| {
+            this.slot.loc(exec, tid, || i64::from(v));
+        });
+        this
+    }
+
+    fn loc(&self, exec: &Arc<Exec>, tid: usize) -> usize {
+        self.slot
+            .loc(exec, tid, || i64::from(self.real.load(Ordering::Relaxed)))
+    }
+
+    /// As [`std::sync::atomic::AtomicBool::load`].
+    pub fn load(&self, ord: Ordering) -> bool {
+        match with_ctx(|exec, tid| exec.atomic_load(tid, self.loc(exec, tid), ord)) {
+            Some(v) => v != 0,
+            None => self.real.load(ord),
+        }
+    }
+
+    /// As [`std::sync::atomic::AtomicBool::store`].
+    pub fn store(&self, v: bool, ord: Ordering) {
+        match with_ctx(|exec, tid| exec.atomic_store(tid, self.loc(exec, tid), i64::from(v), ord)) {
+            Some(()) => {}
+            None => self.real.store(v, ord),
+        }
+    }
+
+    /// As [`std::sync::atomic::AtomicBool::swap`].
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match with_ctx(|exec, tid| {
+            exec.atomic_rmw(tid, self.loc(exec, tid), ord, ord, "swap", |_| {
+                Some(i64::from(v))
+            })
+            .0
+        }) {
+            Some(old) => old != 0,
+            None => self.real.swap(v, ord),
+        }
+    }
+
+    /// As [`std::sync::atomic::AtomicBool::compare_exchange`].
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match with_ctx(|exec, tid| {
+            exec.atomic_rmw(tid, self.loc(exec, tid), success, failure, "cas", |v| {
+                (v == i64::from(current)).then_some(i64::from(new))
+            })
+        }) {
+            Some((read, true)) => Ok(read != 0),
+            Some((read, false)) => Err(read != 0),
+            None => self.real.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.real.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+/// Instrumented [`std::sync::atomic::fence`]: a `SeqCst` fence joins the
+/// thread with the global SC clock; weaker fences are modelled as no-ops
+/// (see the `exec` module docs for why this is the deliberate, documented
+/// gap that makes fence-weakening mutations observable).
+pub fn fence(ord: Ordering) {
+    match with_ctx(|exec, tid| exec.atomic_fence(tid, ord)) {
+        Some(()) => {}
+        None => std::sync::atomic::fence(ord),
+    }
+}

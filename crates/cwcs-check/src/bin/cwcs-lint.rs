@@ -1,0 +1,31 @@
+//! `cwcs-lint` — the atomics hygiene gate, run in CI over the workspace.
+//!
+//! Usage: `cwcs-lint [ROOT]` (default: the current directory).  Exits
+//! non-zero when any diagnostic is found; see `cwcs_check::lint` for the
+//! rules and `CONCURRENCY.md` for the policy rationale.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let diags = match cwcs_check::lint::lint_workspace(&root) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("cwcs-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        println!("cwcs-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!("cwcs-lint: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}

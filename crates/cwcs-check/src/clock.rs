@@ -1,0 +1,87 @@
+//! Vector clocks — the happens-before bookkeeping of the model checker.
+//!
+//! Every modelled thread carries a [`VClock`]; every store to a modelled
+//! atomic location is stamped with the writer's clock.  A load may read a
+//! store only when coherence allows it (see `exec.rs`), and an *acquire*
+//! load joins the store's release clock into the reader's clock — exactly
+//! the operational reading of the C11 release/acquire rules.
+
+/// A grow-on-demand vector clock, one component per modelled thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The empty clock (happens-before nothing).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component of `tid` (0 when never ticked).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum (join of the two knowledge sets).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// True when every component of `self` is ≤ the matching component of
+    /// `other`: everything `self` stands for is already known to `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_clock_precedes_everything() {
+        let empty = VClock::new();
+        let mut c = VClock::new();
+        c.tick(2);
+        assert!(empty.leq(&c));
+        assert!(empty.leq(&empty));
+        assert!(!c.leq(&empty));
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert!(b.leq(&a));
+    }
+
+    #[test]
+    fn incomparable_clocks_are_not_ordered() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+}

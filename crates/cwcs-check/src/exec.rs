@@ -1,0 +1,873 @@
+//! The model-checker runtime: a controlled scheduler plus an operational
+//! weak-memory model, explored by bounded depth-first search.
+//!
+//! # How one execution runs
+//!
+//! The body closure runs as modelled *thread 0* on a real OS thread; it may
+//! spawn further modelled threads with [`crate::thread::spawn`].  Exactly one
+//! modelled thread holds the **token** at any time — every other thread is
+//! parked on a condvar.  Each instrumented atomic operation is a *scheduling
+//! point*: before it executes, the scheduler decides which thread performs
+//! the next operation (a context switch away from a still-runnable thread is
+//! a *preemption*).  Loads with several coherence-eligible stores branch a
+//! second way: the scheduler decides *which* store the load reads.
+//!
+//! # The memory model
+//!
+//! Per location the checker keeps the full **store history** in modification
+//! order.  Each store is stamped with the writer's vector clock (`vc`, for
+//! coherence visibility) and a **release clock** (`rel`, what an acquire
+//! reader learns).  A load may read any store not yet superseded by a store
+//! the reader already knows about, and never an older store than one it has
+//! already read from that location.  Read-modify-writes always read the
+//! latest store (C11 atomicity).  `SeqCst` operations and fences join the
+//! thread clock with a global SC clock *both ways* — the same modelling
+//! shortcut `loom` uses: it totally orders SC operations causally, which is
+//! (slightly conservatively) sound for verifying code and still exposes the
+//! stale reads that appear the moment an ordering is weakened to anything
+//! below `SeqCst`.  Standalone `Acquire`/`Release` *fences* are modelled as
+//! no-ops (none of the verified code uses them; a weakened-fence mutation
+//! relies on exactly this to surface the bug).
+//!
+//! # Exploration
+//!
+//! Every decision (thread choice, store choice) is recorded; after an
+//! execution finishes, the explorer backtracks to the deepest decision with
+//! an untried alternative and replays.  Thread choices beyond the configured
+//! **preemption bound** are pruned (the CHESS result: almost all concurrency
+//! bugs need very few preemptions), so the bounded DFS terminates; an
+//! optional **seeded random tail** then samples schedules beyond the DFS
+//! budget.  Executions are deterministic given the decision vector — the
+//! failing schedule is replayed once more with tracing enabled to produce a
+//! human-readable interleaving report.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+use std::{cell::RefCell, fmt};
+
+use crate::clock::VClock;
+
+pub use std::sync::atomic::Ordering;
+
+/// Tuning of one [`Checker`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Maximum preemptive context switches per execution (`None` = no
+    /// bound: the DFS is exhaustive over *all* interleavings, which is only
+    /// tractable for very small bodies).
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on DFS executions; hitting it leaves `Report::exhausted`
+    /// false.
+    pub max_executions: usize,
+    /// Seeded-random schedules run after the DFS (coverage beyond the
+    /// preemption bound for larger configurations).
+    pub random_tail: usize,
+    /// Seed of the random tail.
+    pub seed: u64,
+    /// Per-execution operation budget; exceeding it reports a livelock.
+    pub max_steps: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            preemption_bound: Some(2),
+            max_executions: 100_000,
+            random_tail: 2_000,
+            seed: 0x5EED_CAFE,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Unbounded exhaustive DFS — every interleaving and every eligible
+    /// store choice.  Only for small bodies (a handful of operations per
+    /// thread).
+    pub fn exhaustive() -> Self {
+        CheckConfig {
+            preemption_bound: None,
+            max_executions: 2_000_000,
+            random_tail: 0,
+            ..Default::default()
+        }
+    }
+
+    /// DFS exhaustive within `bound` preemptions, plus the default random
+    /// tail.
+    pub fn bounded(bound: usize) -> Self {
+        CheckConfig {
+            preemption_bound: Some(bound),
+            ..Default::default()
+        }
+    }
+}
+
+/// What a completed (violation-free) check explored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Executions run (DFS plus random tail).
+    pub executions: usize,
+    /// True when the DFS ran out of untried alternatives before
+    /// `max_executions`: the space was fully explored *within the
+    /// preemption bound* (and fully, when the bound is `None`).
+    pub exhausted: bool,
+    /// Longest decision vector seen (a size measure of the space).
+    pub max_decisions: usize,
+}
+
+/// A found violation: the assertion (or deadlock / livelock) message plus
+/// the interleaving that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The panic / deadlock / livelock message.
+    pub message: String,
+    /// Human-readable trace of the failing schedule, one operation per line.
+    pub trace: String,
+    /// Executions run before the violation was found.
+    pub executions: usize,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "concurrency violation after {} execution(s): {}",
+            self.executions, self.message
+        )?;
+        writeln!(f, "failing schedule:")?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// xorshift64* for the random tail — the checker stays dependency-free.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// One store in a location's modification order.
+struct Store {
+    value: i64,
+    /// Writer's full clock at store time — decides *coherence* visibility.
+    vc: VClock,
+    /// What an acquire reader synchronizes with (empty for a relaxed store
+    /// outside any release sequence).
+    rel: VClock,
+}
+
+/// One modelled atomic location: its full store history.
+struct Location {
+    stores: Vec<Store>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Runnable,
+    /// Parked until the target thread finishes.
+    WaitingJoin(usize),
+    Finished,
+}
+
+struct ThreadState {
+    phase: Phase,
+    clock: VClock,
+    /// Per-location coherence floor: the last store index read or written.
+    read_floor: HashMap<usize, usize>,
+}
+
+/// One recorded (or replayed) choice.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    n: usize,
+    chosen: usize,
+}
+
+enum Mode {
+    /// DFS: replay `plan`, then first-choice, recording everything.
+    Dfs { plan: Vec<usize> },
+    /// Random tail: every choice is drawn from the seeded generator.
+    Random(XorShift),
+}
+
+struct ExecState {
+    current: usize,
+    threads: Vec<ThreadState>,
+    locations: Vec<Location>,
+    global_sc: VClock,
+    mode: Mode,
+    record: Vec<Decision>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    finished: usize,
+    failed: Option<String>,
+    trace: Option<Vec<String>>,
+}
+
+/// A single controlled execution: the scheduler state plus the condvar every
+/// parked modelled thread waits on.
+pub(crate) struct Exec {
+    /// Process-unique execution id — lets an atomic that outlives one
+    /// execution detect that its cached location registration is stale.
+    id: u64,
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Thrown (as a panic payload) through a modelled thread to unwind it once
+/// the execution has failed elsewhere; the thread wrapper swallows it.
+struct StopExec;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current modelled-thread context, if this OS thread is a
+/// modelled thread of an active execution.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Exec>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(exec, tid)| f(exec, *tid)))
+}
+
+fn in_model_thread() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Suppress the default "thread panicked" stderr noise for modelled threads
+/// only — a found violation is reported through [`Violation`], and mutation
+/// tests fail thousands of schedules on purpose.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !in_model_thread() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ord_label(ord: Ordering) -> &'static str {
+    match ord {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+impl ExecState {
+    fn runnable_others(&self, me: usize) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| t != me && self.threads[t].phase == Phase::Runnable)
+            .collect()
+    }
+
+    /// Join the thread clock with the global SC clock both ways — the
+    /// `SeqCst` modelling shortcut (see the module docs).
+    fn sc_merge(&mut self, me: usize) {
+        let clock = &mut self.threads[me].clock;
+        clock.join(&self.global_sc);
+        self.global_sc.join(&std::mem::take(clock));
+        self.threads[me].clock = self.global_sc.clone();
+    }
+
+    fn push_trace(&mut self, line: impl FnOnce() -> String) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(line());
+        }
+    }
+}
+
+impl Exec {
+    fn new(config: &CheckConfig, mode: Mode, trace: bool) -> Self {
+        // The checker itself is allowed a raw std atomic: it *is* the model.
+        static EXEC_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        Exec {
+            id: EXEC_IDS.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(ExecState {
+                current: 0,
+                threads: vec![ThreadState {
+                    phase: Phase::Runnable,
+                    clock: VClock::new(),
+                    read_floor: HashMap::new(),
+                }],
+                locations: Vec::new(),
+                global_sc: VClock::new(),
+                mode,
+                record: Vec::new(),
+                preemptions: 0,
+                preemption_bound: config.preemption_bound,
+                steps: 0,
+                max_steps: config.max_steps,
+                finished: 0,
+                failed: None,
+                trace: trace.then(Vec::new),
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn stop_panic(&self, st: MutexGuard<'_, ExecState>) -> ! {
+        drop(st);
+        self.cv.notify_all();
+        panic::panic_any(StopExec)
+    }
+
+    fn fail(&self, mut st: MutexGuard<'_, ExecState>, message: String) -> ! {
+        if st.failed.is_none() {
+            st.failed = Some(message);
+        }
+        self.stop_panic(st)
+    }
+
+    /// Consume one choice among `n` alternatives.
+    fn decision(&self, st: &mut ExecState, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let pos = st.record.len();
+        let chosen = match &mut st.mode {
+            Mode::Random(rng) => (rng.next() % n as u64) as usize,
+            Mode::Dfs { plan } => {
+                if pos < plan.len() {
+                    debug_assert!(plan[pos] < n, "diverged from the replayed plan");
+                    plan[pos].min(n - 1)
+                } else {
+                    0
+                }
+            }
+        };
+        st.record.push(Decision { n, chosen });
+        chosen
+    }
+
+    /// The scheduling point before every modelled operation: maybe hand the
+    /// token to another runnable thread, then wait until it comes back.
+    fn schedule<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        if st.failed.is_some() {
+            self.stop_panic(st);
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let steps = st.steps;
+            self.fail(
+                st,
+                format!("possible livelock: execution exceeded {steps} operations"),
+            );
+        }
+        let mut allowed = vec![me];
+        let may_preempt = st
+            .preemption_bound
+            .map_or(true, |bound| st.preemptions < bound);
+        if may_preempt {
+            allowed.extend(st.runnable_others(me));
+        }
+        let chosen = allowed[self.decision(&mut st, allowed.len())];
+        if chosen != me {
+            st.preemptions += 1;
+            st.current = chosen;
+            st.push_trace(|| format!("-- preempt t{me} -> t{chosen}"));
+            self.cv.notify_all();
+            st = self.wait_for_token(st, me);
+        }
+        st
+    }
+
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        while st.current != me {
+            if st.failed.is_some() {
+                self.stop_panic(st);
+            }
+            st = self.cv.wait(st).expect("checker state poisoned");
+        }
+        if st.failed.is_some() {
+            self.stop_panic(st);
+        }
+        st
+    }
+
+    /// Pass the token to any runnable thread after `me` blocked or finished
+    /// (a free switch — never counted as a preemption).
+    fn release_token(&self, st: &mut ExecState, me: usize) {
+        let runnable = st.runnable_others(me);
+        if runnable.is_empty() {
+            // Nobody can run: either everyone is done (fine, the driver
+            // wakes) or the remaining threads wait on each other.
+            if st.finished < st.threads.len() && st.failed.is_none() {
+                let waiting = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.phase, Phase::WaitingJoin(_)))
+                    .map(|(i, _)| format!("t{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                st.failed = Some(format!("deadlock: no runnable thread ({waiting} blocked)"));
+            }
+            return;
+        }
+        let chosen = runnable[self.decision(st, runnable.len())];
+        st.current = chosen;
+    }
+
+    // ---- modelled operations -------------------------------------------
+
+    pub(crate) fn register_location(&self, me: usize, value: i64) -> usize {
+        let mut st = self.state.lock().expect("checker state poisoned");
+        let clock = st.threads[me].clock.clone();
+        st.locations.push(Location {
+            stores: vec![Store {
+                value,
+                vc: clock.clone(),
+                // Creation is published through real synchronization (the
+                // spawn that shares the structure), so the init store acts
+                // as a release store by the creator.
+                rel: clock,
+            }],
+        });
+        let loc = st.locations.len() - 1;
+        let tid = me;
+        st.push_trace(|| format!("t{tid} new a{loc} = {value}"));
+        loc
+    }
+
+    pub(crate) fn atomic_load(&self, me: usize, loc: usize, ord: Ordering) -> i64 {
+        let st = self.state.lock().expect("checker state poisoned");
+        let mut st = self.schedule(st, me);
+        if ord == Ordering::SeqCst {
+            st.sc_merge(me);
+        }
+        // Coherence-eligible stores: nothing older than the newest store
+        // this thread already knows happened, nothing older than what it
+        // last read or wrote here.
+        let clock = st.threads[me].clock.clone();
+        let known = st.locations[loc]
+            .stores
+            .iter()
+            .rposition(|s| s.vc.leq(&clock))
+            .unwrap_or(0);
+        let floor = st.threads[me].read_floor.get(&loc).copied().unwrap_or(0);
+        let lo = known.max(floor);
+        let n = st.locations[loc].stores.len() - lo;
+        // Choice 0 = the latest store, so the default (no-plan) execution
+        // behaves sequentially consistently.
+        let idx = st.locations[loc].stores.len() - 1 - self.decision(&mut st, n);
+        st.threads[me].read_floor.insert(loc, idx);
+        if is_acquire(ord) {
+            let rel = st.locations[loc].stores[idx].rel.clone();
+            st.threads[me].clock.join(&rel);
+        }
+        let value = st.locations[loc].stores[idx].value;
+        st.push_trace(|| {
+            format!(
+                "t{me} load a{loc} ({}) -> {value} [store #{idx}]",
+                ord_label(ord)
+            )
+        });
+        value
+    }
+
+    pub(crate) fn atomic_store(&self, me: usize, loc: usize, value: i64, ord: Ordering) {
+        let st = self.state.lock().expect("checker state poisoned");
+        let mut st = self.schedule(st, me);
+        if ord == Ordering::SeqCst {
+            st.sc_merge(me);
+        }
+        st.threads[me].clock.tick(me);
+        let clock = st.threads[me].clock.clone();
+        let rel = if is_release(ord) {
+            clock.clone()
+        } else {
+            VClock::new()
+        };
+        st.locations[loc].stores.push(Store {
+            value,
+            vc: clock,
+            rel,
+        });
+        let idx = st.locations[loc].stores.len() - 1;
+        st.threads[me].read_floor.insert(loc, idx);
+        st.push_trace(|| {
+            format!(
+                "t{me} store a{loc} ({}) <- {value} [store #{idx}]",
+                ord_label(ord)
+            )
+        });
+    }
+
+    /// A read-modify-write: always reads the latest store (C11 atomicity).
+    /// `f` returns `Some(new)` to write or `None` to fail (the CAS failure
+    /// path, which behaves like a load with `ord_fail`).
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        ord: Ordering,
+        ord_fail: Ordering,
+        label: &str,
+        f: impl FnOnce(i64) -> Option<i64>,
+    ) -> (i64, bool) {
+        let st = self.state.lock().expect("checker state poisoned");
+        let mut st = self.schedule(st, me);
+        let latest = st.locations[loc].stores.len() - 1;
+        let read = st.locations[loc].stores[latest].value;
+        match f(read) {
+            Some(new) => {
+                if ord == Ordering::SeqCst {
+                    st.sc_merge(me);
+                }
+                if is_acquire(ord) {
+                    let rel = st.locations[loc].stores[latest].rel.clone();
+                    st.threads[me].clock.join(&rel);
+                }
+                st.threads[me].clock.tick(me);
+                let clock = st.threads[me].clock.clone();
+                // An RMW continues the release sequence of the store it
+                // read, whatever its own ordering.
+                let mut rel = st.locations[loc].stores[latest].rel.clone();
+                if is_release(ord) {
+                    rel.join(&clock);
+                }
+                st.locations[loc].stores.push(Store {
+                    value: new,
+                    vc: clock,
+                    rel,
+                });
+                let idx = st.locations[loc].stores.len() - 1;
+                st.threads[me].read_floor.insert(loc, idx);
+                st.push_trace(|| {
+                    format!(
+                        "t{me} {label} a{loc} ({}) {read} -> {new} [store #{idx}]",
+                        ord_label(ord)
+                    )
+                });
+                (read, true)
+            }
+            None => {
+                if ord_fail == Ordering::SeqCst {
+                    st.sc_merge(me);
+                }
+                if is_acquire(ord_fail) {
+                    let rel = st.locations[loc].stores[latest].rel.clone();
+                    st.threads[me].clock.join(&rel);
+                }
+                st.threads[me].read_floor.insert(loc, latest);
+                st.push_trace(|| {
+                    format!(
+                        "t{me} {label} a{loc} ({}) failed at {read}",
+                        ord_label(ord_fail)
+                    )
+                });
+                (read, false)
+            }
+        }
+    }
+
+    pub(crate) fn atomic_fence(&self, me: usize, ord: Ordering) {
+        let st = self.state.lock().expect("checker state poisoned");
+        let mut st = self.schedule(st, me);
+        if ord == Ordering::SeqCst {
+            st.sc_merge(me);
+        }
+        // Non-SC fences are modelled as no-ops — see the module docs.
+        st.push_trace(|| format!("t{me} fence ({})", ord_label(ord)));
+    }
+
+    /// An explicit scheduling point with no memory effect.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let st = self.state.lock().expect("checker state poisoned");
+        let st = self.schedule(st, me);
+        drop(st);
+    }
+
+    // ---- thread lifecycle ----------------------------------------------
+
+    /// Register a new modelled thread; the caller spawns the OS thread.
+    pub(crate) fn thread_spawn(&self, me: usize) -> usize {
+        let st = self.state.lock().expect("checker state poisoned");
+        let mut st = self.schedule(st, me);
+        st.threads[me].clock.tick(me);
+        let clock = st.threads[me].clock.clone();
+        st.threads.push(ThreadState {
+            phase: Phase::Runnable,
+            clock,
+            read_floor: HashMap::new(),
+        });
+        let tid = st.threads.len() - 1;
+        st.push_trace(|| format!("t{me} spawn t{tid}"));
+        tid
+    }
+
+    pub(crate) fn register_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .expect("checker handles poisoned")
+            .push(handle);
+    }
+
+    pub(crate) fn thread_join(&self, me: usize, target: usize) {
+        let st = self.state.lock().expect("checker state poisoned");
+        let mut st = self.schedule(st, me);
+        if st.threads[target].phase != Phase::Finished {
+            st.threads[me].phase = Phase::WaitingJoin(target);
+            st.push_trace(|| format!("t{me} join t{target} (parked)"));
+            self.release_token(&mut st, me);
+            if st.failed.is_some() {
+                self.stop_panic(st);
+            }
+            self.cv.notify_all();
+            st = self.wait_for_token(st, me);
+        }
+        let target_clock = st.threads[target].clock.clone();
+        st.threads[me].clock.join(&target_clock);
+        st.push_trace(|| format!("t{me} joined t{target}"));
+    }
+
+    /// Called by the thread wrapper when a modelled thread is done (normal
+    /// return, assertion panic, or stop-unwind).
+    pub(crate) fn thread_finish(&self, me: usize, panicked: Option<String>) {
+        let mut st = self.state.lock().expect("checker state poisoned");
+        if let Some(message) = panicked {
+            st.push_trace(|| format!("t{me} panicked: {message}"));
+            if st.failed.is_none() {
+                st.failed = Some(message);
+            }
+        }
+        st.threads[me].phase = Phase::Finished;
+        st.finished += 1;
+        st.push_trace(|| format!("t{me} finished"));
+        // Unpark joiners.
+        for t in 0..st.threads.len() {
+            if st.threads[t].phase == Phase::WaitingJoin(me) {
+                st.threads[t].phase = Phase::Runnable;
+            }
+        }
+        if st.failed.is_none() && st.current == me && st.finished < st.threads.len() {
+            self.release_token(&mut st, me);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// The wrapper every modelled OS thread runs: sets the thread-local context,
+/// executes the closure under `catch_unwind`, reports the outcome.
+pub(crate) fn run_model_thread(exec: Arc<Exec>, tid: usize, body: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    // Wait for the token before the first operation so a freshly-spawned
+    // thread cannot race the scheduler bookkeeping.
+    {
+        let st = exec.state.lock().expect("checker state poisoned");
+        let _token = exec
+            .cv
+            .wait_while(st, |st| st.failed.is_none() && st.current != tid)
+            .expect("checker state poisoned");
+    }
+    let outcome = panic::catch_unwind(AssertUnwindSafe(body));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match outcome {
+        Ok(()) => exec.thread_finish(tid, None),
+        Err(payload) => {
+            if payload.is::<StopExec>() {
+                exec.thread_finish(tid, None)
+            } else {
+                // `&*payload`, not `&payload`: the latter would unsize the
+                // Box itself into `&dyn Any` and every downcast would miss.
+                exec.thread_finish(tid, Some(panic_message(&*payload)))
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+/// The deterministic concurrency model checker (see the module docs).
+pub struct Checker {
+    config: CheckConfig,
+}
+
+struct RunOutcome {
+    record: Vec<Decision>,
+    failed: Option<String>,
+    trace: Option<Vec<String>>,
+}
+
+impl Checker {
+    /// A checker with the given configuration.
+    pub fn new(config: CheckConfig) -> Self {
+        Checker { config }
+    }
+
+    /// Explore `body` under every schedule the configuration covers.
+    /// Returns the coverage [`Report`], or the first [`Violation`] found.
+    pub fn check<F>(&self, body: F) -> Result<Report, Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_quiet_panic_hook();
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        let mut plan: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        let mut max_decisions = 0usize;
+        let mut exhausted = false;
+        while executions < self.config.max_executions {
+            let outcome = self.run_once(&body, Mode::Dfs { plan: plan.clone() }, false);
+            executions += 1;
+            max_decisions = max_decisions.max(outcome.record.len());
+            if let Some(message) = outcome.failed {
+                return Err(self.report_violation(&body, &outcome.record, message, executions));
+            }
+            match next_plan(&outcome.record) {
+                Some(next) => plan = next,
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        for i in 0..self.config.random_tail {
+            let rng = XorShift::new(self.config.seed.wrapping_add(i as u64));
+            let outcome = self.run_once(&body, Mode::Random(rng), false);
+            executions += 1;
+            max_decisions = max_decisions.max(outcome.record.len());
+            if let Some(message) = outcome.failed {
+                return Err(self.report_violation(&body, &outcome.record, message, executions));
+            }
+        }
+        Ok(Report {
+            executions,
+            exhausted,
+            max_decisions,
+        })
+    }
+
+    /// Replay the failing decision vector with tracing on to produce the
+    /// human-readable schedule (executions are deterministic, so the replay
+    /// fails identically).
+    fn report_violation(
+        &self,
+        body: &Arc<dyn Fn() + Send + Sync>,
+        record: &[Decision],
+        message: String,
+        executions: usize,
+    ) -> Violation {
+        let plan: Vec<usize> = record.iter().map(|d| d.chosen).collect();
+        let replay = self.run_once(body, Mode::Dfs { plan }, true);
+        let trace = replay
+            .trace
+            .map(|lines| lines.iter().map(|l| format!("  {l}\n")).collect::<String>())
+            .unwrap_or_default();
+        Violation {
+            message: replay.failed.unwrap_or(message),
+            trace,
+            executions,
+        }
+    }
+
+    fn run_once(&self, body: &Arc<dyn Fn() + Send + Sync>, mode: Mode, trace: bool) -> RunOutcome {
+        let exec = Arc::new(Exec::new(&self.config, mode, trace));
+        let body = Arc::clone(body);
+        let exec0 = Arc::clone(&exec);
+        let root = std::thread::Builder::new()
+            .name("cwcs-check-t0".into())
+            .spawn(move || run_model_thread(Arc::clone(&exec0), 0, move || body()))
+            .expect("failed to spawn model thread");
+        // Wait until every modelled thread finished (threads may still be
+        // spawned while we wait, so re-check against the growing count).
+        drop(self.lock_done(&exec));
+        root.join().expect("model thread 0 crashed");
+        let handles: Vec<_> = exec
+            .handles
+            .lock()
+            .expect("checker handles poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            handle.join().expect("model thread crashed");
+        }
+        let mut st = exec.state.lock().expect("checker state poisoned");
+        RunOutcome {
+            record: std::mem::take(&mut st.record),
+            failed: st.failed.clone(),
+            trace: st.trace.take(),
+        }
+    }
+
+    fn lock_done<'a>(&self, exec: &'a Exec) -> MutexGuard<'a, ExecState> {
+        let st = exec.state.lock().expect("checker state poisoned");
+        exec.cv
+            .wait_while(st, |st| st.finished < st.threads.len())
+            .expect("checker state poisoned")
+    }
+}
+
+/// Backtrack: the deepest decision with an untried alternative, or `None`
+/// when the space is exhausted.
+fn next_plan(record: &[Decision]) -> Option<Vec<usize>> {
+    let pivot = record.iter().rposition(|d| d.chosen + 1 < d.n)?;
+    let mut plan: Vec<usize> = record[..pivot].iter().map(|d| d.chosen).collect();
+    plan.push(record[pivot].chosen + 1);
+    Some(plan)
+}
+
+/// Check `body` with the default configuration, panicking (with the failing
+/// schedule) on any violation.  The convenience entry point for tests.
+pub fn model<F>(body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match Checker::new(CheckConfig::default()).check(body) {
+        Ok(report) => report,
+        Err(violation) => panic!("{violation}"),
+    }
+}

@@ -1,0 +1,51 @@
+//! `cwcs-check` — in-tree deterministic concurrency model checker and
+//! atomics lint for the lock-free solver core.
+//!
+//! The solver's work-stealing deque, shared incumbent bound and pending-work
+//! counter are lock-free; their correctness rests on hand-picked atomic
+//! orderings that ordinary tests cannot falsify (x86 hardware is stronger
+//! than the C11 contract the code is written against).  This crate closes
+//! that gap in two complementary ways, both without any external
+//! dependency:
+//!
+//! * **Model checking** ([`Checker`], [`model`]): run a closure as a set of
+//!   cooperative modelled threads and explore its interleavings with a
+//!   preemption-bounded DFS plus a seeded-random tail, under an operational
+//!   C11-style weak-memory model (per-location store histories + vector
+//!   clocks), so bugs that *require* a relaxed-memory reordering are
+//!   observable deterministically, on any host.  Solver code opts in by
+//!   importing its atomics from `cwcs_solver::sync` — a zero-cost alias of
+//!   `std::sync::atomic` normally, re-routed through [`atomic`] and
+//!   [`thread`] when built with `RUSTFLAGS="--cfg cwcs_check"`.
+//! * **Linting** ([`lint`], the `cwcs-lint` binary): a workspace scanner
+//!   that keeps the instrumentation sound (no raw `std::sync::atomic`
+//!   outside the shim) and the ordering choices documented (every
+//!   `Ordering::Relaxed` carries a `// relaxed:` justification).
+//!
+//! `CONCURRENCY.md` at the repository root documents the verified
+//! protocols, the per-site ordering rationale, and how to write a new model
+//! check.
+//!
+//! # Example
+//!
+//! ```
+//! use cwcs_check::{model, atomic::{AtomicI64, Ordering}, thread};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let x = Arc::new(AtomicI64::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let t = thread::spawn(move || x2.fetch_add(1, Ordering::SeqCst));
+//!     x.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(x.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+
+pub mod atomic;
+mod clock;
+mod exec;
+pub mod lint;
+pub mod thread;
+
+pub use exec::{model, CheckConfig, Checker, Ordering, Report, Violation};

@@ -1,0 +1,342 @@
+//! The atomics lint: a workspace source scanner enforcing the two
+//! concurrency hygiene rules of this repository (see `CONCURRENCY.md`).
+//!
+//! 1. **No raw `std::sync::atomic`** (or `core::sync::atomic`) outside the
+//!    `cwcs_solver::sync` shim — all solver atomics must go through the
+//!    shim so the model checker can instrument them under
+//!    `--cfg cwcs_check`.
+//! 2. **Every `Ordering::Relaxed` site carries a justification**: a
+//!    `// relaxed: <why this cannot reorder into a bug>` comment on the
+//!    same line or within the four lines above it (four, because rustfmt
+//!    splits method chains and cfg attributes push the token down).
+//!
+//! Matching runs on comment- and string-stripped source so prose mentions
+//! of `std::sync::atomic` never trip the lint; the justification comment is
+//! looked up in the *raw* text, since it is itself a comment.  The checker
+//! crate (`crates/cwcs-check`) is exempt from both rules — it implements
+//! the model and must talk to the real atomics — and the shim file is
+//! exempt from rule 1 only.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the finding is in (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// Which of the two rules apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rules {
+    /// Rule 1: forbid raw `std::sync::atomic` imports/paths.
+    pub forbid_raw_atomics: bool,
+    /// Rule 2: require `// relaxed:` justifications.
+    pub require_relaxed_justification: bool,
+}
+
+impl Rules {
+    /// The rules that apply to `rel`, a workspace-relative path.
+    pub fn for_path(rel: &Path) -> Rules {
+        let p = rel.to_string_lossy().replace('\\', "/");
+        if p.starts_with("crates/cwcs-check/") {
+            // The checker implements the model: it is the one place raw
+            // atomics (and uncommented Relaxed) are legitimate.
+            Rules {
+                forbid_raw_atomics: false,
+                require_relaxed_justification: false,
+            }
+        } else if p == "crates/cwcs-solver/src/sync.rs" {
+            // The shim's whole job is re-exporting the raw atomics.
+            Rules {
+                forbid_raw_atomics: false,
+                require_relaxed_justification: true,
+            }
+        } else {
+            Rules {
+                forbid_raw_atomics: true,
+                require_relaxed_justification: true,
+            }
+        }
+    }
+}
+
+/// Lint a single source text.  `file` is only used to label diagnostics.
+pub fn lint_source(file: &Path, text: &str, rules: Rules) -> Vec<Diagnostic> {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let code_lines = strip_comments_and_strings(text);
+    debug_assert_eq!(raw_lines.len(), code_lines.len());
+    let mut diags = Vec::new();
+    for (i, code) in code_lines.iter().enumerate() {
+        let lineno = i + 1;
+        if rules.forbid_raw_atomics && code.contains("sync::atomic") {
+            diags.push(Diagnostic {
+                file: file.to_path_buf(),
+                line: lineno,
+                message: "raw std::sync::atomic use; import from cwcs_solver::sync \
+                          so the concurrency model checker can instrument it \
+                          (run model checks with RUSTFLAGS=\"--cfg cwcs_check\")"
+                    .to_string(),
+            });
+        }
+        if rules.require_relaxed_justification && code.contains("Ordering::Relaxed") {
+            let lo = i.saturating_sub(4);
+            let justified = raw_lines[lo..=i].iter().any(|l| l.contains("// relaxed:"));
+            if !justified {
+                diags.push(Diagnostic {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    message: "Ordering::Relaxed without a `// relaxed: <why>` \
+                              justification on this line or the four above it \
+                              (see CONCURRENCY.md)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Lint every `.rs` file under `root`, skipping `target/` and dot
+/// directories.  Diagnostics use workspace-relative paths.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let rules = Rules::for_path(&rel);
+        if !rules.forbid_raw_atomics && !rules.require_relaxed_justification {
+            continue;
+        }
+        let text = fs::read_to_string(&file)?;
+        diags.extend(lint_source(&rel, &text, rules));
+    }
+    Ok(diags)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == "target" || name.starts_with('.') {
+            continue;
+        }
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Blank out comments and string-literal contents, preserving the line
+/// structure, so pattern matching only sees code.  Handles line comments,
+/// (nested) block comments, double-quoted strings with escapes, and char
+/// literals — `'a'`-style lookahead keeps lifetimes (`'a`) intact.
+fn strip_comments_and_strings(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match (c, next) {
+            ('/', Some('/')) => {
+                // Line comment: skip to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ('/', Some('*')) => {
+                // Block comment, nesting-aware; keep newlines.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    match (chars[i], chars.get(i + 1).copied()) {
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        ('\n', _) => {
+                            out.push('\n');
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            ('"', _) => {
+                // String literal: blank the contents, keep newlines.
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        // An escape eats the next char — but a `\` line
+                        // continuation must not eat the newline, or every
+                        // later diagnostic in the file shifts up a line.
+                        '\\' => {
+                            if chars.get(i + 1) == Some(&'\n') {
+                                out.push('\n');
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            out.push('\n');
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            ('\'', _) => {
+                // Char literal vs lifetime: a literal closes within a few
+                // chars (`'x'`, `'\n'`, `'\u{1F4}'`); a lifetime never has
+                // a closing quote before a non-identifier char.
+                let close = (i + 1..chars.len().min(i + 12))
+                    .find(|&j| chars[j] == '\'' && j != i + 1 && chars[j - 1] != '\\');
+                match close {
+                    Some(j) if chars.get(i + 1) == Some(&'\\') || j == i + 2 => {
+                        // Definitely a char literal: blank it.
+                        out.push('\'');
+                        out.push('\'');
+                        i = j + 1;
+                    }
+                    _ => {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out.lines().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_all(text: &str) -> Vec<Diagnostic> {
+        lint_source(
+            Path::new("x.rs"),
+            text,
+            Rules {
+                forbid_raw_atomics: true,
+                require_relaxed_justification: true,
+            },
+        )
+    }
+
+    #[test]
+    fn flags_raw_atomic_import() {
+        let diags = lint_all("use std::sync::atomic::AtomicI64;\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[0].message.contains("cwcs_solver::sync"));
+    }
+
+    #[test]
+    fn ignores_atomic_mentions_in_comments_and_strings() {
+        let text = "// std::sync::atomic is forbidden\n\
+                    /* std::sync::atomic\n   across lines */\n\
+                    let s = \"std::sync::atomic\";\n";
+        assert!(lint_all(text).is_empty());
+    }
+
+    #[test]
+    fn relaxed_requires_justification() {
+        let bad = "x.load(Ordering::Relaxed);\n";
+        let diags = lint_all(bad);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("relaxed:"));
+
+        let same_line = "x.load(Ordering::Relaxed); // relaxed: counter only\n";
+        assert!(lint_all(same_line).is_empty());
+
+        let above = "// relaxed: monotonic counter, no ordering needed\n\
+                     let v = x\n    .load(Ordering::Relaxed);\n";
+        assert!(lint_all(above).is_empty());
+
+        let too_far = "// relaxed: too far away\n\n\n\n\n\
+                       x.load(Ordering::Relaxed);\n";
+        assert_eq!(lint_all(too_far).len(), 1);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        let text = "let s = \"first \\\n    second\";\nuse std::sync::atomic::fence;\n";
+        let diags = lint_all(text);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3, "continuation must not swallow a line");
+    }
+
+    #[test]
+    fn relaxed_in_comment_is_not_a_site() {
+        let text = "// talks about Ordering::Relaxed in prose\n";
+        assert!(lint_all(text).is_empty());
+    }
+
+    #[test]
+    fn char_literals_do_not_break_string_tracking() {
+        let text = "let q = '\"';\nuse std::sync::atomic::fence;\n";
+        let diags = lint_all(text);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_survive_stripping() {
+        let text = "fn f<'a>(x: &'a str) -> &'a str { x }\n\
+                    use core::sync::atomic::AtomicBool;\n";
+        let diags = lint_all(text);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn shim_and_checker_exemptions() {
+        let shim = Rules::for_path(Path::new("crates/cwcs-solver/src/sync.rs"));
+        assert!(!shim.forbid_raw_atomics);
+        assert!(shim.require_relaxed_justification);
+
+        let checker = Rules::for_path(Path::new("crates/cwcs-check/src/exec.rs"));
+        assert!(!checker.forbid_raw_atomics);
+        assert!(!checker.require_relaxed_justification);
+
+        let solver = Rules::for_path(Path::new("crates/cwcs-solver/src/deque.rs"));
+        assert!(solver.forbid_raw_atomics);
+        assert!(solver.require_relaxed_justification);
+    }
+}

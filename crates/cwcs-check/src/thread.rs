@@ -1,0 +1,104 @@
+//! Modelled thread spawn/join.
+//!
+//! Inside a [`crate::Checker`] execution, [`spawn`] registers a new modelled
+//! thread with the scheduler and backs it with a real OS thread that only
+//! runs while it holds the scheduler token; [`JoinHandle::join`] is a
+//! scheduling point that parks the joiner until the target finishes and
+//! joins the target's vector clock (the C11 *synchronizes-with* edge of a
+//! thread join).  Outside a model execution both fall back to
+//! `std::thread`, so code written against this module behaves identically
+//! in ordinary tests.
+
+use std::sync::{Arc, Mutex};
+
+use crate::exec::{run_model_thread, with_ctx, Exec};
+
+struct ModelJoin<T> {
+    exec: Arc<Exec>,
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Handle to a spawned thread, modelled or real.
+pub struct JoinHandle<T> {
+    model: Option<ModelJoin<T>>,
+    real: Option<std::thread::JoinHandle<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its result.
+    ///
+    /// On a modelled thread this is a scheduling point; the `Err` variant
+    /// is returned when the target panicked (under the checker the panic
+    /// usually surfaces as a [`crate::Violation`] before `join` returns).
+    pub fn join(self) -> std::thread::Result<T> {
+        match (self.model, self.real) {
+            (Some(m), _) => {
+                with_ctx(|exec, me| {
+                    debug_assert!(
+                        Arc::ptr_eq(exec, &m.exec),
+                        "joined a handle from another execution"
+                    );
+                    exec.thread_join(me, m.tid);
+                })
+                .expect("modelled JoinHandle joined outside its execution");
+                match m
+                    .result
+                    .lock()
+                    .expect("model thread result poisoned")
+                    .take()
+                {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("modelled thread panicked".to_string())),
+                }
+            }
+            (None, Some(real)) => real.join(),
+            (None, None) => unreachable!("JoinHandle with no backing thread"),
+        }
+    }
+}
+
+/// As [`std::thread::spawn`], but registered with the active model
+/// execution when called from a modelled thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = with_ctx(|exec, me| (Arc::clone(exec), me));
+    match ctx {
+        Some((exec, me)) => {
+            let tid = exec.thread_spawn(me);
+            let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let exec_for_thread = Arc::clone(&exec);
+            let os = std::thread::Builder::new()
+                .name(format!("cwcs-check-t{tid}"))
+                .spawn(move || {
+                    run_model_thread(exec_for_thread, tid, move || {
+                        let value = f();
+                        *slot.lock().expect("model thread result poisoned") = Some(value);
+                    });
+                })
+                .expect("failed to spawn model thread");
+            exec.register_os_handle(os);
+            JoinHandle {
+                model: Some(ModelJoin { exec, tid, result }),
+                real: None,
+            }
+        }
+        None => JoinHandle {
+            model: None,
+            real: Some(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// An explicit scheduling point with no memory effect — lets the checker
+/// preempt inside an otherwise atomic-free stretch (e.g. a backoff loop).
+/// A plain `std::thread::yield_now` outside a model execution.
+pub fn yield_now() {
+    if with_ctx(|exec, me| exec.yield_point(me)).is_none() {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,274 @@
+//! Litmus self-tests for the model checker: classic weak-memory shapes
+//! whose allowed/forbidden outcomes are known from the C11 literature.
+//! Each forbidden-outcome test asserts the checker *finds* the violation
+//! (the checker has teeth); each allowed-outcome test asserts it does not
+//! (no false positives).
+
+use std::sync::Arc;
+
+use cwcs_check::atomic::{AtomicBool, AtomicI64, Ordering};
+use cwcs_check::{thread, CheckConfig, Checker};
+
+fn expect_violation(config: CheckConfig, body: impl Fn() + Send + Sync + 'static) -> String {
+    match Checker::new(config).check(body) {
+        Ok(report) => panic!("expected a violation, but {report:?} passed"),
+        Err(violation) => {
+            assert!(
+                !violation.trace.is_empty(),
+                "violation should carry a schedule trace"
+            );
+            violation.message
+        }
+    }
+}
+
+fn expect_pass(config: CheckConfig, body: impl Fn() + Send + Sync + 'static) {
+    if let Err(violation) = Checker::new(config).check(body) {
+        panic!("expected no violation, found:\n{violation}");
+    }
+}
+
+/// Store buffering (Dekker): with `SeqCst` everywhere, both threads reading
+/// the other's initial value is forbidden.
+#[test]
+fn store_buffering_seqcst_is_sound() {
+    expect_pass(CheckConfig::exhaustive(), || {
+        let x = Arc::new(AtomicI64::new(0));
+        let y = Arc::new(AtomicI64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, Ordering::SeqCst);
+            y1.load(Ordering::SeqCst)
+        });
+        let t2 = thread::spawn(move || {
+            y2.store(1, Ordering::SeqCst);
+            x2.load(Ordering::SeqCst)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(
+            !(r1 == 0 && r2 == 0),
+            "store buffering: both threads read stale 0"
+        );
+    });
+}
+
+/// The same shape with `Relaxed`: the r1 == r2 == 0 outcome is allowed by
+/// the memory model, so the checker must be able to produce it.
+#[test]
+fn store_buffering_relaxed_is_caught() {
+    let message = expect_violation(CheckConfig::exhaustive(), || {
+        let x = Arc::new(AtomicI64::new(0));
+        let y = Arc::new(AtomicI64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            y1.load(Ordering::Relaxed)
+        });
+        let t2 = thread::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            x2.load(Ordering::Relaxed)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(
+            !(r1 == 0 && r2 == 0),
+            "store buffering: both threads read stale 0"
+        );
+    });
+    assert!(message.contains("store buffering"), "got: {message}");
+}
+
+/// Store buffering repaired by `SeqCst` *fences* between relaxed accesses —
+/// the exact shape of the deque's `take`/`steal` protocol.
+#[test]
+fn store_buffering_seqcst_fences_are_sound() {
+    expect_pass(CheckConfig::exhaustive(), || {
+        let x = Arc::new(AtomicI64::new(0));
+        let y = Arc::new(AtomicI64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            cwcs_check::atomic::fence(Ordering::SeqCst);
+            y1.load(Ordering::Relaxed)
+        });
+        let t2 = thread::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            cwcs_check::atomic::fence(Ordering::SeqCst);
+            x2.load(Ordering::Relaxed)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(!(r1 == 0 && r2 == 0));
+    });
+}
+
+/// Weakening one of those fences below `SeqCst` re-admits the stale
+/// outcome — this is precisely how the `cwcs_mutate_take_fence` mutation
+/// becomes observable.
+#[test]
+fn store_buffering_weakened_fence_is_caught() {
+    expect_violation(CheckConfig::exhaustive(), || {
+        let x = Arc::new(AtomicI64::new(0));
+        let y = Arc::new(AtomicI64::new(0));
+        let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t1 = thread::spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            cwcs_check::atomic::fence(Ordering::Release); // the weakened fence
+            y1.load(Ordering::Relaxed)
+        });
+        let t2 = thread::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            cwcs_check::atomic::fence(Ordering::SeqCst);
+            x2.load(Ordering::Relaxed)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(!(r1 == 0 && r2 == 0));
+    });
+}
+
+/// Message passing with release/acquire: the reader that observes the flag
+/// must observe the data write.
+#[test]
+fn message_passing_release_acquire_is_sound() {
+    expect_pass(CheckConfig::exhaustive(), || {
+        let data = Arc::new(AtomicI64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "message passing: flag seen but data stale"
+            );
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Message passing with a `Relaxed` flag: the stale-data read is allowed,
+/// so the checker must find it.
+#[test]
+fn message_passing_relaxed_flag_is_caught() {
+    let message = expect_violation(CheckConfig::exhaustive(), || {
+        let data = Arc::new(AtomicI64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d1, f1) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "message passing: flag seen but data stale"
+            );
+        }
+        t.join().unwrap();
+    });
+    assert!(message.contains("message passing"), "got: {message}");
+}
+
+/// Read-modify-writes are atomic at every ordering: two racing `fetch_add`
+/// calls never lose an increment, and a CAS from the initial value succeeds
+/// exactly once.
+#[test]
+fn rmw_atomicity_holds_even_relaxed() {
+    expect_pass(CheckConfig::exhaustive(), || {
+        let c = Arc::new(AtomicI64::new(0));
+        let once = Arc::new(AtomicI64::new(0));
+        let (c1, o1) = (Arc::clone(&c), Arc::clone(&once));
+        let t = thread::spawn(move || {
+            // relaxed: litmus shape under test — atomicity, not ordering
+            c1.fetch_add(1, Ordering::Relaxed);
+            o1.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        });
+        // relaxed: litmus shape under test — atomicity, not ordering
+        c.fetch_add(1, Ordering::Relaxed);
+        let mine = once
+            .compare_exchange(0, 2, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok();
+        let theirs = t.join().unwrap();
+        assert!(
+            mine != theirs,
+            "CAS from initial value must succeed exactly once"
+        );
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost a fetch_add increment");
+    });
+}
+
+/// `fetch_min` publishes monotonically decreasing values: a concurrent
+/// reader never observes the bound increase.  (The `SharedBound` protocol.)
+#[test]
+fn fetch_min_is_monotone() {
+    expect_pass(CheckConfig::bounded(2), || {
+        let bound = Arc::new(AtomicI64::new(100));
+        let b1 = Arc::clone(&bound);
+        let t = thread::spawn(move || {
+            // relaxed: litmus shape under test — fetch_min monotonicity
+            b1.fetch_min(30, Ordering::Relaxed);
+            b1.fetch_min(50, Ordering::Relaxed);
+        });
+        // relaxed: litmus shape under test — fetch_min monotonicity
+        let first = bound.load(Ordering::Relaxed);
+        let second = bound.load(Ordering::Relaxed);
+        t.join().unwrap();
+        assert!(
+            second <= first,
+            "bound rose from {first} to {second} at a single observer"
+        );
+        assert_eq!(bound.load(Ordering::SeqCst), 30);
+    });
+}
+
+/// A deliberately non-atomic increment (load; add; store) must be caught:
+/// the classic lost-update interleaving.
+#[test]
+fn lost_update_is_caught() {
+    expect_violation(CheckConfig::bounded(2), || {
+        let c = Arc::new(AtomicI64::new(0));
+        let c1 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let v = c1.load(Ordering::SeqCst);
+            c1.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+}
+
+/// The exhaustive explorer reports exhaustion on small state spaces, and
+/// every run of the same body explores the same number of executions
+/// (determinism of the search itself).
+#[test]
+fn exploration_is_deterministic_and_exhaustive() {
+    let run = || {
+        Checker::new(CheckConfig::exhaustive())
+            .check(|| {
+                let x = Arc::new(AtomicI64::new(0));
+                let x1 = Arc::clone(&x);
+                let t = thread::spawn(move || x1.store(1, Ordering::SeqCst));
+                x.load(Ordering::SeqCst);
+                t.join().unwrap();
+            })
+            .expect("no violation in a race-free body")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same body, same config => same exploration");
+    assert!(a.exhausted, "tiny state space must be exhausted");
+    assert!(a.executions >= 2, "must explore more than one schedule");
+}

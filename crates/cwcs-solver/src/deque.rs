@@ -34,14 +34,31 @@
 //! the caller, which simply keeps exploring the subtree inline instead of
 //! donating it.  Correctness never depends on a push succeeding.
 //!
-//! Seeded multi-thread stress tests (in `tests/deque_stress.rs`) stand in
-//! for a `loom`-style model checker: every pushed item must be popped or
-//! stolen exactly once, across many schedules.
+//! # Verification
+//!
+//! Three layers check the protocol (see `CONCURRENCY.md`):
+//!
+//! * seeded multi-thread stress tests (`tests/deque_stress.rs`) hammer the
+//!   exactly-once invariant across real schedules;
+//! * the in-tree model checker (`tests/model_check.rs`, built with
+//!   `RUSTFLAGS="--cfg cwcs_check"`) explores small configurations under a
+//!   weak-memory model, where the `SeqCst` fence/CAS sites below are
+//!   load-bearing — the `cwcs_mutate_take_fence` and `cwcs_mutate_steal_cas`
+//!   cfgs deliberately weaken them so the suite can prove it would notice;
+//! * CI runs the stress suite under Miri and ThreadSanitizer nightly.
+//!
+//! All atomics come from [`crate::sync`], never `std::sync::atomic`
+//! directly, so the model checker can instrument them (`cwcs-lint`
+//! enforces this).  `top` and `bottom` are cache-line padded: stealers
+//! hammer `top` with CAS traffic and the owner rewrites `bottom` on every
+//! pop — on a shared line each would steal the other's line in exclusive
+//! state, roughly doubling the coherence traffic of the hot paths.
 
 use std::cell::Cell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+
+use crate::sync::{fence, AtomicI64, AtomicUsize, CachePadded, Ordering};
 
 /// Result of a [`DequeStealer::steal`] attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,10 +72,12 @@ pub enum Steal<T> {
 }
 
 struct Inner<T> {
-    /// Next slot stealers take from (grows monotonically).
-    top: AtomicI64,
+    /// Next slot stealers take from (grows monotonically).  Padded to its
+    /// own cache line: stealer CAS traffic must not invalidate `bottom`.
+    top: CachePadded<AtomicI64>,
     /// Next slot the owner pushes to (owner-written; stealers read it).
-    bottom: AtomicI64,
+    /// Padded for the same reason, in the other direction.
+    bottom: CachePadded<AtomicI64>,
     /// Ring of arena indices (`-1` = never written, for debuggability).
     ring: Vec<AtomicI64>,
     /// Write-once task cells, claimed in `next_cell` order by the owner.
@@ -100,8 +119,8 @@ impl<T> Clone for DequeStealer<T> {
 pub fn work_deque<T: Clone>(ring: usize, arena: usize) -> (DequeWorker<T>, DequeStealer<T>) {
     let ring = ring.max(1);
     let inner = Arc::new(Inner {
-        top: AtomicI64::new(0),
-        bottom: AtomicI64::new(0),
+        top: CachePadded(AtomicI64::new(0)),
+        bottom: CachePadded(AtomicI64::new(0)),
         ring: (0..ring).map(|_| AtomicI64::new(-1)).collect(),
         arena: (0..arena).map(|_| OnceLock::new()).collect(),
         next_cell: AtomicUsize::new(0),
@@ -120,11 +139,15 @@ impl<T: Clone> DequeWorker<T> {
     /// full or the arena is exhausted — the caller keeps the work inline.
     pub fn push(&self, task: T) -> Result<(), T> {
         let inner = &self.inner;
+        // relaxed: `bottom` is only ever written by this owner thread, so
+        // reading our own last store needs no ordering.
         let b = inner.bottom.load(Ordering::Relaxed);
         let t = inner.top.load(Ordering::Acquire);
         if b - t >= inner.ring.len() as i64 {
             return Err(task); // ring full
         }
+        // relaxed: owner-only counter; the arena write it guards is
+        // published by the `Release` ring-slot store below, not by this RMW.
         let cell = inner.next_cell.fetch_add(1, Ordering::Relaxed);
         if cell >= inner.arena.len() {
             return Err(task); // arena exhausted for good
@@ -143,22 +166,43 @@ impl<T: Clone> DequeWorker<T> {
     /// Pop the most recently pushed task, if any (LIFO).
     pub fn pop(&self) -> Option<T> {
         let inner = &self.inner;
+        // relaxed: owner reads and rewrites its own `bottom`; the SeqCst
+        // fence below is what orders the store against the `top` load.
         let b = inner.bottom.load(Ordering::Relaxed) - 1;
         inner.bottom.store(b, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        // The load-bearing fence: it globally orders the `bottom` store
+        // above against the `top` load below.  Without it a stealer's
+        // advance of `top` can stay invisible here while our shrunken
+        // `bottom` stays invisible there, and both sides take the same
+        // task.  The model-check suite proves the checker notices when the
+        // `cwcs_mutate_take_fence` build weakens this to `Release`.
+        #[cfg(not(cwcs_mutate_take_fence))]
+        fence(Ordering::SeqCst);
+        #[cfg(cwcs_mutate_take_fence)]
+        fence(Ordering::Release);
+        // relaxed: ordered by the SeqCst fence above.
         let t = inner.top.load(Ordering::Relaxed);
         if t > b {
-            // Already empty: restore bottom.
+            // relaxed: only the owner writes `bottom`; stealers re-validate
+            // through their own SeqCst fence + `top` CAS, never through
+            // this restore store.
             inner.bottom.store(b + 1, Ordering::Relaxed);
             return None;
         }
+        // relaxed: reading our own `Release` store from `push` (same
+        // thread), or an older one — the CAS/fence protocol guarantees the
+        // slot was not overwritten while still claimable.
         let cell = inner.slot(b).load(Ordering::Relaxed);
         if t == b {
-            // Last task: race the stealers for it on `top`.
+            // Last task: race the stealers for it on `top`.  SeqCst on
+            // success keeps the CAS in the same total order as the fences;
+            // relaxed: on failure we only learn we lost the race — the
+            // stale value is never used.
             let won = inner
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
+            // relaxed: see the empty-path restore above.
             inner.bottom.store(b + 1, Ordering::Relaxed);
             return won.then(|| self.take(cell));
         }
@@ -167,6 +211,8 @@ impl<T: Clone> DequeWorker<T> {
 
     /// Number of tasks currently in the deque (approximate under races).
     pub fn len(&self) -> usize {
+        // relaxed: advisory snapshot — callers only use it as a heuristic
+        // (donation low-water checks), never for correctness.
         let b = self.inner.bottom.load(Ordering::Relaxed);
         let t = self.inner.top.load(Ordering::Relaxed);
         (b - t).max(0) as usize
@@ -179,6 +225,7 @@ impl<T: Clone> DequeWorker<T> {
 
     /// Remaining arena capacity: pushes that can still succeed.
     pub fn spare_capacity(&self) -> usize {
+        // relaxed: owner-only counter read on the owner thread.
         self.inner
             .arena
             .len()
@@ -198,17 +245,33 @@ impl<T: Clone> DequeStealer<T> {
     pub fn steal(&self) -> Steal<T> {
         let inner = &self.inner;
         let t = inner.top.load(Ordering::Acquire);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        // Pairs with the owner's pop fence: after it, this thread's `top`
+        // read is ordered before the `bottom` read, so a concurrent pop
+        // either sees our (later) CAS or we see its shrunken `bottom`.
+        fence(Ordering::SeqCst);
         let b = inner.bottom.load(Ordering::Acquire);
         if t >= b {
             return Steal::Empty;
         }
         let cell = inner.slot(t).load(Ordering::Acquire);
-        if inner
+        // SeqCst on success: the CAS must participate in the same total
+        // order as the pop fence, or the owner can miss our claim and hand
+        // out the task twice.  The model-check suite proves the checker
+        // notices when the `cwcs_mutate_steal_cas` build weakens this.
+        // relaxed: on failure the read value is discarded (Retry).
+        #[cfg(not(cwcs_mutate_steal_cas))]
+        let claimed = inner
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-            .is_err()
-        {
+            .is_ok();
+        #[cfg(cwcs_mutate_steal_cas)]
+        // relaxed: deliberately wrong — the injected mutation the
+        // model-check suite must detect.
+        let claimed = inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok();
+        if !claimed {
             return Steal::Retry;
         }
         // The CAS succeeded, so slot `t` was not overwritten before it (see
@@ -223,6 +286,7 @@ impl<T: Clone> DequeStealer<T> {
 
     /// Number of tasks currently observable in the deque.
     pub fn len(&self) -> usize {
+        // relaxed: advisory snapshot for victim selection heuristics.
         let b = self.inner.bottom.load(Ordering::Relaxed);
         let t = self.inner.top.load(Ordering::Relaxed);
         (b - t).max(0) as usize

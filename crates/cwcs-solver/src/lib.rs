@@ -53,12 +53,13 @@ pub mod portfolio;
 pub mod propagator;
 pub mod search;
 pub mod store;
+pub mod sync;
 
 pub use deque::{work_deque, DequeStealer, DequeWorker, Steal};
 pub use domain::IntDomain;
 pub use portfolio::{
-    partition_root, PortfolioConfig, PortfolioOutcome, PortfolioSearch, PortfolioStats,
-    RaceStrategy, RootPartition, WorkerReport, WorkerRole,
+    partition_root, PendingCounter, PortfolioConfig, PortfolioOutcome, PortfolioSearch,
+    PortfolioStats, RaceStrategy, RootPartition, WorkerReport, WorkerRole,
 };
 pub use propagator::{Inconsistency, Propagator};
 pub use search::{

@@ -81,9 +81,10 @@
 //! The duplicated race of PR 4 is kept as [`RaceStrategy::Duplicated`] so
 //! benchmarks can A/B the two protocols in one binary.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread;
 use std::time::Instant;
+
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 
 use crate::deque::{work_deque, DequeStealer, DequeWorker, Steal};
 use crate::propagator::{propagate_to_fixpoint, Propagator};
@@ -317,6 +318,70 @@ impl XorShift {
     }
 }
 
+/// The in-flight checkpoint counter of a partitioned race: the number of
+/// subtrees published (seeded, donated or frozen) but not yet fully
+/// explored.  The race has *provably* exhausted the search space exactly
+/// when this reaches zero — every published subtree was explored, and any
+/// subtree a worker was still exploring keeps the count positive through
+/// its own entry.
+///
+/// # Protocol (checked by `tests/model_check.rs`)
+///
+/// * [`PendingCounter::publish`] increments **before** the checkpoint is
+///   pushed, so no thief can explore-and-complete a checkpoint before it is
+///   counted — the count conservatively over-approximates, never
+///   under-approximates, the in-flight work;
+/// * [`PendingCounter::retract`] undoes a publish whose push failed (the
+///   checkpoint never became visible, so nobody else can have counted on
+///   it);
+/// * [`PendingCounter::complete`] decrements *after* the subtree is fully
+///   explored, with `AcqRel` so the completed exploration happens-before
+///   whoever observes the drain;
+/// * [`PendingCounter::drained`] is the exit check, `Acquire` to pair with
+///   `complete`.
+#[derive(Debug, Default)]
+pub struct PendingCounter(AtomicU64);
+
+impl PendingCounter {
+    /// A counter with nothing in flight.
+    pub fn new() -> Self {
+        PendingCounter(AtomicU64::new(0))
+    }
+
+    /// Count a checkpoint about to be pushed (call *before* the push).
+    pub fn publish(&self) {
+        // relaxed: the increment must only be atomic; the checkpoint it
+        // counts is published by the deque's Release slot store, and the
+        // exit edge is carried by `complete`/`drained`, not by this add.
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Undo a [`PendingCounter::publish`] whose push failed.
+    pub fn retract(&self) {
+        // relaxed: pairs with the failed publish — the checkpoint was never
+        // visible to anyone, so there is nothing to order against.
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Count a subtree as fully explored (call *after* exploring it).
+    pub fn complete(&self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// True when every published checkpoint has been explored: the
+    /// partitioned race may terminate.
+    pub fn drained(&self) -> bool {
+        self.0.load(Ordering::Acquire) == 0
+    }
+
+    /// Checkpoints still in flight (advisory, for reporting).
+    pub fn outstanding(&self) -> u64 {
+        // relaxed: read for statistics after the workers joined (the join
+        // is the synchronization); concurrent readers get a snapshot.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A parallel portfolio of cooperating branch & bound workers over one
 /// [`Model`] (see the module docs for the protocol).
 pub struct PortfolioSearch<'m> {
@@ -339,7 +404,7 @@ const ARENA_CAPACITY: usize = 8192;
 struct SharedRace<'a> {
     model: &'a Model,
     root: &'a DomainStore,
-    pending: &'a AtomicU64,
+    pending: &'a PendingCounter,
     early_stop: &'a AtomicBool,
 }
 
@@ -425,14 +490,14 @@ impl<'a, O: Objective> Worker<'a, O> {
     /// thief can complete it before it is counted.  Returns false (and
     /// restores `pending`) when the deque is full.
     fn publish(&mut self, checkpoint: SubtreeCheckpoint) -> bool {
-        self.race.pending.fetch_add(1, Ordering::Relaxed);
+        self.race.pending.publish();
         match self.own.push(checkpoint) {
             Ok(()) => {
                 self.donated += 1;
                 true
             }
             Err(_) => {
-                self.race.pending.fetch_sub(1, Ordering::Relaxed);
+                self.race.pending.retract();
                 false
             }
         }
@@ -635,7 +700,7 @@ impl<'a, O: Objective> Worker<'a, O> {
                     Steal::Empty => {}
                 }
             }
-            if !saw_retry && self.race.pending.load(Ordering::Acquire) == 0 {
+            if !saw_retry && self.race.pending.drained() {
                 return None;
             }
             thread::yield_now();
@@ -647,7 +712,7 @@ impl<'a, O: Objective> Worker<'a, O> {
         self.recompute_failure_budget();
         while let Some(checkpoint) = self.acquire() {
             self.run_subtree(checkpoint);
-            self.race.pending.fetch_sub(1, Ordering::AcqRel);
+            self.race.pending.complete();
             if self.freeze_fired {
                 self.freeze_fired = false;
                 self.stats.restarts += 1;
@@ -657,6 +722,7 @@ impl<'a, O: Objective> Worker<'a, O> {
             }
         }
         if self.stopped {
+            // relaxed: a pure flag, read only after the workers joined.
             self.race.early_stop.store(true, Ordering::Relaxed);
         }
         self.stats.completed = !self.stopped;
@@ -900,7 +966,7 @@ impl<'m> PortfolioSearch<'m> {
         // One deque per worker, seeded with its slice (reversed, so the
         // owner pops the canonical order; thieves and the freeze-jump
         // steal from the opposite end, the furthest untouched value).
-        let pending = AtomicU64::new(0);
+        let pending = PendingCounter::new();
         let early_stop = AtomicBool::new(false);
         let mut owners = Vec::with_capacity(workers);
         let mut stealers = Vec::with_capacity(workers);
@@ -910,7 +976,7 @@ impl<'m> PortfolioSearch<'m> {
                 ARENA_CAPACITY.max(slice.len() + 1),
             );
             for &value in slice.iter().rev() {
-                pending.fetch_add(1, Ordering::Relaxed);
+                pending.publish();
                 owner
                     .push(SubtreeCheckpoint {
                         trail: vec![(root_var, value)],
@@ -1008,7 +1074,8 @@ impl<'m> PortfolioSearch<'m> {
 
         // The race is globally complete only when every checkpoint was
         // fully explored and nobody stopped early.
-        let exhausted = !early_stop.load(Ordering::Relaxed) && pending.load(Ordering::Relaxed) == 0;
+        // relaxed: the scope join above synchronized with every worker.
+        let exhausted = !early_stop.load(Ordering::Relaxed) && pending.outstanding() == 0;
 
         for (outcome, slice) in outcomes.iter_mut().zip(&partition.slices) {
             outcome.report.root_values = slice.len();

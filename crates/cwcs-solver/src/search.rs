@@ -12,9 +12,10 @@
 //! placement model uses to try a VM's current node first so that solutions
 //! with few migrations are found early.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::sync::{AtomicBool, AtomicI64, Ordering};
 
 use crate::propagator::{propagate_to_fixpoint, Inconsistency, Propagator};
 use crate::store::{DomainStore, Model, VarId};
@@ -108,22 +109,31 @@ impl SharedBound {
 
     /// The best cost published by any run, if any.
     pub fn best_cost(&self) -> Option<i64> {
+        // relaxed: a stale (larger) bound only weakens pruning, never
+        // soundness — the bound is monotonically decreasing (fetch_min) and
+        // is a pure scalar, carrying no other data to synchronize.
         let bound = self.bound.load(Ordering::Relaxed);
         (bound != i64::MAX).then_some(bound)
     }
 
     /// Publish a cost; keeps the minimum of all published costs.
     pub fn publish(&self, cost: i64) {
+        // relaxed: the RMW is atomic at any ordering, so the bound stays
+        // the true minimum; readers tolerate staleness (see `best_cost`).
+        // `tests/model_check.rs` checks monotonicity under this ordering.
         self.bound.fetch_min(cost, Ordering::Relaxed);
     }
 
     /// Ask every run sharing this bound to stop.
     pub fn cancel(&self) {
+        // relaxed: a pure flag — no data is published through it, and a
+        // worker observing it late only explores a little longer.
         self.cancel.store(true, Ordering::Relaxed);
     }
 
     /// True once [`SharedBound::cancel`] was called.
     pub fn is_cancelled(&self) -> bool {
+        // relaxed: see `cancel`.
         self.cancel.load(Ordering::Relaxed)
     }
 }

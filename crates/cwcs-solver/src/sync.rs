@@ -1,0 +1,84 @@
+//! The solver's synchronization shim: the **only** place this crate (and
+//! everything downstream of it) is allowed to touch atomics.
+//!
+//! In a normal build this module is a zero-cost alias of
+//! [`std::sync::atomic`] and [`std::thread`] — the re-exports compile to
+//! the identical code, nothing is wrapped.  Built with
+//! `RUSTFLAGS="--cfg cwcs_check"`, the same names resolve to the
+//! instrumented types of the in-tree concurrency model checker
+//! ([`cwcs_check::atomic`] / [`cwcs_check::thread`]): every load, store,
+//! RMW and fence becomes a scheduling point of a deterministic
+//! interleaving explorer running under a C11-style weak-memory model, so
+//! the ordering annotations in `deque.rs`, `search.rs` and `portfolio.rs`
+//! are *checked*, not trusted.  See `CONCURRENCY.md` at the repository
+//! root and the model-check suite in `tests/model_check.rs`.
+//!
+//! The `cwcs-lint` binary (crate `cwcs-check`) enforces the discipline:
+//! any `std::sync::atomic` import outside this file fails CI.
+
+// The shim is the sanctioned raw-atomics site (cwcs-lint exempts it).
+#[cfg(not(cwcs_check))]
+pub use std::sync::atomic::{fence, AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(cwcs_check)]
+pub use cwcs_check::atomic::{fence, AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Thread operations the model checker needs to control.  Code that spawns
+/// scoped workers (`std::thread::scope`) keeps using `std` directly — the
+/// model-check suites drive the lock-free cores with modelled threads
+/// instead of the full portfolio loop.
+pub mod thread {
+    #[cfg(not(cwcs_check))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(cwcs_check)]
+    pub use cwcs_check::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Pads and aligns a value to 64 bytes — the destructive interference range
+/// (cache-line size) of x86-64 and most aarch64 parts — so two hot atomics
+/// never share a line.  The deque's `top` and `bottom` are each written by
+/// different parties at high rate; sharing a line would make every stealer
+/// CAS invalidate the owner's `bottom` accesses and vice versa.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicI64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicI64>>(), 64);
+        let padded = CachePadded(AtomicI64::new(7));
+        assert_eq!(padded.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn shim_atomics_roundtrip() {
+        let x = AtomicU64::new(1);
+        // relaxed: single-threaded unit test, no concurrent observer
+        assert_eq!(x.fetch_add(2, Ordering::Relaxed), 1);
+        assert_eq!(x.load(Ordering::Relaxed), 3);
+        fence(Ordering::SeqCst);
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::Release);
+        assert!(b.load(Ordering::Acquire));
+    }
+}

@@ -9,10 +9,10 @@
 //! case a few times so a scheduling-dependent bug has many chances to show.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use cwcs_solver::sync::{AtomicBool, Ordering};
 use cwcs_solver::{work_deque, Steal};
 
 /// xorshift64* — the same tiny deterministic generator the portfolio's
