@@ -25,6 +25,7 @@ const ARTIFACTS: &[&str] = &[
     "BENCH_large_scale.json",
     "BENCH_large_scale_switch.json",
     "BENCH_netbound.json",
+    "BENCH_streaming.json",
     "BENCH_fig10.json",
     "BENCH_fig11.json",
 ];

@@ -66,25 +66,30 @@ fn main() {
         .integer("solver_workers", workers as u64);
     let mut index: u64 = 0;
     for iteration in &report.iterations {
-        if !iteration.performed_switch || iteration.plan_stats.total_actions() == 0 {
+        if !iteration.performed_switch || iteration.switch.plan_stats.total_actions() == 0 {
             continue;
         }
         index += 1;
-        let cost = iteration.plan_cost.as_ref().map(|c| c.total).unwrap_or(0);
+        let cost = iteration
+            .switch
+            .plan_cost
+            .as_ref()
+            .map(|c| c.total)
+            .unwrap_or(0);
         println!(
             "{:>6} {:>12} {:>12.0} {:>6} {:>6} {:>9} {:>9} {:>9}",
             index,
             cost,
-            iteration.switch_duration_secs,
-            iteration.plan_stats.runs,
-            iteration.plan_stats.stops,
-            iteration.plan_stats.migrations,
-            iteration.plan_stats.suspends,
-            iteration.plan_stats.resumes
+            iteration.switch.duration_secs,
+            iteration.switch.plan_stats.runs,
+            iteration.switch.plan_stats.stops,
+            iteration.switch.plan_stats.migrations,
+            iteration.switch.plan_stats.suspends,
+            iteration.switch.plan_stats.resumes
         );
         json = json.integer(&format!("switch{index}_cost"), cost).number(
             &format!("switch{index}_duration_secs"),
-            iteration.switch_duration_secs,
+            iteration.switch.duration_secs,
         );
     }
 
@@ -97,9 +102,13 @@ fn main() {
     let local: usize = report
         .iterations
         .iter()
-        .map(|i| i.plan_stats.local_resumes)
+        .map(|i| i.switch.plan_stats.local_resumes)
         .sum();
-    let total: usize = report.iterations.iter().map(|i| i.plan_stats.resumes).sum();
+    let total: usize = report
+        .iterations
+        .iter()
+        .map(|i| i.switch.plan_stats.resumes)
+        .sum();
     if total > 0 {
         println!(
             "{}/{} resumes were local (the paper reports 21/28), thanks to the cost model",

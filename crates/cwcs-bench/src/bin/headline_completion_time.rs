@@ -72,12 +72,12 @@ fn main() {
     let local: usize = entropy
         .iterations
         .iter()
-        .map(|i| i.plan_stats.local_resumes)
+        .map(|i| i.switch.plan_stats.local_resumes)
         .sum();
     let resumes: usize = entropy
         .iterations
         .iter()
-        .map(|i| i.plan_stats.resumes)
+        .map(|i| i.switch.plan_stats.resumes)
         .sum();
     println!(
         "{:<38} {:>7}/{}",

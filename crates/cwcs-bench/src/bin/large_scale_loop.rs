@@ -126,7 +126,7 @@ fn switches(report: &RunReport) -> Vec<&IterationReport> {
 fn switch_cost(switches: &[&IterationReport], index: usize) -> u64 {
     switches
         .get(index)
-        .and_then(|it| it.plan_cost.as_ref())
+        .and_then(|it| it.switch.plan_cost.as_ref())
         .map(|c| c.total)
         .unwrap_or(0)
 }
@@ -134,14 +134,14 @@ fn switch_cost(switches: &[&IterationReport], index: usize) -> u64 {
 fn switch_proven(switches: &[&IterationReport], index: usize) -> bool {
     switches
         .get(index)
-        .map(|it| it.search_stats.completed)
+        .map(|it| it.solve.search_stats.completed)
         .unwrap_or(false)
 }
 
 fn switch_nodes(switches: &[&IterationReport], index: usize) -> u64 {
     switches
         .get(index)
-        .map(|it| it.search_stats.nodes)
+        .map(|it| it.solve.search_stats.nodes)
         .unwrap_or(0)
 }
 
@@ -184,29 +184,30 @@ fn main() {
         .first()
         .expect("the first iteration boots the VMs");
     let boot_repair = boot
+        .solve
         .repair_stats
         .clone()
         .expect("repair mode reports sub-problem stats");
     let max_solve_ms = report
         .iterations
         .iter()
-        .map(|it| it.search_stats.elapsed_ms)
+        .map(|it| it.solve.search_stats.elapsed_ms)
         .max()
         .unwrap_or(0);
     let total_actions: usize = report
         .iterations
         .iter()
-        .map(|it| it.plan_stats.total_actions())
+        .map(|it| it.switch.plan_stats.total_actions())
         .sum();
     let steals_total: u64 = report
         .iterations
         .iter()
-        .filter_map(|it| it.portfolio_stats.as_ref())
+        .filter_map(|it| it.solve.portfolio_stats.as_ref())
         .map(|p| p.steals_total)
         .sum();
     let partition_workers = switches_main
         .iter()
-        .filter_map(|it| it.portfolio_stats.as_ref())
+        .filter_map(|it| it.solve.portfolio_stats.as_ref())
         .map(|p| p.partition_workers)
         .max()
         .unwrap_or(0);
@@ -235,11 +236,11 @@ fn main() {
     );
     println!(
         "{:<44} {:>10}",
-        "boot solve proven optimal", boot.search_stats.completed
+        "boot solve proven optimal", boot.solve.search_stats.completed
     );
     println!(
         "{:<44} {:>10}",
-        "boot solve time (ms)", boot.search_stats.elapsed_ms
+        "boot solve time (ms)", boot.solve.search_stats.elapsed_ms
     );
     println!("{:<44} {:>10}", "max solve time (ms)", max_solve_ms);
     println!("{:<44} {:>10}", "portfolio steals (total)", steals_total);
@@ -257,6 +258,7 @@ fn main() {
     );
     for (index, it) in switches_main.iter().enumerate() {
         let winner = it
+            .solve
             .portfolio_stats
             .as_ref()
             .and_then(|p| p.winner)
@@ -265,11 +267,11 @@ fn main() {
         println!(
             "{:>6} {:>12} {:>12} {:>8} {:>10} {:>8}",
             index,
-            it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
-            it.search_stats.elapsed_ms,
+            it.switch.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+            it.solve.search_stats.elapsed_ms,
             winner,
-            !it.search_stats.incumbent_kept,
-            it.search_stats.completed
+            !it.solve.search_stats.incumbent_kept,
+            it.solve.search_stats.completed
         );
     }
 
@@ -335,7 +337,7 @@ fn main() {
         (race_label(race), &switches_main),
         ("duplicated", &switches_dup),
     ] {
-        if let Some(stats) = sw.get(1).and_then(|it| it.portfolio_stats.as_ref()) {
+        if let Some(stats) = sw.get(1).and_then(|it| it.solve.portfolio_stats.as_ref()) {
             for w in &stats.workers {
                 println!(
                     "  rebalance worker {} [{label}] role={:<12} best={:?} nodes={} \
@@ -369,7 +371,7 @@ fn main() {
     let solver_wall_ms: u64 = report
         .iterations
         .iter()
-        .map(|it| it.search_stats.elapsed_ms)
+        .map(|it| it.solve.search_stats.elapsed_ms)
         .sum();
     let mut json = JsonObject::new()
         .string("benchmark", "large_scale_loop")
@@ -387,9 +389,12 @@ fn main() {
         .integer("boot_subproblem_vms", boot_repair.movable_vms as u64)
         .integer("boot_pinned_vms", boot_repair.pinned_vms as u64)
         .integer("boot_candidate_nodes", boot_repair.candidate_nodes as u64)
-        .boolean("boot_solve_proven", boot.search_stats.completed)
-        .integer("boot_plan_actions", boot.plan_stats.total_actions() as u64)
-        .number("boot_switch_secs", boot.switch_duration_secs)
+        .boolean("boot_solve_proven", boot.solve.search_stats.completed)
+        .integer(
+            "boot_plan_actions",
+            boot.switch.plan_stats.total_actions() as u64,
+        )
+        .number("boot_switch_secs", boot.switch.duration_secs)
         .integer("portfolio_steals_total", steals_total)
         .integer("portfolio_partition_workers", partition_workers as u64)
         .integer("duplicated_switch1_plan_cost", duplicated_rebalance_cost)
@@ -400,7 +405,7 @@ fn main() {
         .integer("duplicated_switch1_solve_nodes", duplicated_rebalance_nodes)
         .number_unless(
             "boot_solve_ms",
-            boot.search_stats.elapsed_ms as f64,
+            boot.solve.search_stats.elapsed_ms as f64,
             deterministic,
         )
         .number_unless("max_solve_ms", max_solve_ms as f64, deterministic)
@@ -413,19 +418,22 @@ fn main() {
         json = json
             .integer(
                 &format!("switch{index}_plan_cost"),
-                it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+                it.switch.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
             )
             .boolean(
                 &format!("switch{index}_solve_proven"),
-                it.search_stats.completed,
+                it.solve.search_stats.completed,
             )
-            .integer(&format!("switch{index}_solve_nodes"), it.search_stats.nodes)
+            .integer(
+                &format!("switch{index}_solve_nodes"),
+                it.solve.search_stats.nodes,
+            )
             .number_unless(
                 &format!("switch{index}_solve_ms"),
-                it.search_stats.elapsed_ms as f64,
+                it.solve.search_stats.elapsed_ms as f64,
                 deterministic,
             );
-        if let Some(winner) = it.portfolio_stats.as_ref().and_then(|p| p.winner) {
+        if let Some(winner) = it.solve.portfolio_stats.as_ref().and_then(|p| p.winner) {
             json = json.integer(&format!("switch{index}_winner"), winner as u64);
         }
     }

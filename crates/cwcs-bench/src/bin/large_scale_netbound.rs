@@ -132,13 +132,13 @@ fn main() {
     let max_solve_ms = report
         .iterations
         .iter()
-        .map(|it| it.search_stats.elapsed_ms)
+        .map(|it| it.solve.search_stats.elapsed_ms)
         .max()
         .unwrap_or(0);
     let total_actions: usize = report
         .iterations
         .iter()
-        .map(|it| it.plan_stats.total_actions())
+        .map(|it| it.switch.plan_stats.total_actions())
         .sum();
     let peak_net_percent = report
         .utilization

@@ -356,6 +356,42 @@ static LARGE_SCALE_SWITCH_RULES: &[KeyRule] = &[
     growth("event_wall_ms", 1.5, 75.0),
 ];
 
+static STREAMING_RULES: &[KeyRule] = &[
+    // Shape of the streaming scenario: any drift here means the benchmark
+    // is no longer measuring the committed configuration.
+    exact("optimizer_mode"),
+    exact("warm_start"),
+    exact("nodes"),
+    exact("initial_vms"),
+    exact("total_vms"),
+    exact("ticks"),
+    exact("vjobs_per_tick"),
+    exact("failed_nodes"),
+    exact("solver_workers"),
+    exact("iterations"),
+    // The incremental-observation contract, byte-stable in deterministic
+    // mode: the delta volumes and the repair sub-problem size are decided
+    // by the change journal and the halo reduction, not by machine speed.
+    exact("delta_vms_total"),
+    exact("delta_nodes_total"),
+    exact("repair_movable_max"),
+    exact("model_patches"),
+    exact("model_rebuilds"),
+    // Decisions: the deterministic node budget pins the search, so the
+    // switch count is exact; plan size and completions get headroom for
+    // legitimate tie-break-level drift.
+    exact("context_switches"),
+    growth("plan_actions_total", 1.25, 100.0),
+    info("completed_vjobs"),
+    // Timed runs only (`compare` skips keys absent on both sides): the
+    // sub-second decide ceiling, also asserted in-binary by the benchmark.
+    exact("decides_under_1s"),
+    growth("max_decide_ms", 1.5, 200.0),
+    growth("mean_decide_ms", 1.5, 150.0),
+    growth("max_patch_ms", 2.0, 25.0),
+    growth("loop_wall_ms", 1.5, 4_000.0),
+];
+
 /// The gating rules of one benchmark artifact, selected by its `benchmark`
 /// field.
 pub fn artifact_rules(benchmark: &str) -> &'static [KeyRule] {
@@ -364,6 +400,7 @@ pub fn artifact_rules(benchmark: &str) -> &'static [KeyRule] {
         "large_scale_loop" => LARGE_SCALE_LOOP_RULES,
         "large_scale_netbound" => NETBOUND_RULES,
         "large_scale_switch" => LARGE_SCALE_SWITCH_RULES,
+        "large_scale_streaming" => STREAMING_RULES,
         "fig10_cost_reduction" => FIG10_RULES,
         "fig11_switch_durations" => FIG11_RULES,
         _ => &[],
@@ -625,6 +662,7 @@ mod tests {
             "large_scale_loop",
             "large_scale_netbound",
             "large_scale_switch",
+            "large_scale_streaming",
             "fig10_cost_reduction",
             "fig11_switch_durations",
         ] {

@@ -26,5 +26,6 @@ pub use report::{
 pub use scenarios::{
     cluster_experiment, cluster_experiment_sized, entropy_run, entropy_run_with, figure_10_point,
     figure_10_point_with, large_scale_netbound, large_scale_switch, large_scale_switch_surge,
-    static_fcfs_run, ClusterScenario, Figure10Sample, LargeScaleScenario,
+    static_fcfs_run, streaming_scenario, ClusterScenario, Figure10Sample, LargeScaleScenario,
+    StreamingScenario,
 };

@@ -58,6 +58,16 @@ impl JsonObject {
         }
     }
 
+    /// Add a boolean field unless `skip` is set (used to keep wall-clock
+    /// verdicts out of deterministic-mode artifacts).
+    pub fn boolean_unless(self, key: &str, value: bool, skip: bool) -> Self {
+        if skip {
+            self
+        } else {
+            self.boolean(key, value)
+        }
+    }
+
     /// Render the object as a pretty-printed JSON string.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n");

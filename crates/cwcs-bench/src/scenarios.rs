@@ -570,6 +570,188 @@ pub fn large_scale_netbound(node_count: u32, transfer_vjobs: u32) -> ClusterScen
     }
 }
 
+/// A rolling-arrival streaming scenario: a large cluster running a steady
+/// base load, plus batches of vjobs arriving at every control period — the
+/// regime the incremental observe→solve pipeline is built for.
+#[derive(Debug, Clone)]
+pub struct StreamingScenario {
+    /// The cluster with the base-load VMs registered and running.
+    pub configuration: Configuration,
+    /// The base-load vjobs (one per node, already running).
+    pub initial_specs: Vec<VjobSpec>,
+    /// One batch of waiting vjobs per arrival tick, submitted through
+    /// [`cwcs_core::ControlLoop::submit_vjob`] while the loop runs.
+    pub arrivals: Vec<Vec<VjobSpec>>,
+}
+
+impl StreamingScenario {
+    /// A fresh simulated cluster over the base load, with every initial
+    /// vjob registered.  Arrival batches are *not* registered: the driver
+    /// submits them tick by tick.
+    pub fn cluster(&self) -> SimulatedCluster {
+        let mut cluster = SimulatedCluster::new(self.configuration.clone());
+        for spec in &self.initial_specs {
+            cluster.register_vjob(spec);
+        }
+        cluster
+    }
+
+    /// Total number of VMs across the base load and every arrival batch.
+    pub fn total_vms(&self) -> usize {
+        self.configuration.vm_count()
+            + self
+                .arrivals
+                .iter()
+                .flatten()
+                .map(|spec| spec.vms.len())
+                .sum::<usize>()
+    }
+}
+
+/// Build the streaming scenario over `node_count` nodes of 10 processing
+/// units / 24 GiB / 10 Gbps each:
+///
+/// * every node runs a **base** vjob of 6 one-unit VMs (memory cycling
+///   1 → 2 → 4 GiB, 200 Mbps each): 60 % of the cluster's processing units
+///   and ~58 % of its memory are taken from the start;
+/// * `ticks` batches of `vjobs_per_tick` **arrival** vjobs wait in the
+///   stream.  An arrival vjob has 2 half-unit VMs (512 MiB – 1 GiB,
+///   100 Mbps); every eighth vjob is a *short* job (75 s of work) so
+///   completions stream back through the observation deltas while the rest
+///   keep running.
+///
+/// With the defaults of the `large_scale_streaming` binary (10 000 nodes,
+/// 20 ticks of 1 000 vjobs) this is a 100 000-VM run ending near 80 % CPU
+/// utilization.  Memory sizes and the short-job positions are drawn from a
+/// seeded xorshift generator, so the same seed always builds the same
+/// stream.
+pub fn streaming_scenario(
+    node_count: u32,
+    ticks: usize,
+    vjobs_per_tick: usize,
+    seed: u64,
+) -> StreamingScenario {
+    const BASE_VMS: u32 = 6;
+    const ARRIVAL_VMS: u32 = 2;
+    const BASE_WORK_SECS: f64 = 172_800.0;
+    const LONG_WORK_SECS: f64 = 7_200.0;
+    const SHORT_WORK_SECS: f64 = 75.0;
+    let base_memory = [MemoryMib::gib(1), MemoryMib::gib(2), MemoryMib::gib(4)];
+    let arrival_memory = [MemoryMib::mib(512), MemoryMib::mib(768), MemoryMib::gib(1)];
+    let base_net = NetBandwidth::mbps(200);
+    let arrival_net = NetBandwidth::mbps(100);
+    let arrival_cpu = CpuCapacity::percent(50);
+
+    // A tiny xorshift64 keeps the stream seeded without an RNG dependency.
+    let mut rng_state = seed | 1;
+    let mut rng = move |bound: u64| {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state % bound
+    };
+
+    let mut configuration = Configuration::new();
+    for i in 0..node_count {
+        configuration
+            .add_node(
+                Node::new(NodeId(i), CpuCapacity::cores(10), MemoryMib::gib(24))
+                    .with_net(NetBandwidth::gbps(10)),
+            )
+            .expect("unique node ids");
+    }
+
+    let mut next_vm = 0u32;
+    let mut next_vjob = 0u32;
+
+    // Base load: one running 6-VM vjob per node.
+    let mut initial_specs = Vec::with_capacity(node_count as usize);
+    for i in 0..node_count {
+        let vm_ids: Vec<cwcs_model::VmId> = (0..BASE_VMS)
+            .map(|_| {
+                let id = cwcs_model::VmId(next_vm);
+                next_vm += 1;
+                id
+            })
+            .collect();
+        let vms: Vec<cwcs_model::Vm> = vm_ids
+            .iter()
+            .enumerate()
+            .map(|(p, &id)| {
+                cwcs_model::Vm::new(id, base_memory[p % 3], CpuCapacity::cores(1))
+                    .with_net(base_net)
+            })
+            .collect();
+        for vm in &vms {
+            configuration.add_vm(vm.clone()).expect("unique vm ids");
+            configuration
+                .set_assignment(vm.id, cwcs_model::VmAssignment::running(NodeId(i)))
+                .expect("base placement is viable");
+        }
+        let mut vjob =
+            cwcs_model::Vjob::new(cwcs_model::VjobId(next_vjob), vm_ids, next_vjob as u64);
+        vjob.transition_to(cwcs_model::VjobState::Running)
+            .expect("waiting -> running");
+        let profiles = vms
+            .iter()
+            .map(|_| {
+                cwcs_workload::VmWorkProfile::new(vec![cwcs_workload::WorkPhase::compute(
+                    BASE_WORK_SECS,
+                )
+                .with_net(base_net)])
+            })
+            .collect();
+        initial_specs.push(VjobSpec::new(vjob, vms, profiles));
+        next_vjob += 1;
+    }
+
+    // The arrival stream: `ticks` batches of waiting 2-VM vjobs.
+    let mut arrivals = Vec::with_capacity(ticks);
+    for _ in 0..ticks {
+        let mut batch = Vec::with_capacity(vjobs_per_tick);
+        for _ in 0..vjobs_per_tick {
+            let vm_ids: Vec<cwcs_model::VmId> = (0..ARRIVAL_VMS)
+                .map(|_| {
+                    let id = cwcs_model::VmId(next_vm);
+                    next_vm += 1;
+                    id
+                })
+                .collect();
+            let memory = arrival_memory[rng(3) as usize];
+            let vms: Vec<cwcs_model::Vm> = vm_ids
+                .iter()
+                .map(|&id| cwcs_model::Vm::new(id, memory, arrival_cpu).with_net(arrival_net))
+                .collect();
+            let work_secs = if rng(8) == 0 {
+                SHORT_WORK_SECS
+            } else {
+                LONG_WORK_SECS
+            };
+            let vjob =
+                cwcs_model::Vjob::new(cwcs_model::VjobId(next_vjob), vm_ids, next_vjob as u64);
+            let profiles = vms
+                .iter()
+                .map(|_| {
+                    cwcs_workload::VmWorkProfile::new(vec![cwcs_workload::WorkPhase {
+                        cpu_demand: arrival_cpu,
+                        net_demand: arrival_net,
+                        duration_secs: work_secs,
+                    }])
+                })
+                .collect();
+            batch.push(VjobSpec::new(vjob, vms, profiles));
+            next_vjob += 1;
+        }
+        arrivals.push(batch);
+    }
+
+    StreamingScenario {
+        configuration,
+        initial_specs,
+        arrivals,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,6 +883,32 @@ mod tests {
         // where the NIC can hold it.
         let transfer_vm = &scenario.specs[20].vms[0];
         assert_eq!(transfer_vm.reserved_demand().net, NetBandwidth::mbps(200));
+    }
+
+    #[test]
+    fn streaming_scenario_has_the_advertised_shape() {
+        let scenario = streaming_scenario(50, 4, 10, 7);
+        assert_eq!(scenario.configuration.node_count(), 50);
+        // 50 base vjobs of 6 VMs, all running and viable.
+        assert_eq!(scenario.configuration.vm_count(), 300);
+        assert_eq!(scenario.initial_specs.len(), 50);
+        assert!(scenario.configuration.is_viable());
+        // 4 batches of 10 two-VM vjobs wait in the stream.
+        assert_eq!(scenario.arrivals.len(), 4);
+        assert!(scenario.arrivals.iter().all(|batch| batch.len() == 10));
+        assert_eq!(scenario.total_vms(), 300 + 4 * 10 * 2);
+        // The same seed rebuilds the identical stream; a different seed
+        // draws different memory sizes or short-job positions.
+        let again = streaming_scenario(50, 4, 10, 7);
+        for (a, b) in scenario
+            .arrivals
+            .iter()
+            .flatten()
+            .zip(again.arrivals.iter().flatten())
+        {
+            assert_eq!(a.vms, b.vms);
+            assert_eq!(a.profiles, b.profiles);
+        }
     }
 
     #[test]

@@ -111,6 +111,29 @@ fn netbound_artifact_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn streaming_artifact_is_byte_identical_across_runs() {
+    // The incremental pipeline end-to-end: delta observation, demand-table
+    // patching, cached-model reuse, warm-started portfolio solves and node
+    // failures must all reproduce byte for byte.  (Warm starts are fine
+    // here — both runs warm-start identically; the lockstep suite is what
+    // isolates the observation seam.)
+    assert_deterministic(
+        env!("CARGO_BIN_EXE_large_scale_streaming"),
+        &[
+            ("CWCS_STREAM_NODES", "400"),
+            ("CWCS_STREAM_TICKS", "5"),
+            ("CWCS_STREAM_VJOBS", "80"),
+            ("CWCS_STREAM_FAILURES", "3"),
+            ("CWCS_STREAM_SETTLE", "3"),
+            ("CWCS_SOLVER_WORKERS", "4"),
+            ("CWCS_SOLVER_NODE_LIMIT", "500"),
+        ],
+        "CWCS_STREAMING_ARTIFACT",
+        "streaming",
+    );
+}
+
+#[test]
 fn fig10_artifact_is_byte_identical_across_runs() {
     assert_deterministic(
         env!("CARGO_BIN_EXE_fig10_cost_reduction"),

@@ -1,24 +1,50 @@
-//! The Entropy control loop: observe, decide, plan, execute (Figure 4).
+//! The Entropy control loop: observe, decide, plan, execute (Figure 4) —
+//! run **incrementally** end to end.
 //!
 //! Each iteration:
 //!
-//! 1. **observe** — refresh the per-VM demands through the monitoring
-//!    service and detect the vjobs whose application completed;
+//! 1. **observe** — drain the cluster's change journal into an
+//!    [`ObservationDelta`] (the VMs and nodes whose demand, state, placement
+//!    or capacity changed since the previous tick, plus vjob completions)
+//!    and patch the loop's versioned [`ClusterView`] and the optimizer's
+//!    [`SolverMemory`] from it.  The loop pays for what changed, not for
+//!    the whole cluster;
 //! 2. **decide** — ask the decision module for the state every vjob should
 //!    have next;
 //! 3. **plan** — ask the optimizer for a cheap viable configuration with
-//!    those states and the reconfiguration plan that reaches it;
+//!    those states and the reconfiguration plan that reaches it, via
+//!    [`PlanOptimizer::optimize_incremental`]: the overload set comes from
+//!    the view's O(changes)-maintained load index, the placement model is
+//!    patched in place when its shape survived the tick, and (when enabled)
+//!    the search warm-starts from the previous iteration;
 //! 4. **execute** — run the cluster-wide context switch on the simulated
 //!    cluster, which advances the virtual clock by the switch duration and
 //!    decelerates the co-hosted applications;
 //! 5. sleep until the next iteration (30 s period by default) while the
 //!    applications keep progressing, and record a utilization sample
 //!    (the points of Figure 13).
+//!
+//! # Delta vs. full-resync observation
+//!
+//! [`ObservationMode::Delta`] (the default) is the incremental pipeline
+//! above.  [`ObservationMode::FullResync`] marks the cluster fully changed
+//! before every observation and invalidates the persistent solver state, so
+//! every tick rebuilds the view, the demand table and the placement model
+//! from scratch — the reference behavior the lockstep suite
+//! (`tests/lockstep.rs`) holds the delta pipeline bit-identical to.
+//!
+//! Workloads are no longer fixed at construction: [`ControlLoop::submit_vjob`]
+//! registers a new vjob mid-run (its VMs enter the change journal and reach
+//! the solver through the next delta), and [`ControlLoop::cluster_mut`]
+//! exposes the cluster for failure injection
+//! ([`SimulatedCluster::set_node_capacity`]).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 use cwcs_model::{Vjob, VjobId, VjobState};
 use cwcs_plan::{PlanCost, PlanStats};
+use cwcs_sim::monitor::{ClusterView, ObservationDelta};
 use cwcs_sim::{
     ClusterEvent, ExecutionMode, ExecutionTimeline, MonitoringService, PlanExecutor,
     SimulatedCluster, SimulatedXenDriver, UtilizationSample,
@@ -27,7 +53,148 @@ use cwcs_solver::{PortfolioStats, SearchStats};
 use cwcs_workload::VjobSpec;
 
 use crate::decision::DecisionModule;
-use crate::optimizer::{OptimizerError, PlanOptimizer, RepairStats};
+use crate::optimizer::{OptimizerError, PlanOptimizer, RepairStats, SolverMemory};
+
+/// How the control loop observes the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObservationMode {
+    /// Incremental deltas against the persistent [`ClusterView`] (the
+    /// default): each tick only carries the VMs and nodes that changed.
+    #[default]
+    Delta,
+    /// Re-observe everything every tick and drop the persistent solver
+    /// state: the from-scratch reference the delta pipeline is held
+    /// bit-identical to.
+    FullResync,
+}
+
+/// Observation tuning, grouped (see also the `EngineBuilder` facade).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservationConfig {
+    /// Monitoring refresh period in seconds of virtual time (10 s in the
+    /// paper): within it, observations return an empty delta and the loop
+    /// runs on its cached view.
+    pub refresh_period_secs: f64,
+    /// Delta or full-resync observation.
+    pub mode: ObservationMode,
+}
+
+impl Default for ObservationConfig {
+    fn default() -> Self {
+        ObservationConfig {
+            refresh_period_secs: 10.0,
+            mode: ObservationMode::default(),
+        }
+    }
+}
+
+impl ObservationConfig {
+    /// Set the monitoring refresh period (seconds of virtual time).
+    pub fn with_refresh_period_secs(mut self, secs: f64) -> Self {
+        self.refresh_period_secs = secs;
+        self
+    }
+
+    /// Select delta or full-resync observation.
+    pub fn with_mode(mut self, mode: ObservationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Solver and execution tuning, grouped (the `EngineBuilder` facade takes
+/// one of these instead of a handful of flat setters).
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Time budget of the branch & bound search per solve.
+    pub timeout: std::time::Duration,
+    /// Scope of the placement problem (full re-solve or repair).
+    pub mode: crate::optimizer::OptimizerMode,
+    /// Deterministic search budget (maximum search nodes per solve), for
+    /// byte-identical artifacts.
+    pub node_limit: Option<u64>,
+    /// Number of portfolio workers racing each placement solve.
+    pub workers: usize,
+    /// How booting VMs are budgeted when packing.
+    pub packing: crate::ffd::PackingPolicy,
+    /// Warm-start incremental solves from the previous iteration's search
+    /// state (see [`crate::optimizer::WarmStart`]).
+    pub warm_start: bool,
+    /// How context switches are executed (event-driven by default).
+    pub execution_mode: ExecutionMode,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        let optimizer = PlanOptimizer::default();
+        SolverConfig {
+            timeout: optimizer.timeout,
+            mode: optimizer.mode,
+            node_limit: None,
+            workers: 1,
+            packing: optimizer.packing,
+            warm_start: false,
+            execution_mode: ExecutionMode::default(),
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Set the solve time budget.
+    pub fn with_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Select the optimizer mode.
+    pub fn with_mode(mut self, mode: crate::optimizer::OptimizerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set a deterministic search-node budget.
+    pub fn with_node_limit(mut self, node_limit: u64) -> Self {
+        self.node_limit = Some(node_limit);
+        self
+    }
+
+    /// Race `workers` diversified portfolio workers per solve.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Select how booting VMs are budgeted when packing.
+    pub fn with_packing_policy(mut self, packing: crate::ffd::PackingPolicy) -> Self {
+        self.packing = packing;
+        self
+    }
+
+    /// Enable warm-started incremental solves.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Select how context switches are executed.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution_mode = mode;
+        self
+    }
+
+    /// The [`PlanOptimizer`] this configuration describes.
+    pub fn build_optimizer(&self) -> PlanOptimizer {
+        let mut optimizer = PlanOptimizer::with_timeout(self.timeout)
+            .with_mode(self.mode)
+            .with_solver_workers(self.workers)
+            .with_packing_policy(self.packing)
+            .with_warm_start(self.warm_start);
+        if let Some(node_limit) = self.node_limit {
+            optimizer = optimizer.with_node_limit(node_limit);
+        }
+        optimizer
+    }
+}
 
 /// Control-loop tuning.
 #[derive(Debug, Clone)]
@@ -42,6 +209,8 @@ pub struct ControlLoopConfig {
     /// How context switches are executed (event-driven by default; the
     /// paper's pool-barrier semantics are available for comparisons).
     pub execution_mode: ExecutionMode,
+    /// How the cluster is observed (delta protocol by default).
+    pub observation: ObservationConfig,
 }
 
 impl Default for ControlLoopConfig {
@@ -51,25 +220,30 @@ impl Default for ControlLoopConfig {
             optimizer: PlanOptimizer::default(),
             max_iterations: 10_000,
             execution_mode: ExecutionMode::default(),
+            observation: ObservationConfig::default(),
         }
     }
 }
 
-/// Report of one control-loop iteration.
-#[derive(Debug, Clone)]
-pub struct IterationReport {
-    /// Iteration number (starting at 0).
-    pub iteration: usize,
-    /// Virtual time at the start of the iteration.
-    pub started_at_secs: f64,
-    /// Whether a cluster-wide context switch was performed.
-    pub performed_switch: bool,
-    /// Action counts of the executed plan.
-    pub plan_stats: PlanStats,
-    /// Cost of the executed plan (Table 1 model).
-    pub plan_cost: Option<PlanCost>,
-    /// Wall-clock duration of the switch, in seconds.
-    pub switch_duration_secs: f64,
+/// What one iteration observed (step 1).
+#[derive(Debug, Clone, Default)]
+pub struct ObservationReport {
+    /// Journal version of the observation the iteration ran on.
+    pub version: u64,
+    /// True when the delta was a full (re)observation.
+    pub full: bool,
+    /// VMs whose demand, state or placement the delta carried.
+    pub changed_vms: usize,
+    /// Nodes whose capacity the delta carried.
+    pub changed_nodes: usize,
+    /// Wall-clock milliseconds spent patching the view and the persistent
+    /// solver state from the delta.
+    pub model_patch_ms: f64,
+}
+
+/// What one iteration decided and solved (steps 2–3).
+#[derive(Debug, Clone, Default)]
+pub struct SolveReport {
     /// Statistics of the constraint search (the portfolio aggregate when
     /// the optimizer races several workers).
     pub search_stats: SearchStats,
@@ -80,11 +254,45 @@ pub struct IterationReport {
     /// Repair sub-problem statistics (`None` outside repair mode or when no
     /// switch was performed).
     pub repair_stats: Option<RepairStats>,
+    /// Wall-clock milliseconds of the decision module alone.
+    pub decision_ms: f64,
+    /// Wall-clock milliseconds of the whole decide step (decision module
+    /// plus placement optimization) — the latency the streaming benchmark
+    /// holds under its ceiling.
+    pub decide_ms: f64,
+}
+
+/// What one iteration executed (step 4).
+#[derive(Debug, Clone, Default)]
+pub struct SwitchReport {
+    /// Action counts of the executed plan.
+    pub plan_stats: PlanStats,
+    /// Cost of the executed plan (Table 1 model).
+    pub plan_cost: Option<PlanCost>,
+    /// Wall-clock duration of the switch, in seconds of virtual time.
+    pub duration_secs: f64,
     /// Number of actions that failed (driver failures).
     pub failed_actions: usize,
     /// Timeline of the executed switch (per-action start/end times, exact
     /// vjob completion times), `None` when no switch was performed.
-    pub switch_timeline: Option<ExecutionTimeline>,
+    pub timeline: Option<ExecutionTimeline>,
+}
+
+/// Report of one control-loop iteration, one sub-report per pipeline stage.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// Iteration number (starting at 0).
+    pub iteration: usize,
+    /// Virtual time at the start of the iteration.
+    pub started_at_secs: f64,
+    /// Whether a cluster-wide context switch was performed.
+    pub performed_switch: bool,
+    /// The observation stage.
+    pub observation: ObservationReport,
+    /// The decide/solve stage.
+    pub solve: SolveReport,
+    /// The executed context switch (defaults when no switch was performed).
+    pub switch: SwitchReport,
     /// Vjobs that completed during this iteration.
     pub completed_vjobs: Vec<VjobId>,
     /// Utilization at the end of the iteration.
@@ -109,11 +317,11 @@ impl RunReport {
     pub fn switch_points(&self) -> Vec<(u64, f64)> {
         self.iterations
             .iter()
-            .filter(|it| it.performed_switch && it.plan_stats.total_actions() > 0)
+            .filter(|it| it.performed_switch && it.switch.plan_stats.total_actions() > 0)
             .map(|it| {
                 (
-                    it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
-                    it.switch_duration_secs,
+                    it.switch.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+                    it.switch.duration_secs,
                 )
             })
             .collect()
@@ -154,6 +362,8 @@ impl std::error::Error for LoopError {}
 pub struct ControlLoop<D: DecisionModule> {
     cluster: SimulatedCluster,
     monitor: MonitoringService,
+    view: ClusterView,
+    memory: SolverMemory,
     decision: D,
     executor: PlanExecutor<SimulatedXenDriver>,
     config: ControlLoopConfig,
@@ -178,9 +388,12 @@ impl<D: DecisionModule> ControlLoop<D> {
         let vjobs = specs.iter().map(|s| s.vjob.clone()).collect();
         let executor =
             PlanExecutor::new(SimulatedXenDriver::default()).with_mode(config.execution_mode);
+        let monitor = MonitoringService::new(config.observation.refresh_period_secs);
         ControlLoop {
             cluster,
-            monitor: MonitoringService::default(),
+            monitor,
+            view: ClusterView::new(),
+            memory: SolverMemory::new(),
             decision,
             executor,
             config,
@@ -200,6 +413,35 @@ impl<D: DecisionModule> ControlLoop<D> {
         &self.cluster
     }
 
+    /// Mutable access to the cluster, for mid-run perturbations: injecting
+    /// node failures through [`SimulatedCluster::set_node_capacity`], or
+    /// arbitrary configuration edits (which the journal degrades to a full
+    /// observation on the next tick).
+    pub fn cluster_mut(&mut self) -> &mut SimulatedCluster {
+        &mut self.cluster
+    }
+
+    /// The loop's incrementally-maintained view of the cluster, as of the
+    /// last observation.
+    pub fn view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// The persistent solver state threaded through the incremental solves.
+    pub fn memory(&self) -> &SolverMemory {
+        &self.memory
+    }
+
+    /// Submit a new vjob mid-run (a rolling arrival): its VMs are registered
+    /// with the cluster, journaled, and reach the view and the solver with
+    /// the next observation.  The vjob is picked up by the next iteration's
+    /// decision.  Fails when a VM id collides with an existing VM.
+    pub fn submit_vjob(&mut self, spec: &VjobSpec) -> Result<(), cwcs_model::ModelError> {
+        self.cluster.admit_vjob(spec)?;
+        self.vjobs.push(spec.vjob.clone());
+        Ok(())
+    }
+
     /// True once every vjob is terminated.
     pub fn all_terminated(&self) -> bool {
         self.vjobs.iter().all(|j| j.state == VjobState::Terminated)
@@ -209,9 +451,20 @@ impl<D: DecisionModule> ControlLoop<D> {
     pub fn iterate(&mut self) -> Result<IterationReport, LoopError> {
         let started_at = self.cluster.clock_secs();
 
-        // 1. Observe.
+        // 1. Observe: drain the change journal and patch the view and the
+        // persistent solver state from the delta.
         self.cluster.refresh_demands();
-        let _snapshot = self.monitor.observe(&self.cluster);
+        if self.config.observation.mode == ObservationMode::FullResync {
+            self.cluster.mark_fully_changed();
+        }
+        let delta = self.monitor.observe(&mut self.cluster);
+        let patch_started = Instant::now();
+        self.view.apply(&delta);
+        self.config
+            .optimizer
+            .sync_memory(&mut self.memory, &delta, self.cluster.configuration());
+        let model_patch_ms = patch_started.elapsed().as_secs_f64() * 1e3;
+        let observation = Self::observation_report(&delta, model_patch_ms);
         for vjob in &self.vjobs {
             if vjob.state == VjobState::Running && self.cluster.is_vjob_complete(vjob.id) {
                 self.pending_completed.insert(vjob.id);
@@ -219,6 +472,7 @@ impl<D: DecisionModule> ControlLoop<D> {
         }
 
         // 2. Decide.
+        let decide_started = Instant::now();
         let decision = self
             .decision
             .decide(
@@ -227,40 +481,56 @@ impl<D: DecisionModule> ControlLoop<D> {
                 &self.pending_completed,
             )
             .map_err(|e| LoopError::Decision(e.to_string()))?;
+        let decision_ms = decide_started.elapsed().as_secs_f64() * 1e3;
 
         // 3 & 4. Plan and execute, unless nothing changes and the cluster is
-        // already viable.
-        let needs_switch =
-            decision.changes_anything(&self.vjobs) || !self.cluster.configuration().is_viable();
-        let mut plan_stats = PlanStats::default();
-        let mut plan_cost = None;
-        let mut switch_duration = 0.0;
-        let mut search_stats = SearchStats::default();
-        let mut portfolio_stats = None;
-        let mut repair_stats = None;
-        let mut failed_actions = 0;
+        // already viable.  While the view is current (it always is when the
+        // loop period covers the monitoring refresh period) viability comes
+        // from its O(nodes) load index; a stale view falls back to the
+        // configuration scan.
+        let view_current = self.view.version == self.cluster.change_version();
+        let viable = if view_current {
+            self.view.overloaded_nodes().is_empty()
+        } else {
+            self.cluster.configuration().is_viable()
+        };
+        let needs_switch = decision.changes_anything(&self.vjobs) || !viable;
+        let mut solve = SolveReport {
+            decision_ms,
+            ..Default::default()
+        };
+        let mut switch = SwitchReport::default();
         let mut completed_now: Vec<VjobId> = Vec::new();
-        let mut switch_timeline = None;
 
         if needs_switch {
-            let outcome = self
-                .config
-                .optimizer
-                .optimize(self.cluster.configuration(), &decision, &self.vjobs)
-                .map_err(LoopError::Optimizer)?;
+            let outcome = if view_current {
+                self.config.optimizer.optimize_incremental(
+                    &mut self.memory,
+                    &self.view,
+                    self.cluster.configuration(),
+                    &decision,
+                    &self.vjobs,
+                )
+            } else {
+                self.config
+                    .optimizer
+                    .optimize(self.cluster.configuration(), &decision, &self.vjobs)
+            }
+            .map_err(LoopError::Optimizer)?;
+            solve.decide_ms = decide_started.elapsed().as_secs_f64() * 1e3;
             let report = self.executor.execute(&mut self.cluster, &outcome.plan);
-            plan_stats = outcome.plan.stats();
-            plan_cost = Some(outcome.cost.clone());
-            switch_duration = report.duration_secs;
-            search_stats = outcome.stats.clone();
-            portfolio_stats = outcome.portfolio.clone();
-            repair_stats = outcome.repair.clone();
-            failed_actions = report.failed_actions.len();
+            switch.plan_stats = outcome.plan.stats();
+            switch.plan_cost = Some(outcome.cost.clone());
+            switch.duration_secs = report.duration_secs;
+            solve.search_stats = outcome.stats.clone();
+            solve.portfolio_stats = outcome.portfolio.clone();
+            solve.repair_stats = outcome.repair.clone();
+            switch.failed_actions = report.failed_actions.len();
             for event in &report.completed_vjobs {
                 let ClusterEvent::VjobCompleted(id) = event;
                 self.pending_completed.insert(*id);
             }
-            switch_timeline = Some(report.timeline);
+            switch.timeline = Some(report.timeline);
 
             // Commit the vjob state changes that the switch realized.
             for vjob in &mut self.vjobs {
@@ -275,10 +545,12 @@ impl<D: DecisionModule> ControlLoop<D> {
                     }
                 }
             }
+        } else {
+            solve.decide_ms = decide_started.elapsed().as_secs_f64() * 1e3;
         }
 
         // 5. Sleep until the next iteration.
-        let remaining = (self.config.period_secs - switch_duration).max(0.0);
+        let remaining = (self.config.period_secs - switch.duration_secs).max(0.0);
         let events = self.cluster.advance(remaining, &BTreeMap::new());
         for event in events {
             let ClusterEvent::VjobCompleted(id) = event;
@@ -289,19 +561,24 @@ impl<D: DecisionModule> ControlLoop<D> {
             iteration: self.iteration,
             started_at_secs: started_at,
             performed_switch: needs_switch,
-            plan_stats,
-            plan_cost,
-            switch_duration_secs: switch_duration,
-            search_stats,
-            portfolio_stats,
-            repair_stats,
-            failed_actions,
-            switch_timeline,
+            observation,
+            solve,
+            switch,
             completed_vjobs: completed_now,
             utilization: self.cluster.utilization(),
         };
         self.iteration += 1;
         Ok(report)
+    }
+
+    fn observation_report(delta: &ObservationDelta, model_patch_ms: f64) -> ObservationReport {
+        ObservationReport {
+            version: delta.version,
+            full: delta.full,
+            changed_vms: delta.vms.len(),
+            changed_nodes: delta.node_capacities.len(),
+            model_patch_ms,
+        }
     }
 
     /// Run iterations until every vjob is terminated (or the iteration bound
@@ -381,6 +658,25 @@ mod tests {
         (SimulatedCluster::new(config), specs)
     }
 
+    /// A spec for one extra vjob of `vms_per_vjob` VMs, ids starting at
+    /// `first_vm` — used by the rolling-arrival tests.
+    fn arrival_spec(vjob: u32, first_vm: u32, vms_per_vjob: u32, work_secs: f64) -> VjobSpec {
+        let vm_ids: Vec<VmId> = (0..vms_per_vjob).map(|k| VmId(first_vm + k)).collect();
+        let vms: Vec<Vm> = vm_ids
+            .iter()
+            .map(|&id| Vm::new(id, MemoryMib::mib(512), CpuCapacity::cores(1)))
+            .collect();
+        let profiles = vms
+            .iter()
+            .map(|_| VmWorkProfile::new(vec![WorkPhase::compute(work_secs)]))
+            .collect();
+        VjobSpec::new(
+            cwcs_model::Vjob::new(cwcs_model::VjobId(vjob), vm_ids, vjob as u64),
+            vms,
+            profiles,
+        )
+    }
+
     fn fast_config() -> ControlLoopConfig {
         ControlLoopConfig {
             period_secs: 30.0,
@@ -406,9 +702,12 @@ mod tests {
         );
         // The first iteration performed the runs.
         assert!(report.iterations[0].performed_switch);
-        assert!(report.iterations[0].plan_stats.runs > 0);
+        assert!(report.iterations[0].switch.plan_stats.runs > 0);
         // Eventually stop actions were issued.
-        assert!(report.iterations.iter().any(|it| it.plan_stats.stops > 0));
+        assert!(report
+            .iterations
+            .iter()
+            .any(|it| it.switch.plan_stats.stops > 0));
     }
 
     #[test]
@@ -437,17 +736,27 @@ mod tests {
         let first = control.iterate().unwrap();
         assert_eq!(first.iteration, 0);
         assert!(first.performed_switch);
-        assert!(first.plan_cost.is_some());
-        assert_eq!(first.failed_actions, 0);
+        assert!(first.switch.plan_cost.is_some());
+        assert_eq!(first.switch.failed_actions, 0);
+        // The first observation is a full one, covering every VM.
+        assert!(first.observation.full);
+        assert_eq!(first.observation.changed_vms, 2);
+        // The decide step wraps the decision module.
+        assert!(first.solve.decide_ms >= first.solve.decision_ms);
         // The switch exposes its timeline, consistent with its duration.
-        let timeline = first.switch_timeline.as_ref().expect("switch performed");
+        let timeline = first.switch.timeline.as_ref().expect("switch performed");
         assert!(!timeline.entries.is_empty());
-        assert!((timeline.duration_secs - first.switch_duration_secs).abs() < 1e-9);
+        assert!((timeline.duration_secs - first.switch.duration_secs).abs() < 1e-9);
         // Virtual time advanced by at least the period.
         assert!(control.cluster().clock_secs() >= 30.0 - 1e-9);
         let second = control.iterate().unwrap();
         assert_eq!(second.iteration, 1);
         assert!(second.started_at_secs >= 30.0 - 1e-9);
+        // The second observation is an incremental delta, and the view
+        // tracked both of them.
+        assert!(!second.observation.full);
+        assert_eq!(control.view().version, second.observation.version);
+        assert_eq!(control.view().vm_count(), 2);
     }
 
     #[test]
@@ -473,7 +782,10 @@ mod tests {
             !fourth.performed_switch,
             "steady state must not reshuffle VMs"
         );
-        assert_eq!(fourth.plan_stats.total_actions(), 0);
+        assert_eq!(fourth.switch.plan_stats.total_actions(), 0);
+        // Steady state means steady deltas: nothing changed, nothing carried.
+        assert_eq!(fourth.observation.changed_vms, 0);
+        assert_eq!(fourth.observation.changed_nodes, 0);
     }
 
     #[test]
@@ -488,5 +800,102 @@ mod tests {
             assert!(*duration >= 0.0);
         }
         assert!(report.mean_switch_duration_secs() > 0.0);
+    }
+
+    #[test]
+    fn submitted_vjobs_run_and_complete() {
+        // Start with one vjob on a roomy cluster, submit a second mid-run:
+        // the loop must pick it up, run it, and terminate both.
+        let (cluster, specs) = scenario(4, 1, 2, 60.0);
+        let mut control =
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), fast_config());
+        control.iterate().unwrap();
+        control.submit_vjob(&arrival_spec(1, 2, 2, 60.0)).unwrap();
+        let report = control.run_until_complete().unwrap();
+        assert!(control.all_terminated());
+        assert_eq!(control.vjobs().len(), 2);
+        assert!(report.completion_time_secs.is_some());
+    }
+
+    #[test]
+    fn full_resync_mode_matches_delta_mode() {
+        // The lockstep contract in miniature (the full suite lives in
+        // tests/lockstep.rs): both observation modes drive the same
+        // scenario to the same switches and the same completion time.
+        let run = |mode: ObservationMode| {
+            let (cluster, specs) = scenario(3, 3, 2, 90.0);
+            let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(30))
+                .with_node_limit(20_000)
+                .with_mode(crate::optimizer::OptimizerMode::repair());
+            let config = ControlLoopConfig {
+                period_secs: 30.0,
+                optimizer,
+                max_iterations: 100,
+                observation: ObservationConfig::default().with_mode(mode),
+                ..Default::default()
+            };
+            let mut control = ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), config);
+            let report = control.run_until_complete().unwrap();
+            let trace: Vec<(bool, u64, usize)> = report
+                .iterations
+                .iter()
+                .map(|it| {
+                    (
+                        it.performed_switch,
+                        it.switch.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+                        it.switch.plan_stats.total_actions(),
+                    )
+                })
+                .collect();
+            (trace, report.completion_time_secs)
+        };
+        assert_eq!(
+            run(ObservationMode::Delta),
+            run(ObservationMode::FullResync)
+        );
+    }
+
+    #[test]
+    fn injected_node_failures_are_repaired() {
+        // Degrade a node under a running workload: the loop must notice the
+        // overload through the delta protocol and evacuate the node.
+        let (cluster, specs) = scenario(4, 2, 2, 600.0);
+        let mut control =
+            ControlLoop::new(cluster, &specs, FcfsConsolidation::new(), fast_config());
+        control.iterate().unwrap();
+        control.iterate().unwrap();
+        // Find a node that hosts at least one VM and degrade it to a sliver.
+        let victim = control
+            .cluster()
+            .configuration()
+            .node_ids()
+            .into_iter()
+            .find(|&n| {
+                control
+                    .cluster()
+                    .configuration()
+                    .usage(n)
+                    .map(|u| !u.used.is_zero())
+                    .unwrap_or(false)
+            })
+            .expect("some node hosts VMs");
+        control
+            .cluster_mut()
+            .set_node_capacity(
+                victim,
+                CpuCapacity::percent(10),
+                MemoryMib::mib(128),
+                cwcs_model::NetBandwidth::ZERO,
+            )
+            .unwrap();
+        let repair = control.iterate().unwrap();
+        assert!(repair.observation.changed_nodes >= 1);
+        assert!(
+            repair.performed_switch,
+            "the overload must trigger a switch"
+        );
+        // The degraded node no longer hosts anything it cannot carry.
+        let usage = control.cluster().configuration().usage(victim).unwrap();
+        assert!(usage.used.fits_in(&usage.capacity));
     }
 }

@@ -17,7 +17,10 @@
 //!   one whose reconfiguration plan from the current configuration is as
 //!   cheap as possible, within a time budget;
 //! * [`control_loop`] — the observe / decide / plan / execute loop, running
-//!   against the simulated cluster of `cwcs-sim`;
+//!   incrementally against the simulated cluster of `cwcs-sim`: observation
+//!   deltas patch a persistent [`ClusterView`](cwcs_sim::monitor::ClusterView)
+//!   and the optimizer's [`SolverMemory`] instead of re-observing and
+//!   rebuilding everything each tick;
 //! * [`baseline`] — the static-allocation FCFS baseline of Section 5.2
 //!   (Figure 12), used for the completion-time comparison of Figure 13.
 
@@ -30,10 +33,14 @@ pub mod optimizer;
 
 pub use baseline::{BaselineReport, StaticFcfsBaseline, VjobSchedule};
 pub use consolidation::FcfsConsolidation;
-pub use control_loop::{ControlLoop, ControlLoopConfig, IterationReport, RunReport};
+pub use control_loop::{
+    ControlLoop, ControlLoopConfig, IterationReport, ObservationConfig, ObservationMode,
+    ObservationReport, RunReport, SolveReport, SolverConfig, SwitchReport,
+};
 pub use cwcs_solver::RaceStrategy;
 pub use decision::{Decision, DecisionError, DecisionModule};
-pub use ffd::{FirstFitDecreasing, PackingPolicy};
+pub use ffd::{FirstFitDecreasing, FreeCapacityIndex, PackingPolicy};
 pub use optimizer::{
     OptimizedOutcome, OptimizerError, OptimizerMode, PlanOptimizer, RepairConfig, RepairStats,
+    SolverMemory, WarmStart,
 };

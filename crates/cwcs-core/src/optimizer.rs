@@ -62,11 +62,12 @@ use std::fmt;
 use std::time::Duration;
 
 use cwcs_model::{
-    Configuration, Dimension, NodeId, ResourceDemand, Vjob, VjobId, VjobState, VmAssignment, VmId,
-    VmState, NUM_RESOURCE_DIMENSIONS,
+    Configuration, Dimension, NodeId, ResourceDemand, Vjob, VjobState, VmAssignment, VmId, VmState,
+    NUM_RESOURCE_DIMENSIONS,
 };
 use cwcs_plan::{ActionCostModel, PlanCost, Planner, PlannerError, ReconfigurationPlan};
-use cwcs_solver::constraints::MultiDimPacking;
+use cwcs_sim::monitor::{ClusterView, ObservationDelta};
+use cwcs_solver::constraints::{MultiDimPacking, PackingSlots};
 use cwcs_solver::portfolio::{PortfolioConfig, PortfolioSearch, PortfolioStats, RaceStrategy};
 use cwcs_solver::search::{
     ClosureObjective, RestartPolicy, Search, SearchConfig, SearchStats, ValueSelection,
@@ -149,6 +150,97 @@ pub struct RepairStats {
     pub fell_back_to_full: bool,
 }
 
+/// Search state carried from one solve to the next by a warm-started
+/// optimizer (see [`PlanOptimizer::with_warm_start`]): the previous
+/// iteration's placement seeds the value ordering (each VM first tries the
+/// node it was just assigned to), and `next_diversify` continues the Luby
+/// restart schedule where the previous solve stopped instead of replaying
+/// its prefix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Host chosen for each placed VM by the previous solve.
+    pub placement: BTreeMap<VmId, NodeId>,
+    /// Diversification index the next solve starts from (the previous
+    /// solve's [`SearchStats::final_run`] plus one).
+    pub next_diversify: u64,
+}
+
+/// The persistent solver state of an incremental control loop: the packing
+/// demand table patched per [`ObservationDelta`], the cached placement model
+/// (variables + packing propagators, re-parameterized in place via
+/// [`PackingSlots::patch`] when the problem shape is unchanged), and the
+/// warm-start state of the search.
+///
+/// [`PlanOptimizer::optimize_incremental`] threads this through every solve.
+/// The memory is purely an accelerator: with warm start disabled (the
+/// default) an incremental solve is bit-identical to a from-scratch
+/// [`PlanOptimizer::optimize`] on the same inputs — the lockstep suite in
+/// `tests/lockstep.rs` holds the two modes to that contract.
+#[derive(Clone, Default)]
+pub struct SolverMemory {
+    /// Version of the [`ClusterView`] the demand table was last patched to.
+    pub view_version: u64,
+    /// Per-VM packing demand under the optimizer's [`PackingPolicy`],
+    /// maintained from the changed-VM set of each delta.
+    demands: BTreeMap<VmId, ResourceDemand>,
+    /// Warm-start state of the previous solve (`None` until a warm-started
+    /// solve completes).
+    pub warm: Option<WarmStart>,
+    /// The cached placement model, reusable while the VM and candidate-node
+    /// lists are unchanged.
+    cached: Option<CachedModel>,
+    /// Solves that re-parameterized the cached model in place.
+    pub model_patches: u64,
+    /// Solves that had to rebuild the model (shape change or cold cache).
+    pub model_rebuilds: u64,
+}
+
+impl fmt::Debug for SolverMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverMemory")
+            .field("view_version", &self.view_version)
+            .field("demands", &self.demands.len())
+            .field("warm", &self.warm)
+            .field("cached", &self.cached.as_ref().map(|c| c.vms.len()))
+            .field("model_patches", &self.model_patches)
+            .field("model_rebuilds", &self.model_rebuilds)
+            .finish()
+    }
+}
+
+impl SolverMemory {
+    /// Fresh, empty solver memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of VMs tracked by the demand table.
+    pub fn tracked_vms(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Drop every cached structure (demand table, model, warm state), as a
+    /// full resync does.  The next solve rebuilds from the configuration.
+    pub fn invalidate(&mut self) {
+        self.demands.clear();
+        self.cached = None;
+        self.warm = None;
+    }
+}
+
+/// A placement model kept across solves: patched in place when only demands
+/// or capacities moved, rebuilt when the variable set changed.
+#[derive(Clone)]
+struct CachedModel {
+    /// VM list the variables were created over, in variable order.
+    vms: Vec<VmId>,
+    /// Candidate nodes, in domain-value order.
+    nodes: Vec<NodeId>,
+    model: Model,
+    vars: Vec<(VmId, VarId)>,
+    slots: PackingSlots,
+}
+
 /// Result of an optimization: the chosen target configuration, its plan and
 /// the associated costs.
 #[derive(Debug, Clone)]
@@ -218,6 +310,13 @@ struct PlacementProblem {
     incumbent: Option<Vec<u32>>,
     /// Luby restart policy of the search.
     restarts: Option<RestartPolicy>,
+    /// Diversification index of the search (0 = the canonical ordering; a
+    /// warm-started solve continues the previous solve's restart schedule).
+    diversify: u64,
+    /// Preferred-value override from the previous solve's placement; VMs
+    /// absent from the map (or whose warm node left the candidate set) fall
+    /// back to the current-host/image anchor.
+    warm_placement: Option<BTreeMap<VmId, NodeId>>,
 }
 
 /// The plan optimizer.
@@ -245,6 +344,12 @@ pub struct PlanOptimizer {
     /// (the default, so a boot never transiently overloads its node) or by
     /// observed demand (the historical behavior).  See [`PackingPolicy`].
     pub packing: PackingPolicy,
+    /// Warm-start incremental solves from the previous iteration's search
+    /// state (see [`WarmStart`]).  Off by default: a warm-started search
+    /// explores a different prefix, so decisions may legitimately differ
+    /// from a cold solve — callers that need bit-stable artifacts leave
+    /// this unset.
+    pub warm_start: bool,
     /// Cost model used both for the search estimate and the final plan cost.
     pub cost_model: ActionCostModel,
     /// Planner used to sequence the chosen configuration.
@@ -260,6 +365,7 @@ impl Default for PlanOptimizer {
             race: RaceStrategy::default(),
             mode: OptimizerMode::Full,
             packing: PackingPolicy::default(),
+            warm_start: false,
             cost_model: ActionCostModel::paper(),
             planner: Planner::new(),
         }
@@ -305,6 +411,15 @@ impl PlanOptimizer {
         self
     }
 
+    /// Warm-start incremental solves from the previous iteration's search
+    /// state (value ordering + restart schedule).  Only
+    /// [`PlanOptimizer::optimize_incremental`] consults this; plain
+    /// [`PlanOptimizer::optimize`] calls always solve cold.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
     /// Optimize: find a cheap viable configuration implementing `decision`
     /// and the plan that reaches it from `current`.
     pub fn optimize(
@@ -314,9 +429,97 @@ impl PlanOptimizer {
         vjobs: &[Vjob],
     ) -> Result<OptimizedOutcome, OptimizerError> {
         match self.mode {
-            OptimizerMode::Full => self.optimize_full(current, decision, vjobs),
-            OptimizerMode::Repair(config) => self.optimize_repair(current, decision, vjobs, config),
+            OptimizerMode::Full => self.optimize_full(current, decision, vjobs, None, None),
+            OptimizerMode::Repair(config) => {
+                self.optimize_repair(current, decision, vjobs, config, None, None)
+            }
         }
+    }
+
+    /// Patch the persistent demand table from one observation delta: only
+    /// the VMs the delta names are re-priced (a full delta rebuilds the
+    /// whole table and drops the cached model, as a resync must).  Demands
+    /// are read from the configuration ground truth under the optimizer's
+    /// packing policy, so the table always equals what a from-scratch solve
+    /// would compute.
+    pub fn sync_memory(
+        &self,
+        memory: &mut SolverMemory,
+        delta: &ObservationDelta,
+        current: &Configuration,
+    ) {
+        if delta.full {
+            memory.invalidate();
+            memory.demands = current
+                .vms()
+                .map(|vm| (vm.id, self.packing.packing_demand(current, vm.id)))
+                .collect();
+        } else {
+            for &vm in delta.vms.keys() {
+                memory
+                    .demands
+                    .insert(vm, self.packing.packing_demand(current, vm));
+            }
+        }
+        memory.view_version = delta.version;
+    }
+
+    /// Optimize against the persistent solver state: like
+    /// [`PlanOptimizer::optimize`], but the overload set comes from the
+    /// incrementally-maintained [`ClusterView`] (O(changes) per tick instead
+    /// of an O(nodes · VMs) rescan), demands come from the memory's patched
+    /// table, the placement model is patched in place when its shape is
+    /// unchanged, and — when [`PlanOptimizer::with_warm_start`] is set — the
+    /// search continues the previous iteration's value ordering and restart
+    /// schedule.
+    pub fn optimize_incremental(
+        &self,
+        memory: &mut SolverMemory,
+        view: &ClusterView,
+        current: &Configuration,
+        decision: &Decision,
+        vjobs: &[Vjob],
+    ) -> Result<OptimizedOutcome, OptimizerError> {
+        let warm = if self.warm_start {
+            memory.warm.take()
+        } else {
+            None
+        };
+        let prev_diversify = warm.as_ref().map(|w| w.next_diversify).unwrap_or(0);
+        let outcome = match self.mode {
+            OptimizerMode::Full => {
+                self.optimize_full(current, decision, vjobs, Some(memory), warm.as_ref())?
+            }
+            OptimizerMode::Repair(config) => self.optimize_repair(
+                current,
+                decision,
+                vjobs,
+                config,
+                Some((memory, view)),
+                warm.as_ref(),
+            )?,
+        };
+        if self.warm_start {
+            let placement: BTreeMap<VmId, NodeId> = Self::vms_to_run(decision, vjobs)
+                .into_iter()
+                .filter_map(|vm| {
+                    outcome
+                        .target
+                        .host(vm)
+                        .ok()
+                        .flatten()
+                        .map(|node| (vm, node))
+                })
+                .collect();
+            memory.warm = Some(WarmStart {
+                placement,
+                // An iteration that solved continues the restart schedule
+                // after its last run; one that never searched (nothing
+                // movable) keeps the previous position.
+                next_diversify: (outcome.stats.final_run + 1).max(prev_diversify),
+            });
+        }
+        Ok(outcome)
     }
 
     /// Full re-solve: every VM that must run is a variable over every node.
@@ -325,6 +528,8 @@ impl PlanOptimizer {
         current: &Configuration,
         decision: &Decision,
         vjobs: &[Vjob],
+        memory: Option<&mut SolverMemory>,
+        warm: Option<&WarmStart>,
     ) -> Result<OptimizedOutcome, OptimizerError> {
         let must_run = Self::vms_to_run(decision, vjobs);
         let node_ids = current.node_ids();
@@ -341,8 +546,15 @@ impl PlanOptimizer {
             capacities,
             incumbent: None,
             restarts: None,
+            diversify: warm.map(|w| w.next_diversify).unwrap_or(0),
+            warm_placement: warm.map(|w| {
+                must_run
+                    .iter()
+                    .filter_map(|vm| w.placement.get(vm).map(|&n| (*vm, n)))
+                    .collect()
+            }),
         };
-        let (solved, stats, portfolio) = self.solve_placement(current, &problem)?;
+        let (solved, stats, portfolio) = self.solve_placement(current, &problem, memory)?;
         let placement = match solved {
             Some(placement) => placement,
             None => {
@@ -374,6 +586,7 @@ impl PlanOptimizer {
         &self,
         current: &Configuration,
         problem: &PlacementProblem,
+        mut memory: Option<&mut SolverMemory>,
     ) -> Result<
         (
             Option<BTreeMap<VmId, NodeId>>,
@@ -384,23 +597,14 @@ impl PlanOptimizer {
     > {
         let node_ids = &problem.nodes;
 
-        // --- Build the CP model -----------------------------------------
-        let mut model = Model::new();
-        let mut vars: Vec<(VmId, VarId)> = Vec::with_capacity(problem.vms.len());
-        for &vm in &problem.vms {
-            let var = model.new_named_var(format!("host({vm})"), 0, node_ids.len() as u32 - 1);
-            vars.push((vm, var));
-        }
-
         // Per-VM packing demand, chosen by the packing policy (a booting VM
-        // is budgeted by its reservation under `PackingPolicy::Reserved`).
+        // is budgeted by its reservation under `PackingPolicy::Reserved`);
+        // an incremental solve reads the memory's patched demand table.
         let mut demands: Vec<ResourceDemand> = Vec::with_capacity(problem.vms.len());
         for &vm in &problem.vms {
             current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
-            demands.push(self.packing.packing_demand(current, vm));
+            demands.push(self.memory_demand(memory.as_deref(), current, vm));
         }
-        let var_ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
-
         // One packing constraint per resource dimension, the paper's
         // multi-knapsack formulation generalized to N dimensions.  The
         // legacy (CPU, memory) constraints are posted unconditionally;
@@ -415,7 +619,55 @@ impl PlanOptimizer {
             .iter()
             .map(|&d| problem.capacities.iter().map(|c| c.get(d)).collect())
             .collect();
-        MultiDimPacking::post(&mut model, &var_ids, &sizes, &capacities, LEGACY_DIMS);
+
+        // --- Build the CP model, or patch the cached one -----------------
+        // When the persistent memory already holds a model over exactly this
+        // VM list and candidate-node list, only the packing parameters can
+        // have moved: swap the propagators in place.  A patched model is
+        // indistinguishable from a freshly built one (same variables, same
+        // propagator slots), so the search below stays bit-identical either
+        // way; `PackingSlots::patch` refuses any shape change and we rebuild.
+        let mut reused: Option<(Model, Vec<(VmId, VarId)>, PackingSlots)> = None;
+        if let Some(m) = memory.as_deref_mut() {
+            if let Some(cache) = m.cached.take() {
+                if cache.vms == problem.vms && cache.nodes == *node_ids {
+                    let mut model = cache.model;
+                    let ids: Vec<VarId> = cache.vars.iter().map(|(_, v)| *v).collect();
+                    if cache
+                        .slots
+                        .patch(&mut model, &ids, &sizes, &capacities, LEGACY_DIMS)
+                    {
+                        m.model_patches += 1;
+                        reused = Some((model, cache.vars, cache.slots));
+                    }
+                }
+            }
+        }
+        let (model, vars, slots) = match reused {
+            Some(built) => built,
+            None => {
+                let mut model = Model::new();
+                let mut vars: Vec<(VmId, VarId)> = Vec::with_capacity(problem.vms.len());
+                for &vm in &problem.vms {
+                    let var =
+                        model.new_named_var(format!("host({vm})"), 0, node_ids.len() as u32 - 1);
+                    vars.push((vm, var));
+                }
+                let ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
+                let slots = MultiDimPacking::post_patchable(
+                    &mut model,
+                    &ids,
+                    &sizes,
+                    &capacities,
+                    LEGACY_DIMS,
+                );
+                if let Some(m) = memory.as_deref_mut() {
+                    m.model_rebuilds += 1;
+                }
+                (model, vars, slots)
+            }
+        };
+        let var_ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
 
         // --- Heuristics ---------------------------------------------------
         // Preferred value: the VM's current node (running) or the node
@@ -439,7 +691,16 @@ impl PlanOptimizer {
                 VmState::Sleeping => assignment.image,
                 _ => None,
             };
-            preferred[vars[i].1 .0] = anchor.and_then(|n| node_index.get(&n).copied());
+            // A warm-started solve first tries the node the previous
+            // iteration chose; VMs without warm state (or whose warm node
+            // left the candidate set) keep the current-host/image anchor.
+            let warm_anchor = problem
+                .warm_placement
+                .as_ref()
+                .and_then(|w| w.get(&vm))
+                .and_then(|n| node_index.get(n).copied());
+            preferred[vars[i].1 .0] =
+                warm_anchor.or_else(|| anchor.and_then(|n| node_index.get(&n).copied()));
             let costs: Vec<u64> = node_ids
                 .iter()
                 .map(|&node| self.move_cost(&assignment, dm, node))
@@ -467,6 +728,7 @@ impl PlanOptimizer {
             node_limit: self.node_limit,
             incumbent: problem.incumbent.clone(),
             restarts: problem.restarts.clone(),
+            diversify: problem.diversify,
             ..Default::default()
         };
 
@@ -531,7 +793,33 @@ impl PlanOptimizer {
                 .map(|&(vm, var)| (vm, node_ids[solution[var] as usize]))
                 .collect()
         });
+        // Keep the model for the next solve over the same problem shape.
+        if let Some(m) = memory {
+            m.cached = Some(CachedModel {
+                vms: problem.vms.clone(),
+                nodes: problem.nodes.clone(),
+                model,
+                vars,
+                slots,
+            });
+        }
         Ok((placement, stats, portfolio))
+    }
+
+    /// The packing demand of `vm`: the memory's patched table when present
+    /// (an incremental solve), the configuration ground truth otherwise.
+    /// Both are computed by [`PackingPolicy::packing_demand`], so the two
+    /// paths always agree — the table only saves the per-solve recompute.
+    fn memory_demand(
+        &self,
+        memory: Option<&SolverMemory>,
+        current: &Configuration,
+        vm: VmId,
+    ) -> ResourceDemand {
+        if let Some(d) = memory.and_then(|m| m.demands.get(&vm)) {
+            return *d;
+        }
+        self.packing.packing_demand(current, vm)
     }
 
     /// First-fit-decreasing packing of the placement sub-problem, as a seed
@@ -604,7 +892,13 @@ impl PlanOptimizer {
         decision: &Decision,
         vjobs: &[Vjob],
         config: RepairConfig,
+        incremental: Option<(&mut SolverMemory, &ClusterView)>,
+        warm: Option<&WarmStart>,
     ) -> Result<OptimizedOutcome, OptimizerError> {
+        let (mut memory, view) = match incremental {
+            Some((m, v)) => (Some(m), Some(v)),
+            None => (None, None),
+        };
         let must_run = Self::vms_to_run(decision, vjobs);
         let node_ids = current.node_ids();
         if node_ids.is_empty() {
@@ -612,12 +906,22 @@ impl PlanOptimizer {
         }
 
         // Overloaded nodes: their running VMs are misplaced by definition
-        // and must be reconsidered along with the state-changing VMs.
-        let overloaded: BTreeSet<NodeId> = current
-            .viability_violations()
-            .into_iter()
-            .map(|(node, _)| node)
-            .collect();
+        // and must be reconsidered along with the state-changing VMs.  An
+        // incremental solve reads the view's load index, maintained in
+        // O(changes) per tick, instead of rescanning every node; the two
+        // sets are provably equal (see `cwcs_sim::monitor`'s tests).
+        let overloaded: BTreeSet<NodeId> = match view {
+            Some(view) => view
+                .overloaded_nodes()
+                .into_iter()
+                .map(|(node, _)| node)
+                .collect(),
+            None => current
+                .viability_violations()
+                .into_iter()
+                .map(|(node, _)| node)
+                .collect(),
+        };
 
         // Split the VMs that must run into pinned (healthy hosts, untouched)
         // and movable (waiting, sleeping, or on an overloaded node).
@@ -664,7 +968,7 @@ impl PlanOptimizer {
             .collect();
         for (&vm, node) in &pinned {
             current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
-            let demand = self.packing.packing_demand(current, vm);
+            let demand = self.memory_demand(memory.as_deref(), current, vm);
             let left = free.get_mut(node).expect("pinned host exists");
             *left = left.saturating_sub(&demand);
         }
@@ -686,7 +990,7 @@ impl PlanOptimizer {
         let mut needed = ResourceDemand::ZERO;
         for &vm in &movable {
             current.vm(vm).map_err(|_| OptimizerError::UnknownVm(vm))?;
-            needed += self.packing.packing_demand(current, vm);
+            needed += self.memory_demand(memory.as_deref(), current, vm);
         }
 
         // Multi-resource halo ranking: rank the candidate destinations by
@@ -748,6 +1052,15 @@ impl PlanOptimizer {
             base += 1;
         }
 
+        // Warm-start state restricted to the sub-problem's movable VMs.
+        let warm_movable: Option<BTreeMap<VmId, NodeId>> = warm.map(|w| {
+            movable
+                .iter()
+                .filter_map(|vm| w.placement.get(vm).map(|&n| (*vm, n)))
+                .collect()
+        });
+        let diversify = warm.map(|w| w.next_diversify).unwrap_or(0);
+
         let mut halo = config.halo.max(1);
         let (placement, incumbent_indices, stats, portfolio) = loop {
             let mut candidates: Vec<NodeId> = anchors.iter().copied().collect();
@@ -762,8 +1075,11 @@ impl PlanOptimizer {
                 capacities: candidates.iter().map(|n| free[n]).collect(),
                 incumbent: incumbent.clone(),
                 restarts: config.restart_scale.map(RestartPolicy::luby),
+                diversify,
+                warm_placement: warm_movable.clone(),
             };
-            let (solved, stats, portfolio) = self.solve_placement(current, &problem)?;
+            let (solved, stats, portfolio) =
+                self.solve_placement(current, &problem, memory.as_deref_mut())?;
             if let Some(placement) = solved {
                 break (
                     placement,
@@ -920,10 +1236,13 @@ impl PlanOptimizer {
 
     /// The VMs that must be running in the target configuration.
     fn vms_to_run(decision: &Decision, vjobs: &[Vjob]) -> Vec<VmId> {
-        let running: Vec<VjobId> = decision.running_vjobs();
+        // Direct map lookup rather than materializing `running_vjobs()` and
+        // scanning it per vjob: this runs on every decide of a streaming
+        // control loop, where a linear scan over tens of thousands of vjobs
+        // per vjob would dominate the whole solve.
         vjobs
             .iter()
-            .filter(|j| running.contains(&j.id))
+            .filter(|j| decision.vjob_states.get(&j.id) == Some(&VjobState::Running))
             .flat_map(|j| j.vms.iter().copied())
             .collect()
     }
@@ -973,9 +1292,14 @@ impl PlanOptimizer {
                     },
                     VjobState::Waiting => assignment,
                 };
-                target
-                    .set_assignment(vm, next)
-                    .map_err(|_| OptimizerError::UnknownVm(vm))?;
+                // Most VMs keep their assignment tick over tick (pinned VMs
+                // in repair mode in particular): skipping the no-op write
+                // keeps this O(changes), not O(cluster), per decide.
+                if next != assignment {
+                    target
+                        .set_assignment(vm, next)
+                        .map_err(|_| OptimizerError::UnknownVm(vm))?;
+                }
             }
         }
         Ok(target)
@@ -987,7 +1311,7 @@ mod tests {
     use super::*;
     use crate::consolidation::FcfsConsolidation;
     use crate::decision::DecisionModule;
-    use cwcs_model::{CpuCapacity, MemoryMib, Node, Vm};
+    use cwcs_model::{CpuCapacity, MemoryMib, Node, VjobId, Vm};
     use std::collections::BTreeSet;
 
     /// A cluster where every running VM is already well placed: the optimal

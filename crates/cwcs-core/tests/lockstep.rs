@@ -1,0 +1,318 @@
+//! Delta-correctness lockstep suite: iterations driven by **observation
+//! deltas** must be bit-identical to iterations driven by **full
+//! re-observation**.
+//!
+//! The incremental pipeline ([`ObservationMode::Delta`]) patches a
+//! persistent `ClusterView`, the optimizer's demand table and a cached
+//! placement model from each delta; the oracle ([`ObservationMode::FullResync`])
+//! marks the whole cluster changed every tick, so the view, the demand
+//! table and the model are rebuilt from the ground truth each iteration.
+//! If any patch path drifts from its rebuild-from-scratch equivalent —
+//! a stale demand entry, a mispatched packing slot, a load-index bug in
+//! the view — the two runs diverge and these tests fail on the exact
+//! iteration where it happened.
+//!
+//! The scenarios are seeded, exercise all three resource dimensions
+//! (CPU, memory, network), and include the two event classes the delta
+//! protocol must carry beyond plain demand drift: **rolling arrivals**
+//! (vjobs submitted mid-run through `submit_vjob`) and **node failures**
+//! (capacities degraded mid-run through `set_node_capacity`, forcing a
+//! repair).  The solver runs under a fixed search-node budget so both
+//! runs explore machine-independent trees.
+//!
+//! Warm starts are deliberately left off: `FullResync` invalidates the
+//! solver memory (including the carried search state) every tick by
+//! design, so warm-started runs are only comparable to themselves.  The
+//! bit-identity claim is about the *observation* seam, which these runs
+//! isolate.
+
+use std::time::Duration;
+
+use cwcs_core::{
+    ControlLoop, ControlLoopConfig, FcfsConsolidation, IterationReport, ObservationConfig,
+    ObservationMode, OptimizerMode, SolverConfig,
+};
+use cwcs_model::{
+    Configuration, CpuCapacity, MemoryMib, NetBandwidth, Node, NodeId, Vjob, VjobId, Vm, VmId,
+};
+use cwcs_sim::SimulatedCluster;
+use cwcs_workload::{VjobSpec, VmWorkProfile, WorkPhase};
+
+/// A seeded 3-dimensional streaming scenario: base vjobs running on
+/// CPU/memory/network-constrained nodes, arrival batches, and a mid-run
+/// node failure.
+struct Scenario {
+    cluster: SimulatedCluster,
+    initial: Vec<VjobSpec>,
+    /// `(tick, vjob spec)` — submitted just before that iteration.
+    arrivals: Vec<(usize, VjobSpec)>,
+    /// `(tick, node)` — degraded just before that iteration.
+    failures: Vec<(usize, NodeId)>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn vjob_spec(vjob: u32, first_vm: u32, vm_count: u32, seed: &mut u64) -> VjobSpec {
+    let memories = [MemoryMib::mib(512), MemoryMib::gib(1), MemoryMib::gib(2)];
+    let nets = [
+        NetBandwidth::mbps(50),
+        NetBandwidth::mbps(100),
+        NetBandwidth::mbps(200),
+    ];
+    let vm_ids: Vec<VmId> = (0..vm_count).map(|k| VmId(first_vm + k)).collect();
+    let mut vms = Vec::new();
+    let mut profiles = Vec::new();
+    for &id in &vm_ids {
+        let memory = memories[(xorshift(seed) % 3) as usize];
+        let net = nets[(xorshift(seed) % 3) as usize];
+        let work_secs = 120.0 + (xorshift(seed) % 5) as f64 * 90.0;
+        vms.push(Vm::new(id, memory, CpuCapacity::cores(1)).with_net(net));
+        profiles.push(VmWorkProfile::new(vec![
+            WorkPhase::compute(work_secs).with_net(net)
+        ]));
+    }
+    VjobSpec::new(Vjob::new(VjobId(vjob), vm_ids, vjob as u64), vms, profiles)
+}
+
+fn build_scenario(seed: u64) -> Scenario {
+    let mut state = seed | 1;
+    let node_count = 6 + (xorshift(&mut state) % 3) as u32; // 6..=8
+    let mut config = Configuration::new();
+    for i in 0..node_count {
+        config
+            .add_node(
+                Node::new(NodeId(i), CpuCapacity::cores(4), MemoryMib::gib(8))
+                    .with_net(NetBandwidth::gbps(1)),
+            )
+            .unwrap();
+    }
+
+    let mut next_vm = 0u32;
+    let mut next_vjob = 0u32;
+    let mut initial = Vec::new();
+    for _ in 0..3 {
+        let vm_count = 2 + (xorshift(&mut state) % 2) as u32;
+        let spec = vjob_spec(next_vjob, next_vm, vm_count, &mut state);
+        next_vm += vm_count;
+        next_vjob += 1;
+        for vm in &spec.vms {
+            config.add_vm(vm.clone()).unwrap();
+        }
+        initial.push(spec);
+    }
+
+    // Arrivals at ticks 1, 3 and 5; a failure at tick 4 hits a node that is
+    // guaranteed to host VMs by then (the decision module fills low ids
+    // first).
+    let mut arrivals = Vec::new();
+    for &tick in &[1usize, 3, 5] {
+        let vm_count = 2 + (xorshift(&mut state) % 2) as u32;
+        let spec = vjob_spec(next_vjob, next_vm, vm_count, &mut state);
+        next_vm += vm_count;
+        next_vjob += 1;
+        arrivals.push((tick, spec));
+    }
+    let failures = vec![(4usize, NodeId((xorshift(&mut state) % 2) as u32))];
+
+    Scenario {
+        cluster: SimulatedCluster::new(config),
+        initial,
+        arrivals,
+        failures,
+    }
+}
+
+fn loop_config(mode: ObservationMode, workers: usize) -> ControlLoopConfig {
+    ControlLoopConfig {
+        period_secs: 30.0,
+        optimizer: SolverConfig::default()
+            .with_timeout(Duration::from_secs(600))
+            .with_mode(OptimizerMode::repair())
+            .with_node_limit(20_000)
+            .with_workers(workers)
+            .build_optimizer(),
+        max_iterations: 100,
+        observation: ObservationConfig::default().with_mode(mode),
+        ..Default::default()
+    }
+}
+
+/// Drive one control loop for `ticks` iterations, injecting the scenario's
+/// arrivals and failures, and collect the per-iteration reports.  The
+/// scenario is taken by value: `build_scenario` is seeded, so two calls
+/// with the same seed produce identical clusters for the two runs.
+fn drive(
+    scenario: Scenario,
+    mode: ObservationMode,
+    workers: usize,
+    ticks: usize,
+) -> (Vec<IterationReport>, ControlLoop<FcfsConsolidation>) {
+    let mut control = ControlLoop::new(
+        scenario.cluster,
+        &scenario.initial,
+        FcfsConsolidation::new(),
+        loop_config(mode, workers),
+    );
+    let mut reports = Vec::with_capacity(ticks);
+    for tick in 0..ticks {
+        for (at, spec) in &scenario.arrivals {
+            if *at == tick {
+                control.submit_vjob(spec).expect("unique stream ids");
+            }
+        }
+        for (at, node) in &scenario.failures {
+            if *at == tick {
+                control
+                    .cluster_mut()
+                    .set_node_capacity(
+                        *node,
+                        CpuCapacity::cores(1),
+                        MemoryMib::gib(2),
+                        NetBandwidth::mbps(250),
+                    )
+                    .expect("failed node exists");
+            }
+        }
+        reports.push(control.iterate().expect("iteration succeeds"));
+    }
+    (reports, control)
+}
+
+/// Assert that a delta-driven run and a full-resync run produced
+/// bit-identical decisions, solver outcomes, plans and cluster states.
+fn assert_lockstep(seed: u64, workers: usize, ticks: usize) {
+    let (delta, delta_loop) = drive(build_scenario(seed), ObservationMode::Delta, workers, ticks);
+    let (full, full_loop) = drive(
+        build_scenario(seed),
+        ObservationMode::FullResync,
+        workers,
+        ticks,
+    );
+
+    assert_eq!(delta.len(), full.len());
+    for (tick, (d, f)) in delta.iter().zip(&full).enumerate() {
+        let at = format!("seed {seed}, workers {workers}, tick {tick}");
+        assert_eq!(
+            d.performed_switch, f.performed_switch,
+            "switch decision diverged at {at}"
+        );
+        // `elapsed_ms` is wall-clock — the one SearchStats field that may
+        // legitimately differ between two identical searches.  Zero it on
+        // both sides so the comparison stays about the trace, not timing.
+        let mut d_stats = d.solve.search_stats.clone();
+        let mut f_stats = f.solve.search_stats.clone();
+        d_stats.elapsed_ms = 0;
+        f_stats.elapsed_ms = 0;
+        assert_eq!(d_stats, f_stats, "search trace diverged at {at}");
+        assert_eq!(
+            d.switch.plan_stats, f.switch.plan_stats,
+            "plan shape diverged at {at}"
+        );
+        assert_eq!(
+            d.switch.plan_cost, f.switch.plan_cost,
+            "plan cost diverged at {at}"
+        );
+        assert_eq!(
+            d.completed_vjobs, f.completed_vjobs,
+            "completions diverged at {at}"
+        );
+        assert_eq!(d.utilization, f.utilization, "utilization diverged at {at}");
+        // The delta run never re-observes in full after bootstrap; the
+        // oracle always does.  (This is what makes the comparison a proof
+        // and not a tautology.)
+        assert_eq!(d.observation.full, tick == 0, "delta mode resynced at {at}");
+        assert!(f.observation.full, "oracle must resync at {at}");
+    }
+
+    // The clusters marched in lockstep: identical final configurations...
+    assert_eq!(
+        delta_loop.cluster().configuration(),
+        full_loop.cluster().configuration(),
+        "final configurations diverged (seed {seed})"
+    );
+    // ...and the patched view equals the view rebuilt from scratch, down
+    // to the compatibility snapshot.
+    assert_eq!(
+        delta_loop.view().snapshot(),
+        full_loop.view().snapshot(),
+        "patched view drifted from the rebuilt view (seed {seed})"
+    );
+    // The patched view's load index agrees with the ground truth.
+    let overloaded: Vec<NodeId> = delta_loop
+        .view()
+        .overloaded_nodes()
+        .into_iter()
+        .map(|(node, _)| node)
+        .collect();
+    let ground_truth: Vec<NodeId> = delta_loop
+        .cluster()
+        .configuration()
+        .viability_violations()
+        .into_iter()
+        .map(|(node, _)| node)
+        .collect();
+    assert_eq!(overloaded, ground_truth, "load index drifted (seed {seed})");
+
+    // The delta run actually took the incremental path: its demand table
+    // tracks every VM and its model cache was patched or rebuilt, never
+    // silently bypassed.
+    let memory = delta_loop.memory();
+    assert_eq!(
+        memory.tracked_vms(),
+        delta_loop.cluster().configuration().vm_count(),
+        "demand table must track the whole cluster (seed {seed})"
+    );
+    assert!(
+        memory.model_patches + memory.model_rebuilds > 0,
+        "the persistent model was never exercised (seed {seed})"
+    );
+}
+
+#[test]
+fn lockstep_seed_1_single_worker() {
+    assert_lockstep(1, 1, 10);
+}
+
+#[test]
+fn lockstep_seed_2_single_worker() {
+    assert_lockstep(2, 1, 10);
+}
+
+#[test]
+fn lockstep_seed_3_portfolio() {
+    assert_lockstep(3, 2, 10);
+}
+
+#[test]
+fn lockstep_seed_4_portfolio() {
+    assert_lockstep(4, 2, 8);
+}
+
+#[test]
+fn lockstep_long_run_with_full_drain() {
+    // Long enough that every vjob completes: the loops also agree on the
+    // completions and the final idle state.
+    let (delta, delta_loop) = drive(build_scenario(9), ObservationMode::Delta, 1, 40);
+    let (full, full_loop) = drive(build_scenario(9), ObservationMode::FullResync, 1, 40);
+    let delta_completed: Vec<VjobId> = delta
+        .iter()
+        .flat_map(|it| it.completed_vjobs.iter().copied())
+        .collect();
+    let full_completed: Vec<VjobId> = full
+        .iter()
+        .flat_map(|it| it.completed_vjobs.iter().copied())
+        .collect();
+    assert_eq!(delta_completed, full_completed);
+    assert_eq!(delta_completed.len(), 6, "all six vjobs complete");
+    assert!(delta_loop.all_terminated());
+    assert!(full_loop.all_terminated());
+    assert_eq!(
+        delta_loop.cluster().configuration(),
+        full_loop.cluster().configuration()
+    );
+}

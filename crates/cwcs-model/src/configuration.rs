@@ -155,6 +155,14 @@ impl Configuration {
         self.vms.get_mut(&id).ok_or(ModelError::UnknownVm(id))
     }
 
+    /// Mutable access to a node.  Scenario drivers use this to degrade a
+    /// node's capacity mid-run (a partial hardware failure): the node keeps
+    /// hosting its VMs, but a capacity below their demand makes the
+    /// configuration non-viable and the next repair pass evacuates it.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node> {
+        self.nodes.get_mut(&id).ok_or(ModelError::UnknownNode(id))
+    }
+
     /// Iterate over all nodes in id order.
     pub fn nodes(&self) -> impl Iterator<Item = &Node> {
         self.nodes.values()

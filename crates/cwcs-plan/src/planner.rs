@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-use cwcs_model::{Configuration, ModelError, NodeId, ResourceDemand, Vjob, VjobId, VmId};
+use cwcs_model::{Configuration, ModelError, NodeId, ResourceDemand, Vjob, VjobId, VmId, VmState};
 
 use crate::action::Action;
 use crate::graph::{GraphError, ReconfigurationGraph};
@@ -121,9 +121,16 @@ impl Reservations {
     }
 
     /// True when `demand` still fits on `node` given the working
-    /// configuration and the reservations already made in this pool.
-    fn fits(&self, config: &Configuration, node: NodeId, demand: &ResourceDemand) -> bool {
-        let Ok(usage) = config.usage(node) else {
+    /// configuration's usage index and the reservations already made in
+    /// this pool.
+    fn fits(
+        &self,
+        config: &Configuration,
+        usage: &UsageIndex,
+        node: NodeId,
+        demand: &ResourceDemand,
+    ) -> bool {
+        let Ok(n) = config.node(node) else {
             return false;
         };
         let reserved = self
@@ -131,12 +138,78 @@ impl Reservations {
             .get(&node)
             .copied()
             .unwrap_or(ResourceDemand::ZERO);
-        (usage.used + reserved + *demand).fits_in(&usage.capacity)
+        (usage.used(node) + reserved + *demand).fits_in(&n.capacity())
     }
 
     fn claim(&mut self, node: NodeId, demand: ResourceDemand) {
         let entry = self.claimed.entry(node).or_insert(ResourceDemand::ZERO);
         *entry += demand;
+    }
+}
+
+/// Per-node running usage of the working configuration, maintained
+/// incrementally as pools are applied.  [`Configuration::usage`] rescans
+/// every assignment, which made each admission check O(VMs) and the whole
+/// plan O(actions · VMs) — far too slow for the streaming control plane,
+/// where plans over a 100 000-VM cluster are built on every decide.  The
+/// index is seeded with one scan and then patched per applied action, with
+/// the same per-VM demands a rescan would sum, so `used(node)` always
+/// equals `config.usage(node).used`.
+struct UsageIndex {
+    used: BTreeMap<NodeId, ResourceDemand>,
+}
+
+impl UsageIndex {
+    /// Seed the index with one pass over the configuration.
+    fn build(config: &Configuration) -> Self {
+        let mut used: BTreeMap<NodeId, ResourceDemand> = BTreeMap::new();
+        for vm in config.vms() {
+            let Ok(assignment) = config.assignment(vm.id) else {
+                continue;
+            };
+            if assignment.state == VmState::Running {
+                if let Some(host) = assignment.host {
+                    *used.entry(host).or_insert(ResourceDemand::ZERO) += vm.demand();
+                }
+            }
+        }
+        UsageIndex { used }
+    }
+
+    /// Current running usage of `node`.
+    fn used(&self, node: NodeId) -> ResourceDemand {
+        self.used
+            .get(&node)
+            .copied()
+            .unwrap_or(ResourceDemand::ZERO)
+    }
+
+    /// Patch the index for one action about to be applied to `working`.
+    /// The delta uses the working configuration's own VM demand (what a
+    /// rescan would sum), not the action's target demand.
+    fn apply(&mut self, working: &Configuration, action: &Action) -> Result<(), PlannerError> {
+        let demand = working.vm(action.vm())?.demand();
+        match *action {
+            Action::Run { node, .. } => self.add(node, demand),
+            Action::Stop { node, .. } => self.sub(node, demand),
+            Action::Migrate { from, to, .. } => {
+                self.sub(from, demand);
+                self.add(to, demand);
+            }
+            Action::Suspend { node, .. } => self.sub(node, demand),
+            Action::Resume { to, .. } => self.add(to, demand),
+        }
+        Ok(())
+    }
+
+    fn add(&mut self, node: NodeId, demand: ResourceDemand) {
+        *self.used.entry(node).or_insert(ResourceDemand::ZERO) += demand;
+    }
+
+    fn sub(&mut self, node: NodeId, demand: ResourceDemand) {
+        if let Some(entry) = self.used.get_mut(&node) {
+            *entry = entry.saturating_sub(&demand);
+        }
     }
 }
 
@@ -165,6 +238,7 @@ impl Planner {
         let graph = ReconfigurationGraph::build(source, target)?;
         let mut remaining: Vec<Action> = graph.actions().to_vec();
         let mut working = source.clone();
+        let mut usage = UsageIndex::build(&working);
         let mut pools: Vec<Pool> = Vec::new();
 
         while !remaining.is_empty() {
@@ -175,7 +249,7 @@ impl Planner {
             for action in remaining.drain(..) {
                 let admissible = match action.requires() {
                     None => true,
-                    Some((node, demand)) => reservations.fits(&working, node, &demand),
+                    Some((node, demand)) => reservations.fits(&working, &usage, node, &demand),
                 };
                 if admissible {
                     if let Some((node, demand)) = action.requires() {
@@ -190,7 +264,7 @@ impl Planner {
             if pool_actions.is_empty() {
                 // Inter-dependent constraint: break a cycle with a bypass
                 // migration through a pivot node (Figure 8).
-                match Self::break_cycle(&working, &reservations, &blocked) {
+                match Self::break_cycle(&working, &usage, &reservations, &blocked) {
                     Some((bypass, index)) => {
                         if let Some((node, demand)) = bypass.requires() {
                             reservations.claim(node, demand);
@@ -246,6 +320,7 @@ impl Planner {
             }
 
             for action in &pool_actions {
+                usage.apply(&working, action)?;
                 action.apply(&mut working)?;
             }
             pools.push(Pool::from_actions(pool_actions));
@@ -272,6 +347,7 @@ impl Planner {
     /// destination) with enough spare capacity.
     fn break_cycle(
         working: &Configuration,
+        usage: &UsageIndex,
         reservations: &Reservations,
         blocked: &[Action],
     ) -> Option<(Action, usize)> {
@@ -287,7 +363,7 @@ impl Planner {
                     if pivot == from || pivot == to {
                         continue;
                     }
-                    if reservations.fits(working, pivot, &demand) {
+                    if reservations.fits(working, usage, pivot, &demand) {
                         return Some((
                             Action::Migrate {
                                 vm,

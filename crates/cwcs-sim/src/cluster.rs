@@ -145,6 +145,47 @@ pub struct UtilizationSample {
     pub running_vms: usize,
 }
 
+/// The observation-facing change journal (the producer side of the delta
+/// protocol, see `cwcs_sim::monitor`).
+///
+/// This is deliberately **separate** from the internal `dirty_vms` /
+/// `dirty_completion` sets: those are consumed by `sync_rates` /
+/// `collect_completions` as part of the lazy-progress machinery, while the
+/// journal accumulates until the monitoring service drains it.  Every
+/// mutation that can change what a monitor would observe — a VM's demand,
+/// state or placement, a node's capacity, a vjob completion — lands here.
+#[derive(Debug, Default)]
+struct ObservationJournal {
+    /// Monotone version, bumped on every recorded change.
+    version: u64,
+    /// VMs whose observable record may have changed since the last drain.
+    vms: BTreeSet<VmId>,
+    /// Nodes whose capacity changed since the last drain.
+    nodes: BTreeSet<NodeId>,
+    /// Vjob completions reported since the last drain, in report order.
+    completions: Vec<VjobId>,
+    /// Set when an arbitrary mutation may have changed anything (and on the
+    /// very first observation): the next drain is a full observation.
+    full: bool,
+}
+
+/// What [`SimulatedCluster::drain_changes`] hands to the monitoring service:
+/// everything that changed since the previous drain.
+#[derive(Debug, Clone)]
+pub struct ObservedChanges {
+    /// The journal version as of this drain.
+    pub version: u64,
+    /// True when the drain must be treated as a full observation (first
+    /// drain, or an arbitrary configuration mutation happened).
+    pub full: bool,
+    /// VMs whose observable record may have changed.
+    pub vms: BTreeSet<VmId>,
+    /// Nodes whose capacity changed.
+    pub nodes: BTreeSet<NodeId>,
+    /// Vjob completions since the previous drain.
+    pub completions: Vec<VjobId>,
+}
+
 /// The simulated cluster.
 pub struct SimulatedCluster {
     configuration: Configuration,
@@ -172,6 +213,8 @@ pub struct SimulatedCluster {
     /// Set when an arbitrary configuration mutation may have moved any VM:
     /// the next advance re-touches everything.
     resync_all: bool,
+    /// Changes accumulated for the monitoring service (see the struct docs).
+    journal: ObservationJournal,
     durations: DurationModel,
     interference: InterferenceModel,
 }
@@ -193,6 +236,11 @@ impl SimulatedCluster {
             dirty_vms: BTreeSet::new(),
             dirty_completion: BTreeSet::new(),
             resync_all: true,
+            journal: ObservationJournal {
+                // The first drain is always a full observation.
+                full: true,
+                ..Default::default()
+            },
             durations: DurationModel::paper(),
             interference: InterferenceModel::paper(),
         }
@@ -227,6 +275,7 @@ impl SimulatedCluster {
             }
             self.vm_vjob.insert(*vm, spec.vjob.id);
             self.dirty_vms.insert(*vm);
+            self.record_vm_change(*vm);
         }
         self.vjobs.insert(spec.vjob.id, spec.vjob.clone());
         self.dirty_completion.insert(spec.vjob.id);
@@ -239,10 +288,19 @@ impl SimulatedCluster {
         for vm in &vjob.vms {
             self.vm_vjob.insert(*vm, vjob.id);
             self.dirty_vms.insert(*vm);
+            self.record_vm_change(*vm);
         }
         self.vjobs.insert(vjob.id, vjob.clone());
         self.dirty_completion.insert(vjob.id);
         self.horizon.invalidate();
+    }
+
+    /// Record one VM's observable change in the journal.
+    fn record_vm_change(&mut self, vm: VmId) {
+        self.journal.version += 1;
+        if !self.journal.full {
+            self.journal.vms.insert(vm);
+        }
     }
 
     /// Remove a VM's boundary and reverse-index entries.
@@ -273,6 +331,12 @@ impl SimulatedCluster {
     pub fn configuration_mut(&mut self) -> &mut Configuration {
         self.horizon.invalidate();
         self.resync_all = true;
+        // An arbitrary mutation can change anything a monitor observes:
+        // degrade the next drain to a full observation.
+        self.journal.version += 1;
+        self.journal.full = true;
+        self.journal.vms.clear();
+        self.journal.nodes.clear();
         &mut self.configuration
     }
 
@@ -285,6 +349,7 @@ impl SimulatedCluster {
             self.horizon.dirty.insert(vjob);
         }
         self.dirty_vms.insert(vm);
+        self.record_vm_change(vm);
         &mut self.configuration
     }
 
@@ -457,18 +522,27 @@ impl SimulatedCluster {
         // nothing, sleeping / terminated keep the last observation — the
         // same rules as `refresh_demands`.
         let state = self.configuration.state(vm);
+        let mut demand_changed = false;
         if let Ok(entry) = self.configuration.vm_mut(vm) {
             match state {
                 Ok(VmState::Running) => {
-                    entry.cpu = vp.profile.demand_at(progress);
-                    entry.net = vp.profile.net_demand_at(progress);
+                    let cpu = vp.profile.demand_at(progress);
+                    let net = vp.profile.net_demand_at(progress);
+                    demand_changed = entry.cpu != cpu || entry.net != net;
+                    entry.cpu = cpu;
+                    entry.net = net;
                 }
                 Ok(VmState::Waiting) => {
+                    demand_changed =
+                        entry.cpu != CpuCapacity::ZERO || entry.net != NetBandwidth::ZERO;
                     entry.cpu = CpuCapacity::ZERO;
                     entry.net = NetBandwidth::ZERO;
                 }
                 _ => {}
             }
+        }
+        if demand_changed {
+            self.record_vm_change(vm);
         }
         self.progress.insert(vm, vp);
         if let Some(&vjob) = self.vm_vjob.get(&vm) {
@@ -501,6 +575,8 @@ impl SimulatedCluster {
         for vjob in std::mem::take(&mut self.dirty_completion) {
             if !self.completed.contains(&vjob) && self.is_vjob_complete(vjob) {
                 self.completed.push(vjob);
+                self.journal.version += 1;
+                self.journal.completions.push(vjob);
                 events.push(ClusterEvent::VjobCompleted(vjob));
             }
         }
@@ -683,19 +759,29 @@ impl SimulatedCluster {
             .collect();
         for (vm, cpu, net) in updates {
             let state = self.configuration.state(vm);
+            let mut demand_changed = false;
             if let Ok(entry) = self.configuration.vm_mut(vm) {
                 match state {
                     Ok(VmState::Running) => {
+                        demand_changed = entry.cpu != cpu || entry.net != net;
                         entry.cpu = cpu;
                         entry.net = net;
                     }
                     Ok(VmState::Waiting) => {
+                        demand_changed =
+                            entry.cpu != CpuCapacity::ZERO || entry.net != NetBandwidth::ZERO;
                         entry.cpu = CpuCapacity::ZERO;
                         entry.net = NetBandwidth::ZERO;
                     }
                     // Sleeping / Terminated: keep the last observation.
                     _ => {}
                 }
+            }
+            // Journal only the VMs whose observed demand actually moved, so
+            // a steady-state refresh does not degrade the delta protocol
+            // into a full re-observation of the cluster.
+            if demand_changed {
+                self.record_vm_change(vm);
             }
         }
     }
@@ -728,6 +814,77 @@ impl SimulatedCluster {
             net_percent: percent_of(net, capacity.net.raw()),
             running_vms: running,
         }
+    }
+
+    /// The current version of the change journal.  The version is bumped on
+    /// every recorded change, so equal versions across two points in time
+    /// mean nothing observable happened in between.
+    pub fn change_version(&self) -> u64 {
+        self.journal.version
+    }
+
+    /// Degrade the next [`SimulatedCluster::drain_changes`] to a full
+    /// observation.  The control loop uses this to implement its full-resync
+    /// observation mode (the oracle the delta-correctness lockstep suite
+    /// compares against).
+    pub fn mark_fully_changed(&mut self) {
+        self.journal.version += 1;
+        self.journal.full = true;
+        self.journal.vms.clear();
+        self.journal.nodes.clear();
+    }
+
+    /// Drain the change journal: everything that changed since the previous
+    /// drain, then reset it so the next drain reports only newer changes.
+    /// The first drain of a cluster is always a full observation.
+    pub fn drain_changes(&mut self) -> ObservedChanges {
+        let changes = ObservedChanges {
+            version: self.journal.version,
+            full: self.journal.full,
+            vms: std::mem::take(&mut self.journal.vms),
+            nodes: std::mem::take(&mut self.journal.nodes),
+            completions: std::mem::take(&mut self.journal.completions),
+        };
+        self.journal.full = false;
+        changes
+    }
+
+    /// Change a node's capacity mid-run (a partial hardware failure — or a
+    /// repaired node coming back).  The node keeps hosting its VMs; a
+    /// capacity below their demand makes the configuration non-viable, which
+    /// the next repair pass fixes by evacuating it.  The change is journaled
+    /// so a delta-driven control loop observes it without a full resync.
+    pub fn set_node_capacity(
+        &mut self,
+        node: NodeId,
+        cpu: CpuCapacity,
+        memory: MemoryMib,
+        net: NetBandwidth,
+    ) -> Result<(), cwcs_model::ModelError> {
+        let entry = self.configuration.node_mut(node)?;
+        entry.cpu = cpu;
+        entry.memory = memory;
+        entry.net = net;
+        self.journal.version += 1;
+        if !self.journal.full {
+            self.journal.nodes.insert(node);
+        }
+        Ok(())
+    }
+
+    /// Admit a vjob arriving mid-run: add any of its VMs not yet part of the
+    /// configuration (each journaled individually, so a streaming arrival
+    /// stays an incremental observation) and start tracking its progress.
+    /// Fresh VMs enter in the waiting state; the next decision picks them up.
+    pub fn admit_vjob(&mut self, spec: &VjobSpec) -> Result<(), cwcs_model::ModelError> {
+        for vm in &spec.vms {
+            if self.configuration.vm(vm.id).is_err() {
+                self.configuration.add_vm(vm.clone())?;
+                self.record_vm_change(vm.id);
+            }
+        }
+        self.register_vjob(spec);
+        Ok(())
     }
 }
 
@@ -1053,5 +1210,125 @@ mod tests {
         cluster.advance(12.5, &BTreeMap::new());
         cluster.advance(7.5, &BTreeMap::new());
         assert!((cluster.clock_secs() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_drain_is_a_full_observation() {
+        let mut cluster = cluster_with(&[spec(0, &[0], 100.0)]);
+        let changes = cluster.drain_changes();
+        assert!(changes.full);
+        // Nothing happened since: the next drain is an empty delta.
+        let changes = cluster.drain_changes();
+        assert!(!changes.full);
+        assert!(changes.vms.is_empty());
+        assert!(changes.nodes.is_empty());
+        assert!(changes.completions.is_empty());
+    }
+
+    #[test]
+    fn targeted_mutations_journal_only_the_touched_vm() {
+        let mut cluster = cluster_with(&[spec(0, &[0, 1], 100.0)]);
+        cluster.drain_changes();
+        let v0 = cluster.change_version();
+        cluster
+            .configuration_mut_for_vm(VmId(1))
+            .set_assignment(VmId(1), VmAssignment::running(NodeId(2)))
+            .unwrap();
+        assert!(cluster.change_version() > v0);
+        let changes = cluster.drain_changes();
+        assert!(!changes.full);
+        assert_eq!(changes.vms.into_iter().collect::<Vec<_>>(), vec![VmId(1)]);
+    }
+
+    #[test]
+    fn arbitrary_mutations_degrade_to_a_full_observation() {
+        let mut cluster = cluster_with(&[spec(0, &[0], 100.0)]);
+        cluster.drain_changes();
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let changes = cluster.drain_changes();
+        assert!(changes.full, "configuration_mut can change anything");
+        assert!(changes.vms.is_empty(), "a full drain carries no VM set");
+    }
+
+    #[test]
+    fn demand_changes_and_completions_are_journaled() {
+        // A two-phase profile: the compute→idle edge changes the demand, the
+        // final edge completes the vjob; both must land in the journal.
+        let vms = vec![Vm::new(VmId(0), MemoryMib::mib(512), CpuCapacity::cores(1))];
+        let vjob = Vjob::new(VjobId(0), vec![VmId(0)], 0);
+        let profiles = vec![VmWorkProfile::new(vec![
+            WorkPhase::compute(10.0),
+            WorkPhase::idle(30.0),
+        ])];
+        let spec = VjobSpec::new(vjob, vms, profiles);
+        let mut cluster = cluster_with(std::slice::from_ref(&spec));
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        cluster.advance(0.0, &BTreeMap::new());
+        cluster.drain_changes();
+        cluster.advance(15.0, &BTreeMap::new());
+        let changes = cluster.drain_changes();
+        assert!(!changes.full);
+        assert!(changes.vms.contains(&VmId(0)), "the demand edge at t=10");
+        assert!(changes.completions.is_empty());
+        cluster.advance(30.0, &BTreeMap::new());
+        let changes = cluster.drain_changes();
+        assert_eq!(changes.completions, vec![VjobId(0)]);
+    }
+
+    #[test]
+    fn steady_state_advances_journal_nothing() {
+        let mut cluster = cluster_with(&[spec(0, &[0], 1000.0)]);
+        cluster
+            .configuration_mut()
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        cluster.advance(0.0, &BTreeMap::new());
+        cluster.drain_changes();
+        // Mid-phase progress changes nothing a monitor observes.
+        let v = cluster.change_version();
+        cluster.advance(5.0, &BTreeMap::new());
+        cluster.refresh_demands();
+        assert_eq!(cluster.change_version(), v);
+        let changes = cluster.drain_changes();
+        assert!(!changes.full && changes.vms.is_empty());
+    }
+
+    #[test]
+    fn node_capacity_changes_are_journaled() {
+        let mut cluster = cluster_with(&[]);
+        cluster.drain_changes();
+        cluster
+            .set_node_capacity(
+                NodeId(2),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(1),
+                NetBandwidth::ZERO,
+            )
+            .unwrap();
+        let changes = cluster.drain_changes();
+        assert!(!changes.full);
+        assert_eq!(
+            changes.nodes.into_iter().collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
+        assert_eq!(
+            cluster.configuration().node(NodeId(2)).unwrap().cpu,
+            CpuCapacity::cores(1)
+        );
+    }
+
+    #[test]
+    fn mark_fully_changed_degrades_the_next_drain() {
+        let mut cluster = cluster_with(&[]);
+        cluster.drain_changes();
+        cluster.mark_fully_changed();
+        assert!(cluster.drain_changes().full);
+        assert!(!cluster.drain_changes().full);
     }
 }

@@ -27,9 +27,14 @@
 //!   paper's sequential pool-barrier semantics remain available as
 //!   [`ExecutionMode::PoolBarrier`](executor::ExecutionMode) for
 //!   comparisons;
-//! * [`monitor`] — the Ganglia-like monitoring service: periodic snapshots
-//!   of the per-VM CPU and memory demands, with a configurable refresh
-//!   period (10 s in the paper).
+//! * [`monitor`] — the Ganglia-like monitoring service, redesigned around a
+//!   **delta protocol**: the cluster journals every observable change (VM
+//!   demand/state/placement, node capacity, vjob completions) and
+//!   [`MonitoringService::observe`] drains it into an
+//!   [`ObservationDelta`] against a versioned
+//!   [`ClusterView`], so a 10k-node control loop pays
+//!   for what changed, not for the whole cluster.  Full
+//!   [`DemandSnapshot`]s remain available for compatibility.
 
 pub mod cluster;
 pub mod driver;
@@ -38,9 +43,11 @@ pub mod events;
 pub mod executor;
 pub mod monitor;
 
-pub use cluster::{ClusterEvent, SimulatedCluster, UtilizationSample};
+pub use cluster::{ClusterEvent, ObservedChanges, SimulatedCluster, UtilizationSample};
 pub use driver::{DriverError, FailureInjector, HypervisorDriver, SimulatedXenDriver};
 pub use durations::{DurationModel, InterferenceModel, TransferMethod};
 pub use events::{Event, EventKind, EventQueue, ExecutionTimeline, TimelineEntry, VjobCompletion};
 pub use executor::{ActionRecord, ExecutionMode, ExecutionReport, PlanExecutor, PoolRecord};
-pub use monitor::{DemandSnapshot, MonitoringService};
+pub use monitor::{
+    ClusterView, DemandSnapshot, MonitoringService, ObservationDelta, VmObservation,
+};

@@ -1,16 +1,54 @@
-//! The monitoring service: periodic snapshots of per-VM demands.
+//! The monitoring service: the observation side of the incremental control
+//! loop.
 //!
 //! Entropy "observes the CPU and memory consumptions of the running VMs by
 //! requesting an existent monitoring service" (Ganglia in the prototype) and
 //! "accumulates new informations about resource usage, which takes about 10
-//! seconds" before iterating again.  The simulated service reproduces that
-//! behaviour: it refreshes its snapshot at most every `refresh_period_secs`
-//! of virtual time, so the decision module works on slightly stale data, just
-//! like the real system.
+//! seconds" before iterating again.  The historical API reproduced that as a
+//! full [`DemandSnapshot`] per observation — O(cluster) work per tick, which
+//! a 10 000-node control plane cannot afford when only a handful of VMs
+//! changed since the last tick.
+//!
+//! # The delta protocol
+//!
+//! The service is therefore built around **deltas**.  The simulated cluster
+//! journals every observable change (a VM's demand, state or placement, a
+//! node's capacity, a vjob completion — see
+//! [`SimulatedCluster::drain_changes`]), and
+//! [`MonitoringService::observe`] drains that journal into an
+//! [`ObservationDelta`]: the new observations of exactly the VMs and nodes
+//! that changed, stamped with a monotone version.  The control loop applies
+//! each delta to a persistent [`ClusterView`] — its versioned model of the
+//! cluster — which maintains a per-node load index incrementally, so
+//! overload detection ([`ClusterView::overloaded_nodes`]) is O(nodes)
+//! instead of O(nodes × VMs).
+//!
+//! The first observation of a cluster is always *full* (`delta.full`), as is
+//! any observation after an arbitrary configuration mutation the journal
+//! could not attribute to a specific VM.  Applying a full delta resets the
+//! view; applying an incremental one patches it.  The two maintenance modes
+//! are bit-identical by construction, and the lockstep suite in `cwcs-core`
+//! asserts it end to end.
+//!
+//! # Refresh period and staleness
+//!
+//! The service refreshes at most every `refresh_period_secs` of virtual time
+//! (10 s in the paper): within the period [`MonitoringService::observe`]
+//! returns an **empty** delta without draining the journal — the pending
+//! changes are simply reported by the next real observation, so nothing is
+//! lost, and the decision module works on slightly stale data exactly like
+//! the real system.
+//!
+//! Full [`DemandSnapshot`]s remain available, either directly
+//! ([`MonitoringService::snapshot`]) or reconstructed from the view
+//! ([`ClusterView::snapshot`]), for consumers that want the legacy shape.
 
 use std::collections::BTreeMap;
 
-use cwcs_model::{CpuCapacity, MemoryMib, VmId, VmState};
+use cwcs_model::{
+    CpuCapacity, MemoryMib, NetBandwidth, NodeId, ResourceDemand, ResourceUsage, VjobId, VmId,
+    VmState,
+};
 
 use crate::cluster::SimulatedCluster;
 
@@ -39,11 +77,228 @@ impl DemandSnapshot {
     }
 }
 
+/// Everything the monitoring service observes about one VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmObservation {
+    /// Observed CPU demand.
+    pub cpu: CpuCapacity,
+    /// Allocated memory.
+    pub memory: MemoryMib,
+    /// Observed network demand.
+    pub net: NetBandwidth,
+    /// Life-cycle state.
+    pub state: VmState,
+    /// Hosting node when running.
+    pub host: Option<NodeId>,
+    /// Node holding the suspended memory image when sleeping.
+    pub image: Option<NodeId>,
+}
+
+impl VmObservation {
+    /// The VM's observed demand vector.
+    pub fn demand(&self) -> ResourceDemand {
+        ResourceDemand::new(self.cpu, self.memory).with_net(self.net)
+    }
+}
+
+/// What changed since the previous observation: the unit the incremental
+/// control loop consumes.
+///
+/// An incremental delta (`full == false`) carries the new observations of
+/// exactly the VMs and nodes the cluster journaled; a full delta carries
+/// every VM and node and resets the receiving [`ClusterView`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationDelta {
+    /// The journal version the receiving view must be at (its current
+    /// [`ClusterView::version`]) for this delta to apply incrementally.
+    pub from_version: u64,
+    /// The journal version after this delta.
+    pub version: u64,
+    /// Virtual time of the observation.
+    pub time_secs: f64,
+    /// True when this is a full observation (first tick, forced resync, or
+    /// an arbitrary configuration mutation happened).
+    pub full: bool,
+    /// New observations of the changed VMs (every VM when `full`).
+    pub vms: BTreeMap<VmId, VmObservation>,
+    /// New capacities of the changed nodes (every node when `full`).
+    pub node_capacities: BTreeMap<NodeId, ResourceDemand>,
+    /// Vjobs whose completion was reported since the previous observation.
+    pub completed_vjobs: Vec<VjobId>,
+}
+
+impl ObservationDelta {
+    /// True when the delta carries no change at all (a within-refresh-period
+    /// observation, or genuinely nothing happened).
+    pub fn is_empty(&self) -> bool {
+        !self.full
+            && self.vms.is_empty()
+            && self.node_capacities.is_empty()
+            && self.completed_vjobs.is_empty()
+    }
+}
+
+/// The control loop's persistent, versioned model of the cluster, maintained
+/// by applying [`ObservationDelta`]s.
+///
+/// Besides the raw observations, the view keeps a per-node load index
+/// (the summed demand of the running VMs it hosts) **incrementally**: each
+/// applied VM observation debits its previous contribution and credits the
+/// new one, so [`ClusterView::overloaded_nodes`] — the trigger of the
+/// repair pass — costs O(nodes), not O(nodes × VMs) like
+/// `Configuration::viability_violations`.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterView {
+    /// Version of the last applied delta.
+    pub version: u64,
+    /// Virtual time of the last applied delta.
+    pub time_secs: f64,
+    vms: BTreeMap<VmId, VmObservation>,
+    /// Node capacities.
+    nodes: BTreeMap<NodeId, ResourceDemand>,
+    /// Summed demand of the running VMs per node (absent = zero).
+    node_load: BTreeMap<NodeId, ResourceDemand>,
+}
+
+impl ClusterView {
+    /// An empty view (version 0); the first applied delta must be full.
+    pub fn new() -> Self {
+        ClusterView::default()
+    }
+
+    /// Apply a delta.  A full delta resets the view; an incremental one
+    /// patches the stored observations and the per-node load index.
+    ///
+    /// # Panics
+    /// Panics when an incremental delta's `from_version` does not match the
+    /// view's version: deltas must be applied in order, without gaps.
+    pub fn apply(&mut self, delta: &ObservationDelta) {
+        if delta.full {
+            self.vms.clear();
+            self.nodes.clear();
+            self.node_load.clear();
+        } else {
+            assert_eq!(
+                delta.from_version, self.version,
+                "observation deltas must be applied in order"
+            );
+        }
+        for (&node, &capacity) in &delta.node_capacities {
+            self.nodes.insert(node, capacity);
+        }
+        for (&vm, &obs) in &delta.vms {
+            let old = self.vms.insert(vm, obs);
+            if let Some(old) = old {
+                if old.state == VmState::Running {
+                    if let Some(host) = old.host {
+                        self.debit(host, &old.demand());
+                    }
+                }
+            }
+            if obs.state == VmState::Running {
+                if let Some(host) = obs.host {
+                    self.credit(host, &obs.demand());
+                }
+            }
+        }
+        self.version = delta.version;
+        self.time_secs = delta.time_secs;
+    }
+
+    fn credit(&mut self, node: NodeId, demand: &ResourceDemand) {
+        let load = self.node_load.entry(node).or_insert(ResourceDemand::ZERO);
+        *load += *demand;
+    }
+
+    fn debit(&mut self, node: NodeId, demand: &ResourceDemand) {
+        if let Some(load) = self.node_load.get_mut(&node) {
+            *load = load.saturating_sub(demand);
+            if load.is_zero() {
+                self.node_load.remove(&node);
+            }
+        }
+    }
+
+    /// The stored observation of a VM.
+    pub fn vm(&self, vm: VmId) -> Option<&VmObservation> {
+        self.vms.get(&vm)
+    }
+
+    /// All stored VM observations, in id order.
+    pub fn vms(&self) -> impl Iterator<Item = (&VmId, &VmObservation)> {
+        self.vms.iter()
+    }
+
+    /// The stored capacity of a node.
+    pub fn node_capacity(&self, node: NodeId) -> Option<ResourceDemand> {
+        self.nodes.get(&node).copied()
+    }
+
+    /// Number of observed VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of observed nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The observed load (summed running-VM demand) of a node.
+    pub fn node_load(&self, node: NodeId) -> ResourceDemand {
+        self.node_load
+            .get(&node)
+            .copied()
+            .unwrap_or(ResourceDemand::ZERO)
+    }
+
+    /// Nodes whose observed load exceeds their capacity, with their usage,
+    /// in node id order — the same answer as
+    /// `Configuration::viability_violations`, computed from the incremental
+    /// load index in O(nodes).
+    pub fn overloaded_nodes(&self) -> Vec<(NodeId, ResourceUsage)> {
+        self.nodes
+            .iter()
+            .filter_map(|(&node, &capacity)| {
+                let used = self.node_load(node);
+                if used.fits_in(&capacity) {
+                    None
+                } else {
+                    Some((node, ResourceUsage { used, capacity }))
+                }
+            })
+            .collect()
+    }
+
+    /// Reconstruct the legacy full-snapshot shape from the view.
+    pub fn snapshot(&self) -> DemandSnapshot {
+        let mut cpu = BTreeMap::new();
+        let mut memory = BTreeMap::new();
+        let mut states = BTreeMap::new();
+        for (&vm, obs) in &self.vms {
+            cpu.insert(vm, obs.cpu);
+            memory.insert(vm, obs.memory);
+            states.insert(vm, obs.state);
+        }
+        DemandSnapshot {
+            time_secs: self.time_secs,
+            cpu,
+            memory,
+            states,
+        }
+    }
+}
+
 /// The Ganglia-like monitoring service.
 #[derive(Debug, Clone)]
 pub struct MonitoringService {
     refresh_period_secs: f64,
-    last: Option<DemandSnapshot>,
+    /// Virtual time of the last real (journal-draining) observation.
+    last_refresh_at: Option<f64>,
+    /// Journal version as of that observation.
+    last_version: u64,
+    /// Virtual time stamped on that observation.
+    last_time: f64,
 }
 
 impl Default for MonitoringService {
@@ -58,7 +313,9 @@ impl MonitoringService {
     pub fn new(refresh_period_secs: f64) -> Self {
         MonitoringService {
             refresh_period_secs,
-            last: None,
+            last_refresh_at: None,
+            last_version: 0,
+            last_time: 0.0,
         }
     }
 
@@ -67,24 +324,86 @@ impl MonitoringService {
         self.refresh_period_secs
     }
 
-    /// Observe the cluster: returns the cached snapshot when it is fresh
-    /// enough, otherwise takes (and caches) a new one.
-    pub fn observe(&mut self, cluster: &SimulatedCluster) -> DemandSnapshot {
+    /// Observe the cluster: drain its change journal into an
+    /// [`ObservationDelta`].
+    ///
+    /// Within the refresh period of the previous observation this returns an
+    /// **empty** delta (stamped with the previous observation's version and
+    /// time) without touching the journal: the pending changes are simply
+    /// carried by the next real observation.  The first observation, and any
+    /// observation after the cluster was marked fully changed, is a full
+    /// one.
+    pub fn observe(&mut self, cluster: &mut SimulatedCluster) -> ObservationDelta {
         let now = cluster.clock_secs();
         let fresh_enough = self
-            .last
-            .as_ref()
-            .map(|s| now - s.time_secs < self.refresh_period_secs)
+            .last_refresh_at
+            .map(|at| now - at < self.refresh_period_secs)
             .unwrap_or(false);
         if fresh_enough {
-            return self.last.clone().expect("checked above");
+            return ObservationDelta {
+                from_version: self.last_version,
+                version: self.last_version,
+                time_secs: self.last_time,
+                full: false,
+                vms: BTreeMap::new(),
+                node_capacities: BTreeMap::new(),
+                completed_vjobs: Vec::new(),
+            };
         }
-        let snapshot = Self::snapshot(cluster);
-        self.last = Some(snapshot.clone());
-        snapshot
+        let from_version = self.last_version;
+        let changes = cluster.drain_changes();
+        let config = cluster.configuration();
+        let mut vms = BTreeMap::new();
+        let mut node_capacities = BTreeMap::new();
+        let observe_vm = |vm: VmId| -> Option<VmObservation> {
+            let v = config.vm(vm).ok()?;
+            let a = config.assignment(vm).ok()?;
+            Some(VmObservation {
+                cpu: v.cpu,
+                memory: v.memory,
+                net: v.net,
+                state: a.state,
+                host: a.host,
+                image: a.image,
+            })
+        };
+        if changes.full {
+            for v in config.vms() {
+                if let Some(obs) = observe_vm(v.id) {
+                    vms.insert(v.id, obs);
+                }
+            }
+            for n in config.nodes() {
+                node_capacities.insert(n.id, n.capacity());
+            }
+        } else {
+            for &vm in &changes.vms {
+                if let Some(obs) = observe_vm(vm) {
+                    vms.insert(vm, obs);
+                }
+            }
+            for &node in &changes.nodes {
+                if let Ok(n) = config.node(node) {
+                    node_capacities.insert(node, n.capacity());
+                }
+            }
+        }
+        self.last_refresh_at = Some(now);
+        self.last_version = changes.version;
+        self.last_time = now;
+        ObservationDelta {
+            from_version,
+            version: changes.version,
+            time_secs: now,
+            full: changes.full,
+            vms,
+            node_capacities,
+            completed_vjobs: changes.completions,
+        }
     }
 
-    /// Take an immediate snapshot, bypassing the cache.
+    /// Take an immediate full snapshot, bypassing the delta machinery and
+    /// the refresh-period cache (the journal is untouched).
     pub fn snapshot(cluster: &SimulatedCluster) -> DemandSnapshot {
         let config = cluster.configuration();
         let mut cpu = BTreeMap::new();
@@ -149,35 +468,186 @@ mod tests {
     }
 
     #[test]
+    fn first_observation_is_full_then_deltas_shrink() {
+        let mut cluster = cluster();
+        let mut monitor = MonitoringService::new(0.0);
+        let first = monitor.observe(&mut cluster);
+        assert!(first.full);
+        assert_eq!(first.vms.len(), 1);
+        assert_eq!(first.node_capacities.len(), 1);
+
+        let mut view = ClusterView::new();
+        view.apply(&first);
+        assert_eq!(view.vm(VmId(0)).unwrap().cpu, CpuCapacity::cores(1));
+
+        // Nothing happened: the next delta is empty.
+        let delta = monitor.observe(&mut cluster);
+        assert!(delta.is_empty());
+        view.apply(&delta);
+
+        // The VM finishes at t=30; its demand drop is a one-VM delta.
+        cluster.advance(35.0, &Map::new());
+        let delta = monitor.observe(&mut cluster);
+        assert!(!delta.full);
+        assert_eq!(delta.vms.len(), 1);
+        assert_eq!(delta.vms[&VmId(0)].cpu, CpuCapacity::ZERO);
+        assert_eq!(delta.completed_vjobs, vec![VjobId(0)]);
+        view.apply(&delta);
+        assert_eq!(view.vm(VmId(0)).unwrap().cpu, CpuCapacity::ZERO);
+    }
+
+    #[test]
     fn observation_is_cached_within_the_refresh_period() {
         let mut cluster = cluster();
         let mut monitor = MonitoringService::new(10.0);
-        let first = monitor.observe(&cluster);
-        assert_eq!(first.cpu_of(VmId(0)), CpuCapacity::cores(1));
+        let first = monitor.observe(&mut cluster);
+        assert!(first.full);
 
-        // The VM finishes its work after 30 s; 5 s later the cached snapshot
-        // still reports the old demand...
-        cluster.advance(35.0, &Map::new());
-        // (advance refreshes demands: the VM now idles)
+        // 5 s later the service serves an empty delta without draining...
+        cluster.advance(5.0, &Map::new());
+        let cached = monitor.observe(&mut cluster);
+        assert!(cached.is_empty());
         assert_eq!(
-            cluster.configuration().vm(VmId(0)).unwrap().cpu,
-            CpuCapacity::ZERO
-        );
-        let cached = {
-            let mut m = MonitoringService::new(1000.0);
-            m.observe(&cluster); // prime at t=35
-            cluster.advance(5.0, &Map::new());
-            m.observe(&cluster)
-        };
-        assert_eq!(
-            cached.time_secs, 35.0,
-            "stale snapshot is served within the period"
+            cached.time_secs, 0.0,
+            "stamped with the last real observation"
         );
 
-        // ...but a service with a 10 s period refreshes at t=35 (>= 10 s later).
-        let refreshed = monitor.observe(&cluster);
-        assert!(refreshed.time_secs >= 35.0);
-        assert_eq!(refreshed.cpu_of(VmId(0)), CpuCapacity::ZERO);
+        // ...and the demand edge at t=30 (plus the completion) is still
+        // reported by the next real observation: nothing is lost.
+        cluster.advance(30.0, &Map::new());
+        let delta = monitor.observe(&mut cluster);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.vms[&VmId(0)].cpu, CpuCapacity::ZERO);
+        assert_eq!(delta.completed_vjobs, vec![VjobId(0)]);
+    }
+
+    #[test]
+    fn view_matches_a_fresh_snapshot_across_deltas() {
+        let mut cluster = cluster();
+        let mut monitor = MonitoringService::new(0.0);
+        let mut view = ClusterView::new();
+        view.apply(&monitor.observe(&mut cluster));
+        for _ in 0..4 {
+            cluster.advance(10.0, &Map::new());
+            view.apply(&monitor.observe(&mut cluster));
+            assert_eq!(view.snapshot(), MonitoringService::snapshot(&cluster));
+        }
+    }
+
+    #[test]
+    fn the_load_index_tracks_moves_incrementally() {
+        let mut config = Configuration::new();
+        for i in 0..2 {
+            config
+                .add_node(Node::new(
+                    NodeId(i),
+                    CpuCapacity::cores(2),
+                    MemoryMib::gib(4),
+                ))
+                .unwrap();
+        }
+        config
+            .add_vm(Vm::new(VmId(0), MemoryMib::gib(1), CpuCapacity::cores(1)))
+            .unwrap();
+        config
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(0)))
+            .unwrap();
+        let mut cluster = SimulatedCluster::new(config);
+        let mut monitor = MonitoringService::new(0.0);
+        let mut view = ClusterView::new();
+        view.apply(&monitor.observe(&mut cluster));
+        assert_eq!(view.node_load(NodeId(0)).memory, MemoryMib::gib(1));
+
+        // A targeted move journals one VM; the index follows.
+        cluster
+            .configuration_mut_for_vm(VmId(0))
+            .set_assignment(VmId(0), VmAssignment::running(NodeId(1)))
+            .unwrap();
+        let delta = monitor.observe(&mut cluster);
+        assert!(!delta.full);
+        view.apply(&delta);
+        assert_eq!(view.node_load(NodeId(0)), ResourceDemand::ZERO);
+        assert_eq!(view.node_load(NodeId(1)).memory, MemoryMib::gib(1));
+        assert!(view.overloaded_nodes().is_empty());
+    }
+
+    #[test]
+    fn overloaded_nodes_matches_viability_violations() {
+        // Two 1-core VMs on a 1-core node: overloaded.
+        let mut config = Configuration::new();
+        config
+            .add_node(Node::new(
+                NodeId(0),
+                CpuCapacity::cores(1),
+                MemoryMib::gib(4),
+            ))
+            .unwrap();
+        for i in 0..2 {
+            config
+                .add_vm(Vm::new(VmId(i), MemoryMib::mib(512), CpuCapacity::cores(1)))
+                .unwrap();
+            config
+                .set_assignment(VmId(i), VmAssignment::running(NodeId(0)))
+                .unwrap();
+        }
+        let mut cluster = SimulatedCluster::new(config);
+        let mut monitor = MonitoringService::new(0.0);
+        let mut view = ClusterView::new();
+        view.apply(&monitor.observe(&mut cluster));
+        let from_view = view.overloaded_nodes();
+        let from_config = cluster.configuration().viability_violations();
+        assert_eq!(from_view, from_config);
+        assert_eq!(from_view.len(), 1);
+    }
+
+    #[test]
+    fn node_capacity_changes_flow_through_the_delta() {
+        let mut cluster = cluster();
+        let mut monitor = MonitoringService::new(0.0);
+        let mut view = ClusterView::new();
+        view.apply(&monitor.observe(&mut cluster));
+        assert!(view.overloaded_nodes().is_empty());
+        cluster
+            .set_node_capacity(
+                NodeId(0),
+                CpuCapacity::percent(50),
+                MemoryMib::gib(4),
+                NetBandwidth::ZERO,
+            )
+            .unwrap();
+        let delta = monitor.observe(&mut cluster);
+        assert!(!delta.full);
+        assert_eq!(delta.node_capacities.len(), 1);
+        view.apply(&delta);
+        assert_eq!(
+            view.overloaded_nodes().len(),
+            1,
+            "the degraded node no longer fits its running VM"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "applied in order")]
+    fn out_of_order_deltas_are_rejected() {
+        let mut view = ClusterView::new();
+        view.apply(&ObservationDelta {
+            from_version: 0,
+            version: 3,
+            time_secs: 0.0,
+            full: true,
+            vms: BTreeMap::new(),
+            node_capacities: BTreeMap::new(),
+            completed_vjobs: Vec::new(),
+        });
+        view.apply(&ObservationDelta {
+            from_version: 7,
+            version: 9,
+            time_secs: 1.0,
+            full: false,
+            vms: BTreeMap::new(),
+            node_capacities: BTreeMap::new(),
+            completed_vjobs: Vec::new(),
+        });
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub use arith::{EqualConst, LinearLeq, NotEqualConst};
 pub use bin_packing::BinPacking;
 pub use element::Element;
 pub use knapsack::Knapsack;
-pub use multi_dim::MultiDimPacking;
+pub use multi_dim::{MultiDimPacking, PackingSlots};

@@ -44,25 +44,108 @@ impl MultiDimPacking {
         capacities: &[Vec<u64>],
         always_dims: usize,
     ) -> usize {
+        Self::post_patchable(model, vars, sizes, capacities, always_dims)
+            .slots
+            .len()
+    }
+
+    /// Like [`MultiDimPacking::post`], but remember which slot each posted
+    /// dimension landed in so the constraints can later be patched in place
+    /// with [`PackingSlots::patch`] when only the sizes or capacities change.
+    pub fn post_patchable(
+        model: &mut Model,
+        vars: &[VarId],
+        sizes: &[Vec<u64>],
+        capacities: &[Vec<u64>],
+        always_dims: usize,
+    ) -> PackingSlots {
         assert_eq!(
             sizes.len(),
             capacities.len(),
             "one capacity vector per dimension"
         );
-        let mut posted = 0;
+        let mut slots = Vec::new();
         for (dim, (dim_sizes, dim_caps)) in sizes.iter().zip(capacities).enumerate() {
             assert_eq!(dim_sizes.len(), vars.len(), "one size per item");
             if dim >= always_dims && dim_sizes.iter().all(|&s| s == 0) {
                 continue;
             }
-            model.post(BinPacking::new(
+            let slot = model.post_slot(BinPacking::new(
                 vars.to_vec(),
                 dim_sizes.clone(),
                 dim_caps.clone(),
             ));
-            posted += 1;
+            slots.push((dim, slot));
         }
-        posted
+        PackingSlots {
+            slots,
+            items: vars.len(),
+        }
+    }
+}
+
+/// The propagator slots a [`MultiDimPacking::post_patchable`] call produced:
+/// the handle for patching the packing constraints of a persistent model in
+/// place instead of rebuilding the model.
+#[derive(Debug, Clone)]
+pub struct PackingSlots {
+    /// `(dimension, propagator slot)` for every posted dimension.
+    slots: Vec<(usize, usize)>,
+    /// Item count the constraints were posted over.
+    items: usize,
+}
+
+impl PackingSlots {
+    /// Number of posted packing constraints.
+    pub fn posted(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Re-parameterize the posted packing constraints over the same `vars`
+    /// with new `sizes` / `capacities`, swapping each propagator in place.
+    ///
+    /// Returns `false` — leaving the model untouched — when the patch cannot
+    /// preserve the model shape: a different item count, or a dimension
+    /// whose inertness flipped (an all-zero dimension that grew nonzero
+    /// sizes, or vice versa), which would change the posted-propagator set.
+    /// The caller rebuilds from scratch in that case.
+    pub fn patch(
+        &self,
+        model: &mut Model,
+        vars: &[VarId],
+        sizes: &[Vec<u64>],
+        capacities: &[Vec<u64>],
+        always_dims: usize,
+    ) -> bool {
+        assert_eq!(
+            sizes.len(),
+            capacities.len(),
+            "one capacity vector per dimension"
+        );
+        if vars.len() != self.items {
+            return false;
+        }
+        // The set of posted dimensions must be unchanged.
+        let mut wanted = Vec::new();
+        for (dim, dim_sizes) in sizes.iter().enumerate() {
+            assert_eq!(dim_sizes.len(), vars.len(), "one size per item");
+            if dim >= always_dims && dim_sizes.iter().all(|&s| s == 0) {
+                continue;
+            }
+            wanted.push(dim);
+        }
+        if wanted.len() != self.slots.len()
+            || wanted.iter().zip(&self.slots).any(|(w, (dim, _))| w != dim)
+        {
+            return false;
+        }
+        for &(dim, slot) in &self.slots {
+            model.replace_propagator(
+                slot,
+                BinPacking::new(vars.to_vec(), sizes[dim].clone(), capacities[dim].clone()),
+            );
+        }
+        true
     }
 }
 
@@ -152,5 +235,68 @@ mod tests {
         let mut m = Model::new();
         let a = m.new_var(0, 1);
         MultiDimPacking::post(&mut m, &[a], &[vec![1]], &[vec![4], vec![4096]], 2);
+    }
+
+    #[test]
+    fn patching_reparameterizes_without_changing_the_shape() {
+        // Post with loose capacities, then patch the net dimension tighter:
+        // the patched model must prune exactly like a freshly built one.
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let b = m.new_var(0, 1);
+        let slots = MultiDimPacking::post_patchable(
+            &mut m,
+            &[a, b],
+            &[vec![1, 1], vec![512, 512], vec![600, 600]],
+            &[vec![4, 4], vec![4096, 4096], vec![2000, 2000]],
+            2,
+        );
+        assert_eq!(slots.posted(), 3);
+        let before = m.propagator_count();
+        assert!(slots.patch(
+            &mut m,
+            &[a, b],
+            &[vec![1, 1], vec![512, 512], vec![600, 600]],
+            &[vec![4, 4], vec![4096, 4096], vec![1000, 1000]],
+            2,
+        ));
+        assert_eq!(m.propagator_count(), before, "patching must not repost");
+        let mut s = m.root_store();
+        s.assign(a, 0).unwrap();
+        propagate_to_fixpoint(m.propagators(), &mut s).unwrap();
+        assert_eq!(s.value(b), 1, "the patched NIC capacity separates them");
+    }
+
+    #[test]
+    fn patching_refuses_a_shape_change() {
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let slots = MultiDimPacking::post_patchable(
+            &mut m,
+            &[a],
+            &[vec![1], vec![512], vec![0]],
+            &[vec![4, 4], vec![4096, 4096], vec![0, 0]],
+            2,
+        );
+        assert_eq!(slots.posted(), 2);
+        // The inert net dimension turning live would need a new propagator:
+        // the patch must refuse and leave the model untouched.
+        assert!(!slots.patch(
+            &mut m,
+            &[a],
+            &[vec![1], vec![512], vec![600]],
+            &[vec![4, 4], vec![4096, 4096], vec![1000, 1000]],
+            2,
+        ));
+        assert_eq!(m.propagator_count(), 2);
+        // A different item count is also a rebuild.
+        let b = m.new_var(0, 1);
+        assert!(!slots.patch(
+            &mut m,
+            &[a, b],
+            &[vec![1, 1], vec![512, 512]],
+            &[vec![4, 4], vec![4096, 4096]],
+            2,
+        ));
     }
 }

@@ -727,6 +727,7 @@ impl<'a, O: Objective> Worker<'a, O> {
         }
         self.stats.completed = !self.stopped;
         self.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        self.stats.final_run = self.run;
         WorkerOutcome {
             report: WorkerReport {
                 worker: self.id,
@@ -882,6 +883,7 @@ impl<'m> PortfolioSearch<'m> {
         }
         if let Some(winner) = winner {
             stats.incumbent_kept = outcomes[winner].stats.incumbent_kept;
+            stats.final_run = outcomes[winner].stats.final_run;
         }
 
         let (best, best_cost) = match winner {
@@ -1026,10 +1028,15 @@ impl<'m> PortfolioSearch<'m> {
                             deadline,
                             rng: matches!(role, WorkerRole::Randomized)
                                 .then(|| XorShift::new(self.config.seed ^ (id as u64) << 32)),
-                            run: match role {
-                                WorkerRole::Randomized => 0,
-                                _ => id as u64,
-                            },
+                            // Warm-started callers offset every worker by the
+                            // base diversify so successive solves continue the
+                            // restart schedule; with the default of 0 this is
+                            // the historical per-worker rotation.
+                            run: self.base.diversify
+                                + match role {
+                                    WorkerRole::Randomized => 0,
+                                    _ => id as u64,
+                                },
                             failure_budget: None,
                             subtree_root: None,
                             freeze_fired: false,
@@ -1174,6 +1181,7 @@ impl<'m> PortfolioSearch<'m> {
         }
         if let Some(winner) = winner {
             stats.incumbent_kept = reports[winner].stats.incumbent_kept;
+            stats.final_run = reports[winner].stats.final_run;
         }
         PortfolioOutcome {
             best,

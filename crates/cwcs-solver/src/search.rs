@@ -321,6 +321,12 @@ pub struct SearchStats {
     pub completed: bool,
     /// Wall-clock time spent searching, in milliseconds.
     pub elapsed_ms: u64,
+    /// The diversification run index the search ended on (the value-order
+    /// rotation of the last Luby run, counted from [`SearchConfig::diversify`]).
+    /// A warm-started caller feeds `final_run + 1` into the `diversify` of the
+    /// next solve so successive solves continue the restart schedule instead
+    /// of re-exploring the same rotation prefixes.
+    pub final_run: u64,
 }
 
 /// Result of a minimisation: best solution, its cost, and statistics.
@@ -387,6 +393,7 @@ impl<'m> Search<'m> {
         });
         state.stats.completed = !state.stopped || first.is_some();
         state.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        state.stats.final_run = state.run;
         (first, state.stats)
     }
 
@@ -455,6 +462,7 @@ impl<'m> Search<'m> {
 
         state.stats.completed = !state.stopped;
         state.stats.elapsed_ms = start.elapsed().as_millis() as u64;
+        state.stats.final_run = state.run;
         MinimizeOutcome {
             best,
             best_cost,

@@ -58,6 +58,27 @@ impl Model {
         self.propagators.push(Arc::new(propagator));
     }
 
+    /// Post a propagator and return its slot, so that an incremental caller
+    /// can later swap it out with [`Model::replace_propagator`].
+    pub fn post_slot<P: Propagator + 'static>(&mut self, propagator: P) -> usize {
+        self.propagators.push(Arc::new(propagator));
+        self.propagators.len() - 1
+    }
+
+    /// Replace the propagator at `slot` (as returned by [`Model::post_slot`])
+    /// in place.  This is the primitive behind model patching: a persistent
+    /// model keeps its variables and swaps only the constraints whose
+    /// parameters (sizes, capacities) changed since the last solve, instead
+    /// of being rebuilt from scratch.  The patched model must be
+    /// search-indistinguishable from a freshly built one; the lockstep suite
+    /// in `cwcs-core` asserts exactly that.
+    ///
+    /// # Panics
+    /// Panics when `slot` does not name a posted propagator.
+    pub fn replace_propagator<P: Propagator + 'static>(&mut self, slot: usize, propagator: P) {
+        self.propagators[slot] = Arc::new(propagator);
+    }
+
     /// Number of variables.
     pub fn var_count(&self) -> usize {
         self.domains.len()

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use cluster_context_switch::model::{MemoryMib, NetBandwidth, Node, NodeId};
 use cluster_context_switch::workload::{NasGridClass, NasGridKind, NasGridTemplate, VjobTemplate};
-use cluster_context_switch::Engine;
+use cluster_context_switch::{Engine, SolverConfig};
 
 fn main() {
     // 4 NAS-Grid-like vjobs of 9 VMs each, submitted at the same time, on
@@ -48,7 +48,7 @@ fn main() {
         .nodes((0..5).map(|i| Node::paper_cluster_node(NodeId(i))))
         .vjobs(templates.iter().map(|t| factory.instantiate(t)))
         .period_secs(30.0)
-        .optimizer_timeout(Duration::from_millis(500))
+        .solver(SolverConfig::default().with_timeout(Duration::from_millis(500)))
         .max_iterations(2_000)
         .build()
         .expect("the Section 5.2 scenario is well-formed");

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use cluster_context_switch::model::{CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId};
 use cluster_context_switch::workload::{VjobSpec, VmWorkProfile, WorkPhase};
-use cluster_context_switch::Engine;
+use cluster_context_switch::{Engine, SolverConfig};
 
 fn main() {
     // Two vjobs of 3 VMs each.  Each VM starts with a quiet warm-up phase
@@ -50,7 +50,7 @@ fn main() {
         .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
         .vjobs(specs)
         .period_secs(30.0)
-        .optimizer_timeout(Duration::from_millis(500))
+        .solver(SolverConfig::default().with_timeout(Duration::from_millis(500)))
         .max_iterations(500)
         .build()
         .expect("the overload scenario is well-formed");
@@ -65,21 +65,25 @@ fn main() {
             "{:>9}  {:>9.1}  {:>4}  {:>4}  {:>4}  {:>6}  {:>4}  {:>10.0}",
             it.iteration,
             it.started_at_secs / 60.0,
-            it.plan_stats.runs,
-            it.plan_stats.migrations,
-            it.plan_stats.suspends,
-            it.plan_stats.resumes,
-            it.plan_stats.stops,
-            it.switch_duration_secs,
+            it.switch.plan_stats.runs,
+            it.switch.plan_stats.migrations,
+            it.switch.plan_stats.suspends,
+            it.switch.plan_stats.resumes,
+            it.switch.plan_stats.stops,
+            it.switch.duration_secs,
         );
     }
 
     let suspends: usize = report
         .iterations
         .iter()
-        .map(|i| i.plan_stats.suspends)
+        .map(|i| i.switch.plan_stats.suspends)
         .sum();
-    let resumes: usize = report.iterations.iter().map(|i| i.plan_stats.resumes).sum();
+    let resumes: usize = report
+        .iterations
+        .iter()
+        .map(|i| i.switch.plan_stats.resumes)
+        .sum();
     println!();
     println!(
         "the overload was absorbed with {suspends} suspend(s) and {resumes} resume(s); \

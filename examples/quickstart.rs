@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use cluster_context_switch::model::{CpuCapacity, MemoryMib, Node, NodeId, Vjob, VjobId, Vm, VmId};
 use cluster_context_switch::workload::{VjobSpec, VmWorkProfile, WorkPhase};
-use cluster_context_switch::Engine;
+use cluster_context_switch::{Engine, SolverConfig};
 
 fn main() {
     // 1. Describe three vjobs of two VMs each.  Every VM computes for a few
@@ -44,7 +44,7 @@ fn main() {
         .nodes((0..3).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
         .vjobs(specs)
         .period_secs(30.0)
-        .optimizer_timeout(Duration::from_millis(500))
+        .solver(SolverConfig::default().with_timeout(Duration::from_millis(500)))
         .max_iterations(500)
         .build()
         .expect("the quickstart scenario is well-formed");
@@ -61,9 +61,9 @@ fn main() {
             it.iteration,
             it.started_at_secs,
             if it.performed_switch { "yes" } else { "no" },
-            it.plan_stats.total_actions(),
-            it.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
-            it.switch_duration_secs,
+            it.switch.plan_stats.total_actions(),
+            it.switch.plan_cost.as_ref().map(|c| c.total).unwrap_or(0),
+            it.switch.duration_secs,
         );
     }
     println!();

@@ -33,11 +33,13 @@ use std::time::Duration;
 use cwcs_core::control_loop::LoopError;
 use cwcs_core::{
     BaselineReport, ControlLoop, ControlLoopConfig, DecisionModule, FcfsConsolidation,
-    IterationReport, OptimizerMode, PackingPolicy, PlanOptimizer, RunReport, StaticFcfsBaseline,
+    IterationReport, OptimizerMode, PackingPolicy, RunReport, StaticFcfsBaseline,
 };
 use cwcs_model::{Configuration, ModelError, Node, Vjob};
 use cwcs_sim::{DurationModel, ExecutionMode, SimulatedCluster};
 use cwcs_workload::VjobSpec;
+
+pub use cwcs_core::{ObservationConfig, ObservationMode, SolverConfig};
 
 /// Errors raised while assembling an [`Engine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -67,19 +69,23 @@ impl From<ModelError> for EngineError {
 
 /// Builder for [`Engine`]: declare the cluster, the vjobs and the control
 /// parameters, then [`build`](EngineBuilder::build).
+///
+/// Solver and observation tuning come as grouped configs —
+/// [`solver`](EngineBuilder::solver) takes a [`SolverConfig`] (timeout,
+/// optimizer mode, workers, packing policy, warm start, execution mode) and
+/// [`observation`](EngineBuilder::observation) an [`ObservationConfig`]
+/// (monitoring refresh period, delta vs. full-resync).  The historical flat
+/// setters (`optimizer_mode`, `solver_workers`, …) remain as deprecated
+/// shims over the same fields.
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
     nodes: Vec<Node>,
     specs: Vec<VjobSpec>,
     period_secs: f64,
-    optimizer_timeout: Duration,
-    optimizer_mode: OptimizerMode,
-    optimizer_node_limit: Option<u64>,
-    solver_workers: usize,
-    packing_policy: PackingPolicy,
+    solver: SolverConfig,
+    observation: ObservationConfig,
     max_iterations: usize,
     durations: Option<DurationModel>,
-    execution_mode: ExecutionMode,
 }
 
 impl Default for EngineBuilder {
@@ -88,14 +94,10 @@ impl Default for EngineBuilder {
             nodes: Vec::new(),
             specs: Vec::new(),
             period_secs: 30.0,
-            optimizer_timeout: Duration::from_millis(500),
-            optimizer_mode: OptimizerMode::Full,
-            optimizer_node_limit: None,
-            solver_workers: 1,
-            packing_policy: PackingPolicy::default(),
+            solver: SolverConfig::default().with_timeout(Duration::from_millis(500)),
+            observation: ObservationConfig::default(),
             max_iterations: 2_000,
             durations: None,
-            execution_mode: ExecutionMode::default(),
         }
     }
 }
@@ -131,59 +133,62 @@ impl EngineBuilder {
         self
     }
 
-    /// Time budget of the constraint-programming optimizer per iteration.
-    pub fn optimizer_timeout(mut self, timeout: Duration) -> Self {
-        self.optimizer_timeout = timeout;
-        self
-    }
-
-    /// Scope of the placement problem: [`OptimizerMode::Full`] re-solves
-    /// every running VM (the default, matching the paper's Figure 10
-    /// experiment); [`OptimizerMode::Repair`] re-places only the misplaced
-    /// and state-changing VMs, which is what keeps the optimizer inside its
-    /// timeout at cluster scale.
-    pub fn optimizer_mode(mut self, mode: OptimizerMode) -> Self {
-        self.optimizer_mode = mode;
-        self
-    }
-
-    /// Deterministic search budget (maximum search nodes per solve) instead
-    /// of relying solely on the wall-clock timeout.  Benchmarks use this for
-    /// byte-identical artifacts across runs.
-    pub fn optimizer_node_limit(mut self, node_limit: u64) -> Self {
-        self.optimizer_node_limit = Some(node_limit);
-        self
-    }
-
-    /// Number of portfolio workers racing each placement solve (1, the
-    /// default, is the plain single-threaded search).  Workers share the
-    /// best incumbent through an atomic bound and stop as soon as one of
-    /// them proves optimality; with
-    /// [`optimizer_node_limit`](EngineBuilder::optimizer_node_limit) set the
-    /// race runs in its deterministic reduction mode instead (independent
-    /// fixed-budget workers, `(cost, worker id)` winner) so artifacts stay
-    /// byte-identical across runs.  See `cwcs_solver::portfolio`.
-    pub fn solver_workers(mut self, workers: usize) -> Self {
-        self.solver_workers = workers.max(1);
-        self
-    }
-
-    /// How booting (waiting) VMs are budgeted when packing:
-    /// [`PackingPolicy::Reserved`] (the default) sizes a boot by its
-    /// creation-time reservation so it never transiently overloads its
-    /// node; [`PackingPolicy::Observed`] keeps the historical
-    /// observed-demand packing.
+    /// Configure the solver stage: optimizer timeout, mode, deterministic
+    /// node budget, portfolio workers, packing policy, warm start and the
+    /// execution mode, grouped in one [`SolverConfig`].
     ///
-    /// The policy always configures the optimizer.  The decision module is
-    /// configured too when the engine is assembled with
+    /// The packing policy always configures the optimizer.  The decision
+    /// module is configured too when the engine is assembled with
     /// [`build`](EngineBuilder::build) (the default FCFS module); a custom
     /// module passed to
     /// [`build_with_decision`](EngineBuilder::build_with_decision) owns its
     /// own packing configuration — pair it with
     /// `FcfsConsolidation::with_packing_policy` (or your module's
     /// equivalent) to keep admission and placement budgeting consistent.
+    pub fn solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Configure the observation stage: monitoring refresh period and the
+    /// delta vs. full-resync mode, grouped in one [`ObservationConfig`].
+    pub fn observation(mut self, observation: ObservationConfig) -> Self {
+        self.observation = observation;
+        self
+    }
+
+    /// Time budget of the constraint-programming optimizer per iteration.
+    #[deprecated(note = "use `solver(SolverConfig::default().with_timeout(..))`")]
+    pub fn optimizer_timeout(mut self, timeout: Duration) -> Self {
+        self.solver.timeout = timeout;
+        self
+    }
+
+    /// Scope of the placement problem (full re-solve or repair).
+    #[deprecated(note = "use `solver(SolverConfig::default().with_mode(..))`")]
+    pub fn optimizer_mode(mut self, mode: OptimizerMode) -> Self {
+        self.solver.mode = mode;
+        self
+    }
+
+    /// Deterministic search budget (maximum search nodes per solve).
+    #[deprecated(note = "use `solver(SolverConfig::default().with_node_limit(..))`")]
+    pub fn optimizer_node_limit(mut self, node_limit: u64) -> Self {
+        self.solver.node_limit = Some(node_limit);
+        self
+    }
+
+    /// Number of portfolio workers racing each placement solve.
+    #[deprecated(note = "use `solver(SolverConfig::default().with_workers(..))`")]
+    pub fn solver_workers(mut self, workers: usize) -> Self {
+        self.solver.workers = workers.max(1);
+        self
+    }
+
+    /// How booting (waiting) VMs are budgeted when packing.
+    #[deprecated(note = "use `solver(SolverConfig::default().with_packing_policy(..))`")]
     pub fn packing_policy(mut self, policy: PackingPolicy) -> Self {
-        self.packing_policy = policy;
+        self.solver.packing = policy;
         self
     }
 
@@ -202,8 +207,9 @@ impl EngineBuilder {
 
     /// How context switches are executed: event-driven (the default) or the
     /// paper's sequential pool-barrier semantics.
+    #[deprecated(note = "use `solver(SolverConfig::default().with_execution_mode(..))`")]
     pub fn execution_mode(mut self, mode: ExecutionMode) -> Self {
-        self.execution_mode = mode;
+        self.solver.execution_mode = mode;
         self
     }
 
@@ -228,7 +234,7 @@ impl EngineBuilder {
     /// Build an engine driven by the paper's sample FCFS dynamic-consolidation
     /// decision module.
     pub fn build(self) -> Result<Engine<FcfsConsolidation>, EngineError> {
-        let decision = FcfsConsolidation::new().with_packing_policy(self.packing_policy);
+        let decision = FcfsConsolidation::new().with_packing_policy(self.solver.packing);
         self.build_with_decision(decision)
     }
 
@@ -242,18 +248,12 @@ impl EngineBuilder {
         if let Some(durations) = self.durations {
             cluster = cluster.with_durations(durations);
         }
-        let mut optimizer = PlanOptimizer::with_timeout(self.optimizer_timeout)
-            .with_mode(self.optimizer_mode)
-            .with_solver_workers(self.solver_workers)
-            .with_packing_policy(self.packing_policy);
-        if let Some(node_limit) = self.optimizer_node_limit {
-            optimizer = optimizer.with_node_limit(node_limit);
-        }
         let config = ControlLoopConfig {
             period_secs: self.period_secs,
-            optimizer,
+            optimizer: self.solver.build_optimizer(),
             max_iterations: self.max_iterations,
-            execution_mode: self.execution_mode,
+            execution_mode: self.solver.execution_mode,
+            observation: self.observation,
         };
         let control = ControlLoop::new(cluster, &self.specs, decision, config);
         Ok(Engine {
@@ -387,7 +387,7 @@ mod tests {
             .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
             .vjob(spec(0, 0, 2, 60.0))
             .vjob(spec(1, 2, 2, 60.0))
-            .optimizer_timeout(Duration::from_millis(200))
+            .solver(SolverConfig::default().with_timeout(Duration::from_millis(200)))
             .build()
             .unwrap();
         let report = engine.run().expect("completes");
@@ -405,7 +405,7 @@ mod tests {
                 MemoryMib::gib(4),
             ))
             .vjob(spec(0, 0, 1, 60.0))
-            .optimizer_timeout(Duration::from_millis(200))
+            .solver(SolverConfig::default().with_timeout(Duration::from_millis(200)))
             .build()
             .unwrap();
         let first = engine.step().expect("first iteration");
@@ -421,13 +421,17 @@ mod tests {
             .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
             .vjob(spec(0, 0, 2, 60.0))
             .vjob(spec(1, 2, 2, 60.0))
-            .optimizer_timeout(Duration::from_millis(200))
-            .solver_workers(3)
+            .solver(
+                SolverConfig::default()
+                    .with_timeout(Duration::from_millis(200))
+                    .with_workers(3),
+            )
             .build()
             .unwrap();
         let first = engine.step().expect("first iteration");
         assert!(first.performed_switch);
         let portfolio = first
+            .solve
             .portfolio_stats
             .as_ref()
             .expect("multi-worker solves report the race");
@@ -446,8 +450,11 @@ mod tests {
                 )
                 .vjob(spec(0, 0, 2, 60.0))
                 .vjob(spec(1, 2, 2, 60.0))
-                .optimizer_timeout(Duration::from_millis(200))
-                .execution_mode(mode)
+                .solver(
+                    SolverConfig::default()
+                        .with_timeout(Duration::from_millis(200))
+                        .with_execution_mode(mode),
+                )
                 .build()
                 .unwrap()
         };
@@ -464,11 +471,29 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_flat_setters_steer_the_grouped_config() {
+        let builder = Engine::builder()
+            .optimizer_timeout(Duration::from_millis(123))
+            .optimizer_mode(OptimizerMode::Repair(Default::default()))
+            .optimizer_node_limit(4_096)
+            .solver_workers(3)
+            .packing_policy(PackingPolicy::Observed)
+            .execution_mode(ExecutionMode::EventDriven);
+        assert_eq!(builder.solver.timeout, Duration::from_millis(123));
+        assert!(matches!(builder.solver.mode, OptimizerMode::Repair(_)));
+        assert_eq!(builder.solver.node_limit, Some(4_096));
+        assert_eq!(builder.solver.workers, 3);
+        assert_eq!(builder.solver.packing, PackingPolicy::Observed);
+        assert_eq!(builder.solver.execution_mode, ExecutionMode::EventDriven);
+    }
+
+    #[test]
     fn baseline_replays_the_same_scenario() {
         let mut engine = Engine::builder()
             .nodes((0..2).map(|i| Node::new(NodeId(i), CpuCapacity::cores(2), MemoryMib::gib(4))))
             .vjob(spec(0, 0, 2, 60.0))
-            .optimizer_timeout(Duration::from_millis(200))
+            .solver(SolverConfig::default().with_timeout(Duration::from_millis(200)))
             .build()
             .unwrap();
         let baseline = engine.run_static_baseline();

@@ -27,5 +27,8 @@ pub use cwcs_sim as sim;
 pub use cwcs_solver as solver;
 pub use cwcs_workload as workload;
 
-pub use cwcs_core::{OptimizerMode, PackingPolicy, RepairConfig, RepairStats};
+pub use cwcs_core::{
+    ObservationConfig, ObservationMode, OptimizerMode, PackingPolicy, RepairConfig, RepairStats,
+    SolverConfig,
+};
 pub use engine::{Engine, EngineBuilder, EngineError};

@@ -17,7 +17,7 @@ use cluster_context_switch::workload::{
     GeneratorParams, NasGridClass, NasGridKind, NasGridTemplate, TraceGenerator, VjobSpec,
     VjobTemplate, VmWorkProfile, WorkPhase,
 };
-use cluster_context_switch::Engine;
+use cluster_context_switch::{Engine, SolverConfig};
 
 /// Build a cluster of `nodes` paper nodes and `vjobs` vjobs of `vms` busy VMs
 /// computing for `work_secs`.
@@ -109,7 +109,7 @@ fn control_loop_matches_baseline_semantics() {
         .nodes(nodes)
         .vjobs(specs)
         .period_secs(30.0)
-        .optimizer_timeout(Duration::from_millis(200))
+        .solver(SolverConfig::default().with_timeout(Duration::from_millis(200)))
         .max_iterations(100)
         .build()
         .unwrap();
@@ -135,9 +135,12 @@ fn repair_mode_completes_a_contended_scenario_like_full_mode() {
             .nodes(nodes)
             .vjobs(specs)
             .period_secs(30.0)
-            .optimizer_timeout(Duration::from_secs(60))
-            .optimizer_node_limit(20_000)
-            .optimizer_mode(mode)
+            .solver(
+                SolverConfig::default()
+                    .with_timeout(Duration::from_secs(60))
+                    .with_node_limit(20_000)
+                    .with_mode(mode),
+            )
             .max_iterations(100)
             .build()
             .unwrap();
@@ -203,7 +206,7 @@ fn contended_cluster_entropy_beats_static_fcfs() {
         ))
         .vjobs(specs)
         .period_secs(30.0)
-        .optimizer_timeout(Duration::from_millis(200))
+        .solver(SolverConfig::default().with_timeout(Duration::from_millis(200)))
         .max_iterations(200)
         .build()
         .unwrap();
@@ -270,7 +273,7 @@ fn nasgrid_vjobs_run_to_completion_under_the_control_loop() {
         .nodes((0..6).map(|i| Node::paper_cluster_node(NodeId(i))))
         .vjobs(specs)
         .period_secs(30.0)
-        .optimizer_timeout(Duration::from_millis(300))
+        .solver(SolverConfig::default().with_timeout(Duration::from_millis(300)))
         .max_iterations(500)
         .build()
         .unwrap();
