@@ -178,7 +178,12 @@ fn main() {
         .max()
         .unwrap_or(0);
     let memory = control.memory();
-    let (model_patches, model_rebuilds) = (memory.model_patches, memory.model_rebuilds);
+    let (model_patches, model_set_diff_patches, model_rebuilds) = (
+        memory.model_patches,
+        memory.model_set_diff_patches,
+        memory.model_rebuilds,
+    );
+    let patch_budget = cwcs_core::DEFAULT_MODEL_PATCH_BUDGET as u64;
 
     println!();
     println!("{:<44} {:>12}", "metric", "value");
@@ -193,6 +198,10 @@ fn main() {
     println!("{:<44} {:>12}", "delta nodes (total)", changed_nodes_total);
     println!("{:<44} {:>12}", "largest repair sub-problem", movable_max);
     println!("{:<44} {:>12}", "placement models patched", model_patches);
+    println!(
+        "{:<44} {:>12}",
+        "  of which set-diff patches", model_set_diff_patches
+    );
     println!("{:<44} {:>12}", "placement models rebuilt", model_rebuilds);
     println!("{:<44} {:>12.1}", "max decide (ms)", max_decide_ms);
     println!("{:<44} {:>12.1}", "mean decide (ms)", mean_decide_ms);
@@ -277,6 +286,18 @@ fn main() {
         completed_vjobs > 0,
         "short jobs must complete during the run"
     );
+    // 5. The cached model survives the arrival stream: every tick's VM-set
+    //    drift stays within the set-diff budget, so after the cold first
+    //    solve the model is patched — never rebuilt.  A rebuild count above
+    //    one is the dead-cache regression this benchmark exists to catch.
+    assert!(
+        model_set_diff_patches > 0,
+        "arrival ticks must exercise the set-diff patch path"
+    );
+    assert!(
+        model_rebuilds <= 1,
+        "only the cold first solve may rebuild the model ({model_rebuilds} rebuilds)"
+    );
 
     let json = JsonObject::new()
         .string("benchmark", "large_scale_streaming")
@@ -296,7 +317,9 @@ fn main() {
         .integer("delta_vms_total", changed_vms_total as u64)
         .integer("delta_nodes_total", changed_nodes_total as u64)
         .integer("repair_movable_max", movable_max as u64)
+        .integer("model_patch_budget", patch_budget)
         .integer("model_patches", model_patches)
+        .integer("model_set_diff_patches", model_set_diff_patches)
         .integer("model_rebuilds", model_rebuilds)
         .boolean_unless("decides_under_1s", max_decide_ms < 1_000.0, deterministic)
         .number_unless("max_decide_ms", max_decide_ms, deterministic)

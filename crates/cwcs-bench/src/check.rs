@@ -201,6 +201,27 @@ const fn info(key: &'static str) -> KeyRule {
     }
 }
 
+/// Monotone floor for "bigger is better" counters: the fresh value may grow
+/// freely but may never drop below the committed baseline.
+const fn floor(key: &'static str) -> KeyRule {
+    KeyRule {
+        key,
+        rule: Rule::MinAbsoluteDrop(0.0),
+    }
+}
+
+/// Monotone ceiling for "bigger is worse" counters: the fresh value may
+/// shrink freely but may never grow past the committed baseline.
+const fn ceiling(key: &'static str) -> KeyRule {
+    KeyRule {
+        key,
+        rule: Rule::MaxGrowth {
+            ratio: 1.0,
+            floor: 0.0,
+        },
+    }
+}
+
 static HEADLINE_RULES: &[KeyRule] = &[
     exact("nodes"),
     exact("vjobs"),
@@ -375,8 +396,15 @@ static STREAMING_RULES: &[KeyRule] = &[
     exact("delta_vms_total"),
     exact("delta_nodes_total"),
     exact("repair_movable_max"),
-    exact("model_patches"),
-    exact("model_rebuilds"),
+    // The cached-model contract under streaming arrivals: the set-diff
+    // budget must not drift, patch counts may only improve (a same-shape or
+    // set-diff patch replacing a rebuild is progress; the reverse is the
+    // dead-cache regression this gate exists to catch), and rebuilds may
+    // only shrink.
+    exact("model_patch_budget"),
+    floor("model_patches"),
+    floor("model_set_diff_patches"),
+    ceiling("model_rebuilds"),
     // Decisions: the deterministic node budget pins the search, so the
     // switch count is exact; plan size and completions get headroom for
     // legitimate tie-break-level drift.
@@ -635,6 +663,35 @@ mod tests {
             compare(&big_base, &regressed, &rules)[0].verdict,
             Verdict::Fail
         );
+    }
+
+    #[test]
+    fn floors_and_ceilings_are_monotone_gates() {
+        let rules = [floor("model_patches"), ceiling("model_rebuilds")];
+        let base = obj(&[
+            ("model_patches", JsonValue::Number(12.0)),
+            ("model_rebuilds", JsonValue::Number(1.0)),
+        ]);
+        // Improvement in both directions passes: more patches, fewer rebuilds.
+        let better = obj(&[
+            ("model_patches", JsonValue::Number(13.0)),
+            ("model_rebuilds", JsonValue::Number(0.0)),
+        ]);
+        for row in compare(&base, &better, &rules) {
+            assert_eq!(row.verdict, Verdict::Pass, "{}", row.key);
+        }
+        // The dead-cache regression: patches drop, rebuilds grow.
+        let worse = obj(&[
+            ("model_patches", JsonValue::Number(11.0)),
+            ("model_rebuilds", JsonValue::Number(2.0)),
+        ]);
+        for row in compare(&base, &worse, &rules) {
+            assert_eq!(row.verdict, Verdict::Fail, "{}", row.key);
+        }
+        // Holding exactly the baseline passes on both sides.
+        for row in compare(&base, &base, &rules) {
+            assert_eq!(row.verdict, Verdict::Pass, "{}", row.key);
+        }
     }
 
     #[test]

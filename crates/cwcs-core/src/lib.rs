@@ -42,5 +42,5 @@ pub use decision::{Decision, DecisionError, DecisionModule};
 pub use ffd::{FirstFitDecreasing, FreeCapacityIndex, PackingPolicy};
 pub use optimizer::{
     OptimizedOutcome, OptimizerError, OptimizerMode, PlanOptimizer, RepairConfig, RepairStats,
-    SolverMemory, WarmStart,
+    SolverMemory, WarmStart, DEFAULT_MODEL_PATCH_BUDGET,
 };

@@ -56,6 +56,41 @@
 //! By construction the repair outcome never costs more than the grafted
 //! incumbent: if planning the search's solution somehow exceeds the
 //! incumbent's plan cost, the incumbent target is returned instead.
+//!
+//! # The set-diff model-patch protocol
+//!
+//! An incremental solve ([`PlanOptimizer::optimize_incremental`]) keeps the
+//! placement model of the previous solve in its [`SolverMemory`] and tries
+//! to *patch* it instead of rebuilding.  Requiring the exact same VM list
+//! would make the cache dead under streaming arrivals — every tick's new
+//! vjobs change the movable set — so the cache tolerates a **bounded
+//! set-diff**, keyed by [`VmId`]:
+//!
+//! * VMs that left the sub-problem have their host variable **retired**
+//!   (fixed to a singleton, excluded from the packing constraints — the
+//!   search can never branch on it);
+//! * VMs that arrived **recycle** a retired variable slot (domain reset,
+//!   renamed) or append a fresh variable when no slot is free;
+//! * the packing constraints are re-posted over the live variables **into
+//!   their original propagator slots** ([`PackingSlots::resize`]), keeping
+//!   the fixpoint iteration order;
+//! * a candidate-node list is always patch-compatible: the model only
+//!   encodes the node *count* (the variable domains `[0, nodes-1]`), so a
+//!   count change resets the live domains and everything else — capacities,
+//!   move costs, preferred values — is re-derived per solve anyway.
+//!
+//! The patch is refused — falling back to a counted rebuild — when the diff
+//! exceeds [`PlanOptimizer::model_patch_budget`], when a packing dimension's
+//! inertness flips, or when retired slots would outnumber live variables
+//! (every store clone pays for zombie domains, so a shrunken problem
+//! eventually compacts).
+//!
+//! Because recycled slots assign variable indices out of problem order, the
+//! searches run with explicit first-fail tie-break *ranks* (the problem
+//! order) and the incumbents are scattered into variable-slot order: a
+//! patched model is **bit-identical in search behavior** to a freshly built
+//! one — same tree, same statistics — which `tests/lockstep.rs` and the
+//! solver's `property_setdiff` suite hold it to.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -83,6 +118,12 @@ use crate::ffd::{FirstFitDecreasing, PackingPolicy};
 /// [`Dimension::is_legacy`] so there is a single source of truth.  See
 /// [`MultiDimPacking::post`] — this is what keeps the 2-dimensional search
 /// bit-identical to the historical pair-based model.
+/// Default [`PlanOptimizer::model_patch_budget`]: sized so one streaming
+/// tick of vjob arrivals at the 10k-node benchmark shape (1 000 vjobs × 2
+/// VMs arriving while the previous tick's 2 000 leave the movable set ≈ a
+/// 4 000-VM diff) still patches instead of rebuilding.
+pub const DEFAULT_MODEL_PATCH_BUDGET: usize = 4096;
+
 const LEGACY_DIMS: usize = {
     let mut n = 0;
     while n < NUM_RESOURCE_DIMENSIONS && Dimension::ALL[n].is_legacy() {
@@ -186,12 +227,18 @@ pub struct SolverMemory {
     /// Warm-start state of the previous solve (`None` until a warm-started
     /// solve completes).
     pub warm: Option<WarmStart>,
-    /// The cached placement model, reusable while the VM and candidate-node
-    /// lists are unchanged.
+    /// The cached placement model, patched in place while the VM set stays
+    /// within the set-diff budget of the cached one (see the module docs).
     cached: Option<CachedModel>,
-    /// Solves that re-parameterized the cached model in place.
+    /// Solves that reused the cached model (same-shape re-parameterizations
+    /// plus set-diff patches).
     pub model_patches: u64,
-    /// Solves that had to rebuild the model (shape change or cold cache).
+    /// The subset of [`SolverMemory::model_patches`] that went through the
+    /// set-diff path (variables retired, recycled or appended) rather than
+    /// a same-VM-set re-parameterization.
+    pub model_set_diff_patches: u64,
+    /// Solves that had to rebuild the model (cold cache, over-budget diff,
+    /// packing-dimension flip or zombie compaction).
     pub model_rebuilds: u64,
 }
 
@@ -201,8 +248,9 @@ impl fmt::Debug for SolverMemory {
             .field("view_version", &self.view_version)
             .field("demands", &self.demands.len())
             .field("warm", &self.warm)
-            .field("cached", &self.cached.as_ref().map(|c| c.vms.len()))
+            .field("cached", &self.cached.as_ref().map(|c| c.vars.len()))
             .field("model_patches", &self.model_patches)
+            .field("model_set_diff_patches", &self.model_set_diff_patches)
             .field("model_rebuilds", &self.model_rebuilds)
             .finish()
     }
@@ -228,17 +276,128 @@ impl SolverMemory {
     }
 }
 
-/// A placement model kept across solves: patched in place when only demands
-/// or capacities moved, rebuilt when the variable set changed.
+/// A placement model kept across solves: patched in place while the new
+/// sub-problem's VM set stays within the set-diff budget of the cached one
+/// (see the module docs), rebuilt otherwise.
 #[derive(Clone)]
 struct CachedModel {
-    /// VM list the variables were created over, in variable order.
-    vms: Vec<VmId>,
-    /// Candidate nodes, in domain-value order.
-    nodes: Vec<NodeId>,
+    model: Model,
+    /// Live `(VM, variable slot)` pairs, in the problem order of the solve
+    /// that produced them.
+    vars: Vec<(VmId, VarId)>,
+    /// Retired variable slots (fixed to a singleton, excluded from the
+    /// packing constraints), recyclable for arriving VMs.
+    retired: Vec<VarId>,
+    /// Candidate-node count the live domains are `[0, count - 1]` over.
+    /// Node *identity* is not cached: capacities, move costs and preferred
+    /// values are re-derived from the problem on every solve.
+    node_count: usize,
+    slots: PackingSlots,
+}
+
+/// A successfully patched [`CachedModel`], ready to search.
+struct PatchedModel {
     model: Model,
     vars: Vec<(VmId, VarId)>,
+    retired: Vec<VarId>,
     slots: PackingSlots,
+    /// True when the VM set changed (the patch retired, recycled or
+    /// appended variables) — counted as a set-diff patch.
+    set_diff: bool,
+}
+
+impl CachedModel {
+    /// Patch this model to the sub-problem `(vms, node_count, sizes,
+    /// capacities)`, consuming the cache.  Returns `None` — the caller
+    /// rebuilds — when the VM set-diff exceeds `budget`, a packing
+    /// dimension's inertness flipped, or retired slots would outnumber the
+    /// live variables (zombie compaction).
+    fn patch(
+        self,
+        vms: &[VmId],
+        node_count: usize,
+        sizes: &[Vec<u64>],
+        capacities: &[Vec<u64>],
+        budget: usize,
+    ) -> Option<PatchedModel> {
+        let CachedModel {
+            mut model,
+            vars,
+            mut retired,
+            node_count: cached_nodes,
+            mut slots,
+        } = self;
+        let cached: BTreeMap<VmId, VarId> = vars.iter().copied().collect();
+        let wanted: BTreeSet<VmId> = vms.iter().copied().collect();
+        let removed: Vec<VarId> = vars
+            .iter()
+            .filter(|(vm, _)| !wanted.contains(vm))
+            .map(|&(_, var)| var)
+            .collect();
+        let added = vms.iter().filter(|vm| !cached.contains_key(vm)).count();
+        if removed.len() + added > budget {
+            return None;
+        }
+        // Zombie compaction: recycling keeps the variable count flat under
+        // balanced churn, but a shrinking sub-problem strands retired slots
+        // and every store clone of the search pays for them.  Rebuild when
+        // they would outnumber the live variables (small models are exempt:
+        // a handful of zombies is cheaper than re-posting).
+        let free = retired.len() + removed.len();
+        let appended = added.saturating_sub(free);
+        let total_after = model.var_count() + appended;
+        if total_after > (2 * vms.len()).max(64) {
+            return None;
+        }
+        // An inertness flip needs a different propagator set: pre-check so
+        // a refusal never leaves a half-patched model behind.
+        if !slots.dims_compatible(sizes, LEGACY_DIMS) {
+            return None;
+        }
+        let set_diff = !removed.is_empty() || added > 0;
+        for &var in &removed {
+            model.retire_var(var);
+            retired.push(var);
+        }
+        let domain_hi = node_count as u32 - 1;
+        let reset_domains = node_count != cached_nodes;
+        let mut new_vars: Vec<(VmId, VarId)> = Vec::with_capacity(vms.len());
+        for &vm in vms {
+            // `cached` only holds live pairs, and every cached VM of `vms`
+            // survived the removal pass above, so a hit is a kept variable.
+            let var = match cached.get(&vm) {
+                Some(&var) => {
+                    if reset_domains {
+                        model.reset_var(var, 0, domain_hi);
+                    }
+                    var
+                }
+                None => match retired.pop() {
+                    Some(var) => {
+                        model.reset_var(var, 0, domain_hi);
+                        model.rename_var(var, format!("host({vm})"));
+                        var
+                    }
+                    None => model.new_named_var(format!("host({vm})"), 0, domain_hi),
+                },
+            };
+            new_vars.push((vm, var));
+        }
+        let ids: Vec<VarId> = new_vars.iter().map(|&(_, var)| var).collect();
+        // Compatibility was pre-checked, so the resize cannot refuse.
+        let resized = slots.resize(&mut model, &ids, sizes, capacities, LEGACY_DIMS);
+        debug_assert!(resized, "dimension compatibility was pre-checked");
+        if !resized {
+            return None;
+        }
+        Some(PatchedModel {
+            model,
+            vars: new_vars,
+            retired,
+            slots,
+            set_diff,
+        })
+    }
 }
 
 /// Result of an optimization: the chosen target configuration, its plan and
@@ -350,6 +509,12 @@ pub struct PlanOptimizer {
     /// from a cold solve — callers that need bit-stable artifacts leave
     /// this unset.
     pub warm_start: bool,
+    /// Maximum VM set-diff (removed + added) the cached placement model
+    /// absorbs by patching variables in place before an incremental solve
+    /// falls back to a rebuild — see the module docs.  The default covers a
+    /// full streaming tick of arrivals at the 10k-node benchmark shape;
+    /// `0` disables set-diff patching (only exact same-set reuse remains).
+    pub model_patch_budget: usize,
     /// Cost model used both for the search estimate and the final plan cost.
     pub cost_model: ActionCostModel,
     /// Planner used to sequence the chosen configuration.
@@ -366,6 +531,7 @@ impl Default for PlanOptimizer {
             mode: OptimizerMode::Full,
             packing: PackingPolicy::default(),
             warm_start: false,
+            model_patch_budget: DEFAULT_MODEL_PATCH_BUDGET,
             cost_model: ActionCostModel::paper(),
             planner: Planner::new(),
         }
@@ -417,6 +583,13 @@ impl PlanOptimizer {
     /// [`PlanOptimizer::optimize`] calls always solve cold.
     pub fn with_warm_start(mut self, warm_start: bool) -> Self {
         self.warm_start = warm_start;
+        self
+    }
+
+    /// Set the VM set-diff budget of cached-model patching (see
+    /// [`PlanOptimizer::model_patch_budget`]).
+    pub fn with_model_patch_budget(mut self, budget: usize) -> Self {
+        self.model_patch_budget = budget;
         self
     }
 
@@ -621,29 +794,36 @@ impl PlanOptimizer {
             .collect();
 
         // --- Build the CP model, or patch the cached one -----------------
-        // When the persistent memory already holds a model over exactly this
-        // VM list and candidate-node list, only the packing parameters can
-        // have moved: swap the propagators in place.  A patched model is
-        // indistinguishable from a freshly built one (same variables, same
-        // propagator slots), so the search below stays bit-identical either
-        // way; `PackingSlots::patch` refuses any shape change and we rebuild.
-        let mut reused: Option<(Model, Vec<(VmId, VarId)>, PackingSlots)> = None;
+        // When the persistent memory holds a model whose VM set is within
+        // the set-diff budget of this sub-problem's, patch it in place:
+        // retire the variables of departed VMs, recycle or append variables
+        // for arrivals, and re-post the packing constraints over the live
+        // variables into their original propagator slots (see the module
+        // docs).  A patched model is bit-identical in search behavior to a
+        // freshly built one — the explicit tie-break ranks below make the
+        // branching follow the problem order whatever the variable slots —
+        // so the search stays byte-stable either way.  `CachedModel::patch`
+        // refuses over-budget diffs, dimension flips and zombie bloat, and
+        // we rebuild.
+        let mut reused: Option<(Model, Vec<(VmId, VarId)>, Vec<VarId>, PackingSlots)> = None;
         if let Some(m) = memory.as_deref_mut() {
             if let Some(cache) = m.cached.take() {
-                if cache.vms == problem.vms && cache.nodes == *node_ids {
-                    let mut model = cache.model;
-                    let ids: Vec<VarId> = cache.vars.iter().map(|(_, v)| *v).collect();
-                    if cache
-                        .slots
-                        .patch(&mut model, &ids, &sizes, &capacities, LEGACY_DIMS)
-                    {
-                        m.model_patches += 1;
-                        reused = Some((model, cache.vars, cache.slots));
+                if let Some(patched) = cache.patch(
+                    &problem.vms,
+                    node_ids.len(),
+                    &sizes,
+                    &capacities,
+                    self.model_patch_budget,
+                ) {
+                    m.model_patches += 1;
+                    if patched.set_diff {
+                        m.model_set_diff_patches += 1;
                     }
+                    reused = Some((patched.model, patched.vars, patched.retired, patched.slots));
                 }
             }
         }
-        let (model, vars, slots) = match reused {
+        let (model, vars, retired, slots) = match reused {
             Some(built) => built,
             None => {
                 let mut model = Model::new();
@@ -664,7 +844,7 @@ impl PlanOptimizer {
                 if let Some(m) = memory.as_deref_mut() {
                     m.model_rebuilds += 1;
                 }
-                (model, vars, slots)
+                (model, vars, Vec::new(), slots)
             }
         };
         let var_ids: Vec<VarId> = vars.iter().map(|(_, v)| *v).collect();
@@ -718,15 +898,38 @@ impl PlanOptimizer {
             }
             w
         };
+        // Tie-break rank: the VM's position in the problem order.  On a
+        // fresh model variable indices already follow that order, so the
+        // ranks change nothing; on a patched model they make the branching
+        // ignore how slots were recycled, keeping the tree bit-identical to
+        // a fresh build's.  Retired variables are fixed and never ranked.
+        let ranks: Vec<u64> = {
+            let mut r = vec![u64::MAX; model.var_count()];
+            for (i, (_, var)) in vars.iter().enumerate() {
+                r[var.0] = i as u64;
+            }
+            r
+        };
+        // Incumbents are full per-variable vectors: scatter the
+        // problem-order values into variable-slot order, with every retired
+        // variable sitting at its singleton value.
+        let scatter = |values: &[u32]| -> Vec<u32> {
+            let mut full = vec![0u32; model.var_count()];
+            for (i, &(_, var)) in vars.iter().enumerate() {
+                full[var.0] = values[i];
+            }
+            full
+        };
 
         let config = SearchConfig {
             variable_selection: VariableSelection::FirstFail {
                 weights: Some(weights),
+                ranks: Some(ranks),
             },
             value_selection: ValueSelection::Preferred(preferred),
             timeout: Some(self.timeout),
             node_limit: self.node_limit,
-            incumbent: problem.incumbent.clone(),
+            incumbent: problem.incumbent.as_deref().map(scatter),
             restarts: problem.restarts.clone(),
             diversify: problem.diversify,
             ..Default::default()
@@ -782,7 +985,9 @@ impl PlanOptimizer {
                 workers: self.solver_workers,
                 deterministic: self.node_limit.is_some(),
                 strategy: self.race,
-                ffd_incumbent: Self::ffd_seed(&demands, &problem.capacities),
+                ffd_incumbent: Self::ffd_seed(&demands, &problem.capacities)
+                    .as_deref()
+                    .map(scatter),
                 ..Default::default()
             };
             let outcome = PortfolioSearch::new(&model, config, race).minimize(&objective);
@@ -793,13 +998,13 @@ impl PlanOptimizer {
                 .map(|&(vm, var)| (vm, node_ids[solution[var] as usize]))
                 .collect()
         });
-        // Keep the model for the next solve over the same problem shape.
+        // Keep the model for the next solve over a nearby problem shape.
         if let Some(m) = memory {
             m.cached = Some(CachedModel {
-                vms: problem.vms.clone(),
-                nodes: problem.nodes.clone(),
                 model,
                 vars,
+                retired,
+                node_count: node_ids.len(),
                 slots,
             });
         }
@@ -1718,6 +1923,191 @@ mod tests {
         let b = repair.optimize(&c, &decision, &vjobs).unwrap();
         assert_eq!(a.cost.total, b.cost.total, "both reach the optimum here");
         assert_eq!(a.target, b.target);
+    }
+
+    /// Search statistics minus wall-clock time: the fields two bit-identical
+    /// solves must agree on.
+    fn search_fingerprint(s: &SearchStats) -> (u64, u64, u64, u64, bool, bool, u64) {
+        (
+            s.nodes,
+            s.failures,
+            s.solutions,
+            s.restarts,
+            s.incumbent_kept,
+            s.completed,
+            s.final_run,
+        )
+    }
+
+    fn assert_bit_identical(a: &OptimizedOutcome, b: &OptimizedOutcome) {
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.cost.total, b.cost.total);
+        assert_eq!(
+            search_fingerprint(&a.stats),
+            search_fingerprint(&b.stats),
+            "the two solves must explore the identical search tree"
+        );
+        assert_eq!(format!("{:?}", a.plan), format!("{:?}", b.plan));
+    }
+
+    #[test]
+    fn same_vm_set_reuses_the_cached_model_without_a_set_diff() {
+        let (c, vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let mut memory = SolverMemory::new();
+        let first = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        assert_eq!(memory.model_rebuilds, 1, "cold cache builds once");
+        assert_eq!(memory.model_patches, 0);
+        let second = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        assert_eq!(memory.model_rebuilds, 1, "the same VM set must not rebuild");
+        assert_eq!(memory.model_patches, 1);
+        assert_eq!(memory.model_set_diff_patches, 0, "no variable changed");
+        assert_bit_identical(&first, &second);
+    }
+
+    #[test]
+    fn an_arrival_within_budget_patches_by_set_diff_bit_identically() {
+        let (mut c, mut vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let mut memory = SolverMemory::new();
+        optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        // An arrival: a fifth node and a waiting 2-VM vjob.  The node count
+        // changes too, so the patch must also re-bound every live domain.
+        c.add_node(Node::new(
+            NodeId(4),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+        for i in 8..10 {
+            c.add_vm(Vm::new(
+                VmId(i),
+                MemoryMib::mib(1024),
+                CpuCapacity::cores(1),
+            ))
+            .unwrap();
+        }
+        vjobs.push(Vjob::new(VjobId(4), vec![VmId(8), VmId(9)], 4));
+        let decision = decide(&c, &vjobs);
+        let patched = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        assert_eq!(memory.model_rebuilds, 1, "the arrival must not rebuild");
+        assert_eq!(memory.model_patches, 1);
+        assert_eq!(memory.model_set_diff_patches, 1, "two VMs were appended");
+
+        let mut fresh_memory = SolverMemory::new();
+        let fresh = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut fresh_memory), None)
+            .unwrap();
+        assert_eq!(fresh_memory.model_rebuilds, 1);
+        assert_bit_identical(&patched, &fresh);
+    }
+
+    #[test]
+    fn an_over_budget_diff_falls_back_to_a_rebuild() {
+        let (mut c, mut vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        // Budget 1 cannot absorb a 2-VM arrival: the solve must cleanly
+        // rebuild (and still produce the same answer).
+        let optimizer =
+            PlanOptimizer::with_timeout(Duration::from_secs(5)).with_model_patch_budget(1);
+        let mut memory = SolverMemory::new();
+        optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        c.add_node(Node::new(
+            NodeId(4),
+            CpuCapacity::cores(2),
+            MemoryMib::gib(4),
+        ))
+        .unwrap();
+        for i in 8..10 {
+            c.add_vm(Vm::new(
+                VmId(i),
+                MemoryMib::mib(1024),
+                CpuCapacity::cores(1),
+            ))
+            .unwrap();
+        }
+        vjobs.push(Vjob::new(VjobId(4), vec![VmId(8), VmId(9)], 4));
+        let decision = decide(&c, &vjobs);
+        let rebuilt = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        assert_eq!(memory.model_rebuilds, 2, "over budget: rebuild, not patch");
+        assert_eq!(memory.model_patches, 0);
+        assert_eq!(memory.model_set_diff_patches, 0);
+
+        let mut fresh_memory = SolverMemory::new();
+        let fresh = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut fresh_memory), None)
+            .unwrap();
+        assert_bit_identical(&rebuilt, &fresh);
+    }
+
+    #[test]
+    fn departures_retire_and_arrivals_recycle_variable_slots() {
+        let (mut c, mut vjobs) = settled_cluster();
+        let decision = decide(&c, &vjobs);
+        let optimizer = PlanOptimizer::with_timeout(Duration::from_secs(5));
+        let mut memory = SolverMemory::new();
+        optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        let vars_after_build = memory.cached.as_ref().unwrap().model.var_count();
+        assert_eq!(vars_after_build, 8);
+
+        // Vjob 0 completes: its two VMs leave the sub-problem and their
+        // variable slots are retired in place.
+        let completed: BTreeSet<VjobId> = [VjobId(0)].into_iter().collect();
+        let decision = FcfsConsolidation::new()
+            .decide(&c, &vjobs, &completed)
+            .unwrap();
+        optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        assert_eq!(memory.model_set_diff_patches, 1);
+        let cached = memory.cached.as_ref().unwrap();
+        assert_eq!(cached.model.var_count(), 8, "retiring must not shrink");
+        assert_eq!(cached.retired.len(), 2);
+
+        // A new 2-VM vjob arrives: both retired slots are recycled, so the
+        // model still has exactly eight variables.
+        for i in 8..10 {
+            c.add_vm(Vm::new(
+                VmId(i),
+                MemoryMib::mib(1024),
+                CpuCapacity::cores(1),
+            ))
+            .unwrap();
+        }
+        vjobs.push(Vjob::new(VjobId(4), vec![VmId(8), VmId(9)], 4));
+        let decision = FcfsConsolidation::new()
+            .decide(&c, &vjobs, &completed)
+            .unwrap();
+        let patched = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut memory), None)
+            .unwrap();
+        assert_eq!(memory.model_rebuilds, 1);
+        assert_eq!(memory.model_set_diff_patches, 2);
+        let cached = memory.cached.as_ref().unwrap();
+        assert_eq!(cached.model.var_count(), 8, "recycling must not grow");
+        assert_eq!(cached.retired.len(), 0);
+
+        let mut fresh_memory = SolverMemory::new();
+        let fresh = optimizer
+            .optimize_full(&c, &decision, &vjobs, Some(&mut fresh_memory), None)
+            .unwrap();
+        assert_bit_identical(&patched, &fresh);
     }
 
     #[test]

@@ -80,6 +80,10 @@ fn vjob_spec(vjob: u32, first_vm: u32, vm_count: u32, seed: &mut u64) -> VjobSpe
 }
 
 fn build_scenario(seed: u64) -> Scenario {
+    build_scenario_with_arrivals(seed, &[1, 3, 5])
+}
+
+fn build_scenario_with_arrivals(seed: u64, arrival_ticks: &[usize]) -> Scenario {
     let mut state = seed | 1;
     let node_count = 6 + (xorshift(&mut state) % 3) as u32; // 6..=8
     let mut config = Configuration::new();
@@ -106,11 +110,11 @@ fn build_scenario(seed: u64) -> Scenario {
         initial.push(spec);
     }
 
-    // Arrivals at ticks 1, 3 and 5; a failure at tick 4 hits a node that is
-    // guaranteed to host VMs by then (the decision module fills low ids
+    // Arrivals at the requested ticks; a failure at tick 4 hits a node that
+    // is guaranteed to host VMs by then (the decision module fills low ids
     // first).
     let mut arrivals = Vec::new();
-    for &tick in &[1usize, 3, 5] {
+    for &tick in arrival_ticks {
         let vm_count = 2 + (xorshift(&mut state) % 2) as u32;
         let spec = vjob_spec(next_vjob, next_vm, vm_count, &mut state);
         next_vm += vm_count;
@@ -186,9 +190,18 @@ fn drive(
 /// Assert that a delta-driven run and a full-resync run produced
 /// bit-identical decisions, solver outcomes, plans and cluster states.
 fn assert_lockstep(seed: u64, workers: usize, ticks: usize) {
-    let (delta, delta_loop) = drive(build_scenario(seed), ObservationMode::Delta, workers, ticks);
+    assert_lockstep_with_arrivals(seed, workers, ticks, &[1, 3, 5]);
+}
+
+fn assert_lockstep_with_arrivals(seed: u64, workers: usize, ticks: usize, arrival_ticks: &[usize]) {
+    let (delta, delta_loop) = drive(
+        build_scenario_with_arrivals(seed, arrival_ticks),
+        ObservationMode::Delta,
+        workers,
+        ticks,
+    );
     let (full, full_loop) = drive(
-        build_scenario(seed),
+        build_scenario_with_arrivals(seed, arrival_ticks),
         ObservationMode::FullResync,
         workers,
         ticks,
@@ -259,8 +272,9 @@ fn assert_lockstep(seed: u64, workers: usize, ticks: usize) {
     assert_eq!(overloaded, ground_truth, "load index drifted (seed {seed})");
 
     // The delta run actually took the incremental path: its demand table
-    // tracks every VM and its model cache was patched or rebuilt, never
-    // silently bypassed.
+    // tracks every VM, the cached model was patched (not silently rebuilt
+    // or bypassed), arrivals went through the set-diff path, and only the
+    // cold first solve built a model from scratch.
     let memory = delta_loop.memory();
     assert_eq!(
         memory.tracked_vms(),
@@ -268,8 +282,16 @@ fn assert_lockstep(seed: u64, workers: usize, ticks: usize) {
         "demand table must track the whole cluster (seed {seed})"
     );
     assert!(
-        memory.model_patches + memory.model_rebuilds > 0,
-        "the persistent model was never exercised (seed {seed})"
+        memory.model_patches > 0,
+        "the cached model was never patched (seed {seed})"
+    );
+    assert!(
+        memory.model_set_diff_patches > 0,
+        "arrival ticks must exercise the set-diff patch path (seed {seed})"
+    );
+    assert_eq!(
+        memory.model_rebuilds, 1,
+        "only the cold first solve may build a model from scratch (seed {seed})"
     );
 }
 
@@ -291,6 +313,14 @@ fn lockstep_seed_3_portfolio() {
 #[test]
 fn lockstep_seed_4_portfolio() {
     assert_lockstep(4, 2, 8);
+}
+
+#[test]
+fn lockstep_heavy_arrivals_stay_on_the_set_diff_path() {
+    // A new vjob every tick from 1 to 6: the movable VM set changes on
+    // every solve, so the cached model is set-diff-patched relentlessly —
+    // and must still march in lockstep with the full-resync oracle.
+    assert_lockstep_with_arrivals(7, 1, 10, &[1, 2, 3, 4, 5, 6]);
 }
 
 #[test]

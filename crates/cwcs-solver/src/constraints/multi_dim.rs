@@ -16,6 +16,30 @@
 //! their sizes: the legacy (CPU, memory) pair has always been posted even
 //! when every demand was zero (e.g. a boot sub-problem packing idle VMs),
 //! and the N-dimensional build must reproduce that model exactly.
+//!
+//! # Incremental re-posting: the [`PackingSlots`] handle
+//!
+//! [`MultiDimPacking::post_patchable`] remembers which propagator slot each
+//! posted dimension went into, so a persistent model can re-parameterize
+//! its packing constraints **in place** instead of being rebuilt:
+//!
+//! * [`PackingSlots::patch`] swaps fresh sizes/capacities into the original
+//!   slots for the *same* item list (a same-shape re-solve under drifted
+//!   demands);
+//! * [`PackingSlots::resize`] additionally accepts a **different** live-item
+//!   list — the set-diff protocol of `cwcs_core::optimizer`, where departed
+//!   items' variables are retired and arrivals recycle the retired slots —
+//!   re-posting each dimension's [`BinPacking`] over the new item count;
+//! * [`PackingSlots::dims_compatible`] is the pre-check both require: the
+//!   posted-dimension set must not change (an inertness flip — an all-zero
+//!   dimension growing nonzero sizes or vice versa — adds or removes a
+//!   propagator, which only a rebuild can express).  Checking it *before*
+//!   mutating any variable lets a caller refuse a patch with the model
+//!   untouched.
+//!
+//! A patched or resized model must stay search-indistinguishable from a
+//! freshly built one; `tests/property_setdiff.rs` holds `resize` to that
+//! bit-identity over randomized add/remove diffs.
 
 use crate::constraints::BinPacking;
 use crate::store::{Model, VarId};
@@ -101,16 +125,74 @@ impl PackingSlots {
         self.slots.len()
     }
 
+    /// Item count the constraints are currently posted over.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// True when re-posting over `sizes` would keep the posted-dimension
+    /// set unchanged — the shape condition both [`PackingSlots::patch`] and
+    /// [`PackingSlots::resize`] require.  A dimension whose inertness
+    /// flipped (an all-zero dimension that grew nonzero sizes, or vice
+    /// versa) would change which propagators exist, which only a rebuild
+    /// can express.  Callers can pre-check this *before* mutating variables
+    /// for a resize, so a refusal leaves the whole model untouched.
+    pub fn dims_compatible(&self, sizes: &[Vec<u64>], always_dims: usize) -> bool {
+        let wanted = sizes.iter().enumerate().filter_map(|(dim, dim_sizes)| {
+            (dim < always_dims || dim_sizes.iter().any(|&s| s != 0)).then_some(dim)
+        });
+        let mut posted = self.slots.iter().map(|(dim, _)| *dim);
+        for dim in wanted {
+            if posted.next() != Some(dim) {
+                return false;
+            }
+        }
+        posted.next().is_none()
+    }
+
     /// Re-parameterize the posted packing constraints over the same `vars`
     /// with new `sizes` / `capacities`, swapping each propagator in place.
     ///
     /// Returns `false` — leaving the model untouched — when the patch cannot
     /// preserve the model shape: a different item count, or a dimension
-    /// whose inertness flipped (an all-zero dimension that grew nonzero
-    /// sizes, or vice versa), which would change the posted-propagator set.
-    /// The caller rebuilds from scratch in that case.
+    /// whose inertness flipped, which would change the posted-propagator
+    /// set.  The caller rebuilds from scratch in that case.  An item-count
+    /// change is *not* fatal to patching in general — that is
+    /// [`PackingSlots::resize`] — this method is the strict same-shape
+    /// variant.
     pub fn patch(
         &self,
+        model: &mut Model,
+        vars: &[VarId],
+        sizes: &[Vec<u64>],
+        capacities: &[Vec<u64>],
+        always_dims: usize,
+    ) -> bool {
+        if vars.len() != self.items {
+            return false;
+        }
+        let mut slots = self.clone();
+        slots.resize(model, vars, sizes, capacities, always_dims)
+    }
+
+    /// Grow or shrink the posted packing constraints to a new item set:
+    /// every posted dimension is re-posted over `vars` (which may have a
+    /// different length than the original item set) **into its original
+    /// propagator slot**, keeping the propagator order — and therefore the
+    /// fixpoint iteration order and the search trace — of the model it was
+    /// first built into.  This is the constraint half of set-diff model
+    /// patching: the caller retires/recycles/appends host variables, then
+    /// resizes the packing terms over the live variables.
+    ///
+    /// Returns `false` — leaving the model untouched — when the
+    /// posted-dimension set would change (see
+    /// [`PackingSlots::dims_compatible`]).
+    ///
+    /// # Panics
+    /// Panics when `sizes` and `capacities` disagree on the dimension count
+    /// or any dimension disagrees with `vars` on the item count.
+    pub fn resize(
+        &mut self,
         model: &mut Model,
         vars: &[VarId],
         sizes: &[Vec<u64>],
@@ -122,21 +204,10 @@ impl PackingSlots {
             capacities.len(),
             "one capacity vector per dimension"
         );
-        if vars.len() != self.items {
-            return false;
-        }
-        // The set of posted dimensions must be unchanged.
-        let mut wanted = Vec::new();
-        for (dim, dim_sizes) in sizes.iter().enumerate() {
+        for dim_sizes in sizes {
             assert_eq!(dim_sizes.len(), vars.len(), "one size per item");
-            if dim >= always_dims && dim_sizes.iter().all(|&s| s == 0) {
-                continue;
-            }
-            wanted.push(dim);
         }
-        if wanted.len() != self.slots.len()
-            || wanted.iter().zip(&self.slots).any(|(w, (dim, _))| w != dim)
-        {
+        if !self.dims_compatible(sizes, always_dims) {
             return false;
         }
         for &(dim, slot) in &self.slots {
@@ -145,6 +216,7 @@ impl PackingSlots {
                 BinPacking::new(vars.to_vec(), sizes[dim].clone(), capacities[dim].clone()),
             );
         }
+        self.items = vars.len();
         true
     }
 }
@@ -289,7 +361,8 @@ mod tests {
             2,
         ));
         assert_eq!(m.propagator_count(), 2);
-        // A different item count is also a rebuild.
+        // A different item count is a rebuild for the strict `patch`; the
+        // set-diff path goes through `resize` instead.
         let b = m.new_var(0, 1);
         assert!(!slots.patch(
             &mut m,
@@ -298,5 +371,73 @@ mod tests {
             &[vec![4, 4], vec![4096, 4096]],
             2,
         ));
+    }
+
+    #[test]
+    fn resizing_grows_and_shrinks_without_reposting() {
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let mut slots = MultiDimPacking::post_patchable(
+            &mut m,
+            &[a],
+            &[vec![1], vec![512], vec![100]],
+            &[vec![4, 4], vec![4096, 4096], vec![1000, 1000]],
+            2,
+        );
+        assert_eq!(slots.items(), 1);
+        let posted = m.propagator_count();
+        // Grow to two items: same slots, new item set.
+        let b = m.new_var(0, 1);
+        assert!(slots.resize(
+            &mut m,
+            &[a, b],
+            &[vec![1, 1], vec![512, 512], vec![600, 600]],
+            &[vec![4, 4], vec![4096, 4096], vec![1000, 1000]],
+            2,
+        ));
+        assert_eq!(slots.items(), 2);
+        assert_eq!(m.propagator_count(), posted, "resizing must not repost");
+        // The grown constraints prune like a fresh post: the net dimension
+        // forces the two items apart.
+        let mut s = m.root_store();
+        s.assign(a, 0).unwrap();
+        propagate_to_fixpoint(m.propagators(), &mut s).unwrap();
+        assert_eq!(s.value(b), 1);
+        // Shrink back to one item.
+        assert!(slots.resize(
+            &mut m,
+            &[b],
+            &[vec![1], vec![512], vec![600]],
+            &[vec![4, 4], vec![4096, 4096], vec![1000, 1000]],
+            2,
+        ));
+        assert_eq!(slots.items(), 1);
+        assert_eq!(m.propagator_count(), posted);
+    }
+
+    #[test]
+    fn resizing_refuses_an_inertness_flip() {
+        let mut m = Model::new();
+        let a = m.new_var(0, 1);
+        let mut slots = MultiDimPacking::post_patchable(
+            &mut m,
+            &[a],
+            &[vec![1], vec![512], vec![0]],
+            &[vec![4, 4], vec![4096, 4096], vec![0, 0]],
+            2,
+        );
+        let b = m.new_var(0, 1);
+        // The inert net dimension turning live needs a propagator that was
+        // never posted: refuse, leaving the model and the slots untouched.
+        assert!(!slots.dims_compatible(&[vec![1, 1], vec![512, 512], vec![600, 600]], 2));
+        assert!(!slots.resize(
+            &mut m,
+            &[a, b],
+            &[vec![1, 1], vec![512, 512], vec![600, 600]],
+            &[vec![4, 4], vec![4096, 4096], vec![1000, 1000]],
+            2,
+        ));
+        assert_eq!(slots.items(), 1);
+        assert_eq!(m.propagator_count(), 2);
     }
 }

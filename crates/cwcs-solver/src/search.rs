@@ -175,12 +175,20 @@ impl std::ops::Index<VarId> for Solution {
 #[derive(Clone)]
 pub enum VariableSelection {
     /// Smallest remaining domain first (first-fail).  Ties are broken by a
-    /// static weight (largest weight first) and then by variable index, so
-    /// that "VMs with important CPU and memory requirements are treated
-    /// earlier than VMs with lesser requirements" as in the paper.
+    /// static weight (largest weight first), then by rank, so that "VMs
+    /// with important CPU and memory requirements are treated earlier than
+    /// VMs with lesser requirements" as in the paper.
     FirstFail {
         /// Optional static weight per variable (larger = branch earlier).
         weights: Option<Vec<u64>>,
+        /// Optional tie-break rank per variable (smaller = branch earlier);
+        /// a variable missing from the vector ranks by its index.  Without
+        /// ranks, ties fall through to the variable index — which is also
+        /// the problem order on a freshly built model.  A *patched*
+        /// persistent model reuses variable slots, so its indices no longer
+        /// follow the problem order; supplying the problem order as ranks
+        /// keeps its search tree bit-identical to a fresh build's.
+        ranks: Option<Vec<u64>>,
     },
     /// Declaration order.
     InputOrder,
@@ -188,7 +196,10 @@ pub enum VariableSelection {
 
 impl Default for VariableSelection {
     fn default() -> Self {
-        VariableSelection::FirstFail { weights: None }
+        VariableSelection::FirstFail {
+            weights: None,
+            ranks: None,
+        }
     }
 }
 
@@ -637,16 +648,29 @@ impl<'m> Search<'m> {
         debug_assert!(!unfixed.is_empty());
         match selection {
             VariableSelection::InputOrder => unfixed[0],
-            VariableSelection::FirstFail { weights } => {
+            VariableSelection::FirstFail { weights, ranks } => {
                 let weight = |v: VarId| -> u64 {
                     weights
                         .as_ref()
                         .and_then(|w| w.get(v.0).copied())
                         .unwrap_or(0)
                 };
+                let rank = |v: VarId| -> u64 {
+                    ranks
+                        .as_ref()
+                        .and_then(|r| r.get(v.0).copied())
+                        .unwrap_or(v.0 as u64)
+                };
                 *unfixed
                     .iter()
-                    .min_by_key(|&&v| (store.domain(v).size(), std::cmp::Reverse(weight(v)), v.0))
+                    .min_by_key(|&&v| {
+                        (
+                            store.domain(v).size(),
+                            std::cmp::Reverse(weight(v)),
+                            rank(v),
+                            v.0,
+                        )
+                    })
                     .expect("at least one unfixed variable")
             }
         }
@@ -848,10 +872,54 @@ mod tests {
         let store = m.root_store();
         let selection = VariableSelection::FirstFail {
             weights: Some(vec![1, 10]),
+            ranks: None,
         };
         let chosen = Search::select_variable(&selection, &store);
         assert_eq!(chosen, heavy);
         let _ = light;
+    }
+
+    #[test]
+    fn first_fail_ties_break_by_rank_before_index() {
+        // Same domains, same weights: without ranks the lower index wins;
+        // ranks invert the order, which is how a patched model whose
+        // variable slots were recycled out of problem order reproduces the
+        // fresh build's branching.
+        let mut m = Model::new();
+        let first = m.new_var(0, 1);
+        let second = m.new_var(0, 1);
+        let store = m.root_store();
+        let unranked = VariableSelection::FirstFail {
+            weights: None,
+            ranks: None,
+        };
+        assert_eq!(Search::select_variable(&unranked, &store), first);
+        let ranked = VariableSelection::FirstFail {
+            weights: None,
+            ranks: Some(vec![1, 0]),
+        };
+        assert_eq!(Search::select_variable(&ranked, &store), second);
+    }
+
+    #[test]
+    fn identity_ranks_match_the_unranked_ordering() {
+        let mut m = Model::new();
+        let a = m.new_var(0, 2);
+        let _b = m.new_var(0, 2);
+        let store = m.root_store();
+        let identity = VariableSelection::FirstFail {
+            weights: Some(vec![5, 5]),
+            ranks: Some(vec![0, 1]),
+        };
+        let none = VariableSelection::FirstFail {
+            weights: Some(vec![5, 5]),
+            ranks: None,
+        };
+        assert_eq!(
+            Search::select_variable(&identity, &store),
+            Search::select_variable(&none, &store)
+        );
+        assert_eq!(Search::select_variable(&identity, &store), a);
     }
 
     #[test]

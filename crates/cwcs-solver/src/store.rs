@@ -79,6 +79,40 @@ impl Model {
         self.propagators[slot] = Arc::new(propagator);
     }
 
+    /// Reset a variable's initial domain to `[lo, hi]` and wipe any
+    /// previous reduction.  This is the variable half of model patching: a
+    /// persistent model recycles a retired slot for a newly arrived item
+    /// (paired with [`Model::rename_var`]) or re-bounds every live variable
+    /// when the candidate-node count changed, instead of being rebuilt.
+    ///
+    /// # Panics
+    /// Panics when `var` does not name a variable of this model.
+    pub fn reset_var(&mut self, var: VarId, lo: u32, hi: u32) {
+        self.domains[var.0] = IntDomain::range(lo, hi);
+    }
+
+    /// Retire a variable: fix its initial domain to the singleton `{0}`.
+    /// A retired variable stays in the model (removing it would renumber
+    /// every later [`VarId`]) but can never be branched on, costs one
+    /// trivially-fixed domain per store clone, and must be excluded from
+    /// the propagators posted over the live variables.  Retired slots are
+    /// recycled by [`Model::reset_var`] when new items arrive.
+    ///
+    /// # Panics
+    /// Panics when `var` does not name a variable of this model.
+    pub fn retire_var(&mut self, var: VarId) {
+        self.domains[var.0] = IntDomain::range(0, 0);
+    }
+
+    /// Rename a variable (recycled slots take the new item's name, so
+    /// debugging output never shows a stale identity).
+    ///
+    /// # Panics
+    /// Panics when `var` does not name a variable of this model.
+    pub fn rename_var(&mut self, var: VarId, name: impl Into<String>) {
+        self.names[var.0] = name.into();
+    }
+
     /// Number of variables.
     pub fn var_count(&self) -> usize {
         self.domains.len()
@@ -286,6 +320,25 @@ mod tests {
         let mut s = m.root_store();
         s.assign(x, 0).unwrap();
         assert_eq!(s.unfixed_vars(), vec![y]);
+    }
+
+    #[test]
+    fn retired_variables_are_fixed_and_recyclable() {
+        let mut m = Model::new();
+        let x = m.new_named_var("host(vm#1)", 0, 5);
+        m.retire_var(x);
+        let s = m.root_store();
+        assert!(
+            s.is_fixed(x),
+            "a retired variable must never be branched on"
+        );
+        assert_eq!(s.value(x), 0);
+        // Recycle the slot for a new item: full domain, new identity.
+        m.reset_var(x, 0, 3);
+        m.rename_var(x, "host(vm#9)");
+        assert_eq!(m.name(x), "host(vm#9)");
+        assert_eq!(m.initial_domain(x).values(), vec![0, 1, 2, 3]);
+        assert_eq!(m.var_count(), 1, "recycling must not add variables");
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Property-based tests of the set-diff model-patch protocol: a cached
+//! placement model whose item set drifted (items retired, slots recycled for
+//! arrivals, variables appended) must be **bit-identical in search
+//! behavior** — same mapped solution, same best cost, same statistics — to a
+//! model freshly built over the new item set.
+//!
+//! The patch procedure exercised here mirrors `cwcs_core::optimizer`'s
+//! `CachedModel::patch` exactly: departed items' variables are retired in
+//! place ([`Model::retire_var`]), arrivals recycle retired slots
+//! ([`Model::reset_var`] + [`Model::rename_var`]) before appending, the
+//! packing constraints are re-posted into their original slots over the new
+//! live-variable list ([`PackingSlots::resize`]), and the search is handed
+//! problem-order **ranks** so first-fail tie-breaking ignores how slots were
+//! recycled.  The search configuration mirrors production too: demand
+//! weights, preferred values, a scattered incumbent and Luby restarts.
+//!
+//! Exercised over seeded randomized instances (the container has no
+//! crates.io access, so `proptest` is replaced by a deterministic
+//! [`SmallRng`] driver — same seed, same cases, every run).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cwcs_model::SmallRng;
+use cwcs_solver::constraints::{MultiDimPacking, PackingSlots};
+use cwcs_solver::search::{
+    ClosureObjective, RestartPolicy, Search, SearchConfig, SearchStats, ValueSelection,
+    VariableSelection,
+};
+use cwcs_solver::{Model, VarId};
+
+const CASES: usize = 32;
+const STEPS: usize = 4;
+const DIMS: usize = 3;
+const ALWAYS_DIMS: usize = 2;
+
+/// Every per-item parameter is derived deterministically from the item id,
+/// so an item that survives a diff step keeps its sizes, weight, cost row
+/// and preferred bin — exactly like a VM whose demand did not change.
+fn item_rng(id: u32, salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x5E7D_1FF0 ^ (id as u64).wrapping_mul(0x9E37_79B9) ^ salt)
+}
+
+fn item_sizes(id: u32) -> Vec<u64> {
+    let mut rng = item_rng(id, 1);
+    (0..DIMS).map(|_| rng.u64_in(1, 5)).collect()
+}
+
+fn item_weight(id: u32) -> u64 {
+    item_rng(id, 2).u64_in(0, 40)
+}
+
+fn item_cost(id: u32, bin: u32) -> u64 {
+    item_rng(id, 3 + bin as u64).u64_in(0, 25)
+}
+
+fn item_preferred(id: u32, bins: u32) -> u32 {
+    (item_rng(id, 4).u64_in(0, 100) % bins as u64) as u32
+}
+
+fn item_incumbent(id: u32, bins: u32) -> u32 {
+    (item_rng(id, 5).u64_in(0, 100) % bins as u64) as u32
+}
+
+/// Per-(case, bin-count) capacities, generous enough that most instances
+/// stay feasible.  Derived, so the fresh and the patched side agree.
+fn capacities(case: u64, bins: u32) -> Vec<Vec<u64>> {
+    let mut rng = SmallRng::seed_from_u64(0xCAFE ^ case.wrapping_mul(31) ^ bins as u64);
+    (0..DIMS)
+        .map(|_| (0..bins).map(|_| rng.u64_in(8, 18)).collect())
+        .collect()
+}
+
+/// `sizes[d][i]` over the live items, in problem order.
+fn size_matrix(items: &[u32]) -> Vec<Vec<u64>> {
+    let mut sizes: Vec<Vec<u64>> = (0..DIMS).map(|_| Vec::with_capacity(items.len())).collect();
+    for &id in items {
+        for (d, s) in item_sizes(id).into_iter().enumerate() {
+            sizes[d].push(s);
+        }
+    }
+    sizes
+}
+
+/// Run the production-shaped search over `vars` (the live variables of
+/// `model`, in problem order, one per item of `items`) and return the
+/// solution mapped back to problem order, the best cost and the statistics.
+///
+/// `ranks` follows the optimizer's contract: `None` on a fresh build (slot
+/// order *is* problem order), problem-order positions on a patched model.
+fn solve(
+    model: &Model,
+    vars: &[VarId],
+    items: &[u32],
+    bins: u32,
+    ranks: Option<Vec<u64>>,
+) -> (Option<Vec<u32>>, Option<i64>, SearchStats) {
+    let mut weights = vec![0u64; model.var_count()];
+    let mut preferred: Vec<Option<u32>> = vec![None; model.var_count()];
+    // Zombies sit at their singleton 0; live slots carry the item's values.
+    let mut incumbent = vec![0u32; model.var_count()];
+    for (i, (&var, &id)) in vars.iter().zip(items).enumerate() {
+        weights[var.0] = item_weight(id);
+        preferred[var.0] = Some(item_preferred(id, bins));
+        incumbent[var.0] = item_incumbent(id, bins);
+        debug_assert!(i < model.var_count());
+    }
+    let config = SearchConfig {
+        variable_selection: VariableSelection::FirstFail {
+            weights: Some(weights),
+            ranks,
+        },
+        value_selection: ValueSelection::Preferred(preferred),
+        node_limit: Some(200_000),
+        incumbent: Some(incumbent),
+        restarts: Some(RestartPolicy::luby(32)),
+        ..Default::default()
+    };
+    let cost_vars: Vec<VarId> = vars.to_vec();
+    let cost_items: Vec<u32> = items.to_vec();
+    let evaluate = move |store: &cwcs_solver::DomainStore| -> i64 {
+        cost_vars
+            .iter()
+            .zip(&cost_items)
+            .map(|(&v, &id)| item_cost(id, store.value(v)) as i64)
+            .sum()
+    };
+    let lb_vars: Vec<VarId> = vars.to_vec();
+    let lb_items: Vec<u32> = items.to_vec();
+    let lower_bound = move |store: &cwcs_solver::DomainStore| -> i64 {
+        lb_vars
+            .iter()
+            .zip(&lb_items)
+            .map(|(&v, &id)| {
+                store
+                    .domain(v)
+                    .iter()
+                    .map(|b| item_cost(id, b) as i64)
+                    .min()
+                    .unwrap_or(0)
+            })
+            .sum()
+    };
+    let objective = ClosureObjective::new(evaluate, lower_bound);
+    let outcome = Search::new(model, config).minimize(&objective);
+    let mapped = outcome
+        .best
+        .map(|solution| vars.iter().map(|&v| solution[v]).collect());
+    (mapped, outcome.best_cost, outcome.stats)
+}
+
+/// A model kept across diff steps, patched the way the optimizer patches its
+/// cached placement model.
+struct PatchedState {
+    model: Model,
+    /// Live `(item, variable)` pairs in problem order.
+    vars: Vec<(u32, VarId)>,
+    retired: Vec<VarId>,
+    slots: PackingSlots,
+    bins: u32,
+}
+
+/// Build a fresh model over `items` (problem order == slot order).
+fn fresh_build(case: u64, items: &[u32], bins: u32) -> PatchedState {
+    let mut model = Model::new();
+    let vars: Vec<(u32, VarId)> = items
+        .iter()
+        .map(|&id| (id, model.new_named_var(format!("host({id})"), 0, bins - 1)))
+        .collect();
+    let ids: Vec<VarId> = vars.iter().map(|&(_, v)| v).collect();
+    let slots = MultiDimPacking::post_patchable(
+        &mut model,
+        &ids,
+        &size_matrix(items),
+        &capacities(case, bins),
+        ALWAYS_DIMS,
+    );
+    PatchedState {
+        model,
+        vars,
+        retired: Vec::new(),
+        slots,
+        bins,
+    }
+}
+
+impl PatchedState {
+    /// Patch in place toward the new live item set (the optimizer's
+    /// retire / recycle / append protocol).  Panics if the packing slots
+    /// refuse the resize — the generator never flips a dimension's
+    /// inertness, so a refusal here is a bug.
+    fn patch(&mut self, case: u64, items: &[u32], bins: u32) {
+        let cached: BTreeMap<u32, VarId> = self.vars.iter().copied().collect();
+        let wanted: BTreeSet<u32> = items.iter().copied().collect();
+        for &(id, var) in &self.vars {
+            if !wanted.contains(&id) {
+                self.model.retire_var(var);
+                self.retired.push(var);
+            }
+        }
+        let reset_domains = bins != self.bins;
+        let hi = bins - 1;
+        let mut new_vars = Vec::with_capacity(items.len());
+        for &id in items {
+            let var = if let Some(&var) = cached.get(&id) {
+                if reset_domains {
+                    self.model.reset_var(var, 0, hi);
+                }
+                var
+            } else if let Some(var) = self.retired.pop() {
+                self.model.reset_var(var, 0, hi);
+                self.model.rename_var(var, format!("host({id})"));
+                var
+            } else {
+                self.model.new_named_var(format!("host({id})"), 0, hi)
+            };
+            new_vars.push((id, var));
+        }
+        let ids: Vec<VarId> = new_vars.iter().map(|&(_, v)| v).collect();
+        let resized = self.slots.resize(
+            &mut self.model,
+            &ids,
+            &size_matrix(items),
+            &capacities(case, bins),
+            ALWAYS_DIMS,
+        );
+        assert!(resized, "the generator never changes the posted dimensions");
+        self.vars = new_vars;
+        self.bins = bins;
+    }
+
+    /// Problem-order ranks for the live variables (retired slots unranked).
+    fn ranks(&self) -> Vec<u64> {
+        let mut r = vec![u64::MAX; self.model.var_count()];
+        for (i, &(_, var)) in self.vars.iter().enumerate() {
+            r[var.0] = i as u64;
+        }
+        r
+    }
+}
+
+fn strip_wall(stats: &SearchStats) -> SearchStats {
+    SearchStats {
+        elapsed_ms: 0,
+        ..stats.clone()
+    }
+}
+
+/// The core property: after any sequence of random add/remove diffs (with
+/// occasional bin-count changes, mirroring candidate-node drift), the
+/// patched model solves bit-identically to a fresh build over the same
+/// items.
+#[test]
+fn set_diff_patched_models_solve_bit_identically_to_fresh_builds() {
+    let mut exercised_recycle = false;
+    let mut exercised_append = false;
+    let mut exercised_retire = false;
+    for case in 0..CASES as u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF ^ case.wrapping_mul(0x51_7CC1));
+        let mut bins = rng.u64_in(3, 5) as u32;
+        let mut next_id = 0u32;
+        let mut live: Vec<u32> = Vec::new();
+        for _ in 0..rng.u64_in(4, 8) {
+            live.push(next_id);
+            next_id += 1;
+        }
+        let mut patched = fresh_build(case, &live, bins);
+
+        for step in 0..STEPS {
+            // Remove up to two random live items, add up to two fresh ones,
+            // keeping at least one item alive.
+            let removals = rng.u64_in(0, 2).min(live.len() as u64 - 1);
+            for _ in 0..removals {
+                let at = (rng.u64_in(0, 1000) % live.len() as u64) as usize;
+                live.remove(at);
+                exercised_retire = true;
+            }
+            for _ in 0..rng.u64_in(0, 2) {
+                live.push(next_id);
+                next_id += 1;
+                if patched.retired.is_empty() {
+                    exercised_append = true;
+                } else {
+                    exercised_recycle = true;
+                }
+            }
+            live.sort_unstable();
+            if rng.u64_in(0, 3) == 0 {
+                bins = rng.u64_in(3, 5) as u32;
+            }
+
+            patched.patch(case, &live, bins);
+            let ranks = patched.ranks();
+            let ids: Vec<VarId> = patched.vars.iter().map(|&(_, v)| v).collect();
+            let (p_sol, p_cost, p_stats) = solve(&patched.model, &ids, &live, bins, Some(ranks));
+
+            let fresh = fresh_build(case, &live, bins);
+            let fresh_ids: Vec<VarId> = fresh.vars.iter().map(|&(_, v)| v).collect();
+            let (f_sol, f_cost, f_stats) = solve(&fresh.model, &fresh_ids, &live, bins, None);
+
+            assert_eq!(
+                p_sol, f_sol,
+                "case {case} step {step}: mapped solution drifted"
+            );
+            assert_eq!(p_cost, f_cost, "case {case} step {step}: cost drifted");
+            assert_eq!(
+                strip_wall(&p_stats),
+                strip_wall(&f_stats),
+                "case {case} step {step}: search statistics drifted"
+            );
+        }
+    }
+    // The generator must have covered all three variable fates, or the
+    // property proved less than it claims.
+    assert!(exercised_retire, "no case ever retired a variable");
+    assert!(exercised_recycle, "no case ever recycled a retired slot");
+    assert!(exercised_append, "no case ever appended a variable");
+}
+
+/// An inertness flip (a dimension whose sizes were all zero growing a
+/// nonzero size, or vice versa) cannot be expressed by a patch: the
+/// compatibility pre-check must refuse it, and a refused resize must leave
+/// the model untouched.
+#[test]
+fn an_inertness_flip_is_refused_without_touching_the_model() {
+    // Third dimension inert at build time: only two constraints posted.
+    let items = 4usize;
+    let bins = 3u32;
+    let mut model = Model::new();
+    let vars: Vec<VarId> = (0..items).map(|_| model.new_var(0, bins - 1)).collect();
+    let sizes = vec![vec![2u64; items], vec![3u64; items], vec![0u64; items]];
+    let caps = vec![vec![10u64; bins as usize]; DIMS];
+    let mut slots = MultiDimPacking::post_patchable(&mut model, &vars, &sizes, &caps, ALWAYS_DIMS);
+    assert_eq!(slots.posted(), 2, "the inert third dimension is not posted");
+
+    // The new item set wakes the third dimension up.
+    let flipped = vec![vec![2u64; items], vec![3u64; items], vec![1u64; items]];
+    assert!(
+        !slots.dims_compatible(&flipped, ALWAYS_DIMS),
+        "the pre-check must catch the flip before any variable is mutated"
+    );
+    let before_props = model.propagator_count();
+    let before_vars = model.var_count();
+    assert!(!slots.resize(&mut model, &vars, &flipped, &caps, ALWAYS_DIMS));
+    assert_eq!(
+        model.propagator_count(),
+        before_props,
+        "refusal must not post"
+    );
+    assert_eq!(
+        model.var_count(),
+        before_vars,
+        "refusal must not add variables"
+    );
+    assert_eq!(slots.posted(), 2, "refusal must not change the slot table");
+}
